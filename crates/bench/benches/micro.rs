@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks of the substrates: how fast the simulator's
+//! building blocks run on the host (useful when sizing longer experiments).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tdo_core::{Dlt, DltConfig};
+use tdo_isa::{decode, encode, AluOp, Cond, Inst, Reg};
+use tdo_mem::{Cache, CacheConfig, Hierarchy, MemConfig};
+use tdo_sim::{PrefetchSetup, SimConfig};
+use tdo_trident::{form_trace, opt, CodeSource, TraceId};
+use tdo_workloads::{build, Scale};
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let insts = [
+        Inst::Op { op: AluOp::Add, ra: Reg::int(1), rb: Reg::int(2), rc: Reg::int(3) },
+        Inst::Load { ra: Reg::int(4), rb: Reg::int(5), off: 128, kind: tdo_isa::LoadKind::Int },
+        Inst::Prefetch { base: Reg::int(6), off: 8, stride: 64, dist: 17 },
+        Inst::Bcond { cond: Cond::Ne, ra: Reg::int(7), disp: -12 },
+    ];
+    let words: Vec<u64> = insts.iter().map(|i| encode(i).unwrap()).collect();
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(insts.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            for i in &insts {
+                black_box(encode(black_box(i)).unwrap());
+            }
+        });
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            for w in &words {
+                black_box(decode(black_box(*w)).unwrap());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 3 };
+    let mut g = c.benchmark_group("mem");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("l1_lookup_hit", |b| {
+        let mut cache = Cache::new(cfg);
+        for i in 0..1024u64 {
+            cache.insert(i * 64, false);
+        }
+        b.iter(|| {
+            for i in 0..1024u64 {
+                black_box(cache.lookup(black_box(i * 64)));
+            }
+        });
+    });
+    g.bench_function("hierarchy_load_stream", |b| {
+        b.iter_batched(
+            || Hierarchy::new(MemConfig::paper_baseline()),
+            |mut h| {
+                let mut now = 0;
+                for i in 0..1024u64 {
+                    let r = h.load(now, 0x400, 0x10_0000 + i * 8);
+                    now += r.latency / 4;
+                }
+                h
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_dlt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dlt");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("observe", |b| {
+        let mut dlt = Dlt::new(DltConfig::paper_baseline());
+        b.iter(|| {
+            for i in 0..4096u64 {
+                black_box(dlt.observe(0x1000 + (i % 64) * 8, i * 64, i % 8 == 0, 350));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    // A 32-instruction loop body to form and optimize.
+    let mut a = tdo_isa::Asm::new(0x1000);
+    a.label("head");
+    for i in 0..28u8 {
+        a.op_imm(AluOp::Add, Reg::int(1 + i % 8), 1, Reg::int(1 + i % 8));
+    }
+    a.ldq(Reg::int(9), Reg::int(10), 0);
+    a.lda(Reg::int(10), Reg::int(10), 8);
+    a.op_imm(AluOp::Sub, Reg::int(11), 1, Reg::int(11));
+    a.bcond_to(Cond::Ne, Reg::int(11), "head");
+    let words = a.assemble().unwrap();
+    let map: std::collections::HashMap<u64, Inst> = words
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (0x1000 + i as u64 * 8, decode(*w).unwrap()))
+        .collect();
+    let src = move |pc: u64| map.get(&pc).copied();
+    let _: &dyn CodeSource = &src;
+
+    let mut g = c.benchmark_group("trident");
+    g.bench_function("form_trace_32", |b| {
+        b.iter(|| black_box(form_trace(&src, TraceId(0), 0x1000, 0b1, 1).unwrap()));
+    });
+    g.bench_function("optimize_trace_32", |b| {
+        let (trace, _) = form_trace(&src, TraceId(0), 0x1000, 0b1, 1).unwrap();
+        b.iter_batched(
+            || trace.insts.clone(),
+            |mut insts| {
+                opt::optimize(&mut insts);
+                insts
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_full_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("mcf_100k_insts_selfrepair", |b| {
+        let w = build("mcf", Scale::Test).unwrap();
+        let mut cfg = SimConfig::test(PrefetchSetup::SwSelfRepair);
+        cfg.warmup_insts = 10_000;
+        cfg.measure_insts = 90_000;
+        b.iter(|| black_box(tdo_sim::run(&w, &cfg)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode_decode,
+    bench_cache,
+    bench_dlt,
+    bench_trace,
+    bench_full_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: hardware prefetcher generations (paper section 2.2's lineage) —
+//! tagged next-line prefetching (Smith & Hsu) versus predictor-directed
+//! stream buffers (Sherwood et al., the paper's baseline), versus the
+//! self-repairing software prefetcher on top of the 8x8 baseline.
+
+use tdo_bench::{geomean, pct, run_arm, run_cfg, suite, HarnessOpts};
+use tdo_sim::PrefetchSetup;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("Ablation: hardware prefetcher generations (speedup over no prefetching)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "next-line", "sb 4x4", "sb 8x8", "8x8 + sw-sr"
+    );
+    println!("{}", "-".repeat(62));
+    let mut cols: [Vec<f64>; 4] = Default::default();
+    for name in suite() {
+        let none = run_arm(name, PrefetchSetup::NoPrefetch, &opts);
+        let mut nl_cfg = opts.config(PrefetchSetup::NoPrefetch);
+        nl_cfg.mem.next_line = true;
+        let nl = run_cfg(name, &nl_cfg, &opts);
+        let sb44 = run_arm(name, PrefetchSetup::Hw4x4, &opts);
+        let sb88 = run_arm(name, PrefetchSetup::Hw8x8, &opts);
+        let sr = run_arm(name, PrefetchSetup::SwSelfRepair, &opts);
+        let vals = [
+            nl.speedup_over(&none),
+            sb44.speedup_over(&none),
+            sb88.speedup_over(&none),
+            sr.speedup_over(&none),
+        ];
+        for (c, v) in cols.iter_mut().zip(vals) {
+            c.push(v);
+        }
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            name,
+            pct(vals[0]),
+            pct(vals[1]),
+            pct(vals[2]),
+            pct(vals[3])
+        );
+    }
+    println!("{}", "-".repeat(62));
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "geomean",
+        pct(geomean(&cols[0])),
+        pct(geomean(&cols[1])),
+        pct(geomean(&cols[2])),
+        pct(geomean(&cols[3]))
+    );
+    println!("\nexpected shape: next-line < stream buffers < stream buffers + self-repair.");
+}

@@ -1,0 +1,46 @@
+//! Ablation (paper section 3.5.2, future work): periodically clearing the
+//! DLT's mature flags — and refreshing repair budgets — so loads matured
+//! during one program phase can be re-tuned when behaviour changes.
+//!
+//! On the steady-state suite the expected effect is small (the paper's
+//! default only resets maturity on DLT eviction); the interesting columns
+//! are the extra repair activity the clearing re-enables.
+
+use tdo_bench::{geomean, pct, run_arm, run_cfg, suite, HarnessOpts};
+use tdo_sim::PrefetchSetup;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("Ablation: periodic mature-flag clearing (every 2M cycles)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10}",
+        "workload", "persist", "clearing", "repairs", "repairs+"
+    );
+    println!("{}", "-".repeat(58));
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for name in suite() {
+        let base = run_arm(name, PrefetchSetup::Hw8x8, &opts);
+        let persist = run_arm(name, PrefetchSetup::SwSelfRepair, &opts);
+        let mut cfg = opts.config(PrefetchSetup::SwSelfRepair);
+        cfg.mature_clear_interval = Some(2_000_000);
+        let clearing = run_cfg(name, &cfg, &opts);
+        let (ra, rb) = (persist.speedup_over(&base), clearing.speedup_over(&base));
+        a.push(ra);
+        b.push(rb);
+        println!(
+            "{:<10} {:>12} {:>12} {:>10} {:>10}",
+            name,
+            pct(ra),
+            pct(rb),
+            persist.optimizer.repairs,
+            clearing.optimizer.repairs
+        );
+    }
+    println!("{}", "-".repeat(58));
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "geomean",
+        pct(geomean(&a)),
+        pct(geomean(&b))
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 4: percentage of load misses covered by hot traces, and the
+//! fraction the software prefetcher can target.
+
+use tdo_bench::{frac, mean, run_arm, suite, HarnessOpts};
+use tdo_sim::PrefetchSetup;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("Figure 4: load-miss coverage by hot traces and the prefetcher");
+    println!("{:<10} {:>14} {:>14}", "workload", "in hot traces", "prefetched");
+    println!("{}", "-".repeat(40));
+    let (mut traces, mut covered) = (Vec::new(), Vec::new());
+    for name in suite() {
+        let r = run_arm(name, PrefetchSetup::SwSelfRepair, &opts);
+        traces.push(r.miss_coverage_by_traces());
+        covered.push(r.miss_coverage_by_prefetcher());
+        println!(
+            "{:<10} {:>14} {:>14}",
+            name,
+            frac(r.miss_coverage_by_traces()),
+            frac(r.miss_coverage_by_prefetcher())
+        );
+    }
+    println!("{}", "-".repeat(40));
+    println!("{:<10} {:>14} {:>14}", "mean", frac(mean(&traces)), frac(mean(&covered)));
+    println!("\npaper: hot traces cover >85% of load misses, ~55% potentially");
+    println!("       prefetched; dot and parser are the low-coverage outliers (Fig. 4).");
+}

@@ -1,0 +1,57 @@
+//! Runs the complete evaluation matrix — every workload under every arm —
+//! and emits one CSV row per run, for downstream plotting or regression
+//! tracking.
+//!
+//! ```sh
+//! cargo run --release -p tdo-bench --bin run_all [--quick] > results.csv
+//! ```
+
+use tdo_bench::{run_arm, suite, HarnessOpts};
+use tdo_sim::PrefetchSetup;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!(
+        "workload,arm,cycles,orig_insts,ipc,helper_active_frac,\
+         miss_in_traces_frac,miss_prefetched_frac,\
+         hits,hit_prefetched,partial,miss,miss_by_prefetch,\
+         traces_installed,reoptimizations,backouts,\
+         dlt_events,insertions,prefetches_inserted,repairs,dist_up,dist_down,matured,\
+         sw_pf_issued,sw_pf_redundant,sw_pf_dropped"
+    );
+    for name in suite() {
+        for setup in PrefetchSetup::ALL {
+            let r = run_arm(name, setup, &opts);
+            let b = r.load_breakdown();
+            println!(
+                "{},{:?},{},{},{:.5},{:.5},{:.5},{:.5},{:.5},{:.5},{:.5},{:.5},{:.5},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                name,
+                setup,
+                r.cycles,
+                r.orig_insts,
+                r.ipc(),
+                r.helper_active_fraction(),
+                r.miss_coverage_by_traces(),
+                r.miss_coverage_by_prefetcher(),
+                b[0],
+                b[1],
+                b[2],
+                b[3],
+                b[4],
+                r.trident.traces_installed,
+                r.trident.reoptimizations,
+                r.trident.backouts,
+                r.optimizer.events,
+                r.optimizer.insertions,
+                r.optimizer.prefetches_inserted,
+                r.optimizer.repairs,
+                r.optimizer.distance_up,
+                r.optimizer.distance_down,
+                r.optimizer.matured,
+                r.mem.sw_prefetch_issued,
+                r.mem.sw_prefetch_redundant,
+                r.mem.sw_prefetch_dropped,
+            );
+        }
+    }
+}

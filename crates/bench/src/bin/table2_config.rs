@@ -1,0 +1,39 @@
+//! Table 2: the Trident hardware monitoring structures.
+
+use tdo_core::DltConfig;
+use tdo_trident::{ProfilerConfig, WatchConfig};
+
+fn main() {
+    let p = ProfilerConfig::paper_baseline();
+    let w = WatchConfig::paper_baseline();
+    let d = DltConfig::paper_baseline();
+    println!("Table 2: Trident hardware monitoring structures");
+    println!("-----------------------------------------------");
+    println!(
+        "Branch profiler      {}-entry, {}-way associative, {}-saturating counters,",
+        p.entries, p.assoc, p.hot_threshold
+    );
+    println!(
+        "                     {} standalone {}-bit direction bitmaps",
+        p.capture_units, p.max_bits
+    );
+    println!("Watch table          {}-entry; per-trace minimal execution time,", w.entries);
+    println!("                     optimization flag, early-exit back-out");
+    println!(
+        "Delinquent load tbl  {}-entry, {}-way associative; access counter {},",
+        d.entries, d.assoc, d.window
+    );
+    println!(
+        "                     miss counter threshold {} (~{:.0}% miss rate),",
+        d.miss_threshold,
+        100.0 * f64::from(d.miss_threshold) / f64::from(d.window)
+    );
+    println!(
+        "                     avg-miss-latency threshold {} cycles (half the L2-miss latency),",
+        d.latency_threshold
+    );
+    println!(
+        "                     stride confidence {}-max (+1 match / -{} mismatch), mature flag",
+        d.conf_max, d.conf_dec
+    );
+}

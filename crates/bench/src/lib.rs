@@ -1,0 +1,149 @@
+//! # tdo-bench — the paper-reproduction harness
+//!
+//! One binary per table and figure of the CGO 2006 evaluation (see
+//! DESIGN.md §3 for the experiment index). Each binary prints the same rows
+//! or series the paper reports, so `cargo run -p tdo-bench --bin fig5_speedup`
+//! regenerates the paper's Figure 5 on the simulated system.
+//!
+//! All binaries accept `--quick` to run at test scale (smaller working sets
+//! and windows against the scaled-down hierarchy) for a fast sanity pass;
+//! without it they run the full paper configuration.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use tdo_sim::{run, PrefetchSetup, SimConfig, SimResult};
+use tdo_workloads::{build, names, Scale, Workload};
+
+/// Harness options parsed from the command line.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOpts {
+    /// Run at test scale for a fast pass.
+    pub quick: bool,
+}
+
+impl HarnessOpts {
+    /// Parses `--quick` from `std::env::args`.
+    #[must_use]
+    pub fn from_args() -> HarnessOpts {
+        HarnessOpts { quick: std::env::args().any(|a| a == "--quick") }
+    }
+
+    /// The workload scale implied by the options.
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        if self.quick {
+            Scale::Test
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// The simulation configuration for one experimental arm.
+    #[must_use]
+    pub fn config(&self, setup: PrefetchSetup) -> SimConfig {
+        if self.quick {
+            SimConfig::test(setup)
+        } else {
+            SimConfig::paper(setup)
+        }
+    }
+}
+
+/// Builds the named workload at the harness scale.
+///
+/// # Panics
+///
+/// Panics on unknown names (harness binaries use the fixed suite).
+#[must_use]
+pub fn workload(name: &str, opts: &HarnessOpts) -> Workload {
+    build(name, opts.scale()).unwrap_or_else(|| panic!("unknown workload {name}"))
+}
+
+/// Runs one workload under one arm.
+#[must_use]
+pub fn run_arm(name: &str, setup: PrefetchSetup, opts: &HarnessOpts) -> SimResult {
+    let w = workload(name, opts);
+    run(&w, &opts.config(setup))
+}
+
+/// Runs one workload under a custom configuration.
+#[must_use]
+pub fn run_cfg(name: &str, cfg: &SimConfig, opts: &HarnessOpts) -> SimResult {
+    let w = workload(name, opts);
+    run(&w, cfg)
+}
+
+/// The benchmark suite in the paper's order.
+#[must_use]
+pub fn suite() -> &'static [&'static str] {
+    names()
+}
+
+/// Geometric mean of speedups (the conventional average for ratios).
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Prints a table header: workload column plus the given value columns.
+pub fn print_header(cols: &[&str]) {
+    print!("{:<10}", "workload");
+    for c in cols {
+        print!(" {c:>12}");
+    }
+    println!();
+    println!("{}", "-".repeat(10 + cols.len() * 13));
+}
+
+/// Prints one row of f64 values with a formatter.
+pub fn print_row(name: &str, values: &[f64], fmt: impl Fn(f64) -> String) {
+    print!("{name:<10}");
+    for v in values {
+        print!(" {:>12}", fmt(*v));
+    }
+    println!();
+}
+
+/// Formats a ratio as a percent delta ("+23.4%").
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", (x - 1.0) * 100.0)
+}
+
+/// Formats a fraction as a percent ("23.4%").
+#[must_use]
+pub fn frac(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(1.234), "+23.4%");
+        assert_eq!(frac(0.5), "50.0%");
+    }
+}

@@ -1,0 +1,234 @@
+//! `tdo` — drive the self-repairing prefetcher stack from the command line.
+//!
+//! ```text
+//! tdo list                         # workloads and their characterizations
+//! tdo run mcf --arm sr --full      # one run, summary report
+//! tdo compare art                  # every arm side by side
+//! tdo disasm gap | head            # workload disassembly
+//! tdo traces mcf --arm sr          # installed hot traces after a run
+//! ```
+
+use std::process::ExitCode;
+
+use tdo_isa::{decode, INST_BYTES};
+use tdo_sim::{Machine, PrefetchSetup, SimConfig, SimResult};
+use tdo_trident::TraceOp;
+use tdo_workloads::{build, names, Scale, Workload};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tdo <command> [args]\n\
+         \n\
+         commands:\n\
+         \x20 list                      workloads and descriptions\n\
+         \x20 run <workload> [opts]     simulate one workload\n\
+         \x20 compare <workload> [opts] simulate every arm\n\
+         \x20 disasm <workload>         dump the workload's code\n\
+         \x20 traces <workload> [opts]  dump installed hot traces after a run\n\
+         \n\
+         options:\n\
+         \x20 --arm <none|hw4x4|hw8x8|basic|whole|sr|swonly>   (default sr)\n\
+         \x20 --full                    paper-scale run (default: test scale)\n\
+         \x20 --insts <N>               measured original instructions"
+    );
+    ExitCode::FAILURE
+}
+
+struct Opts {
+    arm: PrefetchSetup,
+    full: bool,
+    insts: Option<u64>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts { arm: PrefetchSetup::SwSelfRepair, full: false, insts: None };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => o.full = true,
+            "--arm" => {
+                let v = it.next().ok_or("--arm needs a value")?;
+                o.arm = match v.as_str() {
+                    "none" => PrefetchSetup::NoPrefetch,
+                    "hw4x4" => PrefetchSetup::Hw4x4,
+                    "hw8x8" => PrefetchSetup::Hw8x8,
+                    "basic" => PrefetchSetup::SwBasic,
+                    "whole" => PrefetchSetup::SwWholeObject,
+                    "sr" => PrefetchSetup::SwSelfRepair,
+                    "swonly" => PrefetchSetup::SwOnlySelfRepair,
+                    other => return Err(format!("unknown arm `{other}`")),
+                };
+            }
+            "--insts" => {
+                let v = it.next().ok_or("--insts needs a value")?;
+                o.insts = Some(v.parse().map_err(|_| format!("bad --insts `{v}`"))?);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn load_workload(name: &str, full: bool) -> Result<Workload, String> {
+    let scale = if full { Scale::Full } else { Scale::Test };
+    build(name, scale).ok_or_else(|| format!("unknown workload `{name}`; try `tdo list`"))
+}
+
+fn config(o: &Opts) -> SimConfig {
+    let mut cfg = if o.full { SimConfig::paper(o.arm) } else { SimConfig::test(o.arm) };
+    if let Some(n) = o.insts {
+        cfg.measure_insts = n;
+    }
+    cfg
+}
+
+fn report(r: &SimResult) {
+    println!("  cycles           {}", r.cycles);
+    println!("  orig insts       {}", r.orig_insts);
+    println!("  IPC              {:.4}", r.ipc());
+    println!("  helper active    {:.2}%", r.helper_active_fraction() * 100.0);
+    println!(
+        "  traces           {} installed, {} reoptimized, {} backed out",
+        r.trident.traces_installed, r.trident.reoptimizations, r.trident.backouts
+    );
+    println!(
+        "  optimizer        {} events, {} insertions, {} repairs ({} up / {} down), {} matured",
+        r.optimizer.events,
+        r.optimizer.insertions,
+        r.optimizer.repairs,
+        r.optimizer.distance_up,
+        r.optimizer.distance_down,
+        r.optimizer.matured
+    );
+    let b = r.load_breakdown();
+    println!(
+        "  loads            {:.1}% hit | {:.1}% hit-pf | {:.1}% partial | {:.1}% miss | {:.2}% miss-by-pf",
+        b[0] * 100.0,
+        b[1] * 100.0,
+        b[2] * 100.0,
+        b[3] * 100.0,
+        b[4] * 100.0
+    );
+    println!(
+        "  miss coverage    {:.1}% in traces, {:.1}% prefetched",
+        r.miss_coverage_by_traces() * 100.0,
+        r.miss_coverage_by_prefetcher() * 100.0
+    );
+}
+
+fn cmd_list() -> ExitCode {
+    for name in names() {
+        let w = build(name, Scale::Test).expect("suite workload");
+        println!("{name:<10} {}", w.description);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(name: &str, o: &Opts) -> Result<ExitCode, String> {
+    let w = load_workload(name, o.full)?;
+    println!("{name} under {:?} ({}):", o.arm, if o.full { "full scale" } else { "test scale" });
+    let r = tdo_sim::run(&w, &config(o));
+    report(&r);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(name: &str, o: &Opts) -> Result<ExitCode, String> {
+    let w = load_workload(name, o.full)?;
+    println!("{:<18} {:>10} {:>10}", "arm", "IPC", "vs hw8x8");
+    let base = tdo_sim::run(&w, &config(&Opts { arm: PrefetchSetup::Hw8x8, ..*o }));
+    for arm in PrefetchSetup::ALL {
+        let r = if arm == PrefetchSetup::Hw8x8 {
+            base.clone()
+        } else {
+            tdo_sim::run(&w, &config(&Opts { arm, ..*o }))
+        };
+        println!(
+            "{:<18} {:>10.4} {:>9.1}%",
+            format!("{arm:?}"),
+            r.ipc(),
+            (r.speedup_over(&base) - 1.0) * 100.0
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_disasm(name: &str, o: &Opts) -> Result<ExitCode, String> {
+    let w = load_workload(name, o.full)?;
+    for (i, word) in w.program.code.iter().enumerate() {
+        let pc = w.program.code_base + i as u64 * INST_BYTES;
+        match decode(*word) {
+            Ok(inst) => println!("{pc:#10x}  {inst}"),
+            Err(e) => println!("{pc:#10x}  <invalid: {e}>"),
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_traces(name: &str, o: &Opts) -> Result<ExitCode, String> {
+    let w = load_workload(name, o.full)?;
+    let machine = Machine::new(&w, config(o));
+    let mut dumped = false;
+    let r = machine.run_with_inspect(&mut |m| {
+        for id in m.installed_traces() {
+            let Some(t) = m.trident().trace(id) else { continue };
+            println!(
+                "trace {:?} @ {:#x}  (head {:#x}, {} insts{})",
+                id,
+                t.cc_addr,
+                t.head,
+                t.insts.len(),
+                if t.is_loop { ", loop" } else { "" }
+            );
+            for (i, ti) in t.insts.iter().enumerate() {
+                let mark = if ti.synthetic { "  <- inserted" } else { "" };
+                match ti.op {
+                    TraceOp::Real(inst) => println!("  [{i:>3}] {inst}{mark}"),
+                    TraceOp::CondExit { cond, ra, to } => {
+                        println!("  [{i:>3}] exit-if {cond:?} {ra} -> {to:#x}")
+                    }
+                    TraceOp::JumpBack { to } => println!("  [{i:>3}] jump-back -> {to:#x}"),
+                    TraceOp::LoopBack => println!("  [{i:>3}] loop-back"),
+                }
+            }
+            dumped = true;
+        }
+    });
+    if !dumped {
+        println!("(no traces installed)");
+    }
+    println!();
+    report(&r);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let run = || -> Result<ExitCode, String> {
+        match cmd.as_str() {
+            "list" => Ok(cmd_list()),
+            "run" | "compare" | "disasm" | "traces" => {
+                let Some(name) = args.get(1) else {
+                    return Err(format!("{cmd} needs a workload name"));
+                };
+                let opts = parse_opts(&args[2..])?;
+                match cmd.as_str() {
+                    "run" => cmd_run(name, &opts),
+                    "compare" => cmd_compare(name, &opts),
+                    "disasm" => cmd_disasm(name, &opts),
+                    _ => cmd_traces(name, &opts),
+                }
+            }
+            other => Err(format!("unknown command `{other}`")),
+        }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! The Delinquent Load Table (paper §3.3, Table 2).
+//!
+//! A 2-way associative, LRU, PC-tagged table that the hardware updates on
+//! every committed load executing inside a hot trace. Each entry carries the
+//! exact fields of the paper's table: access counter, L1 miss counter, total
+//! miss latency, stride, stride confidence bits, last effective address, and
+//! the prefetch-mature flag.
+//!
+//! Within a *load monitoring window* of N accesses the entry accumulates a
+//! miss count and total miss latency; at the end of the window a load is
+//! *delinquent* when (1) its miss count reaches the threshold and (2) its
+//! average miss latency exceeds half the L2-miss latency. A delinquent load
+//! raises a delinquent-load event; the helper thread clears the window
+//! during optimization.
+
+/// Configuration of the DLT (paper Table 2 defaults).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DltConfig {
+    /// Total entries (Table 2: 1024).
+    pub entries: usize,
+    /// Associativity (Table 2: 2-way).
+    pub assoc: usize,
+    /// Load monitoring window: accesses per evaluation (Table 2: 256).
+    pub window: u32,
+    /// Miss-count threshold within a window (Table 2: 8, ≈3% of 256).
+    pub miss_threshold: u32,
+    /// Average-miss-latency threshold in cycles — "half of the L2 miss
+    /// latency" (§3.3). We read *L2 miss latency* as the cost of an access
+    /// that misses in the L2 (at least the 35-cycle L3 hit), giving a
+    /// threshold of 18: misses served by the L2 itself (11 cycles) never
+    /// qualify, while loads whose misses keep paying L3-or-beyond latency —
+    /// including partially covered stream-buffer hits — do. (Reading it as
+    /// half the *memory* latency would make loads in stream-buffer
+    /// equilibrium, which stall for `mem/buffer-depth` ≈ 44 cycles each
+    /// iteration, invisible to the DLT, defeating §5.3's observation that
+    /// software prefetching targets exactly what the hardware prefetcher
+    /// cannot finish.)
+    pub latency_threshold: u64,
+    /// Stride-confidence ceiling; a load is stride predictable at this value
+    /// (paper: 4-bit counter, predictable at 15).
+    pub conf_max: u8,
+    /// Confidence penalty on a stride change (paper: 7).
+    pub conf_dec: u8,
+    /// Minimum accesses before a partial-window evaluation is meaningful.
+    pub partial_min_accesses: u32,
+}
+
+impl DltConfig {
+    /// The paper's default configuration.
+    #[must_use]
+    pub fn paper_baseline() -> DltConfig {
+        DltConfig {
+            entries: 1024,
+            assoc: 2,
+            window: 256,
+            miss_threshold: 8,
+            latency_threshold: 18,
+            conf_max: 15,
+            conf_dec: 7,
+            partial_min_accesses: 32,
+        }
+    }
+
+    /// The same table with a different size (Figure 8 sweep).
+    #[must_use]
+    pub fn with_entries(self, entries: usize) -> DltConfig {
+        DltConfig { entries, ..self }
+    }
+
+    /// The same table with a different monitoring window and miss threshold
+    /// (Figure 7 sweep). `miss_rate_percent` is the miss-rate threshold the
+    /// paper quotes (miss threshold = window × rate).
+    #[must_use]
+    pub fn with_window(self, window: u32, miss_rate_percent: f64) -> DltConfig {
+        let miss_threshold = ((f64::from(window) * miss_rate_percent / 100.0).round() as u32).max(1);
+        DltConfig { window, miss_threshold, ..self }
+    }
+}
+
+/// One DLT entry — fields exactly as the paper's table.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DltEntry {
+    /// Load tag (the load's PC).
+    pub tag: u64,
+    /// Entry validity.
+    pub valid: bool,
+    /// Access counter within the current window.
+    pub accesses: u32,
+    /// L1 miss counter within the current window.
+    pub misses: u32,
+    /// Total miss latency within the current window.
+    pub total_miss_latency: u64,
+    /// Last effective address.
+    pub last_addr: u64,
+    /// Last observed stride.
+    pub stride: i64,
+    /// Stride confidence bits.
+    pub conf: u8,
+    /// Prefetch mature flag: suppress further delinquent events.
+    pub mature: bool,
+    /// Whether a delinquent event is pending (awaiting the helper).
+    pub pending: bool,
+    seen: bool,
+    stamp: u64,
+}
+
+impl DltEntry {
+    /// Average miss latency over the current window, if any miss occurred.
+    #[must_use]
+    pub fn avg_miss_latency(&self) -> Option<f64> {
+        (self.misses > 0).then(|| self.total_miss_latency as f64 / f64::from(self.misses))
+    }
+}
+
+/// A read-only view of one load's statistics for the optimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSnapshot {
+    /// Accesses in the current (possibly partial) window.
+    pub accesses: u32,
+    /// Misses in the current window.
+    pub misses: u32,
+    /// Average miss latency in the current window.
+    pub avg_miss_latency: f64,
+    /// Last observed stride.
+    pub stride: i64,
+    /// Whether the stride confidence is saturated.
+    pub stride_predictable: bool,
+    /// The mature flag.
+    pub mature: bool,
+}
+
+/// The Delinquent Load Table.
+pub struct Dlt {
+    cfg: DltConfig,
+    sets: Vec<DltEntry>,
+    nsets: usize,
+    clock: u64,
+    /// Delinquent events raised (stat).
+    pub events_raised: u64,
+    /// Entries evicted by capacity (stat).
+    pub evictions: u64,
+}
+
+impl Dlt {
+    /// Builds a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries / assoc` is a power of two.
+    #[must_use]
+    pub fn new(cfg: DltConfig) -> Dlt {
+        let nsets = cfg.entries / cfg.assoc;
+        assert!(nsets.is_power_of_two(), "DLT sets must be a power of two");
+        Dlt {
+            sets: vec![DltEntry::default(); cfg.entries],
+            nsets,
+            clock: 0,
+            events_raised: 0,
+            evictions: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &DltConfig {
+        &self.cfg
+    }
+
+    fn set_base(&self, pc: u64) -> usize {
+        (((pc >> 3) as usize) & (self.nsets - 1)) * self.cfg.assoc
+    }
+
+    fn entry_mut(&mut self, pc: u64) -> &mut DltEntry {
+        let base = self.set_base(pc);
+        let assoc = self.cfg.assoc;
+        let clock = self.clock;
+        let ways = &mut self.sets[base..base + assoc];
+        // Hit?
+        if let Some(i) = ways.iter().position(|e| e.valid && e.tag == pc) {
+            ways[i].stamp = clock;
+            return &mut ways[i];
+        }
+        // Allocate: invalid way or LRU. Eviction clears the mature flag
+        // implicitly — the paper notes capacity replacement is the only way
+        // maturity is reset.
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.stamp } else { 0 })
+            .map(|(i, _)| i)
+            .expect("assoc > 0");
+        if ways[victim].valid {
+            self.evictions += 1;
+        }
+        ways[victim] = DltEntry { tag: pc, valid: true, stamp: clock, ..DltEntry::default() };
+        &mut ways[victim]
+    }
+
+    /// Hardware update on a committed hot-trace load. Returns `true` when
+    /// this load should raise a delinquent-load event.
+    pub fn observe(&mut self, pc: u64, addr: u64, l1_miss: bool, latency: u64) -> bool {
+        self.clock += 1;
+        let cfg = self.cfg;
+        let e = self.entry_mut(pc);
+
+        // Stride tracking on every commit (paper: values updated every time
+        // the load is committed, not just on misses).
+        if e.seen {
+            let new_stride = addr.wrapping_sub(e.last_addr) as i64;
+            if new_stride == e.stride {
+                e.conf = e.conf.saturating_add(1).min(cfg.conf_max);
+            } else {
+                e.conf = e.conf.saturating_sub(cfg.conf_dec);
+                e.stride = new_stride;
+            }
+        }
+        e.seen = true;
+        e.last_addr = addr;
+
+        e.accesses += 1;
+        if l1_miss {
+            e.misses += 1;
+            e.total_miss_latency += latency;
+        }
+
+        if !e.accesses.is_multiple_of(cfg.window) {
+            return false;
+        }
+        // Window boundary: evaluate delinquency.
+        let delinquent = e.misses >= cfg.miss_threshold
+            && e.avg_miss_latency().is_some_and(|l| l > cfg.latency_threshold as f64);
+        if delinquent && !e.mature {
+            // Counters stay; the helper clears them during optimization. A
+            // re-evaluation fires every further full window until then.
+            e.pending = true;
+            self.events_raised += 1;
+            return true;
+        }
+        if !e.pending {
+            // Not delinquent: reset and re-examine over the next window.
+            e.accesses = 0;
+            e.misses = 0;
+            e.total_miss_latency = 0;
+        }
+        false
+    }
+
+    /// A snapshot of `pc`'s current-window statistics, if tracked and it has
+    /// enough accesses for a (possibly partial-window) evaluation.
+    #[must_use]
+    pub fn snapshot(&self, pc: u64) -> Option<LoadSnapshot> {
+        let base = self.set_base(pc);
+        let e = self.sets[base..base + self.cfg.assoc]
+            .iter()
+            .find(|e| e.valid && e.tag == pc)?;
+        (e.accesses >= self.cfg.partial_min_accesses).then(|| LoadSnapshot {
+            accesses: e.accesses,
+            misses: e.misses,
+            avg_miss_latency: e.avg_miss_latency().unwrap_or(0.0),
+            stride: e.stride,
+            stride_predictable: e.conf >= self.cfg.conf_max && e.stride != 0,
+            mature: e.mature,
+        })
+    }
+
+    /// Whether `pc` qualifies as delinquent under a (possibly partial)
+    /// window, per the paper's §3.4.1 partial-window rule.
+    #[must_use]
+    pub fn is_delinquent(&self, pc: u64) -> bool {
+        let Some(s) = self.snapshot(pc) else {
+            return false;
+        };
+        if s.mature {
+            return false;
+        }
+        let scaled_threshold =
+            f64::from(self.cfg.miss_threshold) * f64::from(s.accesses) / f64::from(self.cfg.window);
+        f64::from(s.misses) >= scaled_threshold.max(1.0)
+            && s.avg_miss_latency > self.cfg.latency_threshold as f64
+    }
+
+    /// Helper-thread window clear after an optimization touched `pc`.
+    pub fn clear_window(&mut self, pc: u64) {
+        let base = self.set_base(pc);
+        if let Some(e) = self.sets[base..base + self.cfg.assoc]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == pc)
+        {
+            e.accesses = 0;
+            e.misses = 0;
+            e.total_miss_latency = 0;
+            e.pending = false;
+        }
+    }
+
+    /// Sets the mature flag for `pc` (unrepairable or repair budget spent).
+    pub fn set_mature(&mut self, pc: u64) {
+        let base = self.set_base(pc);
+        if let Some(e) = self.sets[base..base + self.cfg.assoc]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == pc)
+        {
+            e.mature = true;
+            e.pending = false;
+        }
+    }
+
+    /// Clears every mature flag — the paper's §3.5.2 future-work extension:
+    /// "clearing the mature flag when there is a working set or phase change
+    /// in the program's execution to capture potentially new behavior".
+    /// Returns how many flags were cleared.
+    pub fn clear_all_mature(&mut self) -> usize {
+        let mut n = 0;
+        for e in &mut self.sets {
+            if e.valid && e.mature {
+                e.mature = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Whether `pc` is currently marked mature.
+    #[must_use]
+    pub fn is_mature(&self, pc: u64) -> bool {
+        let base = self.set_base(pc);
+        self.sets[base..base + self.cfg.assoc]
+            .iter()
+            .any(|e| e.valid && e.tag == pc && e.mature)
+    }
+
+    /// Total hardware state in bits — used for the paper's §5.4 experiment
+    /// that reinvests the DLT area into L1 capacity.
+    #[must_use]
+    pub fn state_bits(&self) -> u64 {
+        // tag(48) + access(9) + miss(9) + latency(20) + last addr(48)
+        // + stride(16) + conf(4) + mature(1) + valid(1) = 156 bits/entry.
+        self.cfg.entries as u64 * 156
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dlt() -> Dlt {
+        Dlt::new(DltConfig {
+            entries: 8,
+            assoc: 2,
+            window: 16,
+            miss_threshold: 4,
+            latency_threshold: 100,
+            conf_max: 15,
+            conf_dec: 7,
+            partial_min_accesses: 4,
+        })
+    }
+
+    /// Feeds `n` accesses with every other access missing at `lat` cycles.
+    fn feed(d: &mut Dlt, pc: u64, n: u32, miss_every: u32, lat: u64) -> u32 {
+        let mut events = 0;
+        for i in 0..n {
+            let miss = miss_every != 0 && i % miss_every == 0;
+            if d.observe(pc, 0x1000 + u64::from(i) * 8, miss, if miss { lat } else { 3 }) {
+                events += 1;
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn hot_missing_load_raises_event_at_window_end() {
+        let mut d = dlt();
+        // 16 accesses, miss every 2nd (8 misses >= 4), latency 300 > 100.
+        let events = feed(&mut d, 0x100, 16, 2, 300);
+        assert_eq!(events, 1);
+        assert_eq!(d.events_raised, 1);
+    }
+
+    #[test]
+    fn low_miss_rate_is_not_delinquent() {
+        let mut d = dlt();
+        let events = feed(&mut d, 0x100, 64, 8, 300); // 2 misses per window < 4
+        assert_eq!(events, 0);
+    }
+
+    #[test]
+    fn short_latency_misses_are_not_delinquent() {
+        let mut d = dlt();
+        let events = feed(&mut d, 0x100, 16, 2, 50); // avg 50 < 100
+        assert_eq!(events, 0);
+    }
+
+    #[test]
+    fn pending_event_reevaluates_each_window_until_cleared() {
+        let mut d = dlt();
+        let events = feed(&mut d, 0x100, 48, 2, 300);
+        assert_eq!(events, 3, "one event per full window while uncleared");
+        d.clear_window(0x100);
+        let events = feed(&mut d, 0x100, 8, 2, 300);
+        assert_eq!(events, 0, "partial window after clear");
+    }
+
+    #[test]
+    fn mature_loads_never_raise_events() {
+        let mut d = dlt();
+        feed(&mut d, 0x100, 16, 2, 300);
+        d.set_mature(0x100);
+        d.clear_window(0x100);
+        let events = feed(&mut d, 0x100, 32, 2, 300);
+        assert_eq!(events, 0);
+        assert!(d.is_mature(0x100));
+    }
+
+    #[test]
+    fn eviction_resets_maturity() {
+        let mut d = dlt();
+        // 4 sets x 2 ways. PCs mapping to the same set: step by 8*nsets = 32.
+        d.observe(0x100, 0, false, 3);
+        d.set_mature(0x100);
+        d.observe(0x120, 0, false, 3);
+        d.observe(0x140, 0, false, 3); // evicts LRU (0x100)
+        assert_eq!(d.evictions, 1);
+        assert!(!d.is_mature(0x100), "evicted entry forgets maturity");
+    }
+
+    #[test]
+    fn stride_confidence_saturates_and_penalizes() {
+        let mut d = dlt();
+        for i in 0..20u64 {
+            d.observe(0x200, 0x4000 + i * 64, false, 3);
+        }
+        let s = d.snapshot(0x200).unwrap();
+        assert!(s.stride_predictable);
+        assert_eq!(s.stride, 64);
+        // One irregular access drops confidence by 7: no longer predictable.
+        d.observe(0x200, 0x9999, false, 3);
+        let s = d.snapshot(0x200).unwrap();
+        assert!(!s.stride_predictable);
+    }
+
+    #[test]
+    fn partial_window_delinquency_uses_scaled_threshold() {
+        let mut d = dlt();
+        // 8 accesses (half window), 4 misses at 300: full-window threshold is
+        // 4, scaled to 2 for a half window — delinquent.
+        feed(&mut d, 0x300, 8, 2, 300);
+        assert!(d.is_delinquent(0x300));
+        // A load with only 1 long miss in 8 accesses is not.
+        feed(&mut d, 0x340, 8, 8, 300);
+        assert!(!d.is_delinquent(0x340));
+    }
+
+    #[test]
+    fn snapshot_requires_minimum_accesses() {
+        let mut d = dlt();
+        feed(&mut d, 0x400, 2, 1, 300);
+        assert!(d.snapshot(0x400).is_none());
+        feed(&mut d, 0x400, 4, 1, 300);
+        assert!(d.snapshot(0x400).is_some());
+    }
+
+    #[test]
+    fn paper_config_matches_table_2() {
+        let c = DltConfig::paper_baseline();
+        assert_eq!(c.entries, 1024);
+        assert_eq!(c.assoc, 2);
+        assert_eq!(c.window, 256);
+        assert_eq!(c.miss_threshold, 8);
+        // Figure 7 sweep helper: 3% of 256 ≈ 8.
+        let swept = c.with_window(256, 3.0);
+        assert_eq!(swept.miss_threshold, 8);
+        let one_pct = c.with_window(128, 1.0);
+        assert_eq!(one_pct.miss_threshold, 1);
+    }
+}

@@ -1,0 +1,665 @@
+//! Prefetch insertion (paper §3.4.2–3.4.3).
+//!
+//! Builds a re-optimized trace body by splicing software prefetches into a
+//! hot trace:
+//!
+//! * **Stride-based same-object prefetching** — one prefetch per cache
+//!   block touched by a same-object group, starting from the group's
+//!   minimum offset; members within a line of the previous prefetch are
+//!   skipped, and one extra block is prefetched after any skipped load;
+//! * **Pointer-load prefetching** — a non-faulting dereference of the
+//!   loaded pointer followed by a prefetch through it, covering the objects
+//!   one and two iterations ahead.
+//!
+//! The *basic* mode of the paper's evaluation disables grouping (each
+//! delinquent load gets its own prefetch) and pointer dereferencing.
+
+use std::collections::HashMap;
+
+use tdo_isa::{Inst, LoadKind, Reg};
+use tdo_trident::{Trace, TraceInst, TraceOp};
+
+use crate::classify::{Classification, LoadClass};
+
+/// What address pattern a planned prefetch group follows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GroupKind {
+    /// Stride-predictable: `prefetch (off + stride·distance)(base)`;
+    /// repairable by patching the distance.
+    Stride,
+    /// Pointer dereference: `ldnf` + `prefetch`; not distance-repairable.
+    Pointer,
+}
+
+/// One planned group of inserted prefetches.
+#[derive(Clone, Debug)]
+pub struct PlannedGroup {
+    /// Representative load (minimum original PC among covered loads);
+    /// optimizer state is keyed by this.
+    pub rep_orig_pc: u64,
+    /// Original PCs of the delinquent loads this group's prefetches cover.
+    pub covered_orig_pcs: Vec<u64>,
+    /// Indices of the inserted prefetch instructions in the new body.
+    pub prefetch_indices: Vec<usize>,
+    /// The group stride (0 for pointer groups).
+    pub stride: i64,
+    /// The kind.
+    pub kind: GroupKind,
+    /// The initial prefetch distance used.
+    pub distance: u8,
+    /// For jump-pointer groups: the base offset of the inserted `ldnf`
+    /// dereference. The dereference reads the pointer `distance` iterations
+    /// ahead (`off = deref_base_off + stride·distance`), and repair patches
+    /// the offset just like it patches prefetch distances.
+    pub deref_base_off: Option<i64>,
+}
+
+/// The result of planning prefetch insertion for one trace.
+#[derive(Clone, Debug, Default)]
+pub struct InsertionPlan {
+    /// The rebuilt trace body.
+    pub new_insts: Vec<TraceInst>,
+    /// The inserted groups.
+    pub groups: Vec<PlannedGroup>,
+    /// Original PCs of delinquent loads that could not be prefetched (to be
+    /// marked mature in the DLT).
+    pub unprefetchable_orig_pcs: Vec<u64>,
+}
+
+/// Knobs for [`plan_insertion`].
+pub struct InsertOptions<'a> {
+    /// Cache line size (64 in the paper).
+    pub line_bytes: i64,
+    /// Enable same-object grouping (§3.4.2); off in *basic* mode.
+    pub same_object: bool,
+    /// Enable pointer dereference prefetching (§3.4.3); off in *basic* mode.
+    pub pointer_deref: bool,
+    /// Initial distance for a group, given the index (into
+    /// [`Classification::loads`]) of its representative delinquent load.
+    pub distance_of: &'a dyn Fn(usize) -> u8,
+    /// Scratch registers available for pointer dereferencing (must be dead
+    /// in the surrounding code; the workload ABI reserves r20–r27).
+    pub scratch_pool: &'a [Reg],
+}
+
+fn clamp_i32(v: i64) -> Option<i32> {
+    i32::try_from(v).ok()
+}
+
+/// Plans prefetch insertion for the delinquent loads of `trace`.
+///
+/// Returns `None` when there is nothing to insert (no delinquent load is
+/// prefetchable).
+#[must_use]
+pub fn plan_insertion(
+    trace: &Trace,
+    class: &Classification,
+    opts: &InsertOptions<'_>,
+) -> Option<InsertionPlan> {
+    // Inserted (instruction, owning group) runs keyed by old-trace index.
+    let mut before: HashMap<usize, Vec<(Inst, usize)>> = HashMap::new();
+    let mut after: HashMap<usize, Vec<(Inst, usize)>> = HashMap::new();
+    let mut groups: Vec<PlannedGroup> = Vec::new();
+    let mut unprefetchable: Vec<u64> = Vec::new();
+
+    // Scratch allocation for pointer dereferences.
+    let used: std::collections::HashSet<Reg> = trace
+        .insts
+        .iter()
+        .flat_map(|ti| {
+            let mut v = Vec::new();
+            match ti.op {
+                TraceOp::Real(inst) => {
+                    v.extend(inst.uses().into_iter().flatten());
+                    v.extend(inst.def());
+                }
+                TraceOp::CondExit { ra, .. } => v.push(ra),
+                _ => {}
+            }
+            v
+        })
+        .collect();
+    let mut scratch = opts.scratch_pool.iter().copied().filter(|r| !used.contains(r));
+
+    let covered_by_group: &mut Vec<bool> = &mut vec![false; class.loads.len()];
+
+    // --- Stride-based (same-object) prefetching ---------------------------
+    if opts.same_object {
+        for g in &class.groups {
+            let Some(stride) = g.stride else { continue };
+            let members: Vec<usize> = g
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| class.loads[m].delinquent)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let rep = members
+                .iter()
+                .copied()
+                .min_by_key(|&m| trace.insts[class.loads[m].index].orig_pc)
+                .expect("non-empty");
+            let distance = (opts.distance_of)(rep).max(1);
+            let group_anchor = members
+                .iter()
+                .map(|&m| class.loads[m].index)
+                .min()
+                .expect("non-empty");
+            let Some(stride32) = clamp_i32(stride) else { continue };
+            // Each cache block's prefetch is anchored just before the first
+            // member load touching that block, spreading a wide group's
+            // prefetches across the loop body instead of bursting them (and
+            // exhausting the MSHRs) at the trace top.
+            let mut line_anchor: HashMap<i64, usize> = HashMap::new();
+            for &m in &members {
+                let l = class.loads[m].off.div_euclid(opts.line_bytes);
+                let e = line_anchor.entry(l).or_insert(usize::MAX);
+                *e = (*e).min(class.loads[m].index);
+            }
+
+            // Walk delinquent members by offset. A member within the cache
+            // block of an earlier prefetch is skipped, but a skipped load
+            // may straddle into the next block, so that block is owed one
+            // extra prefetch — unless another member already covers it:
+            // "this still allows us to skip several loads, and only
+            // prefetch each block once" (§3.4.2).
+            let line = opts.line_bytes;
+            let member_lines: std::collections::BTreeSet<i64> =
+                members.iter().map(|&m| class.loads[m].off.div_euclid(line)).collect();
+            let mut emitted: Vec<(Inst, usize)> = Vec::new();
+            let mut emitted_lines: std::collections::BTreeSet<i64> =
+                std::collections::BTreeSet::new();
+            let mut owed_extras: std::collections::BTreeSet<i64> =
+                std::collections::BTreeSet::new();
+            for &m in &members {
+                let off = class.loads[m].off;
+                let l = off.div_euclid(line);
+                if emitted_lines.insert(l) {
+                    if let Some(off32) = clamp_i32(off) {
+                        emitted.push((
+                            Inst::Prefetch {
+                                base: g.base,
+                                off: off32,
+                                stride: stride32,
+                                dist: distance,
+                            },
+                            line_anchor.get(&l).copied().unwrap_or(group_anchor),
+                        ));
+                    }
+                } else if !member_lines.contains(&(l + 1)) {
+                    owed_extras.insert(l + 1);
+                }
+            }
+            for l in owed_extras {
+                if emitted_lines.contains(&l) {
+                    continue;
+                }
+                if let Some(extra32) = clamp_i32(l * line) {
+                    // The extra block rides with the line that owes it.
+                    let anchor = line_anchor.get(&(l - 1)).copied().unwrap_or(group_anchor);
+                    emitted.push((
+                        Inst::Prefetch {
+                            base: g.base,
+                            off: extra32,
+                            stride: stride32,
+                            dist: distance,
+                        },
+                        anchor,
+                    ));
+                }
+            }
+            if emitted.is_empty() {
+                continue;
+            }
+            let gi = groups.len();
+            for (inst, anchor) in emitted {
+                before.entry(anchor).or_default().push((inst, gi));
+            }
+            groups.push(PlannedGroup {
+                rep_orig_pc: trace.insts[class.loads[rep].index].orig_pc,
+                covered_orig_pcs: members
+                    .iter()
+                    .map(|&m| trace.insts[class.loads[m].index].orig_pc)
+                    .collect(),
+                prefetch_indices: Vec::new(), // filled after splicing
+                stride,
+                kind: GroupKind::Stride,
+                distance,
+                deref_base_off: None,
+            });
+            for &m in &members {
+                covered_by_group[m] = true;
+            }
+        }
+    } else {
+        // Basic mode: one prefetch per delinquent stride load, no grouping.
+        for (li_idx, li) in class.loads.iter().enumerate() {
+            if !li.delinquent {
+                continue;
+            }
+            let LoadClass::Stride { stride } = li.class else { continue };
+            let (Some(off32), Some(stride32)) = (clamp_i32(li.off), clamp_i32(stride)) else {
+                continue;
+            };
+            let distance = (opts.distance_of)(li_idx).max(1);
+            let gi = groups.len();
+            let run = before.entry(li.index).or_default();
+            run.push((
+                Inst::Prefetch { base: li.base, off: off32, stride: stride32, dist: distance },
+                gi,
+            ));
+            groups.push(PlannedGroup {
+                rep_orig_pc: trace.insts[li.index].orig_pc,
+                covered_orig_pcs: vec![trace.insts[li.index].orig_pc],
+                prefetch_indices: Vec::new(),
+                stride,
+                kind: GroupKind::Stride,
+                distance,
+                deref_base_off: None,
+            });
+            covered_by_group[li_idx] = true;
+        }
+    }
+
+    // --- Pointer-load prefetching -----------------------------------------
+    for (li_idx, li) in class.loads.iter().enumerate() {
+        let covered = covered_by_group[li_idx];
+        if !li.is_pointer {
+            if li.delinquent && !covered {
+                unprefetchable.push(trace.insts[li.index].orig_pc);
+            }
+            continue;
+        }
+        if !opts.pointer_deref {
+            if li.delinquent && !covered {
+                unprefetchable.push(trace.insts[li.index].orig_pc);
+            }
+            continue;
+        }
+        // Delinquent loads through the pointer this load produces, not
+        // already covered by a stride group (e.g. the fields of the object
+        // an array-of-pointers walk reaches). Note the pointer load itself
+        // need not be delinquent — a hardware-covered pointer-array walk
+        // still exposes the objects it points to (paper §3.4.1: "multiple
+        // loads using the same base register which has been identified as a
+        // pointer" become a same-object group).
+        let dest_members: Vec<usize> = if opts.same_object {
+            class
+                .groups
+                .iter()
+                .filter(|g| g.base == li.dest)
+                .flat_map(|g| g.members.iter().copied())
+                .filter(|&m| class.loads[m].delinquent && !covered_by_group[m] && m != li_idx)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Work exists when the pointer load itself is an uncovered
+        // delinquent, or the dereferenced object has uncovered delinquents.
+        let needs_self = li.delinquent && !covered;
+        if !needs_self && dest_members.is_empty() {
+            continue;
+        }
+        let Some(rt) = scratch.next() else {
+            unprefetchable.push(trace.insts[li.index].orig_pc);
+            continue;
+        };
+        // Dereference source: jump-pointer style for stride-covered pointer
+        // loads (read the pointer `distance` iterations ahead — the offset is
+        // repairable just like a prefetch distance), classic
+        // double-dereference for pointer chases.
+        let (deref_base, deref_base_off, jp_stride) = match li.class {
+            LoadClass::Stride { stride } => (li.base, Some(li.off), stride),
+            _ => (li.dest, None, 0),
+        };
+        let distance = if deref_base_off.is_some() {
+            u8::max((opts.distance_of)(li_idx), 1)
+        } else {
+            0
+        };
+        let deref_off = match deref_base_off {
+            Some(base_off) => base_off + jp_stride * i64::from(distance),
+            None => li.off,
+        };
+        let mut emitted =
+            vec![Inst::Load { ra: rt, rb: deref_base, off: deref_off, kind: LoadKind::NonFaulting }];
+        let mut covered_pcs = Vec::new();
+        if needs_self {
+            covered_pcs.push(trace.insts[li.index].orig_pc);
+            if let Some(off32) = clamp_i32(li.off) {
+                emitted.push(Inst::Prefetch { base: rt, off: off32, stride: 0, dist: 0 });
+            }
+        }
+        // Prefetch the delinquent fields reachable through the dereferenced
+        // pointer, one prefetch per cache line.
+        let mut last: Option<i64> = None;
+        for &m in &dest_members {
+            let mo = class.loads[m].off;
+            if last.is_some_and(|l| (mo - l).abs() < opts.line_bytes) {
+                covered_by_group[m] = true;
+                covered_pcs.push(trace.insts[class.loads[m].index].orig_pc);
+                continue;
+            }
+            if let Some(mo32) = clamp_i32(mo) {
+                emitted.push(Inst::Prefetch { base: rt, off: mo32, stride: 0, dist: 0 });
+                last = Some(mo);
+                covered_by_group[m] = true;
+                covered_pcs.push(trace.insts[class.loads[m].index].orig_pc);
+            }
+        }
+        if emitted.len() < 2 || covered_pcs.is_empty() {
+            // Nothing ended up prefetched through the dereference.
+            unprefetchable.push(trace.insts[li.index].orig_pc);
+            continue;
+        }
+        // The representative is a load whose events will repair the group:
+        // the first covered load.
+        let rep_orig_pc = covered_pcs[0];
+        let gi = groups.len();
+        let run = after.entry(li.index).or_default();
+        for inst in emitted {
+            run.push((inst, gi));
+        }
+        groups.push(PlannedGroup {
+            rep_orig_pc,
+            covered_orig_pcs: covered_pcs,
+            prefetch_indices: Vec::new(),
+            stride: jp_stride,
+            kind: GroupKind::Pointer,
+            distance,
+            deref_base_off,
+        });
+    }
+
+    if groups.is_empty() {
+        return None;
+    }
+
+    // --- Splice ------------------------------------------------------------
+    // Synthetic instructions carry their group representative's original PC,
+    // which is how the repair path finds a group's prefetches (and its
+    // dereference load) in the installed trace.
+    let inserted: usize = before.values().chain(after.values()).map(Vec::len).sum();
+    let mut new_insts: Vec<TraceInst> = Vec::with_capacity(trace.insts.len() + inserted);
+    let push_synthetic =
+        |new_insts: &mut Vec<TraceInst>, groups: &mut Vec<PlannedGroup>, inst: Inst, gi: usize| {
+            let idx = new_insts.len();
+            if matches!(inst, Inst::Prefetch { .. }) {
+                groups[gi].prefetch_indices.push(idx);
+            }
+            new_insts.push(TraceInst {
+                op: TraceOp::Real(inst),
+                orig_pc: groups[gi].rep_orig_pc,
+                weight: 0,
+                synthetic: true,
+            });
+        };
+    for (i, ti) in trace.insts.iter().enumerate() {
+        if let Some(run) = before.get(&i) {
+            for (inst, gi) in run {
+                push_synthetic(&mut new_insts, &mut groups, *inst, *gi);
+            }
+        }
+        new_insts.push(*ti);
+        if let Some(run) = after.get(&i) {
+            for (inst, gi) in run {
+                push_synthetic(&mut new_insts, &mut groups, *inst, *gi);
+            }
+        }
+    }
+
+    Some(InsertionPlan { new_insts, groups, unprefetchable_orig_pcs: unprefetchable })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::dlt::{Dlt, DltConfig};
+    use tdo_isa::Cond;
+    use tdo_trident::TraceId;
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    fn ti(op: TraceOp, pc: u64) -> TraceInst {
+        TraceInst { op, orig_pc: pc, weight: 1, synthetic: false }
+    }
+
+    const SCRATCH: [Reg; 4] = [Reg::int(20), Reg::int(21), Reg::int(22), Reg::int(23)];
+
+    fn dlt_all_delinquent(trace: &Trace) -> Dlt {
+        let mut d = Dlt::new(DltConfig {
+            entries: 64,
+            assoc: 2,
+            window: 16,
+            miss_threshold: 2,
+            latency_threshold: 100,
+            partial_min_accesses: 8,
+            ..DltConfig::paper_baseline()
+        });
+        for (i, t) in trace.insts.iter().enumerate() {
+            if matches!(t.op, TraceOp::Real(Inst::Load { .. })) {
+                for k in 0..16u64 {
+                    d.observe(trace.cc_pc(i), 0x5_0000 + k * 8, k % 2 == 0, 300);
+                }
+            }
+        }
+        d
+    }
+
+    fn opts<'a>(
+        same_object: bool,
+        pointer_deref: bool,
+        dist: &'a dyn Fn(usize) -> u8,
+    ) -> InsertOptions<'a> {
+        InsertOptions {
+            line_bytes: 64,
+            same_object,
+            pointer_deref,
+            distance_of: dist,
+            scratch_pool: &SCRATCH,
+        }
+    }
+
+    /// loop over an object with fields at 0, 8, 80; base strides by 96.
+    fn object_loop() -> Trace {
+        Trace {
+            id: TraceId(0),
+            head: 0x1000,
+            insts: vec![
+                ti(TraceOp::Real(Inst::Load { ra: r(2), rb: r(1), off: 0, kind: LoadKind::Int }), 0x1000),
+                ti(TraceOp::Real(Inst::Load { ra: r(3), rb: r(1), off: 8, kind: LoadKind::Int }), 0x1008),
+                ti(TraceOp::Real(Inst::Load { ra: r(4), rb: r(1), off: 80, kind: LoadKind::Int }), 0x1010),
+                ti(TraceOp::Real(Inst::Lda { ra: r(1), rb: r(1), imm: 96 }), 0x1018),
+                ti(TraceOp::CondExit { cond: Cond::Eq, ra: r(5), to: 0x2000 }, 0x1020),
+                ti(TraceOp::LoopBack, 0x1028),
+            ],
+            is_loop: true,
+            cc_addr: 0x10_0000,
+        }
+    }
+
+    #[test]
+    fn same_object_group_skips_within_line_and_adds_extra_block() {
+        let t = object_loop();
+        let dlt = dlt_all_delinquent(&t);
+        let c = classify(&t, &dlt, |i| t.cc_pc(i));
+        let plan = plan_insertion(&t, &c, &opts(true, true, &|_| 1)).expect("inserts");
+        assert_eq!(plan.groups.len(), 1);
+        let g = &plan.groups[0];
+        assert_eq!(g.kind, GroupKind::Stride);
+        assert_eq!(g.stride, 96);
+        // Offsets 0 and 8 share a line: one prefetch at 0, load at 8 is
+        // skipped. The skipped load owes the next block (64..128), but the
+        // member at offset 80 already prefetches that block — each block is
+        // prefetched once (§3.4.2).
+        let pf_offs: Vec<i32> = g
+            .prefetch_indices
+            .iter()
+            .map(|&i| match plan.new_insts[i].op {
+                TraceOp::Real(Inst::Prefetch { off, .. }) => off,
+                ref other => panic!("not a prefetch: {other:?}"),
+            })
+            .collect();
+        assert_eq!(pf_offs, vec![0, 80]);
+        // All inserted before the first member load, weight 0, synthetic.
+        for &i in &g.prefetch_indices {
+            assert!(plan.new_insts[i].synthetic);
+            assert_eq!(plan.new_insts[i].weight, 0);
+        }
+        // Body grew by exactly the prefetches.
+        assert_eq!(plan.new_insts.len(), t.insts.len() + 2);
+        assert!(plan.unprefetchable_orig_pcs.is_empty());
+    }
+
+    #[test]
+    fn basic_mode_emits_one_prefetch_per_load_without_grouping() {
+        let t = object_loop();
+        let dlt = dlt_all_delinquent(&t);
+        let c = classify(&t, &dlt, |i| t.cc_pc(i));
+        let plan = plan_insertion(&t, &c, &opts(false, false, &|_| 3)).expect("inserts");
+        assert_eq!(plan.groups.len(), 3, "one singleton group per delinquent load");
+        for g in &plan.groups {
+            assert_eq!(g.prefetch_indices.len(), 1);
+            assert_eq!(g.distance, 3);
+        }
+        assert_eq!(plan.new_insts.len(), t.insts.len() + 3);
+    }
+
+    #[test]
+    fn pointer_chase_gets_deref_pair() {
+        let t = Trace {
+            id: TraceId(1),
+            head: 0x1000,
+            insts: vec![
+                ti(TraceOp::Real(Inst::Load { ra: r(1), rb: r(1), off: 8, kind: LoadKind::Int }), 0x1000),
+                ti(TraceOp::CondExit { cond: Cond::Eq, ra: r(1), to: 0x2000 }, 0x1008),
+                ti(TraceOp::LoopBack, 0x1010),
+            ],
+            is_loop: true,
+            cc_addr: 0x10_0000,
+        };
+        // DLT with NON-stride addresses so the chain stays Pointer class.
+        let mut dlt = Dlt::new(DltConfig {
+            entries: 64,
+            assoc: 2,
+            window: 16,
+            miss_threshold: 2,
+            latency_threshold: 100,
+            partial_min_accesses: 8,
+            ..DltConfig::paper_baseline()
+        });
+        let mut x = 1u64;
+        for _ in 0..16 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            dlt.observe(t.cc_pc(0), 0x10_0000 + (x % 100_000), true, 300);
+        }
+        let c = classify(&t, &dlt, |i| t.cc_pc(i));
+        assert_eq!(c.loads[0].class, LoadClass::Pointer);
+        let plan = plan_insertion(&t, &c, &opts(true, true, &|_| 1)).expect("inserts");
+        assert_eq!(plan.groups.len(), 1);
+        let g = &plan.groups[0];
+        assert_eq!(g.kind, GroupKind::Pointer);
+        // ldnf + prefetch inserted right after the load.
+        match plan.new_insts[1].op {
+            TraceOp::Real(Inst::Load { ra, rb, off, kind: LoadKind::NonFaulting }) => {
+                assert_eq!(rb, r(1), "dereference the loaded pointer");
+                assert_eq!(off, 8);
+                assert!(SCRATCH.contains(&ra));
+            }
+            ref other => panic!("expected ldnf, got {other:?}"),
+        }
+        match plan.new_insts[2].op {
+            TraceOp::Real(Inst::Prefetch { base, off, .. }) => {
+                assert!(SCRATCH.contains(&base));
+                assert_eq!(off, 8);
+            }
+            ref other => panic!("expected prefetch, got {other:?}"),
+        }
+        assert_eq!(g.prefetch_indices, vec![2], "the ldnf is not a repair target");
+    }
+
+    #[test]
+    fn pointer_loads_without_deref_are_unprefetchable() {
+        let t = Trace {
+            id: TraceId(2),
+            head: 0x1000,
+            insts: vec![
+                ti(TraceOp::Real(Inst::Load { ra: r(1), rb: r(1), off: 8, kind: LoadKind::Int }), 0x1000),
+                ti(TraceOp::LoopBack, 0x1008),
+            ],
+            is_loop: true,
+            cc_addr: 0x10_0000,
+        };
+        let mut dlt = Dlt::new(DltConfig {
+            entries: 64,
+            assoc: 2,
+            window: 16,
+            miss_threshold: 2,
+            latency_threshold: 100,
+            partial_min_accesses: 8,
+            ..DltConfig::paper_baseline()
+        });
+        let mut x = 7u64;
+        for _ in 0..16 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            dlt.observe(t.cc_pc(0), x % 1_000_000, true, 300);
+        }
+        let c = classify(&t, &dlt, |i| t.cc_pc(i));
+        assert!(plan_insertion(&t, &c, &opts(false, false, &|_| 1)).is_none());
+    }
+
+    #[test]
+    fn nothing_to_insert_when_no_load_is_delinquent() {
+        let t = object_loop();
+        let dlt = Dlt::new(DltConfig::paper_baseline());
+        let c = classify(&t, &dlt, |i| t.cc_pc(i));
+        assert!(plan_insertion(&t, &c, &opts(true, true, &|_| 1)).is_none());
+    }
+
+    #[test]
+    fn scratch_exhaustion_matures_pointer_loads() {
+        // Four independent pointer chases but a 1-register scratch pool.
+        let mut insts = Vec::new();
+        for (i, reg) in [1u8, 2, 3].into_iter().enumerate() {
+            insts.push(ti(
+                TraceOp::Real(Inst::Load { ra: r(reg), rb: r(reg), off: 8, kind: LoadKind::Int }),
+                0x1000 + i as u64 * 8,
+            ));
+        }
+        insts.push(ti(TraceOp::LoopBack, 0x1030));
+        let t = Trace { id: TraceId(3), head: 0x1000, insts, is_loop: true, cc_addr: 0x10_0000 };
+        let mut dlt = Dlt::new(DltConfig {
+            entries: 64,
+            assoc: 2,
+            window: 16,
+            miss_threshold: 2,
+            latency_threshold: 100,
+            partial_min_accesses: 8,
+            ..DltConfig::paper_baseline()
+        });
+        let mut x = 7u64;
+        for i in 0..3 {
+            for _ in 0..16 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                dlt.observe(t.cc_pc(i), x % 1_000_000, true, 300);
+            }
+        }
+        let c = classify(&t, &dlt, |i| t.cc_pc(i));
+        let pool = [Reg::int(20)];
+        let o = InsertOptions {
+            line_bytes: 64,
+            same_object: true,
+            pointer_deref: true,
+            distance_of: &|_| 1,
+            scratch_pool: &pool,
+        };
+        let plan = plan_insertion(&t, &c, &o).expect("one chase covered");
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.unprefetchable_orig_pcs.len(), 2, "two chases lack scratch");
+    }
+}

@@ -1,0 +1,349 @@
+//! End-to-end optimizer flow: a delinquent load event first triggers
+//! prefetch insertion (trace replacement), subsequent events repair the
+//! distance in place, and the repair budget eventually matures the load.
+
+use std::collections::HashMap;
+
+use tdo_core::{
+    Dlt, DltConfig, OptimizerConfig, PrefetchOptimizer, PreparedAction, SwPrefetchMode,
+};
+use tdo_isa::{decode, prefetch_distance, AluOp, Asm, Cond, Inst, Reg};
+use tdo_trident::{CodeSource, HotEvent, TraceId, TraceOp, Trident, TridentConfig};
+
+struct MapCode(HashMap<u64, Inst>);
+
+impl CodeSource for MapCode {
+    fn fetch_inst(&self, pc: u64) -> Option<Inst> {
+        self.0.get(&pc).copied()
+    }
+}
+
+/// Builds `loop: ldq r2,0(r1); ldq r3,8(r1); lda r1,96(r1); subi r4,1,r4;
+/// bne r4, loop; halt` and installs it as a hot trace.
+fn setup() -> (Trident, MapCode, TraceId) {
+    let (r1, r2, r3, r4) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    let mut a = Asm::new(0x1000);
+    a.label("loop");
+    a.ldq(r2, r1, 0);
+    a.ldq(r3, r1, 8);
+    a.lda(r1, r1, 96);
+    a.op_imm(AluOp::Sub, r4, 1, r4);
+    a.bcond_to(Cond::Ne, r4, "loop");
+    a.halt();
+    let words = a.assemble().unwrap();
+    let code = MapCode(
+        words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (0x1000 + i as u64 * 8, decode(*w).unwrap()))
+            .collect(),
+    );
+    let mut cfg = TridentConfig::paper_baseline();
+    cfg.code_cache_base = 0x10_0000;
+    let mut trident = Trident::new(cfg);
+    let pending = trident.prepare_install(&code, 0x1000, 0b1, 1).unwrap();
+    trident.commit_install(&pending).unwrap();
+    let id = pending.trace.id;
+    (trident, code, id)
+}
+
+fn small_dlt() -> Dlt {
+    Dlt::new(DltConfig {
+        entries: 64,
+        assoc: 2,
+        window: 32,
+        miss_threshold: 4,
+        latency_threshold: 100,
+        partial_min_accesses: 8,
+        ..DltConfig::paper_baseline()
+    })
+}
+
+/// Feeds one window of misses for the loads at `indices` of `trace`,
+/// returning the event-triggering load PC if any.
+fn feed_window(
+    dlt: &mut Dlt,
+    trident: &Trident,
+    trace: TraceId,
+    indices: &[usize],
+    avg_latency: u64,
+) -> Option<u64> {
+    let t = trident.trace(trace).unwrap();
+    let mut fired = None;
+    for k in 0..32u64 {
+        for &i in indices {
+            let pc = t.cc_pc(i);
+            // Strided addresses so the DLT also learns the stride.
+            if dlt.observe(pc, 0x100_0000 + k * 96 + i as u64 * 8, k % 2 == 0, avg_latency) {
+                fired.get_or_insert(pc);
+            }
+        }
+    }
+    fired
+}
+
+fn load_indices(trident: &Trident, trace: TraceId) -> Vec<usize> {
+    trident
+        .trace(trace)
+        .unwrap()
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, ti)| matches!(ti.op, TraceOp::Real(Inst::Load { .. }) if !ti.synthetic))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[test]
+fn first_event_inserts_prefetches_into_a_replacement_trace() {
+    let (mut trident, code, trace) = setup();
+    let mut dlt = small_dlt();
+    let mut opt = PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
+
+    let loads = load_indices(&trident, trace);
+    assert_eq!(loads.len(), 2);
+    let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).expect("event");
+    let ev = HotEvent::DelinquentLoad { load_pc: fired, trace };
+    let action = opt.handle_event(ev, &mut trident, &mut dlt, &code);
+    let PreparedAction::Install(ref pending) = action else {
+        panic!("expected insertion, got {action:?}");
+    };
+    let new_id = pending.trace.id;
+    // Both loads (offsets 0 and 8, same line) are covered by one prefetch.
+    let prefetches: Vec<&tdo_trident::TraceInst> = pending
+        .trace
+        .insts
+        .iter()
+        .filter(|ti| matches!(ti.op, TraceOp::Real(Inst::Prefetch { .. })))
+        .collect();
+    // Offset 8 is within the line of offset 0, so it is skipped — but a
+    // skipped load owes one extra cache block (paper §3.4.2): two
+    // prefetches, at offsets 0 and 64.
+    assert_eq!(prefetches.len(), 2);
+    let offs: Vec<i32> = prefetches
+        .iter()
+        .map(|p| match p.op {
+            TraceOp::Real(Inst::Prefetch { off, stride, dist, .. }) => {
+                assert_eq!(stride, 96);
+                assert_eq!(dist, 1, "self-repair starts at distance 1");
+                off
+            }
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(offs, vec![0, 64]);
+    let patches = opt.commit(action, &mut trident, &mut dlt).unwrap();
+    assert!(!patches.is_empty());
+    assert!(trident.trace(trace).is_none(), "old trace replaced");
+    assert!(trident.trace(new_id).is_some());
+    assert_eq!(opt.stats.insertions, 1);
+}
+
+#[test]
+fn repair_walks_distance_up_while_latency_improves() {
+    let (mut trident, code, trace) = setup();
+    let mut dlt = small_dlt();
+    let mut opt = PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
+
+    // Insert.
+    let loads = load_indices(&trident, trace);
+    let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).unwrap();
+    let action = opt.handle_event(
+        HotEvent::DelinquentLoad { load_pc: fired, trace },
+        &mut trident,
+        &mut dlt,
+        &code,
+    );
+    let new_id = match &action {
+        PreparedAction::Install(p) => p.trace.id,
+        other => panic!("expected install, got {other:?}"),
+    };
+    opt.commit(action, &mut trident, &mut dlt).unwrap();
+    // Provide a min execution time so the max distance is meaningful:
+    // 350 / 10 = 35.
+    trident.watch.on_enter(new_id, 0);
+    trident.watch.on_enter(new_id, 10);
+
+    // Repair rounds with monotonically improving latency: distance climbs.
+    let mut distances = Vec::new();
+    for round in 0..3u64 {
+        let loads = load_indices(&trident, new_id);
+        let fired = feed_window(&mut dlt, &trident, new_id, &loads, 280 - round * 40)
+            .expect("still delinquent");
+        let action = opt.handle_event(
+            HotEvent::DelinquentLoad { load_pc: fired, trace: new_id },
+            &mut trident,
+            &mut dlt,
+            &code,
+        );
+        match &action {
+            PreparedAction::Repair { patches, .. } => {
+                let (_, word) = patches[0];
+                distances.push(prefetch_distance(word).unwrap());
+            }
+            other => panic!("expected repair, got {other:?}"),
+        }
+        let applied = opt.commit(action, &mut trident, &mut dlt).unwrap();
+        assert_eq!(applied.len(), 2, "both group prefetches repaired together");
+    }
+    assert_eq!(distances, vec![2, 3, 4], "distance walks up by one per repair");
+    assert_eq!(opt.stats.repairs, 3);
+    assert_eq!(opt.stats.distance_up, 3);
+
+    // The registered trace body reflects the patched distance.
+    let t = trident.trace(new_id).unwrap();
+    let dist_in_registry = t
+        .insts
+        .iter()
+        .find_map(|ti| match ti.op {
+            TraceOp::Real(Inst::Prefetch { dist, .. }) => Some(dist),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(dist_in_registry, 4);
+}
+
+#[test]
+fn worsening_latency_backs_the_distance_off() {
+    let (mut trident, code, trace) = setup();
+    let mut dlt = small_dlt();
+    let mut opt = PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
+
+    let loads = load_indices(&trident, trace);
+    let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).unwrap();
+    let action = opt.handle_event(
+        HotEvent::DelinquentLoad { load_pc: fired, trace },
+        &mut trident,
+        &mut dlt,
+        &code,
+    );
+    let new_id = match &action {
+        PreparedAction::Install(p) => p.trace.id,
+        other => panic!("unexpected {other:?}"),
+    };
+    opt.commit(action, &mut trident, &mut dlt).unwrap();
+    trident.watch.on_enter(new_id, 0);
+    trident.watch.on_enter(new_id, 10);
+
+    // Round 1 improves (distance 2), round 2 worsens (back to 1 → the
+    // patch in round 3... round 2 patches down to 1).
+    let latencies = [250u64, 340];
+    let mut last_distance = 1;
+    for lat in latencies {
+        let loads = load_indices(&trident, new_id);
+        let fired = feed_window(&mut dlt, &trident, new_id, &loads, lat).unwrap();
+        let action = opt.handle_event(
+            HotEvent::DelinquentLoad { load_pc: fired, trace: new_id },
+            &mut trident,
+            &mut dlt,
+            &code,
+        );
+        if let PreparedAction::Repair { patches, .. } = &action {
+            last_distance = prefetch_distance(patches[0].1).unwrap();
+        }
+        opt.commit(action, &mut trident, &mut dlt).unwrap();
+    }
+    assert_eq!(last_distance, 1, "worsening latency decrements the distance");
+    assert_eq!(opt.stats.distance_down, 1);
+}
+
+#[test]
+fn repair_budget_exhaustion_matures_the_load() {
+    let (mut trident, code, trace) = setup();
+    let mut dlt = small_dlt();
+    let mut opt = PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
+
+    // A long min execution time, observed before insertion, keeps the max
+    // distance (and therefore the repair budget) small: max = 350/200 = 1,
+    // budget = 2 repairs.
+    trident.watch.on_enter(trace, 0);
+    trident.watch.on_enter(trace, 200);
+    let loads = load_indices(&trident, trace);
+    let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).unwrap();
+    let action = opt.handle_event(
+        HotEvent::DelinquentLoad { load_pc: fired, trace },
+        &mut trident,
+        &mut dlt,
+        &code,
+    );
+    let new_id = match &action {
+        PreparedAction::Install(p) => p.trace.id,
+        other => panic!("unexpected {other:?}"),
+    };
+    opt.commit(action, &mut trident, &mut dlt).unwrap();
+    trident.watch.on_enter(new_id, 0);
+    trident.watch.on_enter(new_id, 200);
+
+    let mut matured_pc = None;
+    for _ in 0..4 {
+        let loads = load_indices(&trident, new_id);
+        let Some(fired) = feed_window(&mut dlt, &trident, new_id, &loads, 300) else {
+            break; // matured loads stop firing
+        };
+        matured_pc = Some(fired);
+        let action = opt.handle_event(
+            HotEvent::DelinquentLoad { load_pc: fired, trace: new_id },
+            &mut trident,
+            &mut dlt,
+            &code,
+        );
+        opt.commit(action, &mut trident, &mut dlt).unwrap();
+    }
+    let pc = matured_pc.expect("at least one repair event fired");
+    assert!(dlt.is_mature(pc), "budget exhaustion sets the mature flag");
+    assert!(opt.stats.matured >= 1);
+}
+
+#[test]
+fn basic_mode_uses_estimated_distance_and_never_repairs() {
+    let (mut trident, code, trace) = setup();
+    let mut dlt = small_dlt();
+    let mut opt = PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::Basic));
+
+    // Observed min exec time 10 cycles; avg miss latency 300 → distance ≈ 30.
+    trident.watch.on_enter(trace, 0);
+    trident.watch.on_enter(trace, 10);
+    let loads = load_indices(&trident, trace);
+    let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).unwrap();
+    let action = opt.handle_event(
+        HotEvent::DelinquentLoad { load_pc: fired, trace },
+        &mut trident,
+        &mut dlt,
+        &code,
+    );
+    let pending = match &action {
+        PreparedAction::Install(p) => p,
+        other => panic!("unexpected {other:?}"),
+    };
+    let dists: Vec<u8> = pending
+        .trace
+        .insts
+        .iter()
+        .filter_map(|ti| match ti.op {
+            TraceOp::Real(Inst::Prefetch { dist, .. }) => Some(dist),
+            _ => None,
+        })
+        .collect();
+    assert!(!dists.is_empty());
+    for d in &dists {
+        assert!(*d >= 25 && *d <= 35, "estimated distance ≈ 300/10, got {d}");
+    }
+    // Basic mode: two prefetches (no same-object grouping merges them).
+    assert_eq!(dists.len(), 2, "one prefetch per delinquent load in basic mode");
+    let new_id = pending.trace.id;
+    opt.commit(action, &mut trident, &mut dlt).unwrap();
+
+    // A further event must not repair (matures instead).
+    let loads = load_indices(&trident, new_id);
+    if let Some(fired) = feed_window(&mut dlt, &trident, new_id, &loads, 300) {
+        let action = opt.handle_event(
+            HotEvent::DelinquentLoad { load_pc: fired, trace: new_id },
+            &mut trident,
+            &mut dlt,
+            &code,
+        );
+        assert!(matches!(action, PreparedAction::Nothing), "basic mode never repairs");
+        assert!(dlt.is_mature(fired));
+    }
+    assert_eq!(opt.stats.repairs, 0);
+}

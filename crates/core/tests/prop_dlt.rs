@@ -1,0 +1,160 @@
+//! Property tests for the Delinquent Load Table against a naive reference
+//! model of the paper's §3.3 rules.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tdo_core::{Dlt, DltConfig};
+
+#[derive(Default, Clone)]
+struct RefEntry {
+    accesses: u32,
+    misses: u32,
+    total_lat: u64,
+    last: Option<u64>,
+    stride: i64,
+    conf: u8,
+    pending: bool,
+}
+
+/// Straight transcription of the monitoring-window rules, for one PC that
+/// never suffers DLT eviction (the table in the test is big enough).
+struct RefModel {
+    cfg: DltConfig,
+    entries: HashMap<u64, RefEntry>,
+}
+
+impl RefModel {
+    fn observe(&mut self, pc: u64, addr: u64, miss: bool, lat: u64) -> bool {
+        let e = self.entries.entry(pc).or_default();
+        if let Some(last) = e.last {
+            let s = addr.wrapping_sub(last) as i64;
+            if s == e.stride {
+                e.conf = e.conf.saturating_add(1).min(self.cfg.conf_max);
+            } else {
+                e.conf = e.conf.saturating_sub(self.cfg.conf_dec);
+                e.stride = s;
+            }
+        }
+        e.last = Some(addr);
+        e.accesses += 1;
+        if miss {
+            e.misses += 1;
+            e.total_lat += lat;
+        }
+        if e.accesses % self.cfg.window != 0 {
+            return false;
+        }
+        let delinquent = e.misses >= self.cfg.miss_threshold
+            && e.misses > 0
+            && (e.total_lat as f64 / f64::from(e.misses)) > self.cfg.latency_threshold as f64;
+        if delinquent {
+            e.pending = true;
+            return true;
+        }
+        if !e.pending {
+            e.accesses = 0;
+            e.misses = 0;
+            e.total_lat = 0;
+        }
+        false
+    }
+}
+
+fn cfg() -> DltConfig {
+    DltConfig {
+        entries: 4096, // large: the reference model has no capacity effects
+        assoc: 2,
+        window: 32,
+        miss_threshold: 3,
+        latency_threshold: 18,
+        conf_max: 15,
+        conf_dec: 7,
+        partial_min_accesses: 8,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn dlt_matches_reference_model(
+        ops in prop::collection::vec(
+            (0u64..8, 0u64..1 << 20, any::<bool>(), 3u64..400),
+            1..600,
+        ),
+    ) {
+        let mut dlt = Dlt::new(cfg());
+        let mut reference = RefModel { cfg: cfg(), entries: HashMap::new() };
+        for (pc_idx, addr, miss, lat) in ops {
+            // Well-spread PCs avoid set conflicts so eviction never differs.
+            let pc = 0x1000 + pc_idx * 0x808;
+            let a = dlt.observe(pc, addr, miss, lat);
+            let b = reference.observe(pc, addr, miss, lat);
+            prop_assert_eq!(a, b, "event divergence at pc {:#x}", pc);
+        }
+        // Snapshots agree with the model on stride predictability.
+        for (pc, e) in &reference.entries {
+            if e.accesses >= cfg().partial_min_accesses {
+                let snap = dlt.snapshot(*pc).expect("tracked");
+                prop_assert_eq!(snap.accesses, e.accesses);
+                prop_assert_eq!(snap.misses, e.misses);
+                prop_assert_eq!(
+                    snap.stride_predictable,
+                    e.conf >= cfg().conf_max && e.stride != 0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mature_loads_never_fire(
+        ops in prop::collection::vec((0u64..1 << 16, 3u64..400), 64..400),
+    ) {
+        let mut dlt = Dlt::new(cfg());
+        let pc = 0x2000;
+        dlt.observe(pc, 0, true, 350);
+        dlt.set_mature(pc);
+        for (addr, lat) in ops {
+            prop_assert!(!dlt.observe(pc, addr, true, lat), "mature load fired");
+        }
+        prop_assert!(!dlt.is_delinquent(pc));
+    }
+
+    #[test]
+    fn clear_window_resets_counters_but_keeps_stride(
+        n in 16u32..200,
+        stride in 1u64..512,
+    ) {
+        let mut dlt = Dlt::new(cfg());
+        let pc = 0x3000;
+        for i in 0..n {
+            dlt.observe(pc, u64::from(i) * stride, true, 350);
+        }
+        let before = dlt.snapshot(pc);
+        dlt.clear_window(pc);
+        for i in 0..8u32 {
+            dlt.observe(pc, u64::from(n + i) * stride, false, 3);
+        }
+        let after = dlt.snapshot(pc).expect("still tracked");
+        prop_assert_eq!(after.accesses, 8, "window restarted");
+        prop_assert_eq!(after.misses, 0);
+        if let Some(b) = before {
+            // Stride learning is cumulative across window clears.
+            prop_assert!(after.stride_predictable || !b.stride_predictable);
+        }
+    }
+
+    #[test]
+    fn clear_all_mature_reopens_every_load(pcs in prop::collection::hash_set(0u64..1 << 14, 1..32)) {
+        let mut dlt = Dlt::new(cfg());
+        for pc in &pcs {
+            dlt.observe(*pc * 8, 0, true, 350);
+            dlt.set_mature(*pc * 8);
+        }
+        let cleared = dlt.clear_all_mature();
+        prop_assert!(cleared >= 1);
+        for pc in &pcs {
+            prop_assert!(!dlt.is_mature(*pc * 8));
+        }
+    }
+}

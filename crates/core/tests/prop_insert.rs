@@ -1,0 +1,146 @@
+//! Property tests on prefetch-insertion invariants: whatever the trace and
+//! DLT state, the planned body is layout-sane, weight-preserving, and never
+//! prefetches a cache block twice for the same group.
+
+use proptest::prelude::*;
+use tdo_core::{plan_insertion, Dlt, DltConfig, InsertOptions};
+use tdo_core::classify::classify;
+use tdo_isa::{AluOp, Cond, Inst, LoadKind, Reg};
+use tdo_trident::{Trace, TraceId, TraceInst, TraceOp};
+
+fn ti(op: TraceOp) -> TraceInst {
+    TraceInst { op, orig_pc: 0, weight: 1, synthetic: false }
+}
+
+/// Builds a random loop trace: a handful of loads off bases r1..r3 with
+/// random offsets, base updates, some ALU noise, a conditional exit, and a
+/// loop-back. orig_pc values are made unique afterwards.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let load = (1u8..4, 0i64..40).prop_map(|(b, o)| {
+        TraceOp::Real(Inst::Load {
+            ra: Reg::int(10 + b),
+            rb: Reg::int(b),
+            off: o * 8,
+            kind: LoadKind::Int,
+        })
+    });
+    let alu = (1u8..10).prop_map(|r| {
+        TraceOp::Real(Inst::OpImm { op: AluOp::Add, ra: Reg::int(r), imm: 1, rc: Reg::int(15) })
+    });
+    let bump = (1u8..4, 1i64..64).prop_map(|(b, s)| {
+        TraceOp::Real(Inst::Lda { ra: Reg::int(b), rb: Reg::int(b), imm: s * 8 })
+    });
+    prop::collection::vec(prop_oneof![4 => load, 2 => alu, 1 => bump], 2..24).prop_map(|ops| {
+        let mut insts: Vec<TraceInst> = ops.into_iter().map(ti).collect();
+        insts.push(ti(TraceOp::CondExit { cond: Cond::Eq, ra: Reg::int(9), to: 0x9000 }));
+        insts.push(ti(TraceOp::LoopBack));
+        for (i, t) in insts.iter_mut().enumerate() {
+            t.orig_pc = 0x1000 + i as u64 * 8;
+        }
+        Trace { id: TraceId(0), head: 0x1000, insts, is_loop: true, cc_addr: 0x10_0000 }
+    })
+}
+
+const SCRATCH: [Reg; 8] = [
+    Reg::int(20),
+    Reg::int(21),
+    Reg::int(22),
+    Reg::int(23),
+    Reg::int(24),
+    Reg::int(25),
+    Reg::int(26),
+    Reg::int(27),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+    #[test]
+    fn insertion_invariants_hold(trace in arb_trace(), misses in any::<u64>()) {
+        // Make a pseudo-random subset of loads delinquent via the DLT.
+        let mut dlt = Dlt::new(DltConfig {
+            entries: 256,
+            assoc: 2,
+            window: 16,
+            miss_threshold: 2,
+            latency_threshold: 18,
+            partial_min_accesses: 8,
+            ..DltConfig::paper_baseline()
+        });
+        let mut x = misses | 1;
+        for (i, t) in trace.insts.iter().enumerate() {
+            if matches!(t.op, TraceOp::Real(Inst::Load { .. })) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let missy = x & 1 == 1;
+                for k in 0..16u64 {
+                    dlt.observe(trace.cc_pc(i), 0x8_0000 + k * 8, missy, 350);
+                }
+            }
+        }
+        let c = classify(&trace, &dlt, |i| trace.cc_pc(i));
+        let opts = InsertOptions {
+            line_bytes: 64,
+            same_object: true,
+            pointer_deref: true,
+            distance_of: &|_| 1,
+            scratch_pool: &SCRATCH,
+        };
+        let Some(plan) = plan_insertion(&trace, &c, &opts) else {
+            return Ok(()); // nothing delinquent/prefetchable: fine
+        };
+
+        // 1. The original instructions appear in order, uninserted slots
+        //    untouched; total weight is preserved.
+        let originals: Vec<&TraceInst> =
+            plan.new_insts.iter().filter(|t| !t.synthetic).collect();
+        prop_assert_eq!(originals.len(), trace.insts.len());
+        for (a, b) in originals.iter().zip(trace.insts.iter()) {
+            prop_assert_eq!(a.op, b.op);
+            prop_assert_eq!(a.weight, b.weight);
+        }
+        let w_before: u64 = trace.insts.iter().map(|t| u64::from(t.weight)).sum();
+        let w_after: u64 = plan.new_insts.iter().map(|t| u64::from(t.weight)).sum();
+        prop_assert_eq!(w_before, w_after, "synthetic instructions weigh zero");
+
+        // 2. Every synthetic instruction is a prefetch or a non-faulting
+        //    load using only scratch destinations.
+        for t in plan.new_insts.iter().filter(|t| t.synthetic) {
+            match t.op {
+                TraceOp::Real(Inst::Prefetch { .. }) => {}
+                TraceOp::Real(Inst::Load { ra, kind: LoadKind::NonFaulting, .. }) => {
+                    prop_assert!(SCRATCH.contains(&ra), "deref clobbers {ra}");
+                }
+                ref other => prop_assert!(false, "unexpected synthetic {other:?}"),
+            }
+        }
+
+        // 3. Within a stride group, no cache block is prefetched twice
+        //    ("only prefetch each block once", §3.4.2).
+        for g in &plan.groups {
+            let mut lines = std::collections::HashSet::new();
+            for &idx in &g.prefetch_indices {
+                if let TraceOp::Real(Inst::Prefetch { off, stride, .. }) = plan.new_insts[idx].op {
+                    if stride != 0 {
+                        prop_assert!(
+                            lines.insert(i64::from(off).div_euclid(64)),
+                            "block prefetched twice at offset {off}"
+                        );
+                    }
+                }
+            }
+            // 4. Group indices point at actual prefetches.
+            for &idx in &g.prefetch_indices {
+                let is_pf =
+                    matches!(plan.new_insts[idx].op, TraceOp::Real(Inst::Prefetch { .. }));
+                prop_assert!(is_pf, "index {idx} is not a prefetch");
+            }
+            // 5. Synthetic instructions carry the representative's orig_pc.
+            for &idx in &g.prefetch_indices {
+                prop_assert_eq!(plan.new_insts[idx].orig_pc, g.rep_orig_pc);
+            }
+        }
+
+        // 6. The terminators survive in place at the end.
+        let ends_with_loopback = matches!(plan.new_insts.last().unwrap().op, TraceOp::LoopBack);
+        prop_assert!(ends_with_loopback);
+    }
+}

@@ -1,0 +1,198 @@
+//! The mutable runtime code image.
+//!
+//! Holds the original program's instructions plus a sparse overlay for the
+//! code-cache region where Trident installs hot traces. Both the original
+//! code (for linking a trace: the first instruction of a hot region is
+//! patched into a jump) and installed traces (for prefetch-distance repair)
+//! can be rewritten at runtime through [`CodeImage::write_word`].
+
+use std::collections::HashMap;
+
+use tdo_isa::{decode, Inst, Program, Word, INST_BYTES};
+
+/// Errors from patching the code image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatchError {
+    /// The address is not 8-byte aligned.
+    Unaligned {
+        /// Offending address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchError::Unaligned { addr } => write!(f, "unaligned code address {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// The runtime code store: original program + code-cache overlay.
+pub struct CodeImage {
+    base: u64,
+    words: Vec<Word>,
+    /// Sparse storage for everything outside the original program — the code
+    /// cache region lives here.
+    overlay: HashMap<u64, Word>,
+    /// First address of the code-cache region (everything at or above is
+    /// "inside a hot trace" for the monitoring hardware).
+    code_cache_base: u64,
+}
+
+impl CodeImage {
+    /// Builds the image from a program, placing the code cache at
+    /// `code_cache_base` (must be above the program's code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code-cache region overlaps the program code.
+    #[must_use]
+    pub fn new(program: &Program, code_cache_base: u64) -> CodeImage {
+        assert!(
+            code_cache_base >= program.code_end(),
+            "code cache must sit above program code"
+        );
+        CodeImage {
+            base: program.code_base,
+            words: program.code.clone(),
+            overlay: HashMap::new(),
+            code_cache_base,
+        }
+    }
+
+    /// Base address of the code-cache region.
+    #[must_use]
+    pub fn code_cache_base(&self) -> u64 {
+        self.code_cache_base
+    }
+
+    /// Whether `pc` points into the code-cache region (i.e. into a hot
+    /// trace). This is the test Trident's watch-table hardware performs to
+    /// decide whether a committed load should update the DLT.
+    #[must_use]
+    pub fn in_code_cache(&self, pc: u64) -> bool {
+        pc >= self.code_cache_base
+    }
+
+    /// The encoded word at `pc`, if any code exists there.
+    #[must_use]
+    pub fn word_at(&self, pc: u64) -> Option<Word> {
+        if !pc.is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        if pc >= self.base {
+            let idx = ((pc - self.base) / INST_BYTES) as usize;
+            if idx < self.words.len() {
+                return Some(self.words[idx]);
+            }
+        }
+        self.overlay.get(&pc).copied()
+    }
+
+    /// Decodes the instruction at `pc`.
+    #[must_use]
+    pub fn fetch(&self, pc: u64) -> Option<Inst> {
+        self.word_at(pc).and_then(|w| decode(w).ok())
+    }
+
+    /// Writes an encoded word at `pc` — patching original code or installing
+    /// or repairing code-cache contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError::Unaligned`] for misaligned addresses.
+    pub fn write_word(&mut self, pc: u64, word: Word) -> Result<(), PatchError> {
+        if !pc.is_multiple_of(INST_BYTES) {
+            return Err(PatchError::Unaligned { addr: pc });
+        }
+        if pc >= self.base {
+            let idx = ((pc - self.base) / INST_BYTES) as usize;
+            if idx < self.words.len() {
+                self.words[idx] = word;
+                return Ok(());
+            }
+        }
+        self.overlay.insert(pc, word);
+        Ok(())
+    }
+
+    /// Convenience: installs a sequence of words starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PatchError`] from individual writes.
+    pub fn write_block(&mut self, addr: u64, words: &[Word]) -> Result<(), PatchError> {
+        for (i, w) in words.iter().enumerate() {
+            self.write_word(addr + i as u64 * INST_BYTES, *w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdo_isa::{encode, Reg};
+
+    fn img() -> CodeImage {
+        let prog = Program {
+            name: "t".into(),
+            entry: 0x1000,
+            code_base: 0x1000,
+            code: vec![
+                encode(&Inst::Nop).unwrap(),
+                encode(&Inst::Halt).unwrap(),
+            ],
+            data: vec![],
+        };
+        CodeImage::new(&prog, 0x10_0000)
+    }
+
+    #[test]
+    fn fetch_original_and_overlay() {
+        let mut c = img();
+        assert_eq!(c.fetch(0x1000), Some(Inst::Nop));
+        assert_eq!(c.fetch(0x1008), Some(Inst::Halt));
+        assert_eq!(c.fetch(0x1010), None);
+        let w = encode(&Inst::Move { ra: Reg::int(1), rc: Reg::int(2) }).unwrap();
+        c.write_word(0x10_0000, w).unwrap();
+        assert_eq!(c.fetch(0x10_0000), Some(Inst::Move { ra: Reg::int(1), rc: Reg::int(2) }));
+    }
+
+    #[test]
+    fn patching_original_code_takes_effect() {
+        let mut c = img();
+        let w = encode(&Inst::Br { disp: 10 }).unwrap();
+        c.write_word(0x1000, w).unwrap();
+        assert_eq!(c.fetch(0x1000), Some(Inst::Br { disp: 10 }));
+    }
+
+    #[test]
+    fn unaligned_patch_is_rejected() {
+        let mut c = img();
+        assert_eq!(
+            c.write_word(0x1001, 0),
+            Err(PatchError::Unaligned { addr: 0x1001 })
+        );
+        assert_eq!(c.word_at(0x1001), None);
+    }
+
+    #[test]
+    fn code_cache_membership() {
+        let c = img();
+        assert!(!c.in_code_cache(0x1000));
+        assert!(c.in_code_cache(0x10_0000));
+        assert!(c.in_code_cache(0x10_0008));
+    }
+
+    #[test]
+    fn write_block_is_contiguous() {
+        let mut c = img();
+        let words = [encode(&Inst::Nop).unwrap(), encode(&Inst::Halt).unwrap()];
+        c.write_block(0x10_0000, &words).unwrap();
+        assert_eq!(c.fetch(0x10_0008), Some(Inst::Halt));
+    }
+}

@@ -1,0 +1,74 @@
+//! Core configuration (paper Table 1, processor side).
+
+/// Configuration of the SMT core's timing model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Total instructions issued per cycle across both contexts.
+    pub issue_width: u32,
+    /// Loads/stores/prefetches issued per cycle.
+    pub mem_ports: u32,
+    /// Floating-point operations issued per cycle.
+    pub fp_units: u32,
+    /// Cycles lost on a conditional-branch misprediction (front-end refill of
+    /// the 20-stage pipeline).
+    pub mispredict_penalty: u64,
+    /// Latency of FP add/sub.
+    pub fp_add_latency: u64,
+    /// Latency of FP multiply.
+    pub fp_mul_latency: u64,
+    /// Latency of FP divide.
+    pub fp_div_latency: u64,
+    /// Latency of integer multiply.
+    pub int_mul_latency: u64,
+    /// Cycles from a helper-thread spawn request until the helper begins
+    /// executing optimizer code (the paper simulates 2000).
+    pub helper_startup_cycles: u64,
+    /// Base address of the runtime optimizer's scratch buffer; the helper
+    /// thread's synthetic instruction stream loads from this region, so the
+    /// optimizer's cache footprint is modelled.
+    pub helper_scratch_base: u64,
+    /// Size of the optimizer scratch buffer in bytes.
+    pub helper_scratch_bytes: u64,
+}
+
+impl CpuConfig {
+    /// The paper's baseline core: 4-wide issue, 2 load/store ports, 2 FP
+    /// units, 20-stage pipeline (≈15-cycle mispredict refill), 2000-cycle
+    /// helper-thread startup.
+    #[must_use]
+    pub fn paper_baseline() -> CpuConfig {
+        CpuConfig {
+            issue_width: 4,
+            mem_ports: 2,
+            fp_units: 2,
+            mispredict_penalty: 15,
+            fp_add_latency: 4,
+            fp_mul_latency: 4,
+            fp_div_latency: 16,
+            int_mul_latency: 3,
+            helper_startup_cycles: 2000,
+            helper_scratch_base: 0x7000_0000,
+            helper_scratch_bytes: 32 << 10,
+        }
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_1() {
+        let c = CpuConfig::paper_baseline();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.mem_ports, 2);
+        assert_eq!(c.fp_units, 2);
+        assert_eq!(c.helper_startup_cycles, 2000);
+    }
+}

@@ -1,0 +1,297 @@
+//! A small two-pass assembler with symbolic labels.
+//!
+//! The workload generators build their programs through [`Asm`]; branches may
+//! reference labels defined before or after the branch. [`Asm::assemble`]
+//! resolves labels and produces the encoded code image.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::encode::{encode, EncodeError, Word};
+use crate::inst::{AluOp, Cond, Inst, LoadKind, INST_BYTES};
+use crate::reg::Reg;
+
+/// Errors produced while assembling.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// The same label was defined twice.
+    DuplicateLabel {
+        /// The redefined label.
+        label: String,
+    },
+    /// An instruction field overflowed during encoding.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> Self {
+        AsmError::Encode(e)
+    }
+}
+
+enum Item {
+    Fixed(Inst),
+    BrTo(String),
+    BcondTo(Cond, Reg, String),
+}
+
+/// A two-pass assembler.
+///
+/// # Examples
+///
+/// ```
+/// use tdo_isa::{Asm, Reg, AluOp};
+///
+/// let mut a = Asm::new(0x1000);
+/// let (r1, r2) = (Reg::int(1), Reg::int(2));
+/// a.lda(r1, Reg::ZERO, 10);          // r1 = 10
+/// a.label("loop");
+/// a.op_imm(AluOp::Add, r2, 1, r2);   // r2 += 1
+/// a.op_imm(AluOp::Sub, r1, 1, r1);   // r1 -= 1
+/// a.bcond_to(tdo_isa::Cond::Ne, r1, "loop");
+/// a.halt();
+/// let code = a.assemble().unwrap();
+/// assert_eq!(code.len(), 5);
+/// ```
+pub struct Asm {
+    base: u64,
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+}
+
+impl Asm {
+    /// Creates an assembler whose first instruction lives at `base`.
+    #[must_use]
+    pub fn new(base: u64) -> Asm {
+        Asm { base, items: Vec::new(), labels: HashMap::new() }
+    }
+
+    /// The address the next pushed instruction will occupy.
+    #[must_use]
+    pub fn here(&self) -> u64 {
+        self.base + self.items.len() as u64 * INST_BYTES
+    }
+
+    /// The base address of the program being assembled.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Defines `label` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined (programming error in a
+    /// workload builder).
+    pub fn label(&mut self, label: impl Into<String>) {
+        let label = label.into();
+        let prev = self.labels.insert(label.clone(), self.items.len());
+        assert!(prev.is_none(), "duplicate label `{label}`");
+    }
+
+    /// Emits an arbitrary instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.items.push(Item::Fixed(inst));
+    }
+
+    /// Emits `rc = ra <op> rb`.
+    pub fn op(&mut self, op: AluOp, ra: Reg, rb: Reg, rc: Reg) {
+        self.push(Inst::Op { op, ra, rb, rc });
+    }
+
+    /// Emits `rc = ra <op> imm`.
+    pub fn op_imm(&mut self, op: AluOp, ra: Reg, imm: i64, rc: Reg) {
+        self.push(Inst::OpImm { op, ra, imm, rc });
+    }
+
+    /// Emits `ra = rb + imm`.
+    pub fn lda(&mut self, ra: Reg, rb: Reg, imm: i64) {
+        self.push(Inst::Lda { ra, rb, imm });
+    }
+
+    /// Emits a 64-bit constant into `ra` (one or two instructions).
+    pub fn li(&mut self, ra: Reg, value: i64) {
+        if (-(1 << 37)..(1 << 37)).contains(&value) {
+            self.lda(ra, Reg::ZERO, value);
+        } else {
+            // lda + shift + or for wide values.
+            let hi = value >> 32;
+            let lo = value & 0xffff_ffff;
+            self.lda(ra, Reg::ZERO, hi);
+            self.op_imm(AluOp::Sll, ra, 32, ra);
+            self.op_imm(AluOp::Or, ra, lo, ra);
+        }
+    }
+
+    /// Emits `mov rc, ra`.
+    pub fn mov(&mut self, ra: Reg, rc: Reg) {
+        self.push(Inst::Move { ra, rc });
+    }
+
+    /// Emits an integer load `ra = mem[rb + off]`.
+    pub fn ldq(&mut self, ra: Reg, rb: Reg, off: i64) {
+        self.push(Inst::Load { ra, rb, off, kind: LoadKind::Int });
+    }
+
+    /// Emits a floating-point load.
+    pub fn ldf(&mut self, ra: Reg, rb: Reg, off: i64) {
+        self.push(Inst::Load { ra, rb, off, kind: LoadKind::Float });
+    }
+
+    /// Emits a store `mem[rb + off] = ra`.
+    pub fn stq(&mut self, ra: Reg, rb: Reg, off: i64) {
+        self.push(Inst::Store { ra, rb, off });
+    }
+
+    /// Emits a software prefetch.
+    pub fn prefetch(&mut self, base: Reg, off: i32, stride: i32, dist: u8) {
+        self.push(Inst::Prefetch { base, off, stride, dist });
+    }
+
+    /// Emits an unconditional branch to `label`.
+    pub fn br_to(&mut self, label: impl Into<String>) {
+        self.items.push(Item::BrTo(label.into()));
+    }
+
+    /// Emits a conditional branch on `ra` to `label`.
+    pub fn bcond_to(&mut self, cond: Cond, ra: Reg, label: impl Into<String>) {
+        self.items.push(Item::BcondTo(cond, ra, label.into()));
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.push(Inst::Halt);
+    }
+
+    /// Resolves the address of a defined label.
+    #[must_use]
+    pub fn label_addr(&self, label: &str) -> Option<u64> {
+        self.labels.get(label).map(|&i| self.base + i as u64 * INST_BYTES)
+    }
+
+    /// Resolves labels and encodes all instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] for dangling references or
+    /// [`AsmError::Encode`] for field overflows.
+    pub fn assemble(&self) -> Result<Vec<Word>, AsmError> {
+        let mut words = Vec::with_capacity(self.items.len());
+        for (i, item) in self.items.iter().enumerate() {
+            let pc = self.base + i as u64 * INST_BYTES;
+            let inst = match item {
+                Item::Fixed(inst) => *inst,
+                Item::BrTo(label) => {
+                    let target = self
+                        .label_addr(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel { label: label.clone() })?;
+                    let disp = Inst::disp_between(pc, target).expect("aligned label");
+                    Inst::Br { disp }
+                }
+                Item::BcondTo(cond, ra, label) => {
+                    let target = self
+                        .label_addr(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel { label: label.clone() })?;
+                    let disp = Inst::disp_between(pc, target).expect("aligned label");
+                    Inst::Bcond { cond: *cond, ra: *ra, disp }
+                }
+            };
+            words.push(encode(&inst)?);
+        }
+        Ok(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new(0x2000);
+        a.label("top");
+        a.br_to("bottom"); // forward
+        a.push(Inst::Nop);
+        a.label("bottom");
+        a.br_to("top"); // backward
+        let code = a.assemble().unwrap();
+        let b0 = decode(code[0]).unwrap();
+        assert_eq!(b0.branch_target(0x2000), Some(0x2010));
+        let b2 = decode(code[2]).unwrap();
+        assert_eq!(b2.branch_target(0x2010), Some(0x2000));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new(0);
+        a.br_to("nowhere");
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel { label: "nowhere".into() })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Asm::new(0);
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn li_small_is_single_instruction() {
+        let mut a = Asm::new(0);
+        a.li(Reg::int(1), 42);
+        assert_eq!(a.len(), 1);
+        let mut b = Asm::new(0);
+        b.li(Reg::int(1), 1 << 40);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn here_tracks_addresses() {
+        let mut a = Asm::new(0x100);
+        assert_eq!(a.here(), 0x100);
+        a.halt();
+        assert_eq!(a.here(), 0x108);
+    }
+}

@@ -1,0 +1,379 @@
+//! Fixed-width 64-bit binary encoding of instructions.
+//!
+//! Every instruction occupies one little-endian 64-bit word:
+//!
+//! ```text
+//!  63      56 55   50 49   44 43   38 37                                0
+//! +----------+-------+-------+-------+----------------------------------+
+//! |  opcode  |  ra   |  rb   |  rc   |  imm (38-bit signed)             |
+//! +----------+-------+-------+-------+----------------------------------+
+//! ```
+//!
+//! The [`Inst::Prefetch`] format reuses the `rb`/`rc`/`imm` space for three
+//! dedicated fields so that the *distance* can be patched without touching
+//! anything else — the key enabler of the paper's self-repairing mechanism:
+//!
+//! ```text
+//!  63      56 55   50 49      42 41               16 15                0
+//! +----------+-------+----------+-------------------+-------------------+
+//! |  OPCODE  | base  | distance |  stride (i26)     |  offset (i16)     |
+//! +----------+-------+----------+-------------------+-------------------+
+//! ```
+//!
+//! [`patch_prefetch_distance`] rewrites only bits 42..50 of an encoded
+//! prefetch, mirroring how the runtime optimizer "updates the prefetch
+//! instruction bits with the new distance" (paper §3.5.1).
+
+use std::fmt;
+
+use crate::inst::{AluOp, Cond, FpuOp, Inst, LoadKind};
+use crate::reg::Reg;
+
+/// An encoded instruction word.
+pub type Word = u64;
+
+const OPC_SHIFT: u32 = 56;
+const RA_SHIFT: u32 = 50;
+const RB_SHIFT: u32 = 44;
+const RC_SHIFT: u32 = 38;
+const REG_MASK: u64 = 0x3f;
+const IMM_BITS: u32 = 38;
+const IMM_MASK: u64 = (1 << IMM_BITS) - 1;
+
+const PF_OFF_BITS: u32 = 16;
+const PF_STRIDE_SHIFT: u32 = 16;
+const PF_STRIDE_BITS: u32 = 26;
+const PF_DIST_SHIFT: u32 = 42;
+const PF_DIST_BITS: u32 = 8;
+const PF_DIST_MASK: u64 = ((1 << PF_DIST_BITS) - 1) << PF_DIST_SHIFT;
+
+/// Maximum encodable prefetch distance.
+pub const MAX_PREFETCH_DISTANCE: u8 = u8::MAX;
+
+const OPC_NOP: u8 = 0x00;
+const OPC_ALU_BASE: u8 = 0x01; // ..=0x0c, register form, AluOp::ALL order
+const OPC_ALUI_BASE: u8 = 0x11; // ..=0x1c, immediate form
+const OPC_LDA: u8 = 0x20;
+const OPC_MOVE: u8 = 0x21;
+const OPC_LDQ: u8 = 0x28;
+const OPC_LDNF: u8 = 0x29;
+const OPC_LDF: u8 = 0x2a;
+const OPC_STQ: u8 = 0x2b;
+const OPC_PREFETCH: u8 = 0x2f;
+const OPC_FOP_BASE: u8 = 0x30; // ..=0x33, FpuOp::ALL order
+const OPC_BR: u8 = 0x40;
+const OPC_JMP: u8 = 0x41;
+const OPC_BCOND_BASE: u8 = 0x42; // ..=0x47, Cond::ALL order
+const OPC_HALT: u8 = 0x50;
+
+/// Error produced when an instruction's fields do not fit their bit-fields.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// A generic immediate/displacement exceeded the signed 38-bit field.
+    ImmOutOfRange {
+        /// The offending value.
+        value: i64,
+    },
+    /// A prefetch offset exceeded the signed 16-bit field.
+    PrefetchOffOutOfRange {
+        /// The offending value.
+        value: i32,
+    },
+    /// A prefetch stride exceeded the signed 26-bit field.
+    PrefetchStrideOutOfRange {
+        /// The offending value.
+        value: i32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { value } => {
+                write!(f, "immediate {value} does not fit in 38 signed bits")
+            }
+            EncodeError::PrefetchOffOutOfRange { value } => {
+                write!(f, "prefetch offset {value} does not fit in 16 signed bits")
+            }
+            EncodeError::PrefetchStrideOutOfRange { value } => {
+                write!(f, "prefetch stride {value} does not fit in 26 signed bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error produced when decoding an unknown or malformed word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: Word,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#018x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn fits_signed(v: i64, bits: u32) -> bool {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    (min..=max).contains(&v)
+}
+
+fn pack_imm(v: i64) -> Result<u64, EncodeError> {
+    if fits_signed(v, IMM_BITS) {
+        Ok((v as u64) & IMM_MASK)
+    } else {
+        Err(EncodeError::ImmOutOfRange { value: v })
+    }
+}
+
+fn unpack_imm(w: Word) -> i64 {
+    let raw = w & IMM_MASK;
+    // Sign-extend from 38 bits.
+    ((raw << (64 - IMM_BITS)) as i64) >> (64 - IMM_BITS)
+}
+
+fn reg_at(w: Word, shift: u32) -> Reg {
+    // Encoders only emit valid 6-bit indices, so this cannot fail.
+    Reg::from_index(((w >> shift) & REG_MASK) as u8).expect("6-bit register field")
+}
+
+fn base(opc: u8) -> Word {
+    (opc as u64) << OPC_SHIFT
+}
+
+fn with_reg(w: Word, r: Reg, shift: u32) -> Word {
+    w | ((r.index() as u64) << shift)
+}
+
+/// Encodes one instruction into a word.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when an immediate, offset, or stride does not
+/// fit its bit-field.
+pub fn encode(inst: &Inst) -> Result<Word, EncodeError> {
+    Ok(match *inst {
+        Inst::Nop => base(OPC_NOP),
+        Inst::Op { op, ra, rb, rc } => {
+            let idx = AluOp::ALL.iter().position(|o| *o == op).expect("listed op") as u8;
+            let w = base(OPC_ALU_BASE + idx);
+            with_reg(with_reg(with_reg(w, ra, RA_SHIFT), rb, RB_SHIFT), rc, RC_SHIFT)
+        }
+        Inst::OpImm { op, ra, imm, rc } => {
+            let idx = AluOp::ALL.iter().position(|o| *o == op).expect("listed op") as u8;
+            let w = base(OPC_ALUI_BASE + idx) | pack_imm(imm)?;
+            with_reg(with_reg(w, ra, RA_SHIFT), rc, RC_SHIFT)
+        }
+        Inst::Lda { ra, rb, imm } => {
+            let w = base(OPC_LDA) | pack_imm(imm)?;
+            with_reg(with_reg(w, ra, RA_SHIFT), rb, RB_SHIFT)
+        }
+        Inst::Move { ra, rc } => {
+            with_reg(with_reg(base(OPC_MOVE), ra, RA_SHIFT), rc, RC_SHIFT)
+        }
+        Inst::Load { ra, rb, off, kind } => {
+            let opc = match kind {
+                LoadKind::Int => OPC_LDQ,
+                LoadKind::NonFaulting => OPC_LDNF,
+                LoadKind::Float => OPC_LDF,
+            };
+            let w = base(opc) | pack_imm(off)?;
+            with_reg(with_reg(w, ra, RA_SHIFT), rb, RB_SHIFT)
+        }
+        Inst::Store { ra, rb, off } => {
+            let w = base(OPC_STQ) | pack_imm(off)?;
+            with_reg(with_reg(w, ra, RA_SHIFT), rb, RB_SHIFT)
+        }
+        Inst::Prefetch { base: b, off, stride, dist } => {
+            if !fits_signed(off as i64, PF_OFF_BITS) {
+                return Err(EncodeError::PrefetchOffOutOfRange { value: off });
+            }
+            if !fits_signed(stride as i64, PF_STRIDE_BITS) {
+                return Err(EncodeError::PrefetchStrideOutOfRange { value: stride });
+            }
+            let mut w = base(OPC_PREFETCH);
+            w = with_reg(w, b, RA_SHIFT);
+            w |= (off as u16 as u64) & ((1 << PF_OFF_BITS) - 1);
+            w |= ((stride as u64) & ((1 << PF_STRIDE_BITS) - 1)) << PF_STRIDE_SHIFT;
+            w |= (dist as u64) << PF_DIST_SHIFT;
+            w
+        }
+        Inst::FOp { op, ra, rb, rc } => {
+            let idx = FpuOp::ALL.iter().position(|o| *o == op).expect("listed op") as u8;
+            let w = base(OPC_FOP_BASE + idx);
+            with_reg(with_reg(with_reg(w, ra, RA_SHIFT), rb, RB_SHIFT), rc, RC_SHIFT)
+        }
+        Inst::Br { disp } => base(OPC_BR) | pack_imm(disp)?,
+        Inst::Bcond { cond, ra, disp } => {
+            let idx = Cond::ALL.iter().position(|c| *c == cond).expect("listed cond") as u8;
+            let w = base(OPC_BCOND_BASE + idx) | pack_imm(disp)?;
+            with_reg(w, ra, RA_SHIFT)
+        }
+        Inst::Jmp { rb } => with_reg(base(OPC_JMP), rb, RB_SHIFT),
+        Inst::Halt => base(OPC_HALT),
+    })
+}
+
+/// Decodes one instruction word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for unknown opcodes.
+pub fn decode(w: Word) -> Result<Inst, DecodeError> {
+    let opc = (w >> OPC_SHIFT) as u8;
+    let ra = reg_at(w, RA_SHIFT);
+    let rb = reg_at(w, RB_SHIFT);
+    let rc = reg_at(w, RC_SHIFT);
+    Ok(match opc {
+        OPC_NOP => Inst::Nop,
+        o if (OPC_ALU_BASE..OPC_ALU_BASE + 12).contains(&o) => {
+            Inst::Op { op: AluOp::ALL[(o - OPC_ALU_BASE) as usize], ra, rb, rc }
+        }
+        o if (OPC_ALUI_BASE..OPC_ALUI_BASE + 12).contains(&o) => Inst::OpImm {
+            op: AluOp::ALL[(o - OPC_ALUI_BASE) as usize],
+            ra,
+            imm: unpack_imm(w),
+            rc,
+        },
+        OPC_LDA => Inst::Lda { ra, rb, imm: unpack_imm(w) },
+        OPC_MOVE => Inst::Move { ra, rc },
+        OPC_LDQ => Inst::Load { ra, rb, off: unpack_imm(w), kind: LoadKind::Int },
+        OPC_LDNF => Inst::Load { ra, rb, off: unpack_imm(w), kind: LoadKind::NonFaulting },
+        OPC_LDF => Inst::Load { ra, rb, off: unpack_imm(w), kind: LoadKind::Float },
+        OPC_STQ => Inst::Store { ra, rb, off: unpack_imm(w) },
+        OPC_PREFETCH => {
+            let off = (w & 0xffff) as u16 as i16 as i32;
+            let raw_stride = (w >> PF_STRIDE_SHIFT) & ((1 << PF_STRIDE_BITS) - 1);
+            let stride =
+                (((raw_stride << (64 - PF_STRIDE_BITS)) as i64) >> (64 - PF_STRIDE_BITS)) as i32;
+            let dist = ((w >> PF_DIST_SHIFT) & ((1 << PF_DIST_BITS) - 1)) as u8;
+            Inst::Prefetch { base: ra, off, stride, dist }
+        }
+        o if (OPC_FOP_BASE..OPC_FOP_BASE + 4).contains(&o) => {
+            Inst::FOp { op: FpuOp::ALL[(o - OPC_FOP_BASE) as usize], ra, rb, rc }
+        }
+        OPC_BR => Inst::Br { disp: unpack_imm(w) },
+        o if (OPC_BCOND_BASE..OPC_BCOND_BASE + 6).contains(&o) => {
+            Inst::Bcond { cond: Cond::ALL[(o - OPC_BCOND_BASE) as usize], ra, disp: unpack_imm(w) }
+        }
+        OPC_JMP => Inst::Jmp { rb },
+        OPC_HALT => Inst::Halt,
+        _ => return Err(DecodeError { word: w }),
+    })
+}
+
+/// Whether an encoded word is a prefetch instruction.
+#[must_use]
+pub fn is_prefetch_word(w: Word) -> bool {
+    (w >> OPC_SHIFT) as u8 == OPC_PREFETCH
+}
+
+/// Reads the distance field of an encoded prefetch word.
+///
+/// Returns `None` if the word is not a prefetch.
+#[must_use]
+pub fn prefetch_distance(w: Word) -> Option<u8> {
+    is_prefetch_word(w).then_some(((w & PF_DIST_MASK) >> PF_DIST_SHIFT) as u8)
+}
+
+/// Rewrites only the distance bit-field of an encoded prefetch word,
+/// leaving base, offset and stride untouched.
+///
+/// This is the in-place "repair" operation of paper §3.5.1: the optimizer
+/// "just update\[s\] the prefetch instruction bits with the new distance".
+///
+/// Returns `None` if the word is not a prefetch.
+#[must_use]
+pub fn patch_prefetch_distance(w: Word, dist: u8) -> Option<Word> {
+    is_prefetch_word(w).then_some((w & !PF_DIST_MASK) | ((dist as u64) << PF_DIST_SHIFT))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(i: Inst) -> Inst {
+        decode(encode(&i).expect("encode")).expect("decode")
+    }
+
+    #[test]
+    fn round_trip_representative_instructions() {
+        let r = Reg::int;
+        let cases = [
+            Inst::Nop,
+            Inst::Halt,
+            Inst::Op { op: AluOp::Add, ra: r(1), rb: r(2), rc: r(3) },
+            Inst::OpImm { op: AluOp::Mul, ra: r(4), imm: -12345, rc: r(5) },
+            Inst::Lda { ra: r(6), rb: r(7), imm: 65536 },
+            Inst::Move { ra: Reg::fp(1), rc: Reg::fp(2) },
+            Inst::Load { ra: r(8), rb: r(9), off: -8, kind: LoadKind::Int },
+            Inst::Load { ra: r(8), rb: r(9), off: 0, kind: LoadKind::NonFaulting },
+            Inst::Load { ra: Reg::fp(3), rb: r(9), off: 16, kind: LoadKind::Float },
+            Inst::Store { ra: r(10), rb: r(11), off: 24 },
+            Inst::Prefetch { base: r(12), off: -32, stride: 4096, dist: 17 },
+            Inst::FOp { op: FpuOp::Div, ra: Reg::fp(4), rb: Reg::fp(5), rc: Reg::fp(6) },
+            Inst::Br { disp: -100 },
+            Inst::Bcond { cond: Cond::Ne, ra: r(13), disp: 42 },
+            Inst::Jmp { rb: r(14) },
+        ];
+        for c in cases {
+            assert_eq!(rt(c), c, "round trip failed for {c}");
+        }
+    }
+
+    #[test]
+    fn imm_overflow_is_reported() {
+        let i = Inst::Br { disp: 1 << 40 };
+        assert_eq!(encode(&i), Err(EncodeError::ImmOutOfRange { value: 1 << 40 }));
+        let p = Inst::Prefetch { base: Reg::R0, off: 40000, stride: 0, dist: 0 };
+        assert!(matches!(encode(&p), Err(EncodeError::PrefetchOffOutOfRange { .. })));
+        let p = Inst::Prefetch { base: Reg::R0, off: 0, stride: 1 << 26, dist: 0 };
+        assert!(matches!(encode(&p), Err(EncodeError::PrefetchStrideOutOfRange { .. })));
+    }
+
+    #[test]
+    fn imm_boundaries_encode() {
+        let max = (1i64 << 37) - 1;
+        let min = -(1i64 << 37);
+        assert_eq!(rt(Inst::Br { disp: max }), Inst::Br { disp: max });
+        assert_eq!(rt(Inst::Br { disp: min }), Inst::Br { disp: min });
+    }
+
+    #[test]
+    fn unknown_opcode_fails_to_decode() {
+        assert!(decode(0xff << OPC_SHIFT).is_err());
+        assert!(decode((0x0e_u64) << OPC_SHIFT).is_err());
+    }
+
+    #[test]
+    fn distance_patch_touches_only_distance() {
+        let p = Inst::Prefetch { base: Reg::int(9), off: -16, stride: -128, dist: 1 };
+        let w = encode(&p).unwrap();
+        assert_eq!(prefetch_distance(w), Some(1));
+        let w2 = patch_prefetch_distance(w, 33).unwrap();
+        assert_eq!(prefetch_distance(w2), Some(33));
+        match decode(w2).unwrap() {
+            Inst::Prefetch { base, off, stride, dist } => {
+                assert_eq!(base, Reg::int(9));
+                assert_eq!(off, -16);
+                assert_eq!(stride, -128);
+                assert_eq!(dist, 33);
+            }
+            other => panic!("expected prefetch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn patch_rejects_non_prefetch() {
+        let w = encode(&Inst::Nop).unwrap();
+        assert_eq!(patch_prefetch_distance(w, 5), None);
+        assert_eq!(prefetch_distance(w), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! # tdo-isa — the instruction-set substrate
+//!
+//! A small Alpha-flavoured RISC instruction set with a fixed-width 64-bit
+//! binary encoding, a two-pass assembler, and a disassembler.
+//!
+//! This crate exists because the CGO 2006 system this repository reproduces
+//! ("A Self-Repairing Prefetcher in an Event-Driven Dynamic Optimization
+//! Framework") rewrites *machine code* at runtime: the Trident optimizer
+//! streamlines basic blocks into hot traces, splices software `prefetch`
+//! instructions into them, and later **repairs** a prefetch by patching the
+//! distance bit-field of the encoded instruction in place. A concrete binary
+//! encoding with a dedicated, patchable distance field
+//! ([`encode::patch_prefetch_distance`]) is therefore part of the substrate,
+//! not an implementation detail.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use tdo_isa::{Asm, Reg, AluOp, Cond, encode};
+//!
+//! // Assemble a loop that sums an array.
+//! let (ptr, acc, n, v) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+//! let mut a = Asm::new(0x1_0000);
+//! a.li(ptr, 0x10_0000);
+//! a.li(n, 128);
+//! a.label("loop");
+//! a.ldq(v, ptr, 0);
+//! a.op(AluOp::Add, acc, v, acc);
+//! a.lda(ptr, ptr, 8);
+//! a.op_imm(AluOp::Sub, n, 1, n);
+//! a.bcond_to(Cond::Ne, n, "loop");
+//! a.halt();
+//! let code = a.assemble().unwrap();
+//!
+//! // Every word round-trips through the decoder.
+//! for w in &code {
+//!     encode::decode(*w).unwrap();
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod asm;
+pub mod encode;
+pub mod inst;
+pub mod parse;
+pub mod program;
+pub mod reg;
+
+pub use asm::{Asm, AsmError};
+pub use encode::{
+    decode, encode, is_prefetch_word, patch_prefetch_distance, prefetch_distance, DecodeError,
+    EncodeError, Word, MAX_PREFETCH_DISTANCE,
+};
+pub use inst::{AluOp, Cond, FpuOp, Inst, LoadKind, Uses, INST_BYTES};
+pub use parse::{parse_inst, ParseError};
+pub use program::{DataSegment, Program};
+pub use reg::{Reg, NUM_REGS};

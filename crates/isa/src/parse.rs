@@ -1,0 +1,280 @@
+//! Parsing of the textual instruction syntax produced by [`Inst`]'s
+//! `Display` implementation — the inverse of disassembly, so dumps can be
+//! edited and reassembled.
+//!
+//! ```
+//! use tdo_isa::{parse_inst, Inst, Reg};
+//!
+//! let i = parse_inst("ldq r2, 8(r1)").unwrap();
+//! assert_eq!(i, Inst::Load {
+//!     ra: Reg::int(2),
+//!     rb: Reg::int(1),
+//!     off: 8,
+//!     kind: tdo_isa::LoadKind::Int,
+//! });
+//! assert_eq!(parse_inst(&i.to_string()), Ok(i));
+//! ```
+
+use std::fmt;
+
+use crate::inst::{AluOp, Cond, FpuOp, Inst, LoadKind};
+use crate::reg::Reg;
+
+/// Errors from [`parse_inst`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(m: impl Into<String>) -> ParseError {
+    ParseError { message: m.into() }
+}
+
+fn parse_reg(s: &str) -> Result<Reg, ParseError> {
+    let s = s.trim();
+    let (kind, rest) = s.split_at(1.min(s.len()));
+    let idx: u8 = rest.parse().map_err(|_| err(format!("bad register `{s}`")))?;
+    match kind {
+        "r" if idx < 32 => Ok(Reg::int(idx)),
+        "f" if idx < 32 => Ok(Reg::fp(idx)),
+        _ => Err(err(format!("bad register `{s}`"))),
+    }
+}
+
+fn parse_i64(s: &str) -> Result<i64, ParseError> {
+    s.trim().parse().map_err(|_| err(format!("bad immediate `{s}`")))
+}
+
+/// Splits `off(base)` into its parts.
+fn parse_mem(s: &str) -> Result<(i64, Reg), ParseError> {
+    let s = s.trim();
+    let open = s.find('(').ok_or_else(|| err(format!("expected off(base), got `{s}`")))?;
+    let close = s.rfind(')').ok_or_else(|| err(format!("unclosed `(` in `{s}`")))?;
+    Ok((parse_i64(&s[..open])?, parse_reg(&s[open + 1..close])?))
+}
+
+fn alu_by_name(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "cmplt" => AluOp::CmpLt,
+        "cmpeq" => AluOp::CmpEq,
+        "cmple" => AluOp::CmpLe,
+        "cmpult" => AluOp::CmpUlt,
+        _ => return None,
+    })
+}
+
+fn fpu_by_name(name: &str) -> Option<FpuOp> {
+    Some(match name {
+        "fadd" => FpuOp::Add,
+        "fsub" => FpuOp::Sub,
+        "fmul" => FpuOp::Mul,
+        "fdiv" => FpuOp::Div,
+        _ => return None,
+    })
+}
+
+fn cond_by_name(name: &str) -> Option<Cond> {
+    Some(match name {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        "ble" => Cond::Le,
+        "bgt" => Cond::Gt,
+        _ => return None,
+    })
+}
+
+/// Parses one instruction in the `Display` syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed token.
+pub fn parse_inst(text: &str) -> Result<Inst, ParseError> {
+    let text = text.trim();
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), ParseError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("{mnemonic}: expected {n} operands, got {}", args.len())))
+        }
+    };
+
+    match mnemonic {
+        "nop" => {
+            want(0)?;
+            Ok(Inst::Nop)
+        }
+        "halt" => {
+            want(0)?;
+            Ok(Inst::Halt)
+        }
+        "mov" => {
+            want(2)?;
+            Ok(Inst::Move { rc: parse_reg(args[0])?, ra: parse_reg(args[1])? })
+        }
+        "lda" => {
+            want(2)?;
+            let (imm, rb) = parse_mem(args[1])?;
+            Ok(Inst::Lda { ra: parse_reg(args[0])?, rb, imm })
+        }
+        "ldq" | "ldnf" | "ldf" => {
+            want(2)?;
+            let (off, rb) = parse_mem(args[1])?;
+            let kind = match mnemonic {
+                "ldq" => LoadKind::Int,
+                "ldnf" => LoadKind::NonFaulting,
+                _ => LoadKind::Float,
+            };
+            Ok(Inst::Load { ra: parse_reg(args[0])?, rb, off, kind })
+        }
+        "stq" => {
+            want(2)?;
+            let (off, rb) = parse_mem(args[1])?;
+            Ok(Inst::Store { ra: parse_reg(args[0])?, rb, off })
+        }
+        "prefetch" => {
+            // prefetch OFF+STRIDE*DIST(base)
+            want(1)?;
+            let (expr, base) = {
+                let s = args[0];
+                let open = s.find('(').ok_or_else(|| err("prefetch needs (base)"))?;
+                let close = s.rfind(')').ok_or_else(|| err("unclosed ("))?;
+                (&s[..open], parse_reg(&s[open + 1..close])?)
+            };
+            let plus = expr.find('+').ok_or_else(|| err("prefetch needs off+stride*dist"))?;
+            let star = expr.rfind('*').ok_or_else(|| err("prefetch needs stride*dist"))?;
+            let off: i32 = expr[..plus]
+                .trim()
+                .parse()
+                .map_err(|_| err("bad prefetch offset"))?;
+            let stride: i32 = expr[plus + 1..star]
+                .trim()
+                .parse()
+                .map_err(|_| err("bad prefetch stride"))?;
+            let dist: u8 = expr[star + 1..]
+                .trim()
+                .parse()
+                .map_err(|_| err("bad prefetch distance"))?;
+            Ok(Inst::Prefetch { base, off, stride, dist })
+        }
+        "br" => {
+            want(1)?;
+            Ok(Inst::Br { disp: parse_i64(args[0])? })
+        }
+        "jmp" => {
+            want(1)?;
+            let s = args[0];
+            let open = s.find('(').ok_or_else(|| err("jmp needs (reg)"))?;
+            let close = s.rfind(')').ok_or_else(|| err("unclosed ("))?;
+            Ok(Inst::Jmp { rb: parse_reg(&s[open + 1..close])? })
+        }
+        m => {
+            if let Some(cond) = cond_by_name(m) {
+                want(2)?;
+                return Ok(Inst::Bcond {
+                    cond,
+                    ra: parse_reg(args[0])?,
+                    disp: parse_i64(args[1])?,
+                });
+            }
+            if let Some(op) = fpu_by_name(m) {
+                want(3)?;
+                return Ok(Inst::FOp {
+                    op,
+                    rc: parse_reg(args[0])?,
+                    ra: parse_reg(args[1])?,
+                    rb: parse_reg(args[2])?,
+                });
+            }
+            if let Some(op) = m.strip_suffix('i').and_then(alu_by_name) {
+                want(3)?;
+                return Ok(Inst::OpImm {
+                    op,
+                    rc: parse_reg(args[0])?,
+                    ra: parse_reg(args[1])?,
+                    imm: parse_i64(args[2])?,
+                });
+            }
+            if let Some(op) = alu_by_name(m) {
+                want(3)?;
+                return Ok(Inst::Op {
+                    op,
+                    rc: parse_reg(args[0])?,
+                    ra: parse_reg(args[1])?,
+                    rb: parse_reg(args[2])?,
+                });
+            }
+            Err(err(format!("unknown mnemonic `{m}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_representative_forms() {
+        assert_eq!(parse_inst("nop"), Ok(Inst::Nop));
+        assert_eq!(parse_inst("halt"), Ok(Inst::Halt));
+        assert_eq!(
+            parse_inst("add r3, r1, r2"),
+            Ok(Inst::Op { op: AluOp::Add, ra: Reg::int(1), rb: Reg::int(2), rc: Reg::int(3) })
+        );
+        assert_eq!(
+            parse_inst("subi r3, r1, -5"),
+            Ok(Inst::OpImm { op: AluOp::Sub, ra: Reg::int(1), imm: -5, rc: Reg::int(3) })
+        );
+        assert_eq!(
+            parse_inst("prefetch -8+64*17(r9)"),
+            Ok(Inst::Prefetch { base: Reg::int(9), off: -8, stride: 64, dist: 17 })
+        );
+        assert_eq!(
+            parse_inst("fmul f3, f1, f2"),
+            Ok(Inst::FOp { op: FpuOp::Mul, ra: Reg::fp(1), rb: Reg::fp(2), rc: Reg::fp(3) })
+        );
+        assert_eq!(parse_inst("bne r4, -12"), Ok(Inst::Bcond {
+            cond: Cond::Ne,
+            ra: Reg::int(4),
+            disp: -12,
+        }));
+        assert_eq!(parse_inst("jmp (r7)"), Ok(Inst::Jmp { rb: Reg::int(7) }));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_inst("").is_err());
+        assert!(parse_inst("frobnicate r1").is_err());
+        assert!(parse_inst("add r1, r2").is_err(), "arity");
+        assert!(parse_inst("ldq r1, r2").is_err(), "missing (base)");
+        assert!(parse_inst("add r99, r1, r2").is_err(), "register range");
+        assert!(parse_inst("prefetch 8(r1)").is_err(), "missing stride*dist");
+    }
+}

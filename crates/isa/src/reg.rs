@@ -1,0 +1,136 @@
+//! Architectural register model.
+//!
+//! The ISA exposes a single flat space of 64 registers: `r0`–`r31` are the
+//! integer registers and `f0`–`f31` (indices 32–63) are the floating-point
+//! registers. Register `r31` always reads as zero, mirroring the Alpha
+//! convention the original CGO 2006 evaluation platform used.
+
+use std::fmt;
+
+/// Number of architectural registers (32 integer + 32 floating point).
+pub const NUM_REGS: usize = 64;
+
+/// An architectural register.
+///
+/// Construct via [`Reg::int`], [`Reg::fp`], or the [`Reg::R0`]-style
+/// constants. The inner index is guaranteed to be `< 64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The always-zero integer register (`r31`).
+    pub const ZERO: Reg = Reg(31);
+    /// Integer register 0 (conventionally the function result).
+    pub const R0: Reg = Reg(0);
+    /// Stack pointer by convention (`r30`).
+    pub const SP: Reg = Reg(30);
+
+    /// Returns integer register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[must_use]
+    pub const fn int(i: u8) -> Reg {
+        assert!(i < 32, "integer register index out of range");
+        Reg(i)
+    }
+
+    /// Returns floating-point register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[must_use]
+    pub const fn fp(i: u8) -> Reg {
+        assert!(i < 32, "floating-point register index out of range");
+        Reg(32 + i)
+    }
+
+    /// Builds a register from a raw flat index in `0..64`.
+    #[must_use]
+    pub fn from_index(i: u8) -> Option<Reg> {
+        (i < NUM_REGS as u8).then_some(Reg(i))
+    }
+
+    /// The flat index of this register in `0..64`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is one of the 32 integer registers.
+    #[must_use]
+    pub const fn is_int(self) -> bool {
+        self.0 < 32
+    }
+
+    /// Whether this is one of the 32 floating-point registers.
+    #[must_use]
+    pub const fn is_fp(self) -> bool {
+        self.0 >= 32
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_int() {
+            write!(f, "r{}", self.0)
+        } else {
+            write!(f, "f{}", self.0 - 32)
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_ranges_are_disjoint() {
+        assert!(Reg::int(0).is_int());
+        assert!(!Reg::int(0).is_fp());
+        assert!(Reg::fp(0).is_fp());
+        assert_eq!(Reg::fp(0).index(), 32);
+        assert_eq!(Reg::int(31), Reg::ZERO);
+    }
+
+    #[test]
+    fn zero_register_is_r31() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::int(30).is_zero());
+        assert!(!Reg::fp(31).is_zero());
+    }
+
+    #[test]
+    fn from_index_bounds() {
+        assert_eq!(Reg::from_index(0), Some(Reg::R0));
+        assert_eq!(Reg::from_index(63), Some(Reg::fp(31)));
+        assert_eq!(Reg::from_index(64), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::int(5).to_string(), "r5");
+        assert_eq!(Reg::fp(7).to_string(), "f7");
+        assert_eq!(Reg::ZERO.to_string(), "r31");
+    }
+
+    #[test]
+    #[should_panic(expected = "integer register index out of range")]
+    fn int_out_of_range_panics() {
+        let _ = Reg::int(32);
+    }
+}

@@ -1,0 +1,281 @@
+//! Set-associative, LRU, tag-only cache model.
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Full access latency in cycles when this level hits.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (not a power-of-two set count).
+    #[must_use]
+    pub fn num_sets(&self) -> u64 {
+        let sets = self.size_bytes / (self.line_bytes * u64::from(self.assoc));
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    /// Set when the line was brought in by a prefetch and has not yet been
+    /// touched by a demand access (drives the Figure 6 breakdown).
+    prefetched: bool,
+    /// Set by stores; a dirty victim costs a write-back bus transfer.
+    dirty: bool,
+    last_use: u64,
+}
+
+/// Result of a demand lookup that hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HitInfo {
+    /// True when this was the first demand touch of a prefetched line.
+    pub first_touch_of_prefetch: bool,
+}
+
+/// Result of inserting a line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted line address (full address of the first byte).
+    pub line_addr: u64,
+    /// Whether the victim was itself an untouched prefetched line.
+    pub was_untouched_prefetch: bool,
+    /// Whether the victim was dirty (requires a write-back).
+    pub was_dirty: bool,
+}
+
+/// A tag-only set-associative cache with true-LRU replacement.
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Line>,
+    set_mask: u64,
+    line_shift: u32,
+    stamp: u64,
+}
+
+impl Cache {
+    /// Builds a cache with the given geometry.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.num_sets();
+        Cache {
+            cfg,
+            sets: vec![Line::default(); (sets * u64::from(cfg.assoc)) as usize],
+            set_mask: sets - 1,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            stamp: 0,
+        }
+    }
+
+    /// This cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_range(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        (set * self.cfg.assoc as usize, tag)
+    }
+
+    /// Demand lookup: returns hit info and clears the line's prefetch bit.
+    pub fn lookup(&mut self, addr: u64) -> Option<HitInfo> {
+        self.stamp += 1;
+        let (base, tag) = self.set_range(addr);
+        let ways = self.cfg.assoc as usize;
+        for l in &mut self.sets[base..base + ways] {
+            if l.valid && l.tag == tag {
+                l.last_use = self.stamp;
+                let first = l.prefetched;
+                l.prefetched = false;
+                return Some(HitInfo { first_touch_of_prefetch: first });
+            }
+        }
+        None
+    }
+
+    /// Probe without updating LRU or prefetch state.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (base, tag) = self.set_range(addr);
+        let ways = self.cfg.assoc as usize;
+        self.sets[base..base + ways].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Inserts the line containing `addr`, evicting the LRU way if needed.
+    ///
+    /// `prefetched` marks the line as prefetch-fetched (first demand touch
+    /// will report [`HitInfo::first_touch_of_prefetch`]).
+    pub fn insert(&mut self, addr: u64, prefetched: bool) -> Option<Eviction> {
+        self.stamp += 1;
+        let (base, tag) = self.set_range(addr);
+        let ways = self.cfg.assoc as usize;
+        // Already present: refresh.
+        if let Some(l) = self.sets[base..base + ways]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            l.last_use = self.stamp;
+            return None;
+        }
+        // Free way?
+        let victim_idx = match self.sets[base..base + ways].iter().position(|l| !l.valid) {
+            Some(i) => base + i,
+            None => {
+                let (i, _) = self.sets[base..base + ways]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_use)
+                    .expect("assoc > 0");
+                base + i
+            }
+        };
+        let victim = self.sets[victim_idx];
+        let evicted = victim.valid.then(|| {
+            let set_index = (base / ways) as u64;
+            let line = (victim.tag << self.set_mask.count_ones()) | set_index;
+            Eviction {
+                line_addr: line << self.line_shift,
+                was_untouched_prefetch: victim.prefetched,
+                was_dirty: victim.dirty,
+            }
+        });
+        self.sets[victim_idx] =
+            Line { valid: true, tag, prefetched, dirty: false, last_use: self.stamp };
+        evicted
+    }
+
+    /// Marks the line containing `addr` dirty, if present. Returns whether
+    /// the line was found.
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let (base, tag) = self.set_range(addr);
+        let ways = self.cfg.assoc as usize;
+        for l in &mut self.sets[base..base + ways] {
+            if l.valid && l.tag == tag {
+                l.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates the line containing `addr`, if present.
+    pub fn invalidate(&mut self, addr: u64) {
+        let (base, tag) = self.set_range(addr);
+        let ways = self.cfg.assoc as usize;
+        for l in &mut self.sets[base..base + ways] {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+            }
+        }
+    }
+
+    /// Address of the first byte of the line containing `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64B lines = 256 B.
+        Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 64, latency: 3 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().num_sets(), 2);
+        assert_eq!(c.line_addr(0x7f), 0x40);
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = tiny();
+        assert!(c.lookup(0x0).is_none());
+        c.insert(0x0, false);
+        assert!(c.lookup(0x0).is_some());
+        assert!(c.lookup(0x40).is_none(), "different set");
+        assert!(c.lookup(0x100).is_none(), "same set, different tag");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds lines 0x000, 0x080, 0x100... (stride 128 with 2 sets).
+        c.insert(0x000, false);
+        c.insert(0x080, false);
+        c.lookup(0x000); // touch 0x000, making 0x080 the LRU
+        let ev = c.insert(0x100, false).expect("eviction");
+        assert_eq!(ev.line_addr, 0x080);
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+        assert!(c.probe(0x100));
+    }
+
+    #[test]
+    fn prefetch_bit_reports_first_touch_only() {
+        let mut c = tiny();
+        c.insert(0x0, true);
+        assert_eq!(c.lookup(0x0), Some(HitInfo { first_touch_of_prefetch: true }));
+        assert_eq!(c.lookup(0x0), Some(HitInfo { first_touch_of_prefetch: false }));
+    }
+
+    #[test]
+    fn eviction_reports_untouched_prefetch_victims() {
+        let mut c = tiny();
+        c.insert(0x000, true);
+        c.insert(0x080, false);
+        c.lookup(0x080);
+        // 0x000 (still untouched prefetch) is LRU.
+        let ev = c.insert(0x100, false).unwrap();
+        assert_eq!(ev.line_addr, 0x000);
+        assert!(ev.was_untouched_prefetch);
+    }
+
+    #[test]
+    fn reinserting_present_line_does_not_evict() {
+        let mut c = tiny();
+        c.insert(0x000, false);
+        c.insert(0x080, false);
+        assert!(c.insert(0x000, false).is_none());
+        assert!(c.probe(0x080));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.insert(0x0, false);
+        c.invalidate(0x0);
+        assert!(!c.probe(0x0));
+    }
+
+    #[test]
+    fn eviction_reconstructs_full_line_address() {
+        // 4 sets x 1 way: line addr must reconstruct the set bits too.
+        let mut c =
+            Cache::new(CacheConfig { size_bytes: 256, assoc: 1, line_bytes: 64, latency: 1 });
+        c.insert(0x1c0, false); // set 3
+        let ev = c.insert(0x3c0, false).unwrap();
+        assert_eq!(ev.line_addr, 0x1c0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # tdo-mem — the memory-system substrate
+//!
+//! Everything below the core: a functional sparse [`Memory`] carrying the
+//! program's bytes, and a timing [`Hierarchy`] modelling the paper's
+//! three-level cache system (Table 1) with
+//!
+//! * set-associative LRU tag arrays ([`cache`]),
+//! * in-flight fill tracking so late prefetches become *partial hits*,
+//! * an MSHR limit and a DRAM bus occupancy model,
+//! * prefetch displacement logging (the Figure 6 "miss due to prefetching"
+//!   attribution the paper describes in §5.3), and
+//! * the stride-predictor-directed hardware stream buffers ([`stream`]) that
+//!   form the paper's hardware-prefetching baseline.
+//!
+//! ## Example
+//!
+//! ```
+//! use tdo_mem::{Hierarchy, MemConfig, LoadClass, PrefetchOutcome};
+//!
+//! let mut hier = Hierarchy::new(MemConfig::no_prefetch());
+//! // Cold miss to memory...
+//! let r = hier.load(0, 0x400, 0x10_0000);
+//! assert!(r.latency >= 350);
+//! // ...but a timely software prefetch turns the next line into a hit.
+//! assert_eq!(hier.sw_prefetch(0, 0x400, 0x10_0040), PrefetchOutcome::Issued);
+//! let r = hier.load(1000, 0x400, 0x10_0040);
+//! assert_eq!(r.class, LoadClass::HitPrefetched);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod memory;
+pub mod stats;
+pub mod stream;
+
+pub use cache::{Cache, CacheConfig};
+pub use config::MemConfig;
+pub use hierarchy::Hierarchy;
+pub use memory::Memory;
+pub use stats::{AccessResult, LoadClass, MemStats, PrefetchOutcome, ServiceLevel};
+pub use stream::{StreamBufferConfig, StreamBuffers, StridePredictor};

@@ -1,0 +1,165 @@
+//! Memory-system statistics, including the Figure 6 load breakdown.
+
+/// How one demand load was classified, following the categories of the
+/// paper's Figure 6. The five classes are mutually exclusive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LoadClass {
+    /// L1 hit on a line not (or no longer counted as) prefetched
+    /// ("Hits-none").
+    Hit,
+    /// First demand touch of a line brought in by a prefetch
+    /// ("Hit-prefetched").
+    HitPrefetched,
+    /// The line's prefetch was still in flight; the load pays the remaining
+    /// latency ("partial prefetch hit").
+    PartialHit,
+    /// Ordinary miss.
+    Miss,
+    /// Miss whose victim line was displaced by a prefetch
+    /// ("Miss due to prefetching").
+    MissDueToPrefetch,
+}
+
+/// Which level of the hierarchy serviced an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServiceLevel {
+    /// L1 data cache (includes in-flight merges, which are L1-resident tags).
+    L1,
+    /// A hardware stream buffer.
+    StreamBuffer,
+    /// L2 cache.
+    L2,
+    /// L3 cache.
+    L3,
+    /// Main memory.
+    Memory,
+}
+
+/// Outcome of one demand load, returned to the core.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessResult {
+    /// Total latency in cycles until the value is available.
+    pub latency: u64,
+    /// Level that serviced the access.
+    pub level: ServiceLevel,
+    /// Figure 6 class.
+    pub class: LoadClass,
+    /// True when the access missed in the L1 (the DLT's miss criterion).
+    pub l1_miss: bool,
+}
+
+/// Outcome of a software prefetch request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefetchOutcome {
+    /// A fill was initiated.
+    Issued,
+    /// The line was already cached or in flight; nothing to do.
+    AlreadyPresent,
+    /// All MSHRs were busy; the prefetch was dropped.
+    Dropped,
+}
+
+/// Aggregate counters for the memory system.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemStats {
+    /// Demand loads classified [`LoadClass::Hit`].
+    pub hits: u64,
+    /// Demand loads classified [`LoadClass::HitPrefetched`].
+    pub hits_prefetched: u64,
+    /// Demand loads classified [`LoadClass::PartialHit`].
+    pub partial_hits: u64,
+    /// Demand loads classified [`LoadClass::Miss`].
+    pub misses: u64,
+    /// Demand loads classified [`LoadClass::MissDueToPrefetch`].
+    pub misses_due_to_prefetch: u64,
+    /// Demand loads serviced by each level (L1, stream buffer, L2, L3, memory).
+    pub serviced: [u64; 5],
+    /// Sum of demand-load latencies.
+    pub total_load_latency: u64,
+    /// Sum of latencies of loads that missed in L1.
+    pub total_miss_latency: u64,
+    /// Number of stores.
+    pub stores: u64,
+    /// Software prefetches that initiated fills.
+    pub sw_prefetch_issued: u64,
+    /// Software prefetches that found the line present or in flight.
+    pub sw_prefetch_redundant: u64,
+    /// Software prefetches dropped for lack of MSHRs.
+    pub sw_prefetch_dropped: u64,
+    /// Dirty-line evictions written back over the DRAM bus.
+    pub writebacks: u64,
+}
+
+impl MemStats {
+    /// Total demand loads observed.
+    #[must_use]
+    pub fn loads(&self) -> u64 {
+        self.hits + self.hits_prefetched + self.partial_hits + self.misses
+            + self.misses_due_to_prefetch
+    }
+
+    /// Loads that missed in the L1 (all classes that paid more than the hit
+    /// latency, except stream-buffer and partial service which are counted
+    /// by their own classes).
+    #[must_use]
+    pub fn l1_misses(&self) -> u64 {
+        self.misses + self.misses_due_to_prefetch
+    }
+
+    /// Records one classified demand load.
+    pub fn record_load(&mut self, r: &AccessResult) {
+        match r.class {
+            LoadClass::Hit => self.hits += 1,
+            LoadClass::HitPrefetched => self.hits_prefetched += 1,
+            LoadClass::PartialHit => self.partial_hits += 1,
+            LoadClass::Miss => self.misses += 1,
+            LoadClass::MissDueToPrefetch => self.misses_due_to_prefetch += 1,
+        }
+        let idx = match r.level {
+            ServiceLevel::L1 => 0,
+            ServiceLevel::StreamBuffer => 1,
+            ServiceLevel::L2 => 2,
+            ServiceLevel::L3 => 3,
+            ServiceLevel::Memory => 4,
+        };
+        self.serviced[idx] += 1;
+        self.total_load_latency += r.latency;
+        if r.l1_miss {
+            self.total_miss_latency += r.latency;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_load_buckets_by_class_and_level() {
+        let mut s = MemStats::default();
+        s.record_load(&AccessResult {
+            latency: 3,
+            level: ServiceLevel::L1,
+            class: LoadClass::Hit,
+            l1_miss: false,
+        });
+        s.record_load(&AccessResult {
+            latency: 350,
+            level: ServiceLevel::Memory,
+            class: LoadClass::Miss,
+            l1_miss: true,
+        });
+        s.record_load(&AccessResult {
+            latency: 120,
+            level: ServiceLevel::Memory,
+            class: LoadClass::MissDueToPrefetch,
+            l1_miss: true,
+        });
+        assert_eq!(s.loads(), 3);
+        assert_eq!(s.l1_misses(), 2);
+        assert_eq!(s.total_load_latency, 473);
+        assert_eq!(s.total_miss_latency, 470);
+        assert_eq!(s.serviced[0], 1);
+        assert_eq!(s.serviced[4], 2);
+    }
+}

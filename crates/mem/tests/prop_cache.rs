@@ -1,0 +1,123 @@
+//! Property tests: the set-associative cache agrees with a naive reference
+//! LRU model, and the hierarchy maintains its latency/class invariants on
+//! arbitrary access streams.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use tdo_mem::{Cache, CacheConfig, Hierarchy, LoadClass, MemConfig, ServiceLevel};
+
+/// Reference model: per-set LRU lists of line addresses.
+struct RefLru {
+    sets: Vec<VecDeque<u64>>,
+    assoc: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl RefLru {
+    fn new(cfg: &CacheConfig) -> RefLru {
+        RefLru {
+            sets: (0..cfg.num_sets()).map(|_| VecDeque::new()).collect(),
+            assoc: cfg.assoc as usize,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg.num_sets() - 1,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.push_back(line);
+            true
+        } else {
+            set.push_back(line);
+            if set.len() > self.assoc {
+                set.pop_front();
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_reference_lru(
+        addrs in prop::collection::vec(0u64..4096, 1..300),
+    ) {
+        let cfg = CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, latency: 3 };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefLru::new(&cfg);
+        for a in addrs {
+            let model_hit = reference.access(a);
+            let real_hit = match cache.lookup(a) {
+                Some(_) => true,
+                None => {
+                    cache.insert(a, false);
+                    false
+                }
+            };
+            prop_assert_eq!(real_hit, model_hit, "divergence at addr {:#x}", a);
+        }
+    }
+
+    #[test]
+    fn hierarchy_latency_and_class_invariants(
+        ops in prop::collection::vec((0u8..3, 0u64..1 << 16), 1..400),
+    ) {
+        let mut h = Hierarchy::new(MemConfig::tiny_for_tests());
+        let mut now = 0u64;
+        for (kind, addr) in ops {
+            match kind {
+                0 => {
+                    let r = h.load(now, 0x1000 + (addr & 0xff), addr);
+                    let l1_lat = h.config().l1.latency;
+                    prop_assert!(r.latency >= l1_lat);
+                    if (r.class == LoadClass::Hit || r.class == LoadClass::HitPrefetched)
+                        && r.level == ServiceLevel::L1 {
+                            prop_assert_eq!(r.latency, l1_lat);
+                            prop_assert!(!r.l1_miss);
+                        }
+                    if r.class == LoadClass::Miss || r.class == LoadClass::MissDueToPrefetch {
+                        prop_assert!(r.l1_miss);
+                    }
+                    now += r.latency / 2; // overlap accesses a little
+                }
+                1 => {
+                    h.store(now, 0x2000, addr);
+                    now += 1;
+                }
+                _ => {
+                    h.sw_prefetch(now, 0x3000, addr);
+                    now += 1;
+                }
+            }
+        }
+        let s = &h.stats;
+        prop_assert_eq!(
+            s.loads(),
+            s.hits + s.hits_prefetched + s.partial_hits + s.misses + s.misses_due_to_prefetch
+        );
+        prop_assert!(s.total_miss_latency <= s.total_load_latency);
+    }
+
+    #[test]
+    fn hierarchy_with_streams_never_misclassifies_hits(
+        stride in prop::sample::select(vec![8u64, 64, 128, 256]),
+        n in 16usize..128,
+    ) {
+        let mut cfg = MemConfig::tiny_for_tests();
+        cfg.stream = Some(tdo_mem::StreamBufferConfig::four_by_four());
+        let mut h = Hierarchy::new(cfg);
+        let mut now = 0u64;
+        for i in 0..n as u64 {
+            let r = h.load(now, 0x4242, 0x10_0000 + i * stride);
+            now += r.latency + 50;
+        }
+        let s = &h.stats;
+        // Every load is accounted for exactly once.
+        prop_assert_eq!(s.loads(), n as u64);
+    }
+}

@@ -1,0 +1,203 @@
+//! Simulation configurations for every experiment in the paper.
+
+use tdo_core::{DltConfig, SwPrefetchMode};
+use tdo_cpu::CpuConfig;
+use tdo_mem::MemConfig;
+use tdo_trident::TridentConfig;
+
+/// Which prefetching machinery is active — the paper's experimental arms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefetchSetup {
+    /// No prefetching at all (Figure 2/9 denominator).
+    NoPrefetch,
+    /// Hardware stream buffers, 4 buffers × 4 entries (Figure 2).
+    Hw4x4,
+    /// Hardware stream buffers, 8×8 — the paper's baseline.
+    Hw8x8,
+    /// Baseline + dynamic software prefetching at a fixed estimated
+    /// distance (prior work, "basic" in Figure 5).
+    SwBasic,
+    /// Baseline + whole-object prefetching, fixed estimated distance.
+    SwWholeObject,
+    /// Baseline + the paper's self-repairing prefetcher.
+    SwSelfRepair,
+    /// Software self-repairing prefetching with *no* hardware prefetcher
+    /// (Figure 9 comparison).
+    SwOnlySelfRepair,
+}
+
+impl PrefetchSetup {
+    /// All arms, in presentation order.
+    pub const ALL: [PrefetchSetup; 7] = [
+        PrefetchSetup::NoPrefetch,
+        PrefetchSetup::Hw4x4,
+        PrefetchSetup::Hw8x8,
+        PrefetchSetup::SwBasic,
+        PrefetchSetup::SwWholeObject,
+        PrefetchSetup::SwSelfRepair,
+        PrefetchSetup::SwOnlySelfRepair,
+    ];
+
+    /// The software mode this arm runs.
+    #[must_use]
+    pub fn sw_mode(self) -> SwPrefetchMode {
+        match self {
+            PrefetchSetup::NoPrefetch | PrefetchSetup::Hw4x4 | PrefetchSetup::Hw8x8 => {
+                SwPrefetchMode::Off
+            }
+            PrefetchSetup::SwBasic => SwPrefetchMode::Basic,
+            PrefetchSetup::SwWholeObject => SwPrefetchMode::WholeObject,
+            PrefetchSetup::SwSelfRepair | PrefetchSetup::SwOnlySelfRepair => {
+                SwPrefetchMode::SelfRepair
+            }
+        }
+    }
+
+    /// The memory configuration this arm runs (full-scale hierarchy).
+    #[must_use]
+    pub fn mem(self) -> MemConfig {
+        match self {
+            PrefetchSetup::NoPrefetch | PrefetchSetup::SwOnlySelfRepair => {
+                MemConfig::no_prefetch()
+            }
+            PrefetchSetup::Hw4x4 => MemConfig::hw_four_by_four(),
+            _ => MemConfig::paper_baseline(),
+        }
+    }
+}
+
+/// A full simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Core model.
+    pub cpu: CpuConfig,
+    /// Memory system.
+    pub mem: MemConfig,
+    /// Trident framework (profiler, watch table, code cache).
+    pub trident: TridentConfig,
+    /// Delinquent load table.
+    pub dlt: DltConfig,
+    /// Software prefetching mode.
+    pub sw_mode: SwPrefetchMode,
+    /// Start self-repair from the estimated distance (eq. 2) instead of 1 —
+    /// the paper's §3.5.1 alternate strategy (non-repairing modes always
+    /// estimate regardless of this flag).
+    pub estimated_initial: bool,
+    /// Whether Trident runs at all (trace formation + monitoring). With
+    /// this off the run is a pure hardware baseline.
+    pub trident_enabled: bool,
+    /// §5.1 overhead experiment: the optimizer runs but never links its
+    /// traces, measuring pure helper-thread interference.
+    pub no_link: bool,
+    /// Original-equivalent instructions of warmup (optimization disabled,
+    /// per §4.2).
+    pub warmup_insts: u64,
+    /// Original-equivalent instructions measured after warmup.
+    pub measure_insts: u64,
+    /// Hard cycle cap (safety stop for degenerate configurations).
+    pub max_cycles: u64,
+    /// §3.5.2 phase-change extension: clear all DLT mature flags (and
+    /// refresh repair budgets) every this many cycles, letting matured
+    /// loads be re-tuned after behaviour changes. `None` = paper default
+    /// (maturity persists until DLT eviction).
+    pub mature_clear_interval: Option<u64>,
+    /// Helper-job cost model: instructions charged per optimization.
+    pub job_cost: JobCostModel,
+}
+
+/// Simulated helper-thread instruction counts for each optimizer activity.
+///
+/// The analyses themselves run natively; these charges model the runtime
+/// optimizer code (written in C and compiled `-O5` in the paper) executing
+/// on the helper context.
+#[derive(Clone, Copy, Debug)]
+pub struct JobCostModel {
+    /// Forming, optimizing and installing a trace: base cost.
+    pub form_base: u64,
+    /// Additional cost per trace instruction formed.
+    pub form_per_inst: u64,
+    /// Prefetch insertion (re-optimization): base cost.
+    pub insert_base: u64,
+    /// Additional cost per trace instruction scanned.
+    pub insert_per_inst: u64,
+    /// One in-place distance repair.
+    pub repair: u64,
+    /// An event that ends in no action (analysis only).
+    pub analyze_only: u64,
+}
+
+impl Default for JobCostModel {
+    fn default() -> Self {
+        JobCostModel {
+            form_base: 600,
+            form_per_inst: 25,
+            insert_base: 500,
+            insert_per_inst: 20,
+            repair: 200,
+            analyze_only: 120,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's full-scale configuration for one experimental arm.
+    #[must_use]
+    pub fn paper(setup: PrefetchSetup) -> SimConfig {
+        let sw = setup.sw_mode();
+        SimConfig {
+            cpu: CpuConfig::paper_baseline(),
+            mem: setup.mem(),
+            trident: TridentConfig::paper_baseline(),
+            dlt: DltConfig::paper_baseline(),
+            sw_mode: sw,
+            estimated_initial: false,
+            trident_enabled: sw != SwPrefetchMode::Off,
+            no_link: false,
+            warmup_insts: 200_000,
+            measure_insts: 2_000_000,
+            max_cycles: u64::MAX,
+            mature_clear_interval: None,
+            job_cost: JobCostModel::default(),
+        }
+    }
+
+    /// A fast configuration for unit/integration tests: the tiny cache
+    /// hierarchy and small windows, paired with `Scale::Test` workloads.
+    #[must_use]
+    pub fn test(setup: PrefetchSetup) -> SimConfig {
+        let sw = setup.sw_mode();
+        let mut mem = MemConfig::tiny_for_tests();
+        mem.stream = setup.mem().stream;
+        let mut trident = TridentConfig::paper_baseline();
+        trident.code_cache_base = 0x4000_0000;
+        SimConfig {
+            cpu: CpuConfig::paper_baseline(),
+            mem,
+            trident,
+            dlt: DltConfig {
+                window: 64,
+                miss_threshold: 3,
+                partial_min_accesses: 16,
+                ..DltConfig::paper_baseline()
+            },
+            sw_mode: sw,
+            estimated_initial: false,
+            trident_enabled: sw != SwPrefetchMode::Off,
+            no_link: false,
+            warmup_insts: 20_000,
+            measure_insts: 300_000,
+            max_cycles: 200_000_000,
+            mature_clear_interval: None,
+            job_cost: JobCostModel::default(),
+        }
+    }
+
+    /// Enables hot-trace formation without software prefetching (used by
+    /// coverage and overhead experiments).
+    #[must_use]
+    pub fn with_tracing_only(mut self) -> SimConfig {
+        self.trident_enabled = true;
+        self.sw_mode = SwPrefetchMode::Off;
+        self
+    }
+}

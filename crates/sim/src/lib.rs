@@ -1,0 +1,28 @@
+//! # tdo-sim — the experiment driver
+//!
+//! Assembles the whole system — the SMT core (`tdo-cpu`), memory hierarchy
+//! and hardware stream buffers (`tdo-mem`), the Trident dynamic optimization
+//! framework (`tdo-trident`), the self-repairing prefetcher (`tdo-core`) and
+//! the benchmark programs (`tdo-workloads`) — and runs the paper's
+//! experiments end to end.
+//!
+//! ```no_run
+//! use tdo_sim::{run, PrefetchSetup, SimConfig};
+//! use tdo_workloads::{build, Scale};
+//!
+//! let workload = build("mcf", Scale::Test).unwrap();
+//! let baseline = run(&workload, &SimConfig::test(PrefetchSetup::Hw8x8));
+//! let repaired = run(&workload, &SimConfig::test(PrefetchSetup::SwSelfRepair));
+//! println!("speedup: {:.2}×", repaired.speedup_over(&baseline));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod machine;
+pub mod result;
+
+pub use config::{JobCostModel, PrefetchSetup, SimConfig};
+pub use machine::{run, Machine};
+pub use result::{DriverCounters, SimResult};

@@ -1,0 +1,519 @@
+//! The full-system simulation driver.
+//!
+//! Wires the SMT core, the memory hierarchy, the Trident framework, and the
+//! self-repairing prefetcher together, exactly mirroring the paper's flow:
+//!
+//! 1. the core commits instructions; the driver feeds original-code branches
+//!    to the branch profiler and hot-trace loads to the DLT;
+//! 2. hot events (hot trace, delinquent load) queue until the helper
+//!    context is free; the optimizer's *analysis* runs at event time while
+//!    its *simulated cost* occupies the helper context (startup 2000 cycles
+//!    plus a work charge);
+//! 3. when the helper job completes, the prepared code changes — trace
+//!    linking, prefetch insertion, or in-place distance repair — are patched
+//!    into the running binary;
+//! 4. the watch table monitors per-trace minimal execution time and backs
+//!    out under-performing traces.
+
+use std::collections::HashMap;
+
+use tdo_core::{Dlt, OptimizerConfig, PrefetchOptimizer, PreparedAction};
+use tdo_cpu::{CodeImage, Commit, CommitKind, Core, HelperJob};
+use tdo_mem::{Hierarchy, LoadClass, Memory};
+use tdo_trident::{HotEvent, PendingInstall, TraceId, Trident};
+use tdo_workloads::Workload;
+
+use crate::config::SimConfig;
+use crate::result::{DriverCounters, SimResult, Snapshot};
+
+#[derive(Clone, Copy)]
+struct PcInfo {
+    trace: TraceId,
+    /// Index within the trace; `usize::MAX` marks a patched trace head
+    /// (glue jump, zero weight).
+    index: usize,
+    weight: u32,
+}
+
+enum PendingJob {
+    InstallTrace(PendingInstall),
+    Opt { action: PreparedAction, trace: TraceId },
+}
+
+/// The assembled machine for one run.
+pub struct Machine {
+    cfg: SimConfig,
+    core: Core,
+    code: CodeImage,
+    data: Memory,
+    hier: Hierarchy,
+    trident: Trident,
+    dlt: Dlt,
+    optimizer: PrefetchOptimizer,
+    pc_map: HashMap<u64, PcInfo>,
+    trace_pcs: HashMap<TraceId, Vec<u64>>,
+    trace_len: HashMap<TraceId, usize>,
+    trace_head: HashMap<TraceId, u64>,
+    cur_trace: Option<(TraceId, usize)>,
+    pending_job: Option<(u64, PendingJob)>,
+    next_job_id: u64,
+    counters: DriverCounters,
+    total_orig: u64,
+    next_mature_clear: Option<u64>,
+    commit_buf: Vec<Commit>,
+    name: String,
+}
+
+impl Machine {
+    /// Builds a machine loaded with `workload`.
+    #[must_use]
+    pub fn new(workload: &Workload, cfg: SimConfig) -> Machine {
+        let mut data = Memory::new();
+        for seg in &workload.program.data {
+            data.write_bytes(seg.base, &seg.bytes);
+        }
+        let code = CodeImage::new(&workload.program, cfg.trident.code_cache_base);
+        let opt_cfg = OptimizerConfig {
+            mode: cfg.sw_mode,
+            line_bytes: cfg.mem.l1.line_bytes as i64,
+            l1_latency: cfg.mem.l1.latency,
+            mem_latency: cfg.mem.mem_latency,
+            scratch_pool: tdo_workloads::abi::scratch_pool(),
+            estimated_initial_distance: cfg.estimated_initial
+                || !matches!(cfg.sw_mode, tdo_core::SwPrefetchMode::SelfRepair),
+        };
+        Machine {
+            core: Core::new(cfg.cpu, workload.program.entry),
+            code,
+            data,
+            hier: Hierarchy::new(cfg.mem),
+            trident: Trident::new(cfg.trident),
+            dlt: Dlt::new(cfg.dlt),
+            optimizer: PrefetchOptimizer::new(opt_cfg),
+            pc_map: HashMap::new(),
+            trace_pcs: HashMap::new(),
+            trace_len: HashMap::new(),
+            trace_head: HashMap::new(),
+            cur_trace: None,
+            pending_job: None,
+            next_job_id: 0,
+            counters: DriverCounters::default(),
+            total_orig: 0,
+            next_mature_clear: cfg.mature_clear_interval,
+            commit_buf: Vec::with_capacity(8),
+            name: workload.program.name.clone(),
+            cfg,
+        }
+    }
+
+    /// Runs the configured warmup + measurement window and returns the
+    /// result.
+    #[must_use]
+    pub fn run(mut self) -> SimResult {
+        self.run_inner()
+    }
+
+    /// Like [`Machine::run`], but hands the final data memory to `probe`
+    /// before returning — used by tests asserting architectural equivalence
+    /// across optimization arms.
+    #[must_use]
+    pub fn run_with_memory(mut self, probe: &mut dyn FnMut(&Memory)) -> SimResult {
+        let r = self.run_inner();
+        probe(&self.data);
+        r
+    }
+
+    /// Like [`Machine::run`], but hands the whole finished machine to
+    /// `inspect` before returning — tooling uses this to dump installed
+    /// traces, DLT contents, or optimizer state after a run.
+    #[must_use]
+    pub fn run_with_inspect(mut self, inspect: &mut dyn FnMut(&Machine)) -> SimResult {
+        let r = self.run_inner();
+        inspect(&self);
+        r
+    }
+
+    /// The Trident runtime (trace registry, watch table, profiler).
+    #[must_use]
+    pub fn trident(&self) -> &Trident {
+        &self.trident
+    }
+
+    /// The delinquent load table.
+    #[must_use]
+    pub fn dlt(&self) -> &Dlt {
+        &self.dlt
+    }
+
+    /// The prefetch optimizer (group repair states).
+    #[must_use]
+    pub fn optimizer(&self) -> &PrefetchOptimizer {
+        &self.optimizer
+    }
+
+    /// Identifiers of all currently installed traces.
+    #[must_use]
+    pub fn installed_traces(&self) -> Vec<TraceId> {
+        let mut ids: Vec<TraceId> = self.trace_len.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn run_inner(&mut self) -> SimResult {
+        let warmup_end = self.cfg.warmup_insts;
+        let budget = self.cfg.warmup_insts.saturating_add(self.cfg.measure_insts);
+        let mut warm_snapshot: Option<Snapshot> = None;
+
+        while self.total_orig < budget
+            && !self.core.halted()
+            && self.core.now() < self.cfg.max_cycles
+        {
+            self.step();
+            if warm_snapshot.is_none() && self.total_orig >= warmup_end {
+                warm_snapshot = Some(self.snapshot());
+            }
+        }
+        let begin = warm_snapshot.unwrap_or_default();
+        let end = self.snapshot();
+        let (cycles, helper_active, helper_committed, window) =
+            SimResult::window_from(&begin, &end);
+        SimResult {
+            name: self.name.clone(),
+            cycles,
+            orig_insts: window.orig_insts,
+            helper_active_cycles: helper_active,
+            helper_committed,
+            window,
+            cpu: self.core.stats,
+            mem: self.hier.stats,
+            trident: self.trident.stats,
+            optimizer: self.optimizer.stats,
+            halted: self.core.halted(),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cycles: self.core.now(),
+            helper_active: self.core.stats.helper_active_cycles,
+            helper_committed: self.core.stats.helper_committed,
+            counters: self.counters,
+        }
+    }
+
+    fn optimization_enabled(&self) -> bool {
+        self.cfg.trident_enabled && self.total_orig >= self.cfg.warmup_insts
+    }
+
+    fn step(&mut self) {
+        // 1. One core cycle.
+        let commits = self.core.cycle(&self.code, &mut self.data, &mut self.hier);
+        let mut buf = std::mem::take(&mut self.commit_buf);
+        buf.clear();
+        buf.extend_from_slice(commits);
+
+        // 2. Feed the monitors.
+        for c in &buf {
+            self.observe_commit(c);
+        }
+        self.commit_buf = buf;
+
+        // 3. Dispatch one pending event to the helper if it is free.
+        if self.optimization_enabled()
+            && self.pending_job.is_none()
+            && self.core.helper_idle()
+        {
+            self.dispatch_event();
+        }
+
+        // 4. Commit a finished helper job.
+        if let Some(id) = self.core.take_finished_job() {
+            self.finish_job(id);
+        }
+
+        // 5. Phase-change extension: periodically re-open matured loads.
+        if let (Some(at), Some(interval)) =
+            (self.next_mature_clear, self.cfg.mature_clear_interval)
+        {
+            if self.core.now() >= at {
+                self.dlt.clear_all_mature();
+                self.optimizer.refresh_budgets();
+                self.next_mature_clear = Some(at + interval);
+            }
+        }
+    }
+
+    fn observe_commit(&mut self, c: &Commit) {
+        let info = self.pc_map.get(&c.pc).copied();
+        let in_trace = info.filter(|i| i.index != usize::MAX);
+        let weight = match info {
+            Some(i) => u64::from(i.weight),
+            None => 1,
+        };
+        self.total_orig += weight;
+        self.counters.orig_insts += weight;
+
+        // Trace entry/exit tracking for the watch table.
+        let now = c.cycle;
+        match (self.cur_trace, in_trace) {
+            (Some((old, last_idx)), Some(i)) if i.trace == old => {
+                if i.index == 0 {
+                    self.trident.watch.on_enter(old, now); // loop-back
+                }
+                self.cur_trace = Some((old, i.index));
+                let _ = last_idx;
+            }
+            (prev, Some(i)) => {
+                if let Some((old, last_idx)) = prev {
+                    self.exit_trace(old, last_idx, now);
+                }
+                self.trident.watch.on_enter(i.trace, now);
+                self.cur_trace = Some((i.trace, i.index));
+            }
+            (Some((old, last_idx)), None) => {
+                self.exit_trace(old, last_idx, now);
+                self.cur_trace = None;
+            }
+            (None, None) => {}
+        }
+
+        match c.kind {
+            CommitKind::Load { addr, result } => {
+                match result.class {
+                    LoadClass::Hit => self.counters.loads_hit += 1,
+                    LoadClass::HitPrefetched => self.counters.loads_hit_prefetched += 1,
+                    LoadClass::PartialHit => self.counters.loads_partial += 1,
+                    LoadClass::Miss => self.counters.loads_miss += 1,
+                    LoadClass::MissDueToPrefetch => {
+                        self.counters.loads_miss_due_to_prefetch += 1;
+                    }
+                }
+                if result.l1_miss {
+                    self.counters.load_misses += 1;
+                }
+                if let Some(i) = in_trace {
+                    if result.l1_miss {
+                        self.counters.load_misses_in_traces += 1;
+                        if let (Some(head), Some(t)) =
+                            (self.trace_head.get(&i.trace), self.trident.trace(i.trace))
+                        {
+                            let orig = t.insts[i.index].orig_pc;
+                            if self.optimizer.is_covered(*head, orig) {
+                                self.counters.load_misses_covered += 1;
+                            }
+                        }
+                    }
+                    // DLT: hardware updates for hot-trace loads.
+                    if self.cfg.sw_mode != tdo_core::SwPrefetchMode::Off
+                        && self.optimization_enabled()
+                        && self.dlt.observe(c.pc, addr, result.l1_miss, result.latency)
+                    {
+                        let suppressed = self
+                            .trident
+                            .watch
+                            .get(i.trace)
+                            .is_none_or(|e| e.being_optimized);
+                        if !suppressed {
+                            self.trident.push_event(HotEvent::DelinquentLoad {
+                                load_pc: c.pc,
+                                trace: i.trace,
+                            });
+                            self.counters.dlt_events_queued += 1;
+                        }
+                    }
+                }
+            }
+            CommitKind::Branch { taken, target, .. }
+                if info.is_none() && self.optimization_enabled() => {
+                    self.trident.observe_branch(c.pc, taken, target, true);
+                }
+            CommitKind::Jump { target }
+                if info.is_none() && self.optimization_enabled() => {
+                    self.trident.observe_branch(c.pc, true, target, false);
+                }
+            _ => {}
+        }
+    }
+
+    fn exit_trace(&mut self, trace: TraceId, last_idx: usize, now: u64) {
+        let len = self.trace_len.get(&trace).copied().unwrap_or(0);
+        let early = last_idx + 1 != len;
+        let backout = self.trident.watch.on_exit(trace, now, early);
+        if backout && !self.job_references(trace) {
+            if let Ok(patches) = self.trident.backout(trace) {
+                for p in patches {
+                    let _ = self.code.write_word(p.addr, p.word);
+                }
+                self.retire_trace_map(trace, true);
+                self.counters.trace_backouts += 1;
+            }
+        }
+    }
+
+    fn job_references(&self, trace: TraceId) -> bool {
+        match &self.pending_job {
+            Some((_, PendingJob::Opt { trace: t, .. })) => *t == trace,
+            _ => false,
+        }
+    }
+
+    fn dispatch_event(&mut self) {
+        let Some(ev) = self.trident.pop_event() else {
+            return;
+        };
+        match ev {
+            HotEvent::HotTrace { head, bitmap, nbits } => {
+                if self.trident.linked_at(head).is_some() {
+                    return;
+                }
+                if std::env::var_os("TDO_DEBUG").is_some() {
+                    eprintln!(
+                        "[{}] hot trace head={head:#x} bitmap={bitmap:#b} nbits={nbits}",
+                        self.core.now()
+                    );
+                }
+                self.counters.hot_trace_events += 1;
+                let code = &self.code;
+                let fetch = |pc: u64| code.fetch(pc);
+                let Ok(pending) = self.trident.prepare_install(&fetch, head, bitmap, nbits)
+                else {
+                    return;
+                };
+                let cost = self.cfg.job_cost.form_base
+                    + self.cfg.job_cost.form_per_inst * pending.trace.insts.len() as u64;
+                let id = self.next_job_id;
+                self.next_job_id += 1;
+                self.core.start_helper(HelperJob { id, instructions: cost });
+                self.pending_job = Some((id, PendingJob::InstallTrace(pending)));
+            }
+            HotEvent::DelinquentLoad { load_pc: _, trace } => {
+                if self.cfg.sw_mode == tdo_core::SwPrefetchMode::Off {
+                    return;
+                }
+                let Some(entry) = self.trident.watch.get_mut(trace) else {
+                    return;
+                };
+                if entry.being_optimized {
+                    return;
+                }
+                entry.being_optimized = true;
+                let len = self.trace_len.get(&trace).copied().unwrap_or(16) as u64;
+                let code = &self.code;
+                let fetch = |pc: u64| code.fetch(pc);
+                let action =
+                    self.optimizer.handle_event(ev, &mut self.trident, &mut self.dlt, &fetch);
+                let cost = match &action {
+                    PreparedAction::Install(_) => {
+                        self.cfg.job_cost.insert_base + self.cfg.job_cost.insert_per_inst * len
+                    }
+                    PreparedAction::Repair { .. } => self.cfg.job_cost.repair,
+                    PreparedAction::Nothing => self.cfg.job_cost.analyze_only,
+                };
+                let id = self.next_job_id;
+                self.next_job_id += 1;
+                self.core.start_helper(HelperJob { id, instructions: cost });
+                self.pending_job = Some((id, PendingJob::Opt { action, trace }));
+            }
+        }
+    }
+
+    fn finish_job(&mut self, id: u64) {
+        let Some((job_id, job)) = self.pending_job.take() else {
+            return;
+        };
+        debug_assert_eq!(job_id, id, "one helper job in flight at a time");
+        match job {
+            PendingJob::InstallTrace(pending) => {
+                if self.cfg.no_link {
+                    // §5.1 overhead mode: the work was done, nothing links.
+                    self.trident.profiler.mark_traced(pending.trace.head);
+                    return;
+                }
+                let forwards = match self.trident.commit_install(&pending) {
+                    Ok(f) => f,
+                    Err(_) => {
+                        self.trident.profiler.mark_traced(pending.trace.head);
+                        return;
+                    }
+                };
+                for p in pending.patches.iter().chain(forwards.iter()) {
+                    let _ = self.code.write_word(p.addr, p.word);
+                }
+                self.add_trace_map(pending.trace.id);
+            }
+            PendingJob::Opt { action, trace } => {
+                let replaces = match &action {
+                    PreparedAction::Install(p) => Some((p.replaces, p.trace.id)),
+                    _ => None,
+                };
+                match self.optimizer.commit(action, &mut self.trident, &mut self.dlt) {
+                    Ok(patches) => {
+                        for p in &patches {
+                            let _ = self.code.write_word(p.addr, p.word);
+                        }
+                        if let Some((old, new_id)) = replaces {
+                            if let Some(old_id) = old {
+                                self.retire_trace_map(old_id, false);
+                                if self.cur_trace.is_some_and(|(t, _)| t == old_id) {
+                                    self.cur_trace = None;
+                                }
+                            }
+                            self.add_trace_map(new_id);
+                        } else if let Some(e) = self.trident.watch.get_mut(trace) {
+                            e.being_optimized = false;
+                        }
+                    }
+                    Err(_) => {
+                        if let Some(e) = self.trident.watch.get_mut(trace) {
+                            e.being_optimized = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_trace_map(&mut self, id: TraceId) {
+        let Some(trace) = self.trident.trace(id) else {
+            return;
+        };
+        let mut pcs = Vec::with_capacity(trace.insts.len() + 1);
+        for (i, ti) in trace.insts.iter().enumerate() {
+            let pc = trace.cc_pc(i);
+            self.pc_map.insert(pc, PcInfo { trace: id, index: i, weight: ti.weight });
+            pcs.push(pc);
+        }
+        // The patched head is glue: zero weight.
+        self.pc_map.insert(trace.head, PcInfo { trace: id, index: usize::MAX, weight: 0 });
+        pcs.push(trace.head);
+        self.trace_len.insert(id, trace.insts.len());
+        self.trace_head.insert(id, trace.head);
+        self.trace_pcs.insert(id, pcs);
+    }
+
+    /// Retires a replaced or backed-out trace. The dead body's pc-map
+    /// entries are *kept*: a thread may still be draining out of it (the
+    /// loop-back forwards it at the next iteration boundary), and those
+    /// instructions must keep their original-equivalent weights. Code-cache
+    /// addresses are never reallocated, so stale entries are harmless.
+    /// Only on a back-out is the head entry removed — the original
+    /// instruction (weight 1) lives there again.
+    fn retire_trace_map(&mut self, id: TraceId, remove_head: bool) {
+        if remove_head {
+            if let Some(head) = self.trace_head.get(&id) {
+                if self.pc_map.get(head).is_some_and(|i| i.trace == id) {
+                    self.pc_map.remove(head);
+                }
+            }
+        }
+        self.trace_pcs.remove(&id);
+        self.trace_len.remove(&id);
+        self.trace_head.remove(&id);
+    }
+}
+
+/// Runs `workload` under `cfg`.
+#[must_use]
+pub fn run(workload: &Workload, cfg: &SimConfig) -> SimResult {
+    Machine::new(workload, cfg.clone()).run()
+}

@@ -1,0 +1,78 @@
+//! The code cache: a bump allocator over the memory region where optimized
+//! traces are installed (paper §3.2 "Linking Trace").
+
+use tdo_isa::INST_BYTES;
+
+/// Allocator for trace storage in the code-cache region.
+#[derive(Clone, Debug)]
+pub struct CodeCache {
+    base: u64,
+    next: u64,
+    end: u64,
+    /// Traces installed (stat).
+    pub installed: u64,
+    /// Instruction slots wasted by unlinked (dead) traces (stat).
+    pub dead_slots: u64,
+}
+
+impl CodeCache {
+    /// Creates a cache spanning `capacity_bytes` starting at `base`.
+    #[must_use]
+    pub fn new(base: u64, capacity_bytes: u64) -> CodeCache {
+        CodeCache { base, next: base, end: base + capacity_bytes, installed: 0, dead_slots: 0 }
+    }
+
+    /// Base address of the region.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Reserves space for `n_insts` instructions; returns the start address,
+    /// or `None` when the cache is full.
+    pub fn alloc(&mut self, n_insts: usize) -> Option<u64> {
+        let bytes = n_insts as u64 * INST_BYTES;
+        if self.next + bytes > self.end {
+            return None;
+        }
+        let addr = self.next;
+        self.next += bytes;
+        self.installed += 1;
+        Some(addr)
+    }
+
+    /// Records that a previously installed trace of `n_insts` instructions
+    /// was unlinked (its slots become garbage; a real system would reclaim).
+    pub fn retire(&mut self, n_insts: usize) {
+        self.dead_slots += n_insts as u64;
+    }
+
+    /// Bytes still available.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.end - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_contiguous_and_bounded() {
+        let mut c = CodeCache::new(0x10_0000, 64);
+        assert_eq!(c.alloc(4), Some(0x10_0000));
+        assert_eq!(c.alloc(4), Some(0x10_0020));
+        assert_eq!(c.alloc(1), None, "only 64 bytes");
+        assert_eq!(c.installed, 2);
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn retire_tracks_dead_slots() {
+        let mut c = CodeCache::new(0, 1024);
+        c.alloc(10);
+        c.retire(10);
+        assert_eq!(c.dead_slots, 10);
+    }
+}

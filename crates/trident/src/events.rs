@@ -1,0 +1,111 @@
+//! Hardware-generated optimization events.
+//!
+//! Trident is *event-driven*: small monitoring structures watch the running
+//! program and raise events; each event, when a hardware context is free,
+//! spawns the helper thread to run one optimization (paper §3.1–3.2).
+
+use std::collections::VecDeque;
+
+/// Identifier of an installed hot trace.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TraceId(pub u32);
+
+/// An optimization event raised by the monitoring hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HotEvent {
+    /// The branch profiler saw a stable hot path: form and install a trace.
+    HotTrace {
+        /// Original-code address of the trace head (a hot branch target).
+        head: u64,
+        /// Directions of the conditional branches along the hot path
+        /// (bit *i* = direction of the *i*-th conditional branch).
+        bitmap: u16,
+        /// Number of valid bits in `bitmap`.
+        nbits: u8,
+    },
+    /// The delinquent load table flagged a load inside a hot trace:
+    /// insert or repair software prefetching (paper §3.3).
+    DelinquentLoad {
+        /// Code-cache address of the delinquent load.
+        load_pc: u64,
+        /// Trace containing the load.
+        trace: TraceId,
+    },
+}
+
+/// FIFO queue of pending events.
+///
+/// Events wait here when the helper context is busy; Trident drains the
+/// queue as contexts free up.
+#[derive(Default, Debug)]
+pub struct EventQueue {
+    q: VecDeque<HotEvent>,
+    /// Events dropped because the queue was saturated (stat).
+    pub dropped: u64,
+    cap: usize,
+}
+
+impl EventQueue {
+    /// Creates a queue bounded at `cap` pending events.
+    #[must_use]
+    pub fn new(cap: usize) -> EventQueue {
+        EventQueue { q: VecDeque::new(), dropped: 0, cap }
+    }
+
+    /// Enqueues an event, dropping it (with a count) when saturated or
+    /// already pending.
+    pub fn push(&mut self, ev: HotEvent) {
+        if self.q.len() >= self.cap || self.q.contains(&ev) {
+            self.dropped += 1;
+            return;
+        }
+        self.q.push_back(ev);
+    }
+
+    /// Dequeues the oldest event.
+    pub fn pop(&mut self) -> Option<HotEvent> {
+        self.q.pop_front()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_bounding() {
+        let mut q = EventQueue::new(2);
+        let e1 = HotEvent::HotTrace { head: 1, bitmap: 0, nbits: 0 };
+        let e2 = HotEvent::HotTrace { head: 2, bitmap: 0, nbits: 0 };
+        let e3 = HotEvent::HotTrace { head: 3, bitmap: 0, nbits: 0 };
+        q.push(e1);
+        q.push(e2);
+        q.push(e3);
+        assert_eq!(q.dropped, 1);
+        assert_eq!(q.pop(), Some(e1));
+        assert_eq!(q.pop(), Some(e2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn duplicate_pending_events_are_coalesced() {
+        let mut q = EventQueue::new(8);
+        let e = HotEvent::DelinquentLoad { load_pc: 0x100, trace: TraceId(1) };
+        q.push(e);
+        q.push(e);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.dropped, 1);
+    }
+}

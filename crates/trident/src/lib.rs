@@ -1,0 +1,49 @@
+//! # tdo-trident — the event-driven dynamic optimization framework
+//!
+//! A reproduction of *Trident* (Zhang, Calder, Tullsen — PACT 2005), the
+//! substrate on which the CGO 2006 self-repairing prefetcher is built.
+//! Trident couples small monitoring hardware structures with a helper thread
+//! that runs the optimizer concurrently with the program:
+//!
+//! * [`profiler`] — the branch profiler (256-entry, 4-way, 4-bit counters,
+//!   three 16-bit bitmap capture units) that detects stable hot paths and
+//!   raises *hot trace* events;
+//! * [`trace`] — hot-trace formation: streamlining the basic blocks along
+//!   the captured path, with conditional exits back to original code;
+//! * [`opt`] — the classical trace optimizations the paper lists (constant
+//!   propagation, copy propagation, redundant-load removal, strength
+//!   reduction, store/load→`MOVE` conversion);
+//! * [`cache`] — the code-cache allocator;
+//! * [`watch`] — the watch table tracking each trace's *minimal execution
+//!   time* (which bounds prefetch distances), the optimization-in-progress
+//!   flag, and back-out of under-performing traces;
+//! * [`events`] — the hot-event queue;
+//! * [`runtime`] — the [`Trident`] orchestrator producing code patches for
+//!   trace linking, replacement, and back-out.
+//!
+//! The framework deliberately knows nothing about prefetching: the
+//! delinquent-load machinery lives in `tdo-core`, which drives Trident
+//! through [`Trident::prepare_reinstall`] (insert prefetches by replacing a
+//! trace) and in-place repair patches.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod events;
+pub mod opt;
+pub mod profiler;
+pub mod runtime;
+pub mod trace;
+pub mod watch;
+
+pub use cache::CodeCache;
+pub use events::{EventQueue, HotEvent, TraceId};
+pub use profiler::{BranchProfiler, ProfilerConfig};
+pub use runtime::{
+    InstallError, Patch, PendingInstall, Trident, TridentConfig, TridentStats,
+};
+pub use trace::{
+    form_trace, CodeSource, FormError, FormationEnd, Trace, TraceInst, TraceOp, MAX_TRACE_LEN,
+};
+pub use watch::{WatchConfig, WatchEntry, WatchTable};

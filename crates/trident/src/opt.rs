@@ -1,0 +1,555 @@
+//! Classical optimizations applied to freshly formed hot traces
+//! (paper §3.2: "redundant branch/load removal, constant propagation,
+//! instruction re-association, and strength reduction", plus the store/load
+//! → `MOVE` conversion for legacy int↔float moves).
+//!
+//! Every pass is *slot-preserving*: an optimized instruction replaces the
+//! original in place and keeps its weight, so the original-equivalent
+//! instruction accounting is untouched and trace layout never changes.
+
+use tdo_isa::{AluOp, Inst, LoadKind, Reg, NUM_REGS};
+
+use crate::trace::{TraceInst, TraceOp};
+
+/// Applies all baseline optimizations in a sensible order.
+pub fn optimize(insts: &mut [TraceInst]) {
+    copy_propagation(insts);
+    constant_propagation(insts);
+    strength_reduction(insts);
+    reassociation(insts);
+    store_load_forwarding(insts);
+    redundant_load_elimination(insts);
+    dead_code_elimination(insts);
+}
+
+fn written_reg(op: &TraceOp) -> Option<Reg> {
+    match op {
+        TraceOp::Real(inst) => inst.def(),
+        _ => None,
+    }
+}
+
+/// Rewrites the source registers of `inst` through `f` (destinations are
+/// never changed).
+fn map_uses(inst: Inst, f: impl Fn(Reg) -> Reg) -> Inst {
+    match inst {
+        Inst::Op { op, ra, rb, rc } => Inst::Op { op, ra: f(ra), rb: f(rb), rc },
+        Inst::OpImm { op, ra, imm, rc } => Inst::OpImm { op, ra: f(ra), imm, rc },
+        Inst::Lda { ra, rb, imm } => Inst::Lda { ra, rb: f(rb), imm },
+        Inst::Move { ra, rc } => Inst::Move { ra: f(ra), rc },
+        Inst::Load { ra, rb, off, kind } => Inst::Load { ra, rb: f(rb), off, kind },
+        Inst::Store { ra, rb, off } => Inst::Store { ra: f(ra), rb: f(rb), off },
+        Inst::Prefetch { base, off, stride, dist } => {
+            Inst::Prefetch { base: f(base), off, stride, dist }
+        }
+        Inst::FOp { op, ra, rb, rc } => Inst::FOp { op, ra: f(ra), rb: f(rb), rc },
+        other => other,
+    }
+}
+
+/// Instruction re-association: a chain of constant additions
+/// (`r2 = r1 + 4; r3 = r2 + 8`) is re-rooted so each instruction reads the
+/// chain's origin (`r3 = r1 + 12`), shortening dependence chains — the
+/// "instruction re-association" the paper lists among Trident's base
+/// optimizations (§3.2). Loads and stores are left untouched so the
+/// prefetcher's base-register grouping is unaffected.
+pub fn reassociation(insts: &mut [TraceInst]) {
+    // Immediates must stay encodable (38-bit signed).
+    const FITS: std::ops::Range<i64> = -(1 << 37)..(1 << 37);
+    // facts[r] = Some((root, off)): regs[r] == regs[root] + off, valid while
+    // neither r nor root has been redefined.
+    let mut facts: [Option<(Reg, i64)>; NUM_REGS] = [None; NUM_REGS];
+    for ti in insts.iter_mut() {
+        // Rewrite pure address arithmetic through known facts.
+        if let TraceOp::Real(inst) = ti.op {
+            let rewritten = match inst {
+                Inst::Lda { ra, rb, imm } if ra != rb => facts[rb.index()]
+                    .and_then(|(root, off)| imm.checked_add(off).map(|t| (ra, root, t))),
+                Inst::OpImm { op: AluOp::Add, ra, imm, rc } if rc != ra => facts[ra.index()]
+                    .and_then(|(root, off)| imm.checked_add(off).map(|t| (rc, root, t))),
+                Inst::OpImm { op: AluOp::Sub, ra, imm, rc } if rc != ra => facts[ra.index()]
+                    .and_then(|(root, off)| off.checked_sub(imm).map(|t| (rc, root, t))),
+                _ => None,
+            };
+            if let Some((dest, root, total)) = rewritten {
+                if FITS.contains(&total) && root != dest {
+                    ti.op = TraceOp::Real(Inst::Lda { ra: dest, rb: root, imm: total });
+                }
+            }
+        }
+        // Derive a new fact from the (possibly rewritten) instruction.
+        let new_fact = match ti.op {
+            TraceOp::Real(Inst::Lda { ra, rb, imm }) if ra != rb && !ra.is_zero() => {
+                Some((ra, rb, imm))
+            }
+            TraceOp::Real(Inst::OpImm { op: AluOp::Add, ra, imm, rc })
+                if rc != ra && !rc.is_zero() =>
+            {
+                Some((rc, ra, imm))
+            }
+            TraceOp::Real(Inst::OpImm { op: AluOp::Sub, ra, imm, rc })
+                if rc != ra && !rc.is_zero() =>
+            {
+                Some((rc, ra, -imm))
+            }
+            TraceOp::Real(Inst::Move { ra, rc }) if rc != ra && !rc.is_zero() => {
+                Some((rc, ra, 0))
+            }
+            _ => None,
+        };
+        // A write invalidates facts about the destination and facts rooted
+        // at it.
+        if let Some(d) = written_reg(&ti.op) {
+            facts[d.index()] = None;
+            for f in facts.iter_mut() {
+                if f.is_some_and(|(root, _)| root == d) {
+                    *f = None;
+                }
+            }
+        }
+        if let Some((dest, root, off)) = new_fact {
+            // Transitively root the fact if the source has one.
+            facts[dest.index()] = match facts[root.index()] {
+                Some((rr, roff)) => off.checked_add(roff).map(|t| (rr, t)),
+                None => Some((root, off)),
+            }
+            .or(Some((root, off)));
+        }
+    }
+}
+
+/// Dead-code elimination, slot-preserving: a pure instruction whose result
+/// is overwritten before any use — with no intervening trace exit (original
+/// code may read any register) and no loop-back (the next iteration may
+/// read it) — becomes a `nop`. Loads count as pure here: every load in this
+/// ISA is non-faulting in effect, and the paper's trace optimizer removes
+/// redundant loads outright.
+pub fn dead_code_elimination(insts: &mut [TraceInst]) {
+    let n = insts.len();
+    for i in 0..n {
+        let TraceOp::Real(inst) = insts[i].op else { continue };
+        if matches!(inst, Inst::Store { .. } | Inst::Prefetch { .. } | Inst::Nop) {
+            continue;
+        }
+        let Some(d) = inst.def() else { continue };
+        // Scan forward to the next event concerning d.
+        let mut dead = false;
+        for next in insts.iter().take(n).skip(i + 1) {
+            match next.op {
+                TraceOp::CondExit { .. } | TraceOp::JumpBack { .. } | TraceOp::LoopBack => break,
+                TraceOp::Real(ninst) => {
+                    if matches!(
+                        ninst,
+                        Inst::Br { .. } | Inst::Bcond { .. } | Inst::Jmp { .. } | Inst::Halt
+                    ) {
+                        break;
+                    }
+                    if ninst.uses().into_iter().flatten().any(|u| u == d) {
+                        break;
+                    }
+                    if ninst.def() == Some(d) {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            insts[i].op = TraceOp::Real(Inst::Nop);
+        }
+    }
+}
+
+/// Copy propagation: after `mov rc, ra`, uses of `rc` read `ra` directly
+/// until either register is redefined.
+pub fn copy_propagation(insts: &mut [TraceInst]) {
+    let mut alias: [Option<Reg>; NUM_REGS] = [None; NUM_REGS];
+    for ti in insts.iter_mut() {
+        // Rewrite uses through the alias map first.
+        if let TraceOp::Real(inst) = ti.op {
+            let rewritten = map_uses(inst, |r| alias[r.index()].unwrap_or(r));
+            ti.op = TraceOp::Real(rewritten);
+        }
+        // Then update the alias map with this instruction's effect.
+        let new_alias = match ti.op {
+            TraceOp::Real(Inst::Move { ra, rc }) if !rc.is_zero() && ra != rc => Some((rc, ra)),
+            _ => None,
+        };
+        if let Some(d) = written_reg(&ti.op) {
+            // A write invalidates aliases *of* d and aliases *to* d.
+            alias[d.index()] = None;
+            for a in alias.iter_mut() {
+                if *a == Some(d) {
+                    *a = None;
+                }
+            }
+        }
+        if let Some((rc, ra)) = new_alias {
+            alias[rc.index()] = Some(ra);
+        }
+    }
+}
+
+/// Constant propagation and folding: integer computations whose inputs are
+/// all known become `lda rc, const(r31)`.
+pub fn constant_propagation(insts: &mut [TraceInst]) {
+    const FITS: std::ops::Range<i64> = -(1 << 37)..(1 << 37);
+    let mut known: [Option<u64>; NUM_REGS] = [None; NUM_REGS];
+    known[Reg::ZERO.index()] = Some(0);
+    for ti in insts.iter_mut() {
+        let mut folded: Option<(Reg, u64)> = None;
+        if let TraceOp::Real(inst) = ti.op {
+            match inst {
+                Inst::Lda { ra, rb, imm } => {
+                    if let Some(b) = known[rb.index()] {
+                        folded = Some((ra, b.wrapping_add(imm as u64)));
+                    }
+                }
+                Inst::Move { ra, rc } => {
+                    if let Some(v) = known[ra.index()] {
+                        folded = Some((rc, v));
+                    }
+                }
+                Inst::Op { op, ra, rb, rc } => {
+                    if let (Some(a), Some(b)) = (known[ra.index()], known[rb.index()]) {
+                        folded = Some((rc, op.apply(a, b)));
+                    }
+                }
+                Inst::OpImm { op, ra, imm, rc } => {
+                    if let Some(a) = known[ra.index()] {
+                        folded = Some((rc, op.apply(a, imm as u64)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((dest, value)) = folded {
+            if !dest.is_zero() && FITS.contains(&(value as i64)) {
+                ti.op = TraceOp::Real(Inst::Lda { ra: dest, rb: Reg::ZERO, imm: value as i64 });
+            }
+        }
+        // Update knowledge.
+        if let Some(d) = written_reg(&ti.op) {
+            known[d.index()] = match (&ti.op, folded) {
+                (_, Some((dest, value))) if dest == d => Some(value),
+                _ => None,
+            };
+        }
+    }
+}
+
+/// Strength reduction: multiplications by powers of two become shifts;
+/// additions of zero and multiplications by one become moves.
+pub fn strength_reduction(insts: &mut [TraceInst]) {
+    for ti in insts.iter_mut() {
+        let TraceOp::Real(Inst::OpImm { op, ra, imm, rc }) = ti.op else {
+            continue;
+        };
+        let new = match (op, imm) {
+            (AluOp::Mul, 1) => Some(Inst::Move { ra, rc }),
+            (AluOp::Mul, m) if m > 1 && (m as u64).is_power_of_two() => Some(Inst::OpImm {
+                op: AluOp::Sll,
+                ra,
+                imm: (m as u64).trailing_zeros() as i64,
+                rc,
+            }),
+            (AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor, 0) => {
+                Some(Inst::Move { ra, rc })
+            }
+            _ => None,
+        };
+        if let Some(inst) = new {
+            ti.op = TraceOp::Real(inst);
+        }
+    }
+}
+
+/// Store-to-load forwarding: a load from an address just stored to (same
+/// base register and offset, base unmodified, no intervening store) becomes
+/// a register move. This also implements Trident's legacy-code
+/// store/load-pair → `MOVE` conversion (paper §3.2).
+pub fn store_load_forwarding(insts: &mut [TraceInst]) {
+    // Most recent store: (base, off, value_reg).
+    let mut avail: Option<(Reg, i64, Reg)> = None;
+    for ti in insts.iter_mut() {
+        match ti.op {
+            TraceOp::Real(Inst::Store { ra, rb, off }) => {
+                avail = Some((rb, off, ra));
+            }
+            TraceOp::Real(Inst::Load { ra, rb, off, kind: LoadKind::Int | LoadKind::Float }) => {
+                if let Some((sb, soff, sv)) = avail {
+                    if sb == rb && soff == off && !ra.is_zero() {
+                        ti.op = TraceOp::Real(Inst::Move { ra: sv, rc: ra });
+                    }
+                }
+            }
+            _ => {}
+        }
+        if let Some(d) = written_reg(&ti.op) {
+            if let Some((sb, _, sv)) = avail {
+                if d == sb || d == sv {
+                    avail = None;
+                }
+            }
+        }
+    }
+}
+
+/// Redundant load elimination: a second load of the same (base, offset) with
+/// no intervening store and unmodified base/value registers becomes a move
+/// from the first load's destination.
+pub fn redundant_load_elimination(insts: &mut [TraceInst]) {
+    // Available loads: (base, off, kind discriminant) -> register with value.
+    let mut avail: Vec<(Reg, i64, LoadKind, Reg)> = Vec::new();
+    for ti in insts.iter_mut() {
+        let mut add: Option<(Reg, i64, LoadKind, Reg)> = None;
+        match ti.op {
+            TraceOp::Real(Inst::Load { ra, rb, off, kind }) => {
+                if let Some(&(_, _, _, v)) = avail
+                    .iter()
+                    .find(|(b, o, k, _)| *b == rb && *o == off && *k == kind)
+                {
+                    if !ra.is_zero() && v != ra {
+                        ti.op = TraceOp::Real(Inst::Move { ra: v, rc: ra });
+                    }
+                } else if !ra.is_zero() && ra != rb {
+                    add = Some((rb, off, kind, ra));
+                }
+            }
+            // Conservative aliasing: any store kills all available loads.
+            TraceOp::Real(Inst::Store { .. }) => avail.clear(),
+            _ => {}
+        }
+        if let Some(d) = written_reg(&ti.op) {
+            avail.retain(|(b, _, _, v)| *b != d && *v != d);
+        }
+        if let Some(e) = add {
+            avail.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceOp::Real;
+
+    fn ti(op: TraceOp) -> TraceInst {
+        TraceInst { op, orig_pc: 0, weight: 1, synthetic: false }
+    }
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    #[test]
+    fn copy_propagation_rewrites_uses() {
+        let mut t = vec![
+            ti(Real(Inst::Move { ra: r(1), rc: r(2) })),
+            ti(Real(Inst::Op { op: AluOp::Add, ra: r(2), rb: r(2), rc: r(3) })),
+        ];
+        copy_propagation(&mut t);
+        assert_eq!(
+            t[1].op,
+            Real(Inst::Op { op: AluOp::Add, ra: r(1), rb: r(1), rc: r(3) })
+        );
+    }
+
+    #[test]
+    fn copy_propagation_stops_at_redefinition() {
+        let mut t = vec![
+            ti(Real(Inst::Move { ra: r(1), rc: r(2) })),
+            ti(Real(Inst::Lda { ra: r(1), rb: r(1), imm: 8 })), // r1 changes
+            ti(Real(Inst::Op { op: AluOp::Add, ra: r(2), rb: r(2), rc: r(3) })),
+        ];
+        copy_propagation(&mut t);
+        assert_eq!(
+            t[2].op,
+            Real(Inst::Op { op: AluOp::Add, ra: r(2), rb: r(2), rc: r(3) }),
+            "alias must die when its source is overwritten"
+        );
+    }
+
+    #[test]
+    fn constants_fold_through_arithmetic() {
+        let mut t = vec![
+            ti(Real(Inst::Lda { ra: r(1), rb: Reg::ZERO, imm: 10 })),
+            ti(Real(Inst::OpImm { op: AluOp::Mul, ra: r(1), imm: 5, rc: r(2) })),
+            ti(Real(Inst::Op { op: AluOp::Add, ra: r(1), rb: r(2), rc: r(3) })),
+        ];
+        constant_propagation(&mut t);
+        assert_eq!(t[1].op, Real(Inst::Lda { ra: r(2), rb: Reg::ZERO, imm: 50 }));
+        assert_eq!(t[2].op, Real(Inst::Lda { ra: r(3), rb: Reg::ZERO, imm: 60 }));
+    }
+
+    #[test]
+    fn loads_kill_constant_knowledge() {
+        let mut t = vec![
+            ti(Real(Inst::Lda { ra: r(1), rb: Reg::ZERO, imm: 10 })),
+            ti(Real(Inst::Load { ra: r(1), rb: r(9), off: 0, kind: LoadKind::Int })),
+            ti(Real(Inst::OpImm { op: AluOp::Add, ra: r(1), imm: 1, rc: r(2) })),
+        ];
+        constant_propagation(&mut t);
+        assert_eq!(
+            t[2].op,
+            Real(Inst::OpImm { op: AluOp::Add, ra: r(1), imm: 1, rc: r(2) }),
+            "r1 is unknown after the load"
+        );
+    }
+
+    #[test]
+    fn strength_reduction_examples() {
+        let mut t = vec![
+            ti(Real(Inst::OpImm { op: AluOp::Mul, ra: r(1), imm: 8, rc: r(2) })),
+            ti(Real(Inst::OpImm { op: AluOp::Mul, ra: r(1), imm: 1, rc: r(3) })),
+            ti(Real(Inst::OpImm { op: AluOp::Add, ra: r(1), imm: 0, rc: r(4) })),
+            ti(Real(Inst::OpImm { op: AluOp::Mul, ra: r(1), imm: 7, rc: r(5) })),
+        ];
+        strength_reduction(&mut t);
+        assert_eq!(t[0].op, Real(Inst::OpImm { op: AluOp::Sll, ra: r(1), imm: 3, rc: r(2) }));
+        assert_eq!(t[1].op, Real(Inst::Move { ra: r(1), rc: r(3) }));
+        assert_eq!(t[2].op, Real(Inst::Move { ra: r(1), rc: r(4) }));
+        assert_eq!(
+            t[3].op,
+            Real(Inst::OpImm { op: AluOp::Mul, ra: r(1), imm: 7, rc: r(5) }),
+            "non-power-of-two multiplier untouched"
+        );
+    }
+
+    #[test]
+    fn store_load_pair_becomes_move() {
+        let mut t = vec![
+            ti(Real(Inst::Store { ra: r(1), rb: r(9), off: 16 })),
+            ti(Real(Inst::Load { ra: r(2), rb: r(9), off: 16, kind: LoadKind::Int })),
+        ];
+        store_load_forwarding(&mut t);
+        assert_eq!(t[1].op, Real(Inst::Move { ra: r(1), rc: r(2) }));
+    }
+
+    #[test]
+    fn intervening_base_change_blocks_forwarding() {
+        let mut t = vec![
+            ti(Real(Inst::Store { ra: r(1), rb: r(9), off: 16 })),
+            ti(Real(Inst::Lda { ra: r(9), rb: r(9), imm: 8 })),
+            ti(Real(Inst::Load { ra: r(2), rb: r(9), off: 16, kind: LoadKind::Int })),
+        ];
+        store_load_forwarding(&mut t);
+        assert!(matches!(t[2].op, Real(Inst::Load { .. })));
+    }
+
+    #[test]
+    fn redundant_load_becomes_move() {
+        let mut t = vec![
+            ti(Real(Inst::Load { ra: r(1), rb: r(9), off: 0, kind: LoadKind::Int })),
+            ti(Real(Inst::Op { op: AluOp::Add, ra: r(1), rb: r(1), rc: r(2) })),
+            ti(Real(Inst::Load { ra: r(3), rb: r(9), off: 0, kind: LoadKind::Int })),
+        ];
+        redundant_load_elimination(&mut t);
+        assert_eq!(t[2].op, Real(Inst::Move { ra: r(1), rc: r(3) }));
+    }
+
+    #[test]
+    fn stores_kill_available_loads() {
+        let mut t = vec![
+            ti(Real(Inst::Load { ra: r(1), rb: r(9), off: 0, kind: LoadKind::Int })),
+            ti(Real(Inst::Store { ra: r(5), rb: r(10), off: 8 })),
+            ti(Real(Inst::Load { ra: r(3), rb: r(9), off: 0, kind: LoadKind::Int })),
+        ];
+        redundant_load_elimination(&mut t);
+        assert!(matches!(t[2].op, Real(Inst::Load { .. })), "store may alias");
+    }
+
+    #[test]
+    fn reassociation_reroots_addition_chains() {
+        let mut t = vec![
+            ti(Real(Inst::Lda { ra: r(2), rb: r(1), imm: 4 })),
+            ti(Real(Inst::Lda { ra: r(3), rb: r(2), imm: 8 })),
+            ti(Real(Inst::Lda { ra: r(4), rb: r(3), imm: 16 })),
+        ];
+        reassociation(&mut t);
+        assert_eq!(t[1].op, Real(Inst::Lda { ra: r(3), rb: r(1), imm: 12 }));
+        assert_eq!(t[2].op, Real(Inst::Lda { ra: r(4), rb: r(1), imm: 28 }));
+    }
+
+    #[test]
+    fn reassociation_respects_root_redefinition() {
+        let mut t = vec![
+            ti(Real(Inst::Lda { ra: r(2), rb: r(1), imm: 4 })),
+            ti(Real(Inst::Lda { ra: r(1), rb: r(9), imm: 0 })), // r1 changes
+            ti(Real(Inst::Lda { ra: r(3), rb: r(2), imm: 8 })),
+        ];
+        reassociation(&mut t);
+        assert_eq!(
+            t[2].op,
+            Real(Inst::Lda { ra: r(3), rb: r(2), imm: 8 }),
+            "fact rooted at a redefined register must die"
+        );
+    }
+
+    #[test]
+    fn reassociation_handles_subtraction() {
+        let mut t = vec![
+            ti(Real(Inst::OpImm { op: AluOp::Add, ra: r(1), imm: 100, rc: r(2) })),
+            ti(Real(Inst::OpImm { op: AluOp::Sub, ra: r(2), imm: 30, rc: r(3) })),
+        ];
+        reassociation(&mut t);
+        assert_eq!(t[1].op, Real(Inst::Lda { ra: r(3), rb: r(1), imm: 70 }));
+    }
+
+    #[test]
+    fn reassociation_leaves_self_increments_alone() {
+        let mut t = vec![
+            ti(Real(Inst::Lda { ra: r(1), rb: r(1), imm: 8 })),
+            ti(Real(Inst::Lda { ra: r(1), rb: r(1), imm: 8 })),
+        ];
+        let before = t.clone();
+        reassociation(&mut t);
+        assert_eq!(t[0].op, before[0].op);
+        assert_eq!(t[1].op, before[1].op);
+    }
+
+    #[test]
+    fn dce_nops_overwritten_results() {
+        let mut t = vec![
+            ti(Real(Inst::OpImm { op: AluOp::Add, ra: r(1), imm: 1, rc: r(2) })),
+            ti(Real(Inst::OpImm { op: AluOp::Add, ra: r(1), imm: 2, rc: r(2) })), // kills slot 0
+            ti(Real(Inst::Op { op: AluOp::Add, ra: r(2), rb: r(2), rc: r(3) })),
+        ];
+        dead_code_elimination(&mut t);
+        assert_eq!(t[0].op, Real(Inst::Nop));
+        assert!(matches!(t[1].op, Real(Inst::OpImm { .. })), "live def kept");
+    }
+
+    #[test]
+    fn dce_stops_at_exits_and_loopbacks() {
+        let mut t = vec![
+            ti(Real(Inst::OpImm { op: AluOp::Add, ra: r(1), imm: 1, rc: r(2) })),
+            ti(TraceOp::CondExit { cond: tdo_isa::Cond::Eq, ra: r(9), to: 0x2000 }),
+            ti(Real(Inst::OpImm { op: AluOp::Add, ra: r(1), imm: 2, rc: r(2) })),
+            ti(TraceOp::LoopBack),
+        ];
+        dead_code_elimination(&mut t);
+        assert!(
+            matches!(t[0].op, Real(Inst::OpImm { .. })),
+            "r2 may be read by original code at the exit"
+        );
+        assert!(
+            matches!(t[2].op, Real(Inst::OpImm { .. })),
+            "r2 may be read next iteration through the loop-back"
+        );
+    }
+
+    #[test]
+    fn dce_never_touches_stores_or_prefetches() {
+        let mut t = vec![
+            ti(Real(Inst::Store { ra: r(1), rb: r(9), off: 0 })),
+            ti(Real(Inst::Prefetch { base: r(9), off: 0, stride: 8, dist: 1 })),
+            ti(Real(Inst::Store { ra: r(2), rb: r(9), off: 0 })),
+        ];
+        let before: Vec<_> = t.iter().map(|x| x.op).collect();
+        dead_code_elimination(&mut t);
+        for (a, b) in t.iter().zip(before) {
+            assert_eq!(a.op, b);
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Hot-trace representation, formation, and installation.
+//!
+//! A hot trace streamlines the basic blocks along a hot path into a single
+//! straight-line sequence (paper §3.2 "Trace Formation"). On-path
+//! conditional branches become *exit branches* that leave the trace back to
+//! original code when the off-path direction is taken; the final instruction
+//! either loops back to the trace start or jumps back into original code.
+
+use tdo_isa::{encode, AsmError, Cond, Inst, Reg, Word, INST_BYTES};
+
+use crate::events::TraceId;
+
+/// Source of decodable instructions (implemented for the simulator's code
+/// image via a newtype in the driver crate).
+pub trait CodeSource {
+    /// The instruction at `pc`, if mapped.
+    fn fetch_inst(&self, pc: u64) -> Option<Inst>;
+}
+
+impl<F: Fn(u64) -> Option<Inst>> CodeSource for F {
+    fn fetch_inst(&self, pc: u64) -> Option<Inst> {
+        self(pc)
+    }
+}
+
+/// One operation in a trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceOp {
+    /// An ordinary (non-control) instruction.
+    Real(Inst),
+    /// A conditional exit: leave the trace to original-code address `to`
+    /// when `cond(ra)` holds.
+    CondExit {
+        /// Exit condition.
+        cond: Cond,
+        /// Register tested.
+        ra: Reg,
+        /// Original-code address to resume at.
+        to: u64,
+    },
+    /// Unconditional return to original code at `to` (trace end).
+    JumpBack {
+        /// Original-code address to resume at.
+        to: u64,
+    },
+    /// Unconditional branch back to the first instruction of this trace
+    /// (loop trace end).
+    LoopBack,
+}
+
+/// One trace instruction plus its bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceInst {
+    /// The operation.
+    pub op: TraceOp,
+    /// Original-code PC this operation derives from (the insertion point for
+    /// synthetic instructions).
+    pub orig_pc: u64,
+    /// How many original-program instructions this slot accounts for when
+    /// computing original-equivalent IPC (folded unconditional branches add
+    /// to their successor's weight; synthetic prefetch code weighs 0).
+    pub weight: u32,
+    /// True for optimizer-inserted instructions (prefetches and their
+    /// address-generation loads).
+    pub synthetic: bool,
+}
+
+/// A formed (and possibly optimized) hot trace.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Identity.
+    pub id: TraceId,
+    /// Original-code address of the trace head.
+    pub head: u64,
+    /// Body.
+    pub insts: Vec<TraceInst>,
+    /// Whether the trace ends by looping back to its own start.
+    pub is_loop: bool,
+    /// Code-cache address where the trace is installed (0 until installed).
+    pub cc_addr: u64,
+}
+
+/// Why trace formation stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FormationEnd {
+    /// The path returned to the head: a loop trace.
+    Loop,
+    /// Branch-direction bits were exhausted; trace jumps back to original
+    /// code.
+    BitsExhausted,
+    /// An indirect jump or halt ended the trace.
+    Opaque,
+    /// The maximum trace length was reached.
+    LengthLimit,
+}
+
+/// Errors during trace formation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FormError {
+    /// The head address has no decodable instruction.
+    UnmappedHead {
+        /// The offending address.
+        head: u64,
+    },
+}
+
+impl std::fmt::Display for FormError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormError::UnmappedHead { head } => write!(f, "no code at trace head {head:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for FormError {}
+
+/// Maximum trace body length in instructions. Generous enough for the
+/// paper's observation that `applu` has inner loops of over 1000
+/// instructions.
+pub const MAX_TRACE_LEN: usize = 2048;
+
+/// Forms a trace starting at `head`, steering each conditional branch by the
+/// next bit of `bitmap` (bit set = taken), for at most `nbits` conditional
+/// branches.
+///
+/// # Errors
+///
+/// Returns [`FormError::UnmappedHead`] when `head` is not mapped code.
+pub fn form_trace(
+    code: &impl CodeSource,
+    id: TraceId,
+    head: u64,
+    bitmap: u16,
+    nbits: u8,
+) -> Result<(Trace, FormationEnd), FormError> {
+    if code.fetch_inst(head).is_none() {
+        return Err(FormError::UnmappedHead { head });
+    }
+    let mut insts: Vec<TraceInst> = Vec::new();
+    let mut pc = head;
+    let mut bit = 0u8;
+    let mut pending_weight = 0u32;
+    let mut end = FormationEnd::LengthLimit;
+    let mut is_loop = false;
+
+    while insts.len() < MAX_TRACE_LEN {
+        if pc == head && !insts.is_empty() {
+            end = FormationEnd::Loop;
+            is_loop = true;
+            break;
+        }
+        let Some(inst) = code.fetch_inst(pc) else {
+            end = FormationEnd::Opaque;
+            break;
+        };
+        match inst {
+            Inst::Br { .. } => {
+                // Folded: execution continues at the target; the branch's
+                // weight rides on the next emitted instruction.
+                pending_weight += 1;
+                pc = inst.branch_target(pc).expect("br target");
+                continue;
+            }
+            Inst::Bcond { cond, ra, .. } => {
+                let target = inst.branch_target(pc).expect("bcond target");
+                if bit >= nbits {
+                    end = FormationEnd::BitsExhausted;
+                    break;
+                }
+                let taken = (bitmap >> bit) & 1 == 1;
+                bit += 1;
+                let (exit_cond, exit_to, next_pc) = if taken {
+                    (invert(cond), pc + INST_BYTES, target)
+                } else {
+                    (cond, target, pc + INST_BYTES)
+                };
+                insts.push(TraceInst {
+                    op: TraceOp::CondExit { cond: exit_cond, ra, to: exit_to },
+                    orig_pc: pc,
+                    weight: 1 + pending_weight,
+                    synthetic: false,
+                });
+                pending_weight = 0;
+                pc = next_pc;
+            }
+            Inst::Jmp { .. } | Inst::Halt => {
+                insts.push(TraceInst {
+                    op: TraceOp::Real(inst),
+                    orig_pc: pc,
+                    weight: 1 + pending_weight,
+                    synthetic: false,
+                });
+                pending_weight = 0;
+                end = FormationEnd::Opaque;
+                break;
+            }
+            other => {
+                insts.push(TraceInst {
+                    op: TraceOp::Real(other),
+                    orig_pc: pc,
+                    weight: 1 + pending_weight,
+                    synthetic: false,
+                });
+                pending_weight = 0;
+                pc += INST_BYTES;
+            }
+        }
+    }
+
+    // Terminator.
+    match end {
+        FormationEnd::Loop => insts.push(TraceInst {
+            op: TraceOp::LoopBack,
+            orig_pc: pc,
+            weight: pending_weight,
+            synthetic: false,
+        }),
+        FormationEnd::BitsExhausted | FormationEnd::LengthLimit => insts.push(TraceInst {
+            op: TraceOp::JumpBack { to: pc },
+            orig_pc: pc,
+            weight: pending_weight,
+            synthetic: false,
+        }),
+        FormationEnd::Opaque => {} // jmp/halt already emitted
+    }
+
+    Ok((Trace { id, head, insts, is_loop, cc_addr: 0 }, end))
+}
+
+fn invert(c: Cond) -> Cond {
+    match c {
+        Cond::Eq => Cond::Ne,
+        Cond::Ne => Cond::Eq,
+        Cond::Lt => Cond::Ge,
+        Cond::Ge => Cond::Lt,
+        Cond::Le => Cond::Gt,
+        Cond::Gt => Cond::Le,
+    }
+}
+
+impl Trace {
+    /// Number of instructions in the installed trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace has no instructions (never true for formed traces).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Code-cache address of the instruction at `index`.
+    #[must_use]
+    pub fn cc_pc(&self, index: usize) -> u64 {
+        self.cc_addr + index as u64 * INST_BYTES
+    }
+
+    /// One past the last installed instruction.
+    #[must_use]
+    pub fn cc_end(&self) -> u64 {
+        self.cc_pc(self.insts.len())
+    }
+
+    /// Whether `pc` lies inside the installed trace.
+    #[must_use]
+    pub fn contains_cc(&self, pc: u64) -> bool {
+        self.cc_addr != 0 && (self.cc_addr..self.cc_end()).contains(&pc)
+    }
+
+    /// Index of the installed instruction at code-cache address `pc`.
+    #[must_use]
+    pub fn index_of_cc(&self, pc: u64) -> Option<usize> {
+        self.contains_cc(pc).then(|| ((pc - self.cc_addr) / INST_BYTES) as usize)
+    }
+
+    /// Encodes the trace for installation at `cc_addr`, resolving exits to
+    /// absolute original-code targets and the loop-back to the trace start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::Encode`] when a resolved displacement overflows.
+    pub fn encode_at(&self, cc_addr: u64) -> Result<Vec<Word>, AsmError> {
+        let mut words = Vec::with_capacity(self.insts.len());
+        for (i, ti) in self.insts.iter().enumerate() {
+            let pc = cc_addr + i as u64 * INST_BYTES;
+            let inst = match ti.op {
+                TraceOp::Real(inst) => inst,
+                TraceOp::CondExit { cond, ra, to } => Inst::Bcond {
+                    cond,
+                    ra,
+                    disp: Inst::disp_between(pc, to).expect("aligned code addresses"),
+                },
+                TraceOp::JumpBack { to } => Inst::Br {
+                    disp: Inst::disp_between(pc, to).expect("aligned code addresses"),
+                },
+                TraceOp::LoopBack => Inst::Br {
+                    disp: Inst::disp_between(pc, cc_addr).expect("aligned code addresses"),
+                },
+            };
+            words.push(encode(&inst)?);
+        }
+        Ok(words)
+    }
+
+    /// Sum of the weights — the original-instruction count one full pass of
+    /// the trace represents.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.insts.iter().map(|i| u64::from(i.weight)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use tdo_isa::{AluOp, Asm};
+
+    fn code_from(asm: &Asm) -> impl CodeSource {
+        let words = asm.assemble().unwrap();
+        let base = asm.base();
+        let map: HashMap<u64, Inst> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (base + i as u64 * 8, tdo_isa::decode(*w).unwrap()))
+            .collect();
+        move |pc: u64| map.get(&pc).copied()
+    }
+
+    /// A simple counted loop:
+    ///   head: add r2,r1,r2 ; sub r1,1,r1 ; bne r1, head ; halt
+    fn simple_loop() -> Asm {
+        let (r1, r2) = (Reg::int(1), Reg::int(2));
+        let mut a = Asm::new(0x1000);
+        a.label("head");
+        a.op(AluOp::Add, r2, r1, r2);
+        a.op_imm(AluOp::Sub, r1, 1, r1);
+        a.bcond_to(Cond::Ne, r1, "head");
+        a.halt();
+        a
+    }
+
+    #[test]
+    fn loop_trace_forms_with_inverted_exit() {
+        let a = simple_loop();
+        let code = code_from(&a);
+        // The loop-closing bne is taken: bitmap bit 0 = 1.
+        let (t, end) = form_trace(&code, TraceId(0), 0x1000, 0b1, 1).unwrap();
+        assert_eq!(end, FormationEnd::Loop);
+        assert!(t.is_loop);
+        assert_eq!(t.insts.len(), 4, "add, sub, exit, loopback");
+        match t.insts[2].op {
+            TraceOp::CondExit { cond, to, .. } => {
+                assert_eq!(cond, Cond::Eq, "inverted from Ne");
+                assert_eq!(to, 0x1018, "exit to the halt (fall-through)");
+            }
+            other => panic!("expected exit, got {other:?}"),
+        }
+        assert_eq!(t.insts[3].op, TraceOp::LoopBack);
+        assert_eq!(t.total_weight(), 3, "three original instructions per iteration");
+    }
+
+    #[test]
+    fn not_taken_branch_keeps_original_exit() {
+        // head: cmp; beq skips a block (not taken on hot path).
+        let (r1, r2) = (Reg::int(1), Reg::int(2));
+        let mut a = Asm::new(0x2000);
+        a.label("head");
+        a.op_imm(AluOp::And, r1, 1, r2);
+        a.bcond_to(Cond::Ne, r2, "odd"); // hot path: not taken
+        a.op_imm(AluOp::Add, r1, 1, r1);
+        a.label("odd");
+        a.op_imm(AluOp::Sub, r1, 1, r1);
+        a.bcond_to(Cond::Ne, r1, "head");
+        a.halt();
+        let code = code_from(&a);
+        let (t, end) = form_trace(&code, TraceId(1), 0x2000, 0b10, 2).unwrap();
+        assert_eq!(end, FormationEnd::Loop);
+        match t.insts[1].op {
+            TraceOp::CondExit { cond, to, .. } => {
+                assert_eq!(cond, Cond::Ne, "original condition kept");
+                assert_eq!(to, a.label_addr("odd").unwrap());
+            }
+            other => panic!("expected exit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconditional_branches_fold_with_weight() {
+        // head: add; br over; (dead: sub); over: sub r1; bne head
+        let (r1, r2) = (Reg::int(1), Reg::int(2));
+        let mut a = Asm::new(0x3000);
+        a.label("head");
+        a.op(AluOp::Add, r2, r1, r2);
+        a.br_to("over");
+        a.op_imm(AluOp::Sub, r2, 99, r2); // off path
+        a.label("over");
+        a.op_imm(AluOp::Sub, r1, 1, r1);
+        a.bcond_to(Cond::Ne, r1, "head");
+        let code = code_from(&a);
+        let (t, _) = form_trace(&code, TraceId(2), 0x3000, 0b1, 1).unwrap();
+        // add, sub(weight 2: br folded), exit, loopback
+        assert_eq!(t.insts.len(), 4);
+        assert_eq!(t.insts[1].weight, 2, "folded br weight rides on successor");
+        assert_eq!(t.total_weight(), 4);
+    }
+
+    #[test]
+    fn bits_exhaustion_jumps_back_to_original_code() {
+        let a = simple_loop();
+        let code = code_from(&a);
+        let (t, end) = form_trace(&code, TraceId(3), 0x1000, 0, 0).unwrap();
+        assert_eq!(end, FormationEnd::BitsExhausted);
+        assert!(!t.is_loop);
+        match t.insts.last().unwrap().op {
+            TraceOp::JumpBack { to } => assert_eq!(to, 0x1010, "resume at the bne"),
+            other => panic!("expected jumpback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_at_resolves_exits_to_original_code() {
+        let a = simple_loop();
+        let code = code_from(&a);
+        let (mut t, _) = form_trace(&code, TraceId(4), 0x1000, 0b1, 1).unwrap();
+        let cc = 0x10_0000;
+        t.cc_addr = cc;
+        let words = t.encode_at(cc).unwrap();
+        assert_eq!(words.len(), 4);
+        // Instruction 2 is the exit; its target must be the original halt.
+        let exit = tdo_isa::decode(words[2]).unwrap();
+        assert_eq!(exit.branch_target(cc + 16), Some(0x1018));
+        // Final loopback returns to cc base.
+        let lb = tdo_isa::decode(words[3]).unwrap();
+        assert_eq!(lb.branch_target(cc + 24), Some(cc));
+    }
+
+    #[test]
+    fn unmapped_head_is_an_error() {
+        let code = |_pc: u64| None::<Inst>;
+        assert!(matches!(
+            form_trace(&code, TraceId(5), 0x9999, 0, 0),
+            Err(FormError::UnmappedHead { .. })
+        ));
+    }
+
+    #[test]
+    fn cc_index_round_trips() {
+        let a = simple_loop();
+        let code = code_from(&a);
+        let (mut t, _) = form_trace(&code, TraceId(6), 0x1000, 0b1, 1).unwrap();
+        t.cc_addr = 0x20_0000;
+        assert_eq!(t.index_of_cc(0x20_0000), Some(0));
+        assert_eq!(t.index_of_cc(0x20_0018), Some(3));
+        assert_eq!(t.index_of_cc(0x20_0020), None);
+        assert!(t.contains_cc(t.cc_pc(2)));
+    }
+}

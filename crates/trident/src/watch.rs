@@ -1,0 +1,255 @@
+//! The hardware watch table (paper §3.2, Table 2): one entry per installed
+//! hot trace, tracking the trace's *minimal execution time* (used to bound
+//! the prefetch distance), an optimization-in-progress flag (suppressing
+//! re-entrant optimization events), and execution/early-exit counts used to
+//! back out of under-performing traces.
+
+use crate::events::TraceId;
+
+/// Configuration of the watch table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WatchConfig {
+    /// Maximum number of simultaneously watched traces (Table 2: 256).
+    pub entries: usize,
+    /// Executions after which a trace becomes eligible for back-out review.
+    pub backout_min_executions: u64,
+    /// Early-exit fraction above which a trace is backed out.
+    pub backout_exit_rate: f64,
+}
+
+impl WatchConfig {
+    /// The paper's Table 2 configuration with a conservative back-out rule.
+    #[must_use]
+    pub fn paper_baseline() -> WatchConfig {
+        WatchConfig { entries: 256, backout_min_executions: 64, backout_exit_rate: 0.95 }
+    }
+}
+
+/// One watched trace.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchEntry {
+    /// Trace identity.
+    pub trace: TraceId,
+    /// Code-cache start address.
+    pub cc_start: u64,
+    /// Code-cache end address (exclusive).
+    pub cc_end: u64,
+    /// Trace length in instructions.
+    pub len: u32,
+    /// Minimal observed execution time in cycles (one entry-to-exit pass).
+    pub min_exec_time: u64,
+    /// Set while the helper thread is re-optimizing this trace, to suppress
+    /// further optimization events for it (paper §3.2).
+    pub being_optimized: bool,
+    /// Completed passes (entry to loop-back or natural end).
+    pub executions: u64,
+    /// Passes that left via a side exit.
+    pub early_exits: u64,
+    /// Cycle at which the current pass entered the trace, if inside.
+    entered_at: Option<u64>,
+}
+
+/// The watch table.
+pub struct WatchTable {
+    cfg: WatchConfig,
+    entries: Vec<WatchEntry>,
+    /// Traces backed out because of excessive early exits (stat).
+    pub backouts: u64,
+}
+
+impl WatchTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(cfg: WatchConfig) -> WatchTable {
+        WatchTable { cfg, entries: Vec::new(), backouts: 0 }
+    }
+
+    /// Begins watching an installed trace. Returns `false` when the table is
+    /// full (the trace runs unwatched — and therefore unoptimized).
+    pub fn insert(&mut self, trace: TraceId, cc_start: u64, len: u32) -> bool {
+        if self.entries.len() >= self.cfg.entries {
+            return false;
+        }
+        self.entries.push(WatchEntry {
+            trace,
+            cc_start,
+            cc_end: cc_start + u64::from(len) * 8,
+            len,
+            min_exec_time: u64::MAX,
+            being_optimized: false,
+            executions: 0,
+            early_exits: 0,
+            entered_at: None,
+        });
+        true
+    }
+
+    /// Stops watching `trace` (unlink / replacement by a re-optimized trace).
+    pub fn remove(&mut self, trace: TraceId) {
+        self.entries.retain(|e| e.trace != trace);
+    }
+
+    /// The entry watching `trace`.
+    #[must_use]
+    pub fn get(&self, trace: TraceId) -> Option<&WatchEntry> {
+        self.entries.iter().find(|e| e.trace == trace)
+    }
+
+    /// Mutable access to the entry watching `trace`.
+    pub fn get_mut(&mut self, trace: TraceId) -> Option<&mut WatchEntry> {
+        self.entries.iter_mut().find(|e| e.trace == trace)
+    }
+
+    /// The trace containing code-cache address `pc`, if watched.
+    #[must_use]
+    pub fn trace_at(&self, pc: u64) -> Option<TraceId> {
+        self.entries
+            .iter()
+            .find(|e| (e.cc_start..e.cc_end).contains(&pc))
+            .map(|e| e.trace)
+    }
+
+    /// Number of watched traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no traces are watched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all watched entries.
+    pub fn iter(&self) -> impl Iterator<Item = &WatchEntry> {
+        self.entries.iter()
+    }
+
+    /// Records that execution entered `trace` at `cycle` (its cc start was
+    /// fetched). Re-entry while inside (the loop-back path) closes the
+    /// previous pass first.
+    pub fn on_enter(&mut self, trace: TraceId, cycle: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.trace == trace) {
+            if let Some(t0) = e.entered_at.take() {
+                // Loop-back: one full pass completed.
+                e.executions += 1;
+                let dt = cycle.saturating_sub(t0).max(1);
+                e.min_exec_time = e.min_exec_time.min(dt);
+            }
+            e.entered_at = Some(cycle);
+        }
+    }
+
+    /// Records that execution left `trace` at `cycle`; `early` marks a side
+    /// exit before the natural end. Returns `true` when the trace should be
+    /// backed out.
+    pub fn on_exit(&mut self, trace: TraceId, cycle: u64, early: bool) -> bool {
+        let cfg = self.cfg;
+        let Some(e) = self.entries.iter_mut().find(|e| e.trace == trace) else {
+            return false;
+        };
+        if let Some(t0) = e.entered_at.take() {
+            e.executions += 1;
+            if early {
+                e.early_exits += 1;
+            } else {
+                let dt = cycle.saturating_sub(t0).max(1);
+                e.min_exec_time = e.min_exec_time.min(dt);
+            }
+        }
+        let should_backout = e.executions >= cfg.backout_min_executions
+            && (e.early_exits as f64) / (e.executions as f64) > cfg.backout_exit_rate;
+        if should_backout {
+            self.backouts += 1;
+        }
+        should_backout
+    }
+
+    /// The minimal execution time for `trace`, if one has been observed.
+    #[must_use]
+    pub fn min_exec_time(&self, trace: TraceId) -> Option<u64> {
+        self.get(trace).and_then(|e| {
+            (e.min_exec_time != u64::MAX).then_some(e.min_exec_time)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> WatchTable {
+        WatchTable::new(WatchConfig {
+            entries: 4,
+            backout_min_executions: 10,
+            backout_exit_rate: 0.5,
+        })
+    }
+
+    #[test]
+    fn min_exec_time_tracks_fastest_loop_pass() {
+        let mut w = table();
+        w.insert(TraceId(1), 0x10_0000, 8);
+        w.on_enter(TraceId(1), 100);
+        w.on_enter(TraceId(1), 160); // loop-back after 60 cycles
+        w.on_enter(TraceId(1), 180); // 20 cycles — new minimum
+        w.on_enter(TraceId(1), 400); // 220 cycles — ignored
+        assert_eq!(w.min_exec_time(TraceId(1)), Some(20));
+        assert_eq!(w.get(TraceId(1)).unwrap().executions, 3);
+    }
+
+    #[test]
+    fn early_exits_trigger_backout() {
+        let mut w = table();
+        w.insert(TraceId(2), 0x10_0000, 8);
+        let mut backout = false;
+        for i in 0..12 {
+            w.on_enter(TraceId(2), i * 100);
+            backout = w.on_exit(TraceId(2), i * 100 + 10, true);
+        }
+        assert!(backout, "all-early-exit trace must be backed out");
+        assert_eq!(w.backouts, 3, "flagged on each qualifying exit (executions 10..=12)");
+    }
+
+    #[test]
+    fn healthy_traces_are_not_backed_out() {
+        let mut w = table();
+        w.insert(TraceId(3), 0x10_0000, 8);
+        for i in 0..100 {
+            w.on_enter(TraceId(3), i * 100);
+            assert!(!w.on_exit(TraceId(3), i * 100 + 10, i % 10 == 0));
+        }
+    }
+
+    #[test]
+    fn trace_at_maps_pc_ranges() {
+        let mut w = table();
+        w.insert(TraceId(4), 0x10_0000, 4);
+        w.insert(TraceId(5), 0x10_0020, 4);
+        assert_eq!(w.trace_at(0x10_0000), Some(TraceId(4)));
+        assert_eq!(w.trace_at(0x10_0018), Some(TraceId(4)));
+        assert_eq!(w.trace_at(0x10_0020), Some(TraceId(5)));
+        assert_eq!(w.trace_at(0x10_0040), None);
+        w.remove(TraceId(4));
+        assert_eq!(w.trace_at(0x10_0000), None);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut w = table();
+        for i in 0..4 {
+            assert!(w.insert(TraceId(i), u64::from(i) * 0x100, 4));
+        }
+        assert!(!w.insert(TraceId(99), 0x9900, 4));
+    }
+
+    #[test]
+    fn optimization_flag_round_trips() {
+        let mut w = table();
+        w.insert(TraceId(6), 0x10_0000, 4);
+        assert!(!w.get(TraceId(6)).unwrap().being_optimized);
+        w.get_mut(TraceId(6)).unwrap().being_optimized = true;
+        assert!(w.get(TraceId(6)).unwrap().being_optimized);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the branch profiler: hot-trace events are only ever
+//! emitted for genuinely repeating paths, and every emitted bitmap replays
+//! the captured branch directions exactly.
+
+use proptest::prelude::*;
+use tdo_trident::{BranchProfiler, HotEvent, ProfilerConfig};
+
+/// A synthetic loop: head, `dirs.len()` conditional branches per iteration
+/// with fixed directions, then a backward branch to the head.
+fn drive(p: &mut BranchProfiler, head: u64, dirs: &[bool], iters: usize) -> Vec<HotEvent> {
+    let mut out = Vec::new();
+    let back_pc = head + 0x100;
+    for _ in 0..iters {
+        for (j, d) in dirs.iter().enumerate() {
+            let pc = head + 8 + j as u64 * 8;
+            let target = pc + 0x40;
+            if let Some(e) = p.observe_branch(pc, *d, target, true) {
+                out.push(e);
+            }
+        }
+        if let Some(e) = p.observe_branch(back_pc, true, head, true) {
+            out.push(e);
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn stable_loops_emit_exactly_their_bitmap(
+        dirs in prop::collection::vec(any::<bool>(), 0..12),
+        head in (1u64..1 << 20).prop_map(|h| h * 8 + (1 << 24)),
+    ) {
+        let mut p = BranchProfiler::new(ProfilerConfig::paper_baseline());
+        let evs = drive(&mut p, head, &dirs, 64);
+        prop_assert_eq!(evs.len(), 1, "stable loop emits exactly once");
+        match evs[0] {
+            HotEvent::HotTrace { head: h, bitmap, nbits } => {
+                prop_assert_eq!(h, head);
+                // Inner branch directions + the (taken) loop-closing branch.
+                prop_assert_eq!(usize::from(nbits), dirs.len() + 1);
+                for (j, d) in dirs.iter().enumerate() {
+                    prop_assert_eq!((bitmap >> j) & 1 == 1, *d, "bit {}", j);
+                }
+                prop_assert_eq!((bitmap >> dirs.len()) & 1, 1, "backward branch taken");
+            }
+            other => prop_assert!(false, "unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alternating_paths_never_stabilize(
+        head in (1u64..1 << 20).prop_map(|h| h * 8 + (1 << 24)),
+    ) {
+        let mut p = BranchProfiler::new(ProfilerConfig::paper_baseline());
+        let mut emitted = 0;
+        for i in 0..200u64 {
+            // One inner branch whose direction flips every iteration.
+            if p.observe_branch(head + 8, i % 2 == 0, head + 0x40, true).is_some() {
+                emitted += 1;
+            }
+            if p.observe_branch(head + 0x100, true, head, true).is_some() {
+                emitted += 1;
+            }
+        }
+        prop_assert_eq!(emitted, 0, "period-2 paths cannot produce equal consecutive captures");
+    }
+
+    #[test]
+    fn cold_code_never_emits(
+        branches in prop::collection::vec(
+            ((1u64..1 << 20), any::<bool>(), (1u64..1 << 20)),
+            0..256,
+        ),
+    ) {
+        // Random branches that never revisit the same target 15+ times in a
+        // stable way: with fully random (pc, target) pairs repetition is
+        // vanishingly unlikely, so no event may fire.
+        let mut seen = std::collections::HashMap::new();
+        let mut p = BranchProfiler::new(ProfilerConfig::paper_baseline());
+        for (pc, taken, tgt) in branches {
+            let pc = pc * 8 + (1 << 28);
+            let tgt = tgt * 8;
+            *seen.entry(tgt).or_insert(0u32) += u32::from(taken && tgt < pc);
+            if let Some(e) = p.observe_branch(pc, taken, tgt, true) {
+                // Only acceptable if some target genuinely saturated.
+                prop_assert!(
+                    seen.values().any(|&c| c >= 15),
+                    "event without a hot target: {e:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Irregular-control workloads: `gap` and `equake`.
+//!
+//! * `gap` — an indirect-dispatch interpreter over many small routines,
+//!   with one hot routine containing a strided missing loop: overall trace
+//!   coverage is low (the dispatcher never forms stable traces), but nearly
+//!   all the hot trace's misses are prefetchable, exactly the combination
+//!   the paper reports for `gap` in §5.2;
+//! * `equake` — sparse matrix-vector product: unit-stride index/value
+//!   streams (prefetchable) feeding an indexed gather (not prefetchable by
+//!   this optimizer), capping the achievable speedup.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tdo_isa::{AluOp, Asm, Cond};
+
+use crate::build::{finish, regs::f, regs::r, DataAlloc, Scale, Workload, CODE_BASE};
+
+/// `gap`: indirect dispatch over 16 routines; routine 0 is hot and streams
+/// a large array.
+#[must_use]
+pub fn gap(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let arr_elems = (scale.ws(16 << 20) / 8).next_power_of_two();
+    let arr = d.reserve(arr_elems * 8);
+    let arr_mask = (arr_elems * 8 - 1) as i64;
+    let idx_n = 4096u64; // dispatch stream length (power of two)
+    let idx_base = d.reserve(idx_n * 8);
+    let table_base = d.reserve(16 * 8);
+    let mut rng = SmallRng::seed_from_u64(0x6a70_0001);
+    // 50% routine 0 (hot), rest uniform over 1..16.
+    let stream: Vec<u64> = (0..idx_n)
+        .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..16u64) })
+        .collect();
+    d.segments.push(tdo_isa::DataSegment::from_words(idx_base, &stream));
+    let outer = scale.outer(6, 10_000_000);
+
+    let mut b = Asm::new(CODE_BASE);
+    b.li(r(10), table_base as i64);
+    b.li(r(12), arr as i64);
+    b.li(r(11), 0);
+    b.li(r(15), arr_mask);
+    b.li(r(5), outer as i64);
+    b.label("outer");
+    b.li(r(7), idx_base as i64);
+    b.li(r(13), idx_n as i64);
+    b.label("dispatch");
+    b.ldq(r(2), r(7), 0);
+    b.lda(r(7), r(7), 8);
+    b.op_imm(AluOp::Sll, r(2), 3, r(2));
+    b.op(AluOp::Add, r(10), r(2), r(2));
+    b.ldq(r(3), r(2), 0);
+    b.push(tdo_isa::Inst::Jmp { rb: r(3) });
+    b.label("routine0");
+    b.op(AluOp::And, r(11), r(15), r(14));
+    b.op(AluOp::Add, r(12), r(14), r(14));
+    b.li(r(9), 16);
+    b.label("hotloop");
+    b.ldq(r(8), r(14), 0);
+    b.op(AluOp::Add, r(6), r(8), r(6));
+    b.lda(r(14), r(14), 64);
+    b.op_imm(AluOp::Sub, r(9), 1, r(9));
+    b.bcond_to(Cond::Ne, r(9), "hotloop");
+    b.op_imm(AluOp::Add, r(11), 16 * 64, r(11));
+    b.br_to("next");
+    for i in 1..16 {
+        b.label(format!("routine{i}"));
+        for k in 0..(3 + i % 5) {
+            b.op_imm(AluOp::Add, r(6), i64::from(k + i), r(6));
+        }
+        b.br_to("next");
+    }
+    b.label("next");
+    b.op_imm(AluOp::Sub, r(13), 1, r(13));
+    b.bcond_to(Cond::Ne, r(13), "dispatch");
+    b.op_imm(AluOp::Sub, r(5), 1, r(5));
+    b.bcond_to(Cond::Ne, r(5), "outer");
+    b.halt();
+    // Jump table: routine label addresses (known before final assembly).
+    let routines: Vec<u64> = (0..16)
+        .map(|i| b.label_addr(&format!("routine{i}")).expect("routine label"))
+        .collect();
+    d.segments.push(tdo_isa::DataSegment::from_words(table_base, &routines));
+
+    finish(
+        "gap",
+        format!(
+            "indirect dispatch over 16 routines; hot routine streams a {arr_elems}-element array"
+        ),
+        &b,
+        d,
+    )
+}
+
+/// `equake`: sparse matrix-vector product — streamed values and column
+/// indices, gathering from a vector at unpredictable offsets.
+#[must_use]
+pub fn equake(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let nnz = scale.ws(20 << 20) / 2 / 16; // value + index per element
+    let x_elems = 1u64 << 18; // 2 MB gather vector
+    let vals = d.reserve(nnz * 8);
+    let cols = d.reserve(nnz * 8);
+    let xv = d.reserve(x_elems * 8);
+    let mut rng = SmallRng::seed_from_u64(0xe9_4a4e);
+    let col_idx: Vec<u64> = (0..nnz).map(|_| rng.gen_range(0..x_elems) * 8).collect();
+    d.segments.push(tdo_isa::DataSegment::from_words(cols, &col_idx));
+    let outer = scale.outer(2, 100_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(9), xv as i64);
+    a.li(r(5), outer as i64);
+    a.label("outer");
+    a.li(r(1), vals as i64);
+    a.li(r(2), cols as i64);
+    a.li(r(4), nnz as i64);
+    a.label("inner");
+    a.ldf(f(1), r(1), 0); // A[j] (stride)
+    a.ldq(r(3), r(2), 0); // col[j] (stride)
+    a.op(AluOp::Add, r(9), r(3), r(3));
+    a.ldf(f(2), r(3), 0); // x[col[j]] (gather — unprefetchable)
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Mul, ra: f(1), rb: f(2), rc: f(3) });
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Add, ra: f(3), rb: f(6), rc: f(6) });
+    a.lda(r(1), r(1), 8);
+    a.lda(r(2), r(2), 8);
+    a.op_imm(AluOp::Sub, r(4), 1, r(4));
+    a.bcond_to(Cond::Ne, r(4), "inner");
+    a.op_imm(AluOp::Sub, r(5), 1, r(5));
+    a.bcond_to(Cond::Ne, r(5), "outer");
+    a.halt();
+    finish(
+        "equake",
+        format!("sparse matvec: {nnz} streamed (value, index) pairs gathering from 2 MB"),
+        &a,
+        d,
+    )
+}

@@ -1,0 +1,239 @@
+//! Pointer-intensive workloads: `mcf`, `dot`, `vis`, `parser`.
+//!
+//! * `mcf` — a linked-list walk over *sequentially allocated* 64-byte nodes
+//!   with multiple hot fields: the pointer chase is stride-predictable in
+//!   the DLT even though no static analysis could prove it, the paper's
+//!   showcase for hardware-assisted classification;
+//! * `dot` — randomized binary-tree descent steered by data-dependent
+//!   branches: hot paths never stabilize, so trace (and therefore miss)
+//!   coverage is low, matching the paper's coverage discussion (§5.2);
+//! * `vis` — an array-of-pointers walk into shuffled blocks: the pointer
+//!   array strides perfectly while the blocks require jump-pointer
+//!   dereferencing;
+//! * `parser` — hash-bucket chains of data-dependent length with randomized
+//!   allocation: irregular control flow and non-stride chains.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tdo_isa::{AluOp, Asm, Cond};
+
+use crate::build::{finish, regs::f, regs::r, DataAlloc, Scale, Workload, CODE_BASE};
+
+/// `mcf`: linked-list traversal over sequentially allocated nodes.
+///
+/// Node layout (64 bytes, one cache line): `next` at 0, `val` at 8,
+/// `cost` at 16, padding to 64.
+#[must_use]
+pub fn mcf(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let nodes = scale.ws(24 << 20) / 64;
+    let base = d.reserve(nodes * 64);
+    // Sequential allocation: node i links to node i+1; values are the index.
+    let mut words = vec![0u64; (nodes * 8) as usize];
+    for i in 0..nodes {
+        let next = if i + 1 < nodes { base + (i + 1) * 64 } else { 0 };
+        words[(i * 8) as usize] = next;
+        words[(i * 8 + 1) as usize] = i;
+        words[(i * 8 + 2) as usize] = i * 3;
+    }
+    d.segments.push(tdo_isa::DataSegment::from_words(base, &words));
+    let outer = scale.outer(8, 100_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(5), outer as i64);
+    a.label("outer");
+    a.li(r(1), base as i64);
+    a.li(r(4), nodes as i64 - 1);
+    a.label("inner");
+    a.ldq(r(2), r(1), 8); // val
+    a.ldq(r(3), r(1), 16); // cost
+    a.op(AluOp::Add, r(6), r(2), r(6));
+    a.op(AluOp::Add, r(6), r(3), r(6));
+    a.ldq(r(1), r(1), 0); // p = p->next (DLT-stride-predictable)
+    a.op_imm(AluOp::Sub, r(4), 1, r(4));
+    a.bcond_to(Cond::Ne, r(4), "inner");
+    a.op_imm(AluOp::Sub, r(5), 1, r(5));
+    a.bcond_to(Cond::Ne, r(5), "outer");
+    a.halt();
+    finish(
+        "mcf",
+        format!("linked list of {nodes} sequentially allocated 64B nodes, 3 hot fields"),
+        &a,
+        d,
+    )
+}
+
+/// `dot`: randomized binary-tree descent with data-dependent direction.
+#[must_use]
+pub fn dot(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let nodes = (scale.ws(16 << 20) / 64).next_power_of_two() / 2; // 2^k
+    let levels = nodes.trailing_zeros() as u64; // descend levels per walk
+    let base = d.reserve(nodes * 64);
+    let mut rng = SmallRng::seed_from_u64(0x00d0_7001);
+    // Shuffled placement: tree slot i lives at placement[i].
+    let mut placement: Vec<u64> = (0..nodes).collect();
+    placement.shuffle(&mut rng);
+    let addr_of = |slot: u64| base + placement[slot as usize] * 64;
+    let mut words = vec![0u64; (nodes * 8) as usize];
+    for slot in 0..nodes {
+        let at = (placement[slot as usize] * 8) as usize;
+        let (l, rr) = (2 * slot + 1, 2 * slot + 2);
+        words[at] = if l < nodes { addr_of(l) } else { addr_of(0) };
+        words[at + 1] = if rr < nodes { addr_of(rr) } else { addr_of(0) };
+        // Keys steering the descent: biased 3:1 toward "left" so some paths
+        // recur often enough to become (briefly) hot, as real dot exhibits —
+        // overall coverage stays low.
+        let key = rng.gen::<u64>();
+        words[at + 2] = if rng.gen_bool(0.75) { key & !1 } else { key | 1 };
+    }
+    d.segments.push(tdo_isa::DataSegment::from_words(base, &words));
+    let outer = scale.outer(4000, 50_000_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(5), outer as i64);
+    a.li(r(9), addr_of(0) as i64);
+    a.label("walk");
+    a.mov(r(9), r(1));
+    a.li(r(4), levels as i64);
+    a.label("down");
+    a.ldq(r(2), r(1), 16); // key
+    a.op_imm(AluOp::And, r(2), 1, r(3));
+    a.bcond_to(Cond::Ne, r(3), "right");
+    a.ldq(r(1), r(1), 0); // left child
+    a.br_to("join");
+    a.label("right");
+    a.ldq(r(1), r(1), 8); // right child
+    a.label("join");
+    a.op_imm(AluOp::Sub, r(4), 1, r(4));
+    a.bcond_to(Cond::Ne, r(4), "down");
+    a.op_imm(AluOp::Sub, r(5), 1, r(5));
+    a.bcond_to(Cond::Ne, r(5), "walk");
+    a.halt();
+    finish(
+        "dot",
+        format!("binary tree of {nodes} shuffled nodes, data-dependent {levels}-level descents"),
+        &a,
+        d,
+    )
+}
+
+/// `vis`: strided walk over an array of pointers into shuffled 64B blocks.
+#[must_use]
+pub fn vis(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let blocks = scale.ws(16 << 20) / 2 / 64;
+    let ptrs = d.reserve(blocks * 8);
+    let blk = d.reserve(blocks * 64);
+    let mut rng = SmallRng::seed_from_u64(0x0000_1755);
+    let mut order: Vec<u64> = (0..blocks).collect();
+    order.shuffle(&mut rng);
+    let table: Vec<u64> = order.iter().map(|i| blk + i * 64).collect();
+    d.segments.push(tdo_isa::DataSegment::from_words(ptrs, &table));
+    let outer = scale.outer(8, 100_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(5), outer as i64);
+    a.label("outer");
+    a.li(r(1), ptrs as i64);
+    a.li(r(4), blocks as i64);
+    a.label("inner");
+    a.ldq(r(2), r(1), 0); // p = P[i] (code-stride 8)
+    a.ldf(f(1), r(2), 0); // block fields (jump-pointer territory)
+    a.ldf(f(2), r(2), 8);
+    a.ldf(f(3), r(2), 16);
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Add, ra: f(1), rb: f(2), rc: f(4) });
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Mul, ra: f(4), rb: f(3), rc: f(5) });
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Add, ra: f(5), rb: f(6), rc: f(6) });
+    a.lda(r(1), r(1), 8);
+    a.op_imm(AluOp::Sub, r(4), 1, r(4));
+    a.bcond_to(Cond::Ne, r(4), "inner");
+    a.op_imm(AluOp::Sub, r(5), 1, r(5));
+    a.bcond_to(Cond::Ne, r(5), "outer");
+    a.halt();
+    finish(
+        "vis",
+        format!("array of {blocks} pointers into shuffled 64B blocks, 3 fields each"),
+        &a,
+        d,
+    )
+}
+
+/// `parser`: hash-bucket chains with data-dependent length and randomized
+/// node placement.
+#[must_use]
+pub fn parser(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let buckets = (scale.ws(16 << 20) / 4 / 8).next_power_of_two();
+    let chain_nodes = buckets; // on average 1 node/bucket, 0–3 long chains
+    let bucket_base = d.reserve(buckets * 8);
+    let node_base = d.reserve(chain_nodes * 64);
+    let idx_n = 4096u64;
+    let idx_base = d.reserve(idx_n * 8);
+
+    let mut rng = SmallRng::seed_from_u64(0x9a95_e700);
+    // Randomized node placement.
+    let mut order: Vec<u64> = (0..chain_nodes).collect();
+    order.shuffle(&mut rng);
+    let mut node_words = vec![0u64; (chain_nodes * 8) as usize];
+    let mut bucket_words = vec![0u64; buckets as usize];
+    let mut next_node = 0usize;
+    for bucket in bucket_words.iter_mut() {
+        let len = match rng.gen_range(0..4u32) {
+            0 => 0,
+            1 | 2 => 1,
+            _ => 3,
+        };
+        let mut head = 0u64;
+        for _ in 0..len {
+            if next_node >= order.len() {
+                break;
+            }
+            let at = order[next_node];
+            next_node += 1;
+            let addr = node_base + at * 64;
+            node_words[(at * 8) as usize] = head; // next
+            node_words[(at * 8 + 1) as usize] = rng.gen::<u64>(); // key
+            head = addr;
+        }
+        *bucket = head;
+    }
+    d.segments.push(tdo_isa::DataSegment::from_words(node_base, &node_words));
+    d.segments.push(tdo_isa::DataSegment::from_words(bucket_base, &bucket_words));
+    // Precomputed probe sequence (uniform bucket indices).
+    let probes: Vec<u64> = (0..idx_n).map(|_| rng.gen_range(0..buckets)).collect();
+    d.segments.push(tdo_isa::DataSegment::from_words(idx_base, &probes));
+    let outer = scale.outer(20, 10_000_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(5), outer as i64);
+    a.label("outer");
+    a.li(r(7), idx_base as i64);
+    a.li(r(4), idx_n as i64);
+    a.li(r(9), bucket_base as i64);
+    a.label("probe");
+    a.ldq(r(2), r(7), 0); // bucket index (stride-8 stream)
+    a.op_imm(AluOp::Sll, r(2), 3, r(2));
+    a.op(AluOp::Add, r(9), r(2), r(3));
+    a.ldq(r(3), r(3), 0); // bucket head (random)
+    a.bcond_to(Cond::Eq, r(3), "empty");
+    a.label("chain");
+    a.ldq(r(8), r(3), 8); // key
+    a.op(AluOp::Add, r(6), r(8), r(6));
+    a.ldq(r(3), r(3), 0); // next (random placement: no stride)
+    a.bcond_to(Cond::Ne, r(3), "chain");
+    a.label("empty");
+    a.lda(r(7), r(7), 8);
+    a.op_imm(AluOp::Sub, r(4), 1, r(4));
+    a.bcond_to(Cond::Ne, r(4), "probe");
+    a.op_imm(AluOp::Sub, r(5), 1, r(5));
+    a.bcond_to(Cond::Ne, r(5), "outer");
+    a.halt();
+    finish(
+        "parser",
+        format!("hash table: {buckets} buckets, variable-length randomized chains"),
+        &a,
+        d,
+    )
+}

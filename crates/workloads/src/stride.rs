@@ -1,0 +1,333 @@
+//! Stride-dominated workloads: the SPEC FP programs of the paper's suite.
+//!
+//! Each generator reproduces the *memory-access shape* the paper's
+//! characterization relies on, not the original computation:
+//!
+//! * `swim` — three parallel unit-stride streams, tiny loop body: the
+//!   hardware stream buffers already do well here (paper §5.5);
+//! * `mgrid` — plane-offset stencil: one base register with far-apart
+//!   offsets (a multi-line same-object group) plus unit-stride advance;
+//! * `applu` — an inner loop of well over 1000 instructions, so a prefetch
+//!   distance of 1 is already optimal and self-repairing adds nothing
+//!   (paper §5.3);
+//! * `art` — a streamed weight matrix with a tight loop body, the
+//!   distance-sensitive case self-repair is built for;
+//! * `facerec`/`fma3d` — medium-size bodies where the naive distance
+//!   estimate is already sufficient (paper: no further gain from repair);
+//! * `galgel` — more concurrent streams than the 8 stream buffers can hold;
+//! * `wupwise` — complex-number (16-byte element) streams: two-field
+//!   same-object accesses.
+
+use tdo_isa::{AluOp, Asm, Cond};
+
+use crate::build::{finish, regs::f, regs::r, DataAlloc, Scale, Workload, CODE_BASE};
+
+/// Emits `count` dependent FP operations as loop-body filler, modelling
+/// computation between memory accesses.
+fn fp_filler(a: &mut Asm, count: usize) {
+    for i in 0..count {
+        let src = f(1 + (i % 4) as u8);
+        a.push(tdo_isa::Inst::FOp {
+            op: tdo_isa::FpuOp::Add,
+            ra: f(6),
+            rb: src,
+            rc: f(6),
+        });
+    }
+}
+
+/// `swim`: three parallel unit-stride f64 streams (`a[i] = a-stream math`).
+#[must_use]
+pub fn swim(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let n = scale.ws(24 << 20) / 3 / 8;
+    let (pa, pb, pc) = (d.reserve(n * 8), d.reserve(n * 8), d.reserve(n * 8));
+    let outer = scale.outer(2, 100_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(5), outer as i64);
+    a.label("outer");
+    a.li(r(1), pa as i64);
+    a.li(r(2), pb as i64);
+    a.li(r(3), pc as i64);
+    a.li(r(4), n as i64);
+    a.label("inner");
+    a.ldf(f(1), r(2), 0);
+    a.ldf(f(2), r(3), 0);
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Add, ra: f(1), rb: f(2), rc: f(3) });
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Mul, ra: f(3), rb: f(1), rc: f(4) });
+    a.stq(f(4), r(1), 0);
+    a.lda(r(1), r(1), 8);
+    a.lda(r(2), r(2), 8);
+    a.lda(r(3), r(3), 8);
+    a.op_imm(AluOp::Sub, r(4), 1, r(4));
+    a.bcond_to(Cond::Ne, r(4), "inner");
+    a.op_imm(AluOp::Sub, r(5), 1, r(5));
+    a.bcond_to(Cond::Ne, r(5), "outer");
+    a.halt();
+    finish(
+        "swim",
+        format!("shallow-water stencil: 3 unit-stride f64 streams of {n} elements"),
+        &a,
+        d,
+    )
+}
+
+/// `mgrid`: plane stencil `a[i] = b[i-S] + b[i] + b[i+S]` — one base with
+/// far-apart offsets, a same-object group spanning several cache lines.
+#[must_use]
+pub fn mgrid(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let plane = 16 << 10; // 16 KB plane offset (fits the prefetch off field)
+    let n = scale.ws(24 << 20) / 2 / 8;
+    let pb = d.reserve(n * 8 + 2 * plane);
+    let pa = d.reserve(n * 8);
+    let outer = scale.outer(2, 100_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(5), outer as i64);
+    a.label("outer");
+    a.li(r(1), pa as i64);
+    a.li(r(2), (pb + plane) as i64); // centred so i-S stays in bounds
+    a.li(r(4), n as i64);
+    a.label("inner");
+    a.ldf(f(1), r(2), -(plane as i64));
+    a.ldf(f(2), r(2), 0);
+    a.ldf(f(3), r(2), plane as i64);
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Add, ra: f(1), rb: f(2), rc: f(4) });
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Add, ra: f(4), rb: f(3), rc: f(4) });
+    a.stq(f(4), r(1), 0);
+    a.lda(r(1), r(1), 8);
+    a.lda(r(2), r(2), 8);
+    a.op_imm(AluOp::Sub, r(4), 1, r(4));
+    a.bcond_to(Cond::Ne, r(4), "inner");
+    a.op_imm(AluOp::Sub, r(5), 1, r(5));
+    a.bcond_to(Cond::Ne, r(5), "outer");
+    a.halt();
+    finish(
+        "mgrid",
+        format!("multigrid plane stencil: ±{plane}B offsets on one base, {n} elements"),
+        &a,
+        d,
+    )
+}
+
+/// `applu`: an unrolled inner loop of >1000 instructions — iteration time
+/// exceeds the memory latency, so distance 1 is optimal.
+#[must_use]
+pub fn applu(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let unroll = 48u64; // 48 elements × 3 arrays per iteration
+    let n_iters = scale.ws(24 << 20) / 3 / (unroll * 8);
+    let (pa, pb, pc) = (
+        d.reserve(n_iters * unroll * 8),
+        d.reserve(n_iters * unroll * 8),
+        d.reserve(n_iters * unroll * 8),
+    );
+    let outer = scale.outer(2, 100_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(5), outer as i64);
+    a.label("outer");
+    a.li(r(1), pa as i64);
+    a.li(r(2), pb as i64);
+    a.li(r(3), pc as i64);
+    a.li(r(4), n_iters as i64);
+    a.label("inner");
+    for k in 0..unroll {
+        let off = (k * 8) as i64;
+        a.ldf(f(1), r(2), off);
+        a.ldf(f(2), r(3), off);
+        a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Mul, ra: f(1), rb: f(2), rc: f(3) });
+        a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Add, ra: f(3), rb: f(6), rc: f(6) });
+        // Dependent ALU filler: ~22 further instructions per element.
+        fp_filler(&mut a, 18);
+        a.stq(f(3), r(1), off);
+    }
+    a.lda(r(1), r(1), (unroll * 8) as i64);
+    a.lda(r(2), r(2), (unroll * 8) as i64);
+    a.lda(r(3), r(3), (unroll * 8) as i64);
+    a.op_imm(AluOp::Sub, r(4), 1, r(4));
+    a.bcond_to(Cond::Ne, r(4), "inner");
+    a.op_imm(AluOp::Sub, r(5), 1, r(5));
+    a.bcond_to(Cond::Ne, r(5), "outer");
+    a.halt();
+    finish(
+        "applu",
+        format!(
+            "SSOR sweep: >1000-instruction inner loop ({} per iteration), distance 1 optimal",
+            unroll * 23 + 6
+        ),
+        &a,
+        d,
+    )
+}
+
+/// `art`: neural-net weight scanning — a tight loop touching one f64 per
+/// cache line of a large matrix (row-major scan of wide rows), consuming
+/// lines far faster than the 8-entry stream buffers can fetch ahead:
+/// maximally distance-sensitive, the showcase for self-repairing.
+#[must_use]
+pub fn art(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let lines = scale.ws(16 << 20) / 64;
+    let pw = d.reserve(lines * 64);
+    let outer = scale.outer(8, 100_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(5), outer as i64);
+    a.label("outer");
+    a.li(r(1), pw as i64);
+    a.li(r(4), lines as i64);
+    a.label("inner");
+    a.ldf(f(1), r(1), 0);
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Mul, ra: f(1), rb: f(2), rc: f(3) });
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Add, ra: f(3), rb: f(6), rc: f(6) });
+    a.lda(r(1), r(1), 64);
+    a.op_imm(AluOp::Sub, r(4), 1, r(4));
+    a.bcond_to(Cond::Ne, r(4), "inner");
+    a.op_imm(AluOp::Sub, r(5), 1, r(5));
+    a.bcond_to(Cond::Ne, r(5), "outer");
+    a.halt();
+    finish(
+        "art",
+        format!("ART weight scan: one load per line over {lines} lines, 6-instruction body"),
+        &a,
+        d,
+    )
+}
+
+/// A template for `facerec`/`fma3d`: many strided streams (more than the 8
+/// hardware stream buffers can track) with a large dependent computation per
+/// element — the hardware prefetcher thrashes, the software prefetcher
+/// covers, and the long iteration keeps the optimal distance near 1 (the
+/// paper's "naive estimates were sufficient" cases).
+fn medium_body(name: &str, scale: Scale, body: usize, streams: u8) -> Workload {
+    assert!(streams <= 12, "streams live in r1..r12");
+    let mut d = DataAlloc::new();
+    let n = scale.ws(16 << 20) / u64::from(streams) / 8;
+    let bases: Vec<u64> = (0..streams).map(|_| d.reserve(n * 8)).collect();
+    let outer = scale.outer(2, 100_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(15), outer as i64);
+    a.label("outer");
+    for (i, b) in bases.iter().enumerate() {
+        a.li(r(1 + i as u8), *b as i64);
+    }
+    a.li(r(14), n as i64);
+    a.label("inner");
+    for i in 0..streams {
+        a.ldf(f(1 + (i % 8)), r(1 + i), 0);
+    }
+    fp_filler(&mut a, body);
+    for i in 0..streams {
+        a.lda(r(1 + i), r(1 + i), 8);
+    }
+    a.op_imm(AluOp::Sub, r(14), 1, r(14));
+    a.bcond_to(Cond::Ne, r(14), "inner");
+    a.op_imm(AluOp::Sub, r(15), 1, r(15));
+    a.bcond_to(Cond::Ne, r(15), "outer");
+    a.halt();
+    finish(
+        name,
+        format!("{streams} f64 streams of {n} elements with a {body}-op body"),
+        &a,
+        d,
+    )
+}
+
+/// `facerec`: ten streams, ~160-instruction body — naive estimates suffice.
+#[must_use]
+pub fn facerec(scale: Scale) -> Workload {
+    medium_body("facerec", scale, 160, 10)
+}
+
+/// `fma3d`: twelve streams, ~260-instruction body.
+#[must_use]
+pub fn fma3d(scale: Scale) -> Workload {
+    medium_body("fma3d", scale, 260, 12)
+}
+
+/// `galgel`: ten concurrent streams — more than the 8 hardware stream
+/// buffers can track, so software prefetching covers what hardware cannot.
+#[must_use]
+pub fn galgel(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let streams: u8 = 10;
+    let n = scale.ws(20 << 20) / u64::from(streams) / 8;
+    let bases: Vec<u64> = (0..streams).map(|_| d.reserve(n * 8)).collect();
+    let outer = scale.outer(2, 100_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(15), outer as i64);
+    a.label("outer");
+    for (i, b) in bases.iter().enumerate() {
+        a.li(r(1 + i as u8), *b as i64);
+    }
+    a.li(r(14), n as i64);
+    a.label("inner");
+    for i in 0..streams {
+        a.ldf(f(1 + (i % 8)), r(1 + i), 0);
+        a.push(tdo_isa::Inst::FOp {
+            op: tdo_isa::FpuOp::Add,
+            ra: f(1 + (i % 8)),
+            rb: f(10),
+            rc: f(10),
+        });
+    }
+    for i in 0..streams {
+        a.lda(r(1 + i), r(1 + i), 8);
+    }
+    a.op_imm(AluOp::Sub, r(14), 1, r(14));
+    a.bcond_to(Cond::Ne, r(14), "inner");
+    a.op_imm(AluOp::Sub, r(15), 1, r(15));
+    a.bcond_to(Cond::Ne, r(15), "outer");
+    a.halt();
+    finish(
+        "galgel",
+        format!("{streams} concurrent f64 streams of {n} elements (exceeds 8 stream buffers)"),
+        &a,
+        d,
+    )
+}
+
+/// `wupwise`: complex-number streams — 16-byte elements read as two-field
+/// same-object accesses.
+#[must_use]
+pub fn wupwise(scale: Scale) -> Workload {
+    let mut d = DataAlloc::new();
+    let n = scale.ws(20 << 20) / 2 / 16; // complex elements per stream
+    let (pa, pb) = (d.reserve(n * 16), d.reserve(n * 16));
+    let outer = scale.outer(2, 100_000);
+
+    let mut a = Asm::new(CODE_BASE);
+    a.li(r(5), outer as i64);
+    a.label("outer");
+    a.li(r(1), pa as i64);
+    a.li(r(2), pb as i64);
+    a.li(r(4), n as i64);
+    a.label("inner");
+    a.ldf(f(1), r(1), 0); // re
+    a.ldf(f(2), r(1), 8); // im
+    a.ldf(f(3), r(2), 0);
+    a.ldf(f(4), r(2), 8);
+    // (a*b) complex multiply-accumulate.
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Mul, ra: f(1), rb: f(3), rc: f(5) });
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Mul, ra: f(2), rb: f(4), rc: f(7) });
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Sub, ra: f(5), rb: f(7), rc: f(5) });
+    a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Add, ra: f(5), rb: f(6), rc: f(6) });
+    a.lda(r(1), r(1), 16);
+    a.lda(r(2), r(2), 16);
+    a.op_imm(AluOp::Sub, r(4), 1, r(4));
+    a.bcond_to(Cond::Ne, r(4), "inner");
+    a.op_imm(AluOp::Sub, r(5), 1, r(5));
+    a.bcond_to(Cond::Ne, r(5), "outer");
+    a.halt();
+    finish(
+        "wupwise",
+        format!("complex-number streams: {n} 16-byte elements, two-field objects"),
+        &a,
+        d,
+    )
+}

@@ -1,0 +1,141 @@
+//! The self-repair mechanism up close: drive the optimizer by hand on a
+//! linked-list trace and watch the prefetch distance walk toward its optimum,
+//! one in-place instruction patch at a time.
+//!
+//! This bypasses the full-system simulator and talks to the Trident and
+//! prefetcher APIs directly — useful for understanding the machinery.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_repair
+//! ```
+
+use std::collections::HashMap;
+
+use tdo_core::{Dlt, DltConfig, OptimizerConfig, PrefetchOptimizer, PreparedAction, SwPrefetchMode};
+use tdo_isa::{decode, prefetch_distance, AluOp, Asm, Cond, Inst, Reg};
+use tdo_trident::{CodeSource, HotEvent, TraceOp, Trident, TridentConfig};
+
+struct MapCode(HashMap<u64, Inst>);
+
+impl CodeSource for MapCode {
+    fn fetch_inst(&self, pc: u64) -> Option<Inst> {
+        self.0.get(&pc).copied()
+    }
+}
+
+fn main() {
+    // A linked-list traversal: three hot fields plus the pointer chase.
+    let (p, v1, v2, n) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    let mut a = Asm::new(0x1000);
+    a.label("loop");
+    a.ldq(v1, p, 8);
+    a.ldq(v2, p, 16);
+    a.op(AluOp::Add, Reg::int(6), v1, Reg::int(6));
+    a.ldq(p, p, 0); // p = p->next
+    a.op_imm(AluOp::Sub, n, 1, n);
+    a.bcond_to(Cond::Ne, n, "loop");
+    a.halt();
+    let code = MapCode(
+        a.assemble()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (0x1000 + i as u64 * 8, decode(*w).unwrap()))
+            .collect(),
+    );
+
+    // Trident forms and installs the hot trace.
+    let mut trident = Trident::new(TridentConfig {
+        code_cache_base: 0x10_0000,
+        ..TridentConfig::paper_baseline()
+    });
+    let pending = trident.prepare_install(&code, 0x1000, 0b1, 1).unwrap();
+    trident.commit_install(&pending).unwrap();
+    let mut trace = pending.trace.id;
+    println!("installed hot trace {trace:?} at {:#x} ({} instructions)",
+        pending.trace.cc_addr, pending.trace.insts.len());
+
+    // Pretend the nodes are allocated sequentially (stride 64): the DLT's
+    // hardware stride detector discovers what no static analysis could.
+    let mut dlt = Dlt::new(DltConfig { window: 64, ..DltConfig::paper_baseline() });
+    let mut optimizer =
+        PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
+    // Trace observed fast iterations => generous maximum distance.
+    trident.watch.on_enter(trace, 0);
+    trident.watch.on_enter(trace, 12);
+
+    // Feed monitoring windows; each round the load's average latency
+    // improves as if the growing distance were hiding more of the miss.
+    let mut latency = 300u64;
+    for round in 0..14 {
+        let fired = {
+            let t = trident.trace(trace).unwrap();
+            let loads: Vec<u64> = t
+                .insts
+                .iter()
+                .enumerate()
+                .filter(|(_, ti)| {
+                    matches!(ti.op, TraceOp::Real(Inst::Load { .. })) && !ti.synthetic
+                })
+                .map(|(i, _)| t.cc_pc(i))
+                .collect();
+            let mut fired = None;
+            for k in 0..64u64 {
+                for pc in &loads {
+                    if dlt.observe(*pc, 0x80_0000 + k * 64, k % 2 == 0, latency) {
+                        fired.get_or_insert(*pc);
+                    }
+                }
+            }
+            fired
+        };
+        let Some(load_pc) = fired else {
+            println!("round {round:>2}: no delinquent-load event — converged");
+            break;
+        };
+        let action = optimizer.handle_event(
+            HotEvent::DelinquentLoad { load_pc, trace },
+            &mut trident,
+            &mut dlt,
+            &code,
+        );
+        match &action {
+            PreparedAction::Install(p) => {
+                println!(
+                    "round {round:>2}: INSERT — {} prefetch(es) spliced in, distance 1",
+                    p.trace
+                        .insts
+                        .iter()
+                        .filter(|ti| matches!(ti.op, TraceOp::Real(Inst::Prefetch { .. })))
+                        .count()
+                );
+                trace = p.trace.id;
+            }
+            PreparedAction::Repair { patches, .. } => {
+                let d = prefetch_distance(patches[0].1).unwrap_or(0);
+                println!(
+                    "round {round:>2}: REPAIR — {} word(s) patched in place, distance -> {d}",
+                    patches.len()
+                );
+            }
+            PreparedAction::Nothing => println!("round {round:>2}: no action (matured or stable)"),
+        }
+        optimizer.commit(action, &mut trident, &mut dlt).unwrap();
+        // The better the distance, the lower the observed latency.
+        latency = latency.saturating_sub(25).max(40);
+    }
+
+    let t = trident.trace(trace).unwrap();
+    println!("\nfinal trace body ({} instructions):", t.insts.len());
+    for (i, ti) in t.insts.iter().enumerate() {
+        let marker = if ti.synthetic { " <- inserted" } else { "" };
+        match ti.op {
+            TraceOp::Real(inst) => println!("  [{i:>2}] {inst}{marker}"),
+            TraceOp::CondExit { cond, ra, to } => {
+                println!("  [{i:>2}] exit-if {cond:?} {ra} -> {to:#x}")
+            }
+            TraceOp::JumpBack { to } => println!("  [{i:>2}] jump-back -> {to:#x}"),
+            TraceOp::LoopBack => println!("  [{i:>2}] loop-back"),
+        }
+    }
+}

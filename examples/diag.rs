@@ -1,0 +1,31 @@
+//! Diagnostic dump of one run (development aid).
+
+use tdo_sim::{run, PrefetchSetup, SimConfig};
+use tdo_workloads::{build, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "art".into());
+    let setup = match std::env::args().nth(2).as_deref() {
+        Some("base") => PrefetchSetup::Hw8x8,
+        Some("none") => PrefetchSetup::NoPrefetch,
+        Some("basic") => PrefetchSetup::SwBasic,
+        Some("whole") => PrefetchSetup::SwWholeObject,
+        _ => PrefetchSetup::SwSelfRepair,
+    };
+    let w = build(&name, Scale::Test).unwrap();
+    let r = run(&w, &SimConfig::test(setup));
+    println!("== {name} under {setup:?}");
+    println!("cycles {}  orig_insts {}  ipc {:.4}", r.cycles, r.orig_insts, r.ipc());
+    println!("halted {}  helper_active {:.2}%", r.halted, r.helper_active_fraction() * 100.0);
+    println!("window: {:#?}", r.window);
+    println!("cpu: {:#?}", r.cpu);
+    println!("mem: {:#?}", r.mem);
+    println!("trident: {:#?}", r.trident);
+    println!("optimizer: {:#?}", r.optimizer);
+    println!("breakdown: {:?}", r.load_breakdown());
+    println!(
+        "miss coverage: traces {:.1}%  prefetcher {:.1}%",
+        r.miss_coverage_by_traces() * 100.0,
+        r.miss_coverage_by_prefetcher() * 100.0
+    );
+}

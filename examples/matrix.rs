@@ -1,0 +1,41 @@
+//! Quick calibration matrix: IPC of every workload under every arm at test
+//! scale (development aid; the publication-grade sweeps live in tdo-bench).
+
+use tdo_sim::{run, PrefetchSetup, SimConfig};
+use tdo_workloads::{build, Scale};
+
+fn main() {
+    let arms = [
+        ("none", PrefetchSetup::NoPrefetch),
+        ("hw4x4", PrefetchSetup::Hw4x4),
+        ("hw8x8", PrefetchSetup::Hw8x8),
+        ("basic", PrefetchSetup::SwBasic),
+        ("whole", PrefetchSetup::SwWholeObject),
+        ("selfrep", PrefetchSetup::SwSelfRepair),
+    ];
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}   {:>7} {:>7} {:>7}",
+        "workload", "none", "hw4x4", "hw8x8", "basic", "whole", "selfrep", "b/hw", "w/hw", "sr/hw"
+    );
+    for name in tdo_workloads::names() {
+        let w = build(name, Scale::Test).unwrap();
+        let mut ipc = Vec::new();
+        for (_, setup) in arms {
+            let r = run(&w, &SimConfig::test(setup));
+            ipc.push(r.ipc());
+        }
+        println!(
+            "{:<10} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4}   {:>6.1}% {:>6.1}% {:>6.1}%",
+            name,
+            ipc[0],
+            ipc[1],
+            ipc[2],
+            ipc[3],
+            ipc[4],
+            ipc[5],
+            (ipc[3] / ipc[2] - 1.0) * 100.0,
+            (ipc[4] / ipc[2] - 1.0) * 100.0,
+            (ipc[5] / ipc[2] - 1.0) * 100.0,
+        );
+    }
+}

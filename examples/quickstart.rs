@@ -1,0 +1,47 @@
+//! Quickstart: run one benchmark under the hardware-prefetching baseline and
+//! under the self-repairing software prefetcher, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [workload]
+//! ```
+
+use tdo_sim::{run, PrefetchSetup, SimConfig};
+use tdo_workloads::{build, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
+    let workload = build(&name, Scale::Full).unwrap_or_else(|| {
+        eprintln!("unknown workload `{name}`; one of: {:?}", tdo_workloads::names());
+        std::process::exit(1);
+    });
+    println!("workload: {name} — {}", workload.description);
+
+    // The paper's baseline: an SMT core with 8x8 hardware stream buffers.
+    let baseline = run(&workload, &SimConfig::paper(PrefetchSetup::Hw8x8));
+    // The contribution: Trident forms hot traces, the DLT spots delinquent
+    // loads, prefetches are spliced in at distance 1 and repaired in place.
+    let repaired = run(&workload, &SimConfig::paper(PrefetchSetup::SwSelfRepair));
+
+    println!();
+    println!("baseline (hw 8x8):        IPC {:.4}", baseline.ipc());
+    println!("self-repairing prefetch:  IPC {:.4}", repaired.ipc());
+    println!("speedup:                  {:+.1}%", (repaired.speedup_over(&baseline) - 1.0) * 100.0);
+    println!();
+    println!("traces installed:         {}", repaired.trident.traces_installed);
+    println!("delinquent-load events:   {}", repaired.optimizer.events);
+    println!("prefetch insertions:      {}", repaired.optimizer.insertions);
+    println!("in-place repairs:         {} ({} up, {} down)",
+        repaired.optimizer.repairs, repaired.optimizer.distance_up, repaired.optimizer.distance_down);
+    println!("loads matured:            {}", repaired.optimizer.matured);
+    println!("helper thread active:     {:.1}% of cycles", repaired.helper_active_fraction() * 100.0);
+    println!(
+        "miss coverage:            {:.0}% in hot traces, {:.0}% prefetched",
+        repaired.miss_coverage_by_traces() * 100.0,
+        repaired.miss_coverage_by_prefetcher() * 100.0
+    );
+    let b = repaired.load_breakdown();
+    println!(
+        "load breakdown:           {:.0}% hit / {:.0}% hit-prefetched / {:.0}% partial / {:.0}% miss / {:.1}% miss-by-prefetch",
+        b[0] * 100.0, b[1] * 100.0, b[2] * 100.0, b[3] * 100.0, b[4] * 100.0
+    );
+}

@@ -1,0 +1,40 @@
+//! # tdo — A Self-Repairing Prefetcher in an Event-Driven Dynamic Optimization Framework
+//!
+//! A full reproduction, in Rust, of the CGO 2006 system by Zhang, Calder and
+//! Tullsen: dynamic insertion of software prefetch instructions into hot
+//! traces, with the prefetch *distance* adaptively repaired by patching the
+//! instruction bits in place, driven by hardware delinquent-load events.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`isa`] — the Alpha-flavoured instruction set with the patchable
+//!   prefetch encoding;
+//! * [`mem`] — caches, DRAM, MSHRs, and the stream-buffer hardware
+//!   prefetcher baseline;
+//! * [`cpu`] — the two-context SMT core with the low-priority helper thread;
+//! * [`trident`] — the event-driven dynamic optimization framework (branch
+//!   profiler, hot traces, code cache, watch table);
+//! * [`core_prefetch`] — the paper's contribution: the Delinquent Load
+//!   Table and the self-repairing prefetch optimizer;
+//! * [`workloads`] — the 14-benchmark synthetic suite;
+//! * [`sim`] — the full-system experiment driver.
+//!
+//! ```no_run
+//! use tdo::sim::{run, PrefetchSetup, SimConfig};
+//! use tdo::workloads::{build, Scale};
+//!
+//! let w = build("mcf", Scale::Full).unwrap();
+//! let base = run(&w, &SimConfig::paper(PrefetchSetup::Hw8x8));
+//! let sr = run(&w, &SimConfig::paper(PrefetchSetup::SwSelfRepair));
+//! println!("self-repairing speedup: {:+.1}%", (sr.speedup_over(&base) - 1.0) * 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tdo_core as core_prefetch;
+pub use tdo_cpu as cpu;
+pub use tdo_isa as isa;
+pub use tdo_mem as mem;
+pub use tdo_sim as sim;
+pub use tdo_trident as trident;
+pub use tdo_workloads as workloads;

@@ -1,0 +1,153 @@
+//! The paper's qualitative claims, asserted end to end at test scale.
+//! (The quantitative tables live in `tdo-bench`; these tests pin the
+//! *shape* so a regression that breaks a published claim fails CI.)
+
+use tdo::sim::{run, PrefetchSetup, SimConfig, SimResult};
+use tdo::workloads::{build, Scale};
+
+fn arm(name: &str, setup: PrefetchSetup) -> SimResult {
+    let w = build(name, Scale::Test).unwrap();
+    run(&w, &SimConfig::test(setup))
+}
+
+/// Figure 2: bigger stream buffers never lose to smaller ones, and both
+/// beat no prefetching, on the stride-dominated workloads.
+#[test]
+fn hw_prefetching_ordering() {
+    for name in ["swim", "art", "wupwise"] {
+        let none = arm(name, PrefetchSetup::NoPrefetch);
+        let hw44 = arm(name, PrefetchSetup::Hw4x4);
+        let hw88 = arm(name, PrefetchSetup::Hw8x8);
+        assert!(
+            hw44.ipc() >= none.ipc() * 0.99,
+            "{name}: 4x4 {:.4} vs none {:.4}",
+            hw44.ipc(),
+            none.ipc()
+        );
+        assert!(
+            hw88.ipc() >= hw44.ipc() * 0.95,
+            "{name}: 8x8 {:.4} vs 4x4 {:.4}",
+            hw88.ipc(),
+            hw44.ipc()
+        );
+    }
+}
+
+/// Section 5.1: the optimizer's execution costs the main thread almost
+/// nothing — the helper runs in leftover issue slots.
+#[test]
+fn optimizer_overhead_is_under_five_percent() {
+    let w = build("galgel", Scale::Test).unwrap();
+    let mut base_cfg = SimConfig::test(PrefetchSetup::Hw8x8);
+    base_cfg.trident_enabled = false;
+    let base = run(&w, &base_cfg);
+    let mut nolink = SimConfig::test(PrefetchSetup::SwSelfRepair);
+    nolink.no_link = true;
+    let r = run(&w, &nolink);
+    let overhead = 1.0 - r.ipc() / base.ipc();
+    assert!(overhead < 0.05, "no-link overhead {:.1}%", overhead * 100.0);
+}
+
+/// Figure 4: hot traces capture the bulk of mcf's misses and the prefetcher
+/// covers them.
+#[test]
+fn mcf_misses_live_in_hot_traces() {
+    let r = arm("mcf", PrefetchSetup::SwSelfRepair);
+    assert!(
+        r.miss_coverage_by_traces() > 0.7,
+        "trace coverage {:.2}",
+        r.miss_coverage_by_traces()
+    );
+    assert!(
+        r.miss_coverage_by_prefetcher() > 0.5,
+        "prefetch coverage {:.2}",
+        r.miss_coverage_by_prefetcher()
+    );
+}
+
+/// Figure 4's outliers: dot's unstable descent paths give it far lower
+/// trace coverage than mcf.
+#[test]
+fn dot_has_low_trace_coverage() {
+    let dot = arm("dot", PrefetchSetup::SwSelfRepair);
+    let mcf = arm("mcf", PrefetchSetup::SwSelfRepair);
+    assert!(
+        dot.miss_coverage_by_traces() < mcf.miss_coverage_by_traces(),
+        "dot {:.2} vs mcf {:.2}",
+        dot.miss_coverage_by_traces(),
+        mcf.miss_coverage_by_traces()
+    );
+}
+
+/// Figure 5's headline: self-repairing beats the fixed estimated distance
+/// on the distance-sensitive pointer workload, and whole-object beats basic
+/// where multi-line objects matter (vis).
+#[test]
+fn self_repair_and_whole_object_orderings() {
+    let base = arm("vis", PrefetchSetup::Hw8x8);
+    let basic = arm("vis", PrefetchSetup::SwBasic);
+    let whole = arm("vis", PrefetchSetup::SwWholeObject);
+    let sr = arm("vis", PrefetchSetup::SwSelfRepair);
+    assert!(
+        whole.ipc() > basic.ipc() * 1.05,
+        "whole-object must beat basic on vis: {:.4} vs {:.4}",
+        whole.ipc(),
+        basic.ipc()
+    );
+    assert!(
+        sr.ipc() >= whole.ipc() * 0.99,
+        "self-repair must not lose to whole-object on vis: {:.4} vs {:.4}",
+        sr.ipc(),
+        whole.ipc()
+    );
+    assert!(sr.ipc() > base.ipc() * 1.3, "vis gains: {:.4} vs {:.4}", sr.ipc(), base.ipc());
+}
+
+/// Figure 6: prefetch displacement misses stay rare under self-repair.
+#[test]
+fn misses_due_to_prefetching_are_rare() {
+    for name in ["art", "mcf", "galgel"] {
+        let r = arm(name, PrefetchSetup::SwSelfRepair);
+        let b = r.load_breakdown();
+        assert!(
+            b[4] < 0.05,
+            "{name}: miss-due-to-prefetch fraction {:.3}",
+            b[4]
+        );
+    }
+}
+
+/// Section 5.5 / Figure 9: on stride workloads with short distances the
+/// hardware prefetcher holds its own against software-only prefetching.
+#[test]
+fn hardware_wins_swim() {
+    let w = build("swim", Scale::Test).unwrap();
+    let none = run(&w, &SimConfig::test(PrefetchSetup::NoPrefetch));
+    let hw = run(&w, &SimConfig::test(PrefetchSetup::Hw8x8));
+    let sw_only = run(&w, &SimConfig::test(PrefetchSetup::SwOnlySelfRepair));
+    assert!(hw.ipc() > none.ipc(), "hw helps swim");
+    assert!(
+        hw.ipc() >= sw_only.ipc() * 0.95,
+        "hw must hold its own on swim: hw {:.4} sw-only {:.4}",
+        hw.ipc(),
+        sw_only.ipc()
+    );
+}
+
+/// The DLT's hardware stride detection is what makes mcf prefetchable: with
+/// stride confidence disabled (confidence can never saturate), the pointer
+/// chase falls back to much weaker dereference prefetching.
+#[test]
+fn mcf_depends_on_hardware_stride_detection() {
+    let w = build("mcf", Scale::Test).unwrap();
+    let normal = run(&w, &SimConfig::test(PrefetchSetup::SwSelfRepair));
+    let mut crippled_cfg = SimConfig::test(PrefetchSetup::SwSelfRepair);
+    crippled_cfg.dlt.conf_max = 255; // unreachable => never stride predictable
+    let crippled = run(&w, &crippled_cfg);
+    assert!(
+        normal.ipc() > crippled.ipc() * 1.05,
+        "stride detection must matter on mcf: {:.4} vs {:.4}",
+        normal.ipc(),
+        crippled.ipc()
+    );
+}
