@@ -1,7 +1,15 @@
-//! Criterion micro-benchmarks of the substrates: how fast the simulator's
-//! building blocks run on the host (useful when sizing longer experiments).
+//! Micro-benchmarks of the substrates: how fast the simulator's building
+//! blocks run on the host (useful when sizing longer experiments).
+//!
+//! Formerly criterion-based; now a self-contained `std::time` harness so the
+//! workspace builds with no external dependencies. Run with
+//! `cargo bench -p tdo-bench`. Each benchmark is timed over enough
+//! iterations to exceed a minimum measurement window and reports the median
+//! of several samples.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
 use tdo_core::{Dlt, DltConfig};
 use tdo_isa::{decode, encode, AluOp, Cond, Inst, Reg};
 use tdo_mem::{Cache, CacheConfig, Hierarchy, MemConfig};
@@ -9,7 +17,40 @@ use tdo_sim::{PrefetchSetup, SimConfig};
 use tdo_trident::{form_trace, opt, CodeSource, TraceId};
 use tdo_workloads::{build, Scale};
 
-fn bench_encode_decode(c: &mut Criterion) {
+const SAMPLES: usize = 7;
+const MIN_WINDOW: Duration = Duration::from_millis(20);
+
+/// Times `f` (a whole pass over `elems` elements) and prints ns/element
+/// throughput: median over [`SAMPLES`] windows of at least [`MIN_WINDOW`].
+fn bench(name: &str, elems: u64, mut f: impl FnMut()) {
+    // Calibrate: how many passes fill the window?
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t0.elapsed() >= MIN_WINDOW || iters > 1 << 30 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut per_elem: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / (iters * elems) as f64 * 1e9
+        })
+        .collect();
+    per_elem.sort_by(f64::total_cmp);
+    let median = per_elem[SAMPLES / 2];
+    let rate = 1e9 / median;
+    println!("{name:<28} {median:>10.1} ns/elem   {rate:>12.0} elem/s");
+}
+
+fn bench_encode_decode() {
     let insts = [
         Inst::Op { op: AluOp::Add, ra: Reg::int(1), rb: Reg::int(2), rc: Reg::int(3) },
         Inst::Load { ra: Reg::int(4), rb: Reg::int(5), off: 128, kind: tdo_isa::LoadKind::Int },
@@ -17,72 +58,50 @@ fn bench_encode_decode(c: &mut Criterion) {
         Inst::Bcond { cond: Cond::Ne, ra: Reg::int(7), disp: -12 },
     ];
     let words: Vec<u64> = insts.iter().map(|i| encode(i).unwrap()).collect();
-    let mut g = c.benchmark_group("isa");
-    g.throughput(Throughput::Elements(insts.len() as u64));
-    g.bench_function("encode", |b| {
-        b.iter(|| {
-            for i in &insts {
-                black_box(encode(black_box(i)).unwrap());
-            }
-        });
-    });
-    g.bench_function("decode", |b| {
-        b.iter(|| {
-            for w in &words {
-                black_box(decode(black_box(*w)).unwrap());
-            }
-        });
-    });
-    g.finish();
-}
-
-fn bench_cache(c: &mut Criterion) {
-    let cfg = CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 3 };
-    let mut g = c.benchmark_group("mem");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("l1_lookup_hit", |b| {
-        let mut cache = Cache::new(cfg);
-        for i in 0..1024u64 {
-            cache.insert(i * 64, false);
+    bench("isa/encode", insts.len() as u64, || {
+        for i in &insts {
+            black_box(encode(black_box(i)).unwrap());
         }
-        b.iter(|| {
-            for i in 0..1024u64 {
-                black_box(cache.lookup(black_box(i * 64)));
-            }
-        });
     });
-    g.bench_function("hierarchy_load_stream", |b| {
-        b.iter_batched(
-            || Hierarchy::new(MemConfig::paper_baseline()),
-            |mut h| {
-                let mut now = 0;
-                for i in 0..1024u64 {
-                    let r = h.load(now, 0x400, 0x10_0000 + i * 8);
-                    now += r.latency / 4;
-                }
-                h
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    bench("isa/decode", insts.len() as u64, || {
+        for w in &words {
+            black_box(decode(black_box(*w)).unwrap());
+        }
     });
-    g.finish();
 }
 
-fn bench_dlt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dlt");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("observe", |b| {
-        let mut dlt = Dlt::new(DltConfig::paper_baseline());
-        b.iter(|| {
-            for i in 0..4096u64 {
-                black_box(dlt.observe(0x1000 + (i % 64) * 8, i * 64, i % 8 == 0, 350));
-            }
-        });
+fn bench_cache() {
+    let cfg = CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 3 };
+    let mut cache = Cache::new(cfg);
+    for i in 0..1024u64 {
+        cache.insert(i * 64, false);
+    }
+    bench("mem/l1_lookup_hit", 1024, || {
+        for i in 0..1024u64 {
+            black_box(cache.lookup(black_box(i * 64)));
+        }
     });
-    g.finish();
+    bench("mem/hierarchy_load_stream", 1024, || {
+        let mut h = Hierarchy::new(MemConfig::paper_baseline());
+        let mut now = 0;
+        for i in 0..1024u64 {
+            let r = h.load(now, 0x400, 0x10_0000 + i * 8);
+            now += r.latency / 4;
+        }
+        black_box(h.stats.loads());
+    });
 }
 
-fn bench_trace(c: &mut Criterion) {
+fn bench_dlt() {
+    let mut dlt = Dlt::new(DltConfig::paper_baseline());
+    bench("dlt/observe", 4096, || {
+        for i in 0..4096u64 {
+            black_box(dlt.observe(0x1000 + (i % 64) * 8, i * 64, i % 8 == 0, 350));
+        }
+    });
+}
+
+fn bench_trace() {
     // A 32-instruction loop body to form and optimize.
     let mut a = tdo_isa::Asm::new(0x1000);
     a.label("head");
@@ -102,43 +121,33 @@ fn bench_trace(c: &mut Criterion) {
     let src = move |pc: u64| map.get(&pc).copied();
     let _: &dyn CodeSource = &src;
 
-    let mut g = c.benchmark_group("trident");
-    g.bench_function("form_trace_32", |b| {
-        b.iter(|| black_box(form_trace(&src, TraceId(0), 0x1000, 0b1, 1).unwrap()));
+    bench("trident/form_trace_32", 1, || {
+        black_box(form_trace(&src, TraceId(0), 0x1000, 0b1, 1).unwrap());
     });
-    g.bench_function("optimize_trace_32", |b| {
-        let (trace, _) = form_trace(&src, TraceId(0), 0x1000, 0b1, 1).unwrap();
-        b.iter_batched(
-            || trace.insts.clone(),
-            |mut insts| {
-                opt::optimize(&mut insts);
-                insts
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    let (trace, _) = form_trace(&src, TraceId(0), 0x1000, 0b1, 1).unwrap();
+    bench("trident/optimize_trace_32", 1, || {
+        let mut insts = trace.insts.clone();
+        opt::optimize(&mut insts);
+        black_box(&insts);
     });
-    g.finish();
 }
 
-fn bench_full_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim");
-    g.sample_size(10);
-    g.bench_function("mcf_100k_insts_selfrepair", |b| {
-        let w = build("mcf", Scale::Test).unwrap();
-        let mut cfg = SimConfig::test(PrefetchSetup::SwSelfRepair);
-        cfg.warmup_insts = 10_000;
-        cfg.measure_insts = 90_000;
-        b.iter(|| black_box(tdo_sim::run(&w, &cfg)));
+fn bench_full_sim() {
+    let w = build("mcf", Scale::Test).unwrap();
+    let mut cfg = SimConfig::test(PrefetchSetup::SwSelfRepair);
+    cfg.warmup_insts = 10_000;
+    cfg.measure_insts = 90_000;
+    bench("sim/mcf_100k_insts_selfrepair", 100_000, || {
+        black_box(tdo_sim::run(&w, &cfg));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_encode_decode,
-    bench_cache,
-    bench_dlt,
-    bench_trace,
-    bench_full_sim
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<28} {:>18} {:>15}", "benchmark", "time", "throughput");
+    println!("{}", "-".repeat(64));
+    bench_encode_decode();
+    bench_cache();
+    bench_dlt();
+    bench_trace();
+    bench_full_sim();
+}

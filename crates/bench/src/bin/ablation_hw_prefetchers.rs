@@ -3,26 +3,46 @@
 //! stream buffers (Sherwood et al., the paper's baseline), versus the
 //! self-repairing software prefetcher on top of the 8x8 baseline.
 
-use tdo_bench::{geomean, pct, run_arm, run_cfg, suite, HarnessOpts};
-use tdo_sim::PrefetchSetup;
+use tdo_bench::{geomean, pct, suite, Harness};
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report};
+
+const ARMS: [PrefetchSetup; 4] = [
+    PrefetchSetup::NoPrefetch,
+    PrefetchSetup::Hw4x4,
+    PrefetchSetup::Hw8x8,
+    PrefetchSetup::SwSelfRepair,
+];
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    println!("Ablation: hardware prefetcher generations (speedup over no prefetching)");
-    println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>12}",
-        "workload", "next-line", "sb 4x4", "sb 8x8", "8x8 + sw-sr"
-    );
-    println!("{}", "-".repeat(62));
+    let h = Harness::from_args();
+    let nl_cfg = {
+        let mut cfg = h.opts.config(PrefetchSetup::NoPrefetch);
+        cfg.mem.next_line = true;
+        cfg
+    };
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        for arm in ARMS {
+            spec.push(h.cell(name, arm));
+        }
+        spec.push(h.cell_cfg(name, nl_cfg.clone()));
+    }
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("ablation_hw_prefetchers")
+        .title("Ablation: hardware prefetcher generations (speedup over no prefetching)")
+        .col("next-line", 12)
+        .col("sb 4x4", 12)
+        .col("sb 8x8", 12)
+        .col("8x8 + sw-sr", 12)
+        .rule(62);
     let mut cols: [Vec<f64>; 4] = Default::default();
     for name in suite() {
-        let none = run_arm(name, PrefetchSetup::NoPrefetch, &opts);
-        let mut nl_cfg = opts.config(PrefetchSetup::NoPrefetch);
-        nl_cfg.mem.next_line = true;
-        let nl = run_cfg(name, &nl_cfg, &opts);
-        let sb44 = run_arm(name, PrefetchSetup::Hw4x4, &opts);
-        let sb88 = run_arm(name, PrefetchSetup::Hw8x8, &opts);
-        let sr = run_arm(name, PrefetchSetup::SwSelfRepair, &opts);
+        let none = h.arm(name, PrefetchSetup::NoPrefetch);
+        let nl = h.cfg(name, &nl_cfg);
+        let sb44 = h.arm(name, PrefetchSetup::Hw4x4);
+        let sb88 = h.arm(name, PrefetchSetup::Hw8x8);
+        let sr = h.arm(name, PrefetchSetup::SwSelfRepair);
         let vals = [
             nl.speedup_over(&none),
             sb44.speedup_over(&none),
@@ -32,23 +52,9 @@ fn main() {
         for (c, v) in cols.iter_mut().zip(vals) {
             c.push(v);
         }
-        println!(
-            "{:<10} {:>12} {:>12} {:>12} {:>12}",
-            name,
-            pct(vals[0]),
-            pct(vals[1]),
-            pct(vals[2]),
-            pct(vals[3])
-        );
+        rep.row(*name, vals.map(pct));
     }
-    println!("{}", "-".repeat(62));
-    println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>12}",
-        "geomean",
-        pct(geomean(&cols[0])),
-        pct(geomean(&cols[1])),
-        pct(geomean(&cols[2])),
-        pct(geomean(&cols[3]))
-    );
-    println!("\nexpected shape: next-line < stream buffers < stream buffers + self-repair.");
+    rep.footer("geomean", cols.iter().map(|c| pct(geomean(c))));
+    rep.note("expected shape: next-line < stream buffers < stream buffers + self-repair.");
+    h.emit(&rep);
 }

@@ -4,28 +4,41 @@
 //! the adaptation converges so quickly that the initial value is irrelevant,
 //! which justifies dropping the estimation hardware.
 
-use tdo_bench::{geomean, pct, run_arm, run_cfg, suite, HarnessOpts};
-use tdo_sim::PrefetchSetup;
+use tdo_bench::{geomean, pct, suite, Harness};
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report};
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    println!("Ablation: initial prefetch distance under self-repair");
-    println!("{:<10} {:>14} {:>16}", "workload", "start at 1", "start estimated");
-    println!("{}", "-".repeat(43));
+    let h = Harness::from_args();
+    let est_cfg = {
+        let mut cfg = h.opts.config(PrefetchSetup::SwSelfRepair);
+        cfg.estimated_initial = true;
+        cfg
+    };
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        spec.push(h.cell(name, PrefetchSetup::Hw8x8));
+        spec.push(h.cell(name, PrefetchSetup::SwSelfRepair));
+        spec.push(h.cell_cfg(name, est_cfg.clone()));
+    }
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("ablation_init_distance")
+        .title("Ablation: initial prefetch distance under self-repair")
+        .col("start at 1", 14)
+        .col("start estimated", 16)
+        .rule(43);
     let (mut one, mut est) = (Vec::new(), Vec::new());
     for name in suite() {
-        let base = run_arm(name, PrefetchSetup::Hw8x8, &opts);
-        let from_one = run_arm(name, PrefetchSetup::SwSelfRepair, &opts);
-        let mut cfg = opts.config(PrefetchSetup::SwSelfRepair);
-        cfg.estimated_initial = true;
-        let from_est = run_cfg(name, &cfg, &opts);
+        let base = h.arm(name, PrefetchSetup::Hw8x8);
+        let from_one = h.arm(name, PrefetchSetup::SwSelfRepair);
+        let from_est = h.cfg(name, &est_cfg);
         let (a, b) = (from_one.speedup_over(&base), from_est.speedup_over(&base));
         one.push(a);
         est.push(b);
-        println!("{:<10} {:>14} {:>16}", name, pct(a), pct(b));
+        rep.row(*name, [pct(a), pct(b)]);
     }
-    println!("{}", "-".repeat(43));
-    println!("{:<10} {:>14} {:>16}", "geomean", pct(geomean(&one)), pct(geomean(&est)));
-    println!("\npaper: the two strategies perform almost identically — the system");
-    println!("       adapts fast enough that the initial value is irrelevant (section 3.5.1).");
+    rep.footer("geomean", [pct(geomean(&one)), pct(geomean(&est))]);
+    rep.note("paper: the two strategies perform almost identically — the system");
+    rep.note("       adapts fast enough that the initial value is irrelevant (section 3.5.1).");
+    h.emit(&rep);
 }

@@ -6,41 +6,48 @@
 //! default only resets maturity on DLT eviction); the interesting columns
 //! are the extra repair activity the clearing re-enables.
 
-use tdo_bench::{geomean, pct, run_arm, run_cfg, suite, HarnessOpts};
-use tdo_sim::PrefetchSetup;
+use tdo_bench::{geomean, pct, suite, Harness};
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report};
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    println!("Ablation: periodic mature-flag clearing (every 2M cycles)");
-    println!(
-        "{:<10} {:>12} {:>12} {:>10} {:>10}",
-        "workload", "persist", "clearing", "repairs", "repairs+"
-    );
-    println!("{}", "-".repeat(58));
+    let h = Harness::from_args();
+    let clear_cfg = {
+        let mut cfg = h.opts.config(PrefetchSetup::SwSelfRepair);
+        cfg.mature_clear_interval = Some(2_000_000);
+        cfg
+    };
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        spec.push(h.cell(name, PrefetchSetup::Hw8x8));
+        spec.push(h.cell(name, PrefetchSetup::SwSelfRepair));
+        spec.push(h.cell_cfg(name, clear_cfg.clone()));
+    }
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("ablation_mature_clear")
+        .title("Ablation: periodic mature-flag clearing (every 2M cycles)")
+        .col("persist", 12)
+        .col("clearing", 12)
+        .col("repairs", 10)
+        .col("repairs+", 10);
     let (mut a, mut b) = (Vec::new(), Vec::new());
     for name in suite() {
-        let base = run_arm(name, PrefetchSetup::Hw8x8, &opts);
-        let persist = run_arm(name, PrefetchSetup::SwSelfRepair, &opts);
-        let mut cfg = opts.config(PrefetchSetup::SwSelfRepair);
-        cfg.mature_clear_interval = Some(2_000_000);
-        let clearing = run_cfg(name, &cfg, &opts);
+        let base = h.arm(name, PrefetchSetup::Hw8x8);
+        let persist = h.arm(name, PrefetchSetup::SwSelfRepair);
+        let clearing = h.cfg(name, &clear_cfg);
         let (ra, rb) = (persist.speedup_over(&base), clearing.speedup_over(&base));
         a.push(ra);
         b.push(rb);
-        println!(
-            "{:<10} {:>12} {:>12} {:>10} {:>10}",
-            name,
-            pct(ra),
-            pct(rb),
-            persist.optimizer.repairs,
-            clearing.optimizer.repairs
+        rep.row(
+            *name,
+            [
+                pct(ra),
+                pct(rb),
+                persist.optimizer.repairs.to_string(),
+                clearing.optimizer.repairs.to_string(),
+            ],
         );
     }
-    println!("{}", "-".repeat(58));
-    println!(
-        "{:<10} {:>12} {:>12}",
-        "geomean",
-        pct(geomean(&a)),
-        pct(geomean(&b))
-    );
+    rep.footer("geomean", [pct(geomean(&a)), pct(geomean(&b))]);
+    h.emit(&rep);
 }

@@ -1,25 +1,39 @@
 //! Figure 2: performance of the hardware stream-buffer prefetcher —
 //! speedup of the 4x4 and 8x8 configurations over no prefetching.
 
-use tdo_bench::{geomean, pct, run_arm, suite, HarnessOpts};
-use tdo_sim::PrefetchSetup;
+use tdo_bench::{geomean, pct, suite, Harness};
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report};
+
+const ARMS: [PrefetchSetup; 3] =
+    [PrefetchSetup::NoPrefetch, PrefetchSetup::Hw4x4, PrefetchSetup::Hw8x8];
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    println!("Figure 2: hardware stream-buffer prefetching vs no prefetching");
-    println!("{:<10} {:>12} {:>12} {:>12}", "workload", "ipc-none", "4x4 speedup", "8x8 speedup");
-    println!("{}", "-".repeat(50));
+    let h = Harness::from_args();
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        for arm in ARMS {
+            spec.push(h.cell(name, arm));
+        }
+    }
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("fig2")
+        .title("Figure 2: hardware stream-buffer prefetching vs no prefetching")
+        .col("ipc-none", 12)
+        .col("4x4 speedup", 12)
+        .col("8x8 speedup", 12)
+        .rule(50);
     let (mut s44, mut s88) = (Vec::new(), Vec::new());
     for name in suite() {
-        let none = run_arm(name, PrefetchSetup::NoPrefetch, &opts);
-        let hw44 = run_arm(name, PrefetchSetup::Hw4x4, &opts);
-        let hw88 = run_arm(name, PrefetchSetup::Hw8x8, &opts);
+        let none = h.arm(name, PrefetchSetup::NoPrefetch);
+        let hw44 = h.arm(name, PrefetchSetup::Hw4x4);
+        let hw88 = h.arm(name, PrefetchSetup::Hw8x8);
         let (r44, r88) = (hw44.speedup_over(&none), hw88.speedup_over(&none));
         s44.push(r44);
         s88.push(r88);
-        println!("{:<10} {:>12.4} {:>12} {:>12}", name, none.ipc(), pct(r44), pct(r88));
+        rep.row(*name, [format!("{:.4}", none.ipc()), pct(r44), pct(r88)]);
     }
-    println!("{}", "-".repeat(50));
-    println!("{:<10} {:>12} {:>12} {:>12}", "geomean", "", pct(geomean(&s44)), pct(geomean(&s88)));
-    println!("\npaper: 4x4 averages ~+35%, 8x8 ~+40% over no prefetching (Fig. 2).");
+    rep.footer("geomean", [String::new(), pct(geomean(&s44)), pct(geomean(&s88))]);
+    rep.note("paper: 4x4 averages ~+35%, 8x8 ~+40% over no prefetching (Fig. 2).");
+    h.emit(&rep);
 }

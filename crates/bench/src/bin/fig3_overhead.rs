@@ -5,38 +5,51 @@
 //! * Section 5.1: total overhead with traces formed but never linked
 //!   (pure helper-thread interference; the paper reports 0.6%).
 
-use tdo_bench::{frac, mean, run_cfg, suite, HarnessOpts};
-use tdo_sim::PrefetchSetup;
+use tdo_bench::{frac, mean, suite, Harness};
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report, SimConfig};
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    println!("Figure 3: optimization-thread activity (self-repairing prefetcher)");
-    println!("{:<10} {:>16} {:>16}", "workload", "helper active", "no-link overhead");
-    println!("{}", "-".repeat(45));
+    let h = Harness::from_args();
+    // Section 5.1 arms: an undisturbed hardware-only baseline, and the same
+    // work with traces never linked.
+    let base_cfg = {
+        let mut cfg = h.opts.config(PrefetchSetup::Hw8x8);
+        cfg.trident_enabled = false;
+        cfg
+    };
+    let nolink_cfg = {
+        let mut cfg = h.opts.config(PrefetchSetup::SwSelfRepair);
+        cfg.no_link = true;
+        cfg
+    };
+    let arms: [&SimConfig; 3] =
+        [&h.opts.config(PrefetchSetup::SwSelfRepair), &base_cfg, &nolink_cfg];
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        for cfg in arms {
+            spec.push(h.cell_cfg(name, cfg.clone()));
+        }
+    }
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("fig3")
+        .title("Figure 3: optimization-thread activity (self-repairing prefetcher)")
+        .col("helper active", 16)
+        .col("no-link overhead", 16)
+        .rule(45);
     let (mut active, mut overhead) = (Vec::new(), Vec::new());
     for name in suite() {
         // Helper activity under the full self-repairing configuration.
-        let sr = run_cfg(name, &opts.config(PrefetchSetup::SwSelfRepair), &opts);
-        // Section 5.1: same work, traces never linked, vs an undisturbed
-        // hardware-only baseline.
-        let mut base_cfg = opts.config(PrefetchSetup::Hw8x8);
-        base_cfg.trident_enabled = false;
-        let base = run_cfg(name, &base_cfg, &opts);
-        let mut nolink_cfg = opts.config(PrefetchSetup::SwSelfRepair);
-        nolink_cfg.no_link = true;
-        let nolink = run_cfg(name, &nolink_cfg, &opts);
+        let sr = h.arm(name, PrefetchSetup::SwSelfRepair);
+        let base = h.cfg(name, &base_cfg);
+        let nolink = h.cfg(name, &nolink_cfg);
         let ov = (1.0 - nolink.ipc() / base.ipc()).max(0.0);
         active.push(sr.helper_active_fraction());
         overhead.push(ov);
-        println!(
-            "{:<10} {:>16} {:>16}",
-            name,
-            frac(sr.helper_active_fraction()),
-            frac(ov)
-        );
+        rep.row(*name, [frac(sr.helper_active_fraction()), frac(ov)]);
     }
-    println!("{}", "-".repeat(45));
-    println!("{:<10} {:>16} {:>16}", "mean", frac(mean(&active)), frac(mean(&overhead)));
-    println!("\npaper: helper threads active ~2.2% of cycles on average (Fig. 3);");
-    println!("       never-linked optimizer overhead ~0.6% (section 5.1).");
+    rep.footer("mean", [frac(mean(&active)), frac(mean(&overhead))]);
+    rep.note("paper: helper threads active ~2.2% of cycles on average (Fig. 3);");
+    rep.note("       never-linked optimizer overhead ~0.6% (section 5.1).");
+    h.emit(&rep);
 }

@@ -1,28 +1,30 @@
 //! Figure 4: percentage of load misses covered by hot traces, and the
 //! fraction the software prefetcher can target.
 
-use tdo_bench::{frac, mean, run_arm, suite, HarnessOpts};
-use tdo_sim::PrefetchSetup;
+use tdo_bench::{frac, mean, suite, Harness};
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report};
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    println!("Figure 4: load-miss coverage by hot traces and the prefetcher");
-    println!("{:<10} {:>14} {:>14}", "workload", "in hot traces", "prefetched");
-    println!("{}", "-".repeat(40));
+    let h = Harness::from_args();
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        spec.push(h.cell(name, PrefetchSetup::SwSelfRepair));
+    }
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("fig4")
+        .title("Figure 4: load-miss coverage by hot traces and the prefetcher")
+        .col("in hot traces", 14)
+        .col("prefetched", 14);
     let (mut traces, mut covered) = (Vec::new(), Vec::new());
     for name in suite() {
-        let r = run_arm(name, PrefetchSetup::SwSelfRepair, &opts);
+        let r = h.arm(name, PrefetchSetup::SwSelfRepair);
         traces.push(r.miss_coverage_by_traces());
         covered.push(r.miss_coverage_by_prefetcher());
-        println!(
-            "{:<10} {:>14} {:>14}",
-            name,
-            frac(r.miss_coverage_by_traces()),
-            frac(r.miss_coverage_by_prefetcher())
-        );
+        rep.row(*name, [frac(r.miss_coverage_by_traces()), frac(r.miss_coverage_by_prefetcher())]);
     }
-    println!("{}", "-".repeat(40));
-    println!("{:<10} {:>14} {:>14}", "mean", frac(mean(&traces)), frac(mean(&covered)));
-    println!("\npaper: hot traces cover >85% of load misses, ~55% potentially");
-    println!("       prefetched; dot and parser are the low-coverage outliers (Fig. 4).");
+    rep.footer("mean", [frac(mean(&traces)), frac(mean(&covered))]);
+    rep.note("paper: hot traces cover >85% of load misses, ~55% potentially");
+    rep.note("       prefetched; dot and parser are the low-coverage outliers (Fig. 4).");
+    h.emit(&rep);
 }

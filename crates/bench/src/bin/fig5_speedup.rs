@@ -1,42 +1,48 @@
 //! Figure 5: performance of software prefetching with and without
 //! self-repairing, relative to the hardware-prefetching (8x8) baseline.
 
-use tdo_bench::{geomean, pct, run_arm, suite, HarnessOpts};
-use tdo_sim::PrefetchSetup;
+use tdo_bench::{geomean, pct, suite, Harness};
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report};
+
+const ARMS: [PrefetchSetup; 4] = [
+    PrefetchSetup::Hw8x8,
+    PrefetchSetup::SwBasic,
+    PrefetchSetup::SwWholeObject,
+    PrefetchSetup::SwSelfRepair,
+];
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    println!("Figure 5: software prefetching speedup over the hw-8x8 baseline");
-    println!(
-        "{:<10} {:>12} {:>14} {:>14}",
-        "workload", "basic", "whole object", "self-repair"
-    );
-    println!("{}", "-".repeat(54));
+    let h = Harness::from_args();
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        for arm in ARMS {
+            spec.push(h.cell(name, arm));
+        }
+    }
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("fig5")
+        .title("Figure 5: software prefetching speedup over the hw-8x8 baseline")
+        .col("basic", 12)
+        .col("whole object", 14)
+        .col("self-repair", 14)
+        .rule(54);
     let (mut b, mut w, mut s) = (Vec::new(), Vec::new(), Vec::new());
     for name in suite() {
-        let base = run_arm(name, PrefetchSetup::Hw8x8, &opts);
-        let basic = run_arm(name, PrefetchSetup::SwBasic, &opts);
-        let whole = run_arm(name, PrefetchSetup::SwWholeObject, &opts);
-        let sr = run_arm(name, PrefetchSetup::SwSelfRepair, &opts);
-        let (rb, rw, rs) = (
-            basic.speedup_over(&base),
-            whole.speedup_over(&base),
-            sr.speedup_over(&base),
-        );
+        let base = h.arm(name, PrefetchSetup::Hw8x8);
+        let basic = h.arm(name, PrefetchSetup::SwBasic);
+        let whole = h.arm(name, PrefetchSetup::SwWholeObject);
+        let sr = h.arm(name, PrefetchSetup::SwSelfRepair);
+        let (rb, rw, rs) =
+            (basic.speedup_over(&base), whole.speedup_over(&base), sr.speedup_over(&base));
         b.push(rb);
         w.push(rw);
         s.push(rs);
-        println!("{:<10} {:>12} {:>14} {:>14}", name, pct(rb), pct(rw), pct(rs));
+        rep.row(*name, [pct(rb), pct(rw), pct(rs)]);
     }
-    println!("{}", "-".repeat(54));
-    println!(
-        "{:<10} {:>12} {:>14} {:>14}",
-        "geomean",
-        pct(geomean(&b)),
-        pct(geomean(&w)),
-        pct(geomean(&s))
-    );
-    println!("\npaper: basic ~+11%, self-repairing ~+23% on average; applu, facerec");
-    println!("       and fma3d gain nothing further from self-repairing; dot and mcf");
-    println!("       favour whole-object prefetching (Fig. 5).");
+    rep.footer("geomean", [pct(geomean(&b)), pct(geomean(&w)), pct(geomean(&s))]);
+    rep.note("paper: basic ~+11%, self-repairing ~+23% on average; applu, facerec");
+    rep.note("       and fma3d gain nothing further from self-repairing; dot and mcf");
+    rep.note("       favour whole-object prefetching (Fig. 5).");
+    h.emit(&rep);
 }

@@ -2,45 +2,37 @@
 //! prefetcher — hits, prefetched hits, partial prefetch hits, misses, and
 //! misses caused by prefetch displacement.
 
-use tdo_bench::{frac, run_arm, suite, HarnessOpts};
-use tdo_sim::PrefetchSetup;
+use tdo_bench::{frac, suite, Harness};
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report};
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    println!("Figure 6: dynamic-load breakdown (self-repairing prefetcher)");
-    println!(
-        "{:<10} {:>10} {:>12} {:>10} {:>8} {:>12}",
-        "workload", "hits", "hit-prefetch", "partial", "miss", "miss-by-pref"
-    );
-    println!("{}", "-".repeat(68));
+    let h = Harness::from_args();
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        spec.push(h.cell(name, PrefetchSetup::SwSelfRepair));
+    }
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("fig6")
+        .title("Figure 6: dynamic-load breakdown (self-repairing prefetcher)")
+        .col("hits", 10)
+        .col("hit-prefetch", 12)
+        .col("partial", 10)
+        .col("miss", 8)
+        .col("miss-by-pref", 12)
+        .rule(68);
     let mut sums = [0.0f64; 5];
     for name in suite() {
-        let r = run_arm(name, PrefetchSetup::SwSelfRepair, &opts);
+        let r = h.arm(name, PrefetchSetup::SwSelfRepair);
         let b = r.load_breakdown();
         for (s, v) in sums.iter_mut().zip(b.iter()) {
             *s += v;
         }
-        println!(
-            "{:<10} {:>10} {:>12} {:>10} {:>8} {:>12}",
-            name,
-            frac(b[0]),
-            frac(b[1]),
-            frac(b[2]),
-            frac(b[3]),
-            frac(b[4])
-        );
+        rep.row(*name, b.map(frac));
     }
-    println!("{}", "-".repeat(68));
     let n = suite().len() as f64;
-    println!(
-        "{:<10} {:>10} {:>12} {:>10} {:>8} {:>12}",
-        "mean",
-        frac(sums[0] / n),
-        frac(sums[1] / n),
-        frac(sums[2] / n),
-        frac(sums[3] / n),
-        frac(sums[4] / n)
-    );
-    println!("\npaper: misses due to prefetching rarely occur and partial prefetch");
-    println!("       hits are a very small fraction (Fig. 6).");
+    rep.footer("mean", sums.map(|s| frac(s / n)));
+    rep.note("paper: misses due to prefetching rarely occur and partial prefetch");
+    rep.note("       hits are a very small fraction (Fig. 6).");
+    h.emit(&rep);
 }

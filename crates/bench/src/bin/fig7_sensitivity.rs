@@ -1,41 +1,55 @@
 //! Figure 7: sensitivity of the self-repairing prefetcher to the DLT's
 //! load-monitoring window size and miss-rate threshold.
 
-use tdo_bench::{geomean, pct, run_arm, run_cfg, suite, HarnessOpts};
-use tdo_sim::PrefetchSetup;
+use tdo_bench::{geomean, pct, suite, Harness};
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report, SimConfig};
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let h = Harness::from_args();
     let windows = [128u32, 256, 512];
     let rates = [1.0f64, 3.0, 6.0, 12.0];
-    println!("Figure 7: average speedup vs DLT monitoring window x miss-rate threshold");
-    print!("{:<10}", "window");
-    for r in rates {
-        print!(" {:>9}", format!("{r:.0}% rate"));
+    let sweep_cfg = |w: u32, rate: f64| -> SimConfig {
+        let mut cfg = h.opts.config(PrefetchSetup::SwSelfRepair);
+        cfg.dlt = cfg.dlt.with_window(w, rate);
+        cfg
+    };
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        spec.push(h.cell(name, PrefetchSetup::Hw8x8));
+        for w in windows {
+            for rate in rates {
+                spec.push(h.cell_cfg(name, sweep_cfg(w, rate)));
+            }
+        }
     }
-    println!();
-    println!("{}", "-".repeat(10 + rates.len() * 10));
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("fig7")
+        .title("Figure 7: average speedup vs DLT monitoring window x miss-rate threshold")
+        .key("window", 10);
+    for r in rates {
+        rep = rep.col(format!("{r:.0}% rate"), 9);
+    }
 
     // Baselines per workload, shared across the sweep.
-    let baselines: Vec<f64> = suite()
-        .iter()
-        .map(|name| run_arm(name, PrefetchSetup::Hw8x8, &opts).ipc())
-        .collect();
+    let baselines: Vec<f64> =
+        suite().iter().map(|name| h.arm(name, PrefetchSetup::Hw8x8).ipc()).collect();
 
     for w in windows {
-        print!("{:<10}", w);
-        for rate in rates {
-            let mut speedups = Vec::new();
-            for (name, base_ipc) in suite().iter().zip(&baselines) {
-                let mut cfg = opts.config(PrefetchSetup::SwSelfRepair);
-                cfg.dlt = cfg.dlt.with_window(w, rate);
-                let r = run_cfg(name, &cfg, &opts);
-                speedups.push(r.ipc() / base_ipc);
-            }
-            print!(" {:>9}", pct(geomean(&speedups)));
-        }
-        println!();
+        let cells: Vec<String> = rates
+            .iter()
+            .map(|&rate| {
+                let mut speedups = Vec::new();
+                for (name, base_ipc) in suite().iter().zip(&baselines) {
+                    let r = h.cfg(name, &sweep_cfg(w, rate));
+                    speedups.push(r.ipc() / base_ipc);
+                }
+                pct(geomean(&speedups))
+            })
+            .collect();
+        rep.row(w.to_string(), cells);
     }
-    println!("\npaper: a 3% miss-rate threshold over a 256-access window works best;");
-    println!("       too-aggressive thresholds over-prefetch, too-lax ones miss loads (Fig. 7).");
+    rep.note("paper: a 3% miss-rate threshold over a 256-access window works best;");
+    rep.note("       too-aggressive thresholds over-prefetch, too-lax ones miss loads (Fig. 7).");
+    h.emit(&rep);
 }

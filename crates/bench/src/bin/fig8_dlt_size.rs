@@ -2,60 +2,77 @@
 //! Delinquent Load Table size, and what the DLT's bits would buy as extra
 //! L1 capacity instead.
 
-use tdo_bench::{geomean, pct, run_arm, run_cfg, suite, HarnessOpts};
+use tdo_bench::{geomean, pct, suite, Harness};
 use tdo_core::Dlt;
 use tdo_mem::CacheConfig;
-use tdo_sim::PrefetchSetup;
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report, SimConfig};
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let h = Harness::from_args();
     let sizes = [256usize, 512, 1024, 2048];
-    println!("Figure 8: average speedup vs DLT size (self-repairing over hw-8x8)");
-    print!("{:<10}", "workload");
-    for s in sizes {
-        print!(" {:>9}", s);
-    }
-    println!();
-    println!("{}", "-".repeat(10 + sizes.len() * 10));
-
-    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for name in suite() {
-        let base = run_arm(name, PrefetchSetup::Hw8x8, &opts);
-        print!("{:<10}", name);
-        for (i, s) in sizes.iter().enumerate() {
-            let mut cfg = opts.config(PrefetchSetup::SwSelfRepair);
-            cfg.dlt = cfg.dlt.with_entries(*s);
-            let r = run_cfg(name, &cfg, &opts);
-            let sp = r.speedup_over(&base);
-            per_size[i].push(sp);
-            print!(" {:>9}", pct(sp));
-        }
-        println!();
-    }
-    println!("{}", "-".repeat(10 + sizes.len() * 10));
-    print!("{:<10}", "geomean");
-    for col in &per_size {
-        print!(" {:>9}", pct(geomean(col)));
-    }
-    println!();
-
+    let sized_cfg = |s: usize| -> SimConfig {
+        let mut cfg = h.opts.config(PrefetchSetup::SwSelfRepair);
+        cfg.dlt = cfg.dlt.with_entries(s);
+        cfg
+    };
     // Section 5.4: invest the DLT + watch-table bits into L1 capacity.
-    let dlt_bits = Dlt::new(tdo_core::DltConfig::paper_baseline()).state_bits();
-    println!("\nSection 5.4: DLT+watch bits (~{} KB) reinvested as L1 capacity", dlt_bits / 8 / 1024);
-    let mut speedups = Vec::new();
-    for name in suite() {
-        let base = run_arm(name, PrefetchSetup::Hw8x8, &opts);
-        let mut cfg = opts.config(PrefetchSetup::Hw8x8);
+    let bigger_l1_cfg = {
+        let mut cfg = h.opts.config(PrefetchSetup::Hw8x8);
         // One extra L1 way (same set count) over-provisions the DLT's area.
-        cfg.mem.l1 = CacheConfig { assoc: cfg.mem.l1.assoc + 1,
+        cfg.mem.l1 = CacheConfig {
+            assoc: cfg.mem.l1.assoc + 1,
             size_bytes: cfg.mem.l1.size_bytes / u64::from(cfg.mem.l1.assoc)
                 * u64::from(cfg.mem.l1.assoc + 1),
-            ..cfg.mem.l1 };
-        let bigger = run_cfg(name, &cfg, &opts);
+            ..cfg.mem.l1
+        };
+        cfg
+    };
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        spec.push(h.cell(name, PrefetchSetup::Hw8x8));
+        for s in sizes {
+            spec.push(h.cell_cfg(name, sized_cfg(s)));
+        }
+        spec.push(h.cell_cfg(name, bigger_l1_cfg.clone()));
+    }
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("fig8")
+        .title("Figure 8: average speedup vs DLT size (self-repairing over hw-8x8)");
+    for s in sizes {
+        rep = rep.col(s.to_string(), 9);
+    }
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for name in suite() {
+        let base = h.arm(name, PrefetchSetup::Hw8x8);
+        let cells: Vec<String> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let sp = h.cfg(name, &sized_cfg(s)).speedup_over(&base);
+                per_size[i].push(sp);
+                pct(sp)
+            })
+            .collect();
+        rep.row(*name, cells);
+    }
+    rep.footer("geomean", per_size.iter().map(|col| pct(geomean(col))));
+
+    let dlt_bits = Dlt::new(tdo_core::DltConfig::paper_baseline()).state_bits();
+    let mut speedups = Vec::new();
+    for name in suite() {
+        let base = h.arm(name, PrefetchSetup::Hw8x8);
+        let bigger = h.cfg(name, &bigger_l1_cfg);
         speedups.push(bigger.speedup_over(&base));
     }
-    println!("bigger-L1 speedup over baseline (geomean): {}", pct(geomean(&speedups)));
-    println!("\npaper: performance saturates around 1024 DLT entries; dot and parser");
-    println!("       benefit most from larger tables; the same bits as L1 capacity");
-    println!("       buy only ~0.8% (Fig. 8 and section 5.4).");
+    rep.note(format!(
+        "Section 5.4: DLT+watch bits (~{} KB) reinvested as L1 capacity",
+        dlt_bits / 8 / 1024
+    ));
+    rep.note(format!("bigger-L1 speedup over baseline (geomean): {}", pct(geomean(&speedups))));
+    rep.note("");
+    rep.note("paper: performance saturates around 1024 DLT entries; dot and parser");
+    rep.note("       benefit most from larger tables; the same bits as L1 capacity");
+    rep.note("       buy only ~0.8% (Fig. 8 and section 5.4).");
+    h.emit(&rep);
 }

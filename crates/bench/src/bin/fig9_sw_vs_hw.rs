@@ -1,27 +1,39 @@
 //! Figure 9: software self-repairing prefetching vs hardware prefetching,
 //! each alone, relative to a machine with no prefetching at all.
 
-use tdo_bench::{geomean, pct, run_arm, suite, HarnessOpts};
-use tdo_sim::PrefetchSetup;
+use tdo_bench::{geomean, pct, suite, Harness};
+use tdo_sim::{ExperimentSpec, PrefetchSetup, Report};
+
+const ARMS: [PrefetchSetup; 3] =
+    [PrefetchSetup::NoPrefetch, PrefetchSetup::Hw8x8, PrefetchSetup::SwOnlySelfRepair];
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    println!("Figure 9: prefetching alone — software (self-repairing) vs hardware (8x8)");
-    println!("{:<10} {:>14} {:>14}", "workload", "hw over none", "sw over none");
-    println!("{}", "-".repeat(40));
+    let h = Harness::from_args();
+    let mut spec = ExperimentSpec::new();
+    for name in suite() {
+        for arm in ARMS {
+            spec.push(h.cell(name, arm));
+        }
+    }
+    let _ = h.run(&spec);
+
+    let mut rep = Report::new("fig9")
+        .title("Figure 9: prefetching alone — software (self-repairing) vs hardware (8x8)")
+        .col("hw over none", 14)
+        .col("sw over none", 14);
     let (mut hw, mut sw) = (Vec::new(), Vec::new());
     for name in suite() {
-        let none = run_arm(name, PrefetchSetup::NoPrefetch, &opts);
-        let hw88 = run_arm(name, PrefetchSetup::Hw8x8, &opts);
-        let swonly = run_arm(name, PrefetchSetup::SwOnlySelfRepair, &opts);
+        let none = h.arm(name, PrefetchSetup::NoPrefetch);
+        let hw88 = h.arm(name, PrefetchSetup::Hw8x8);
+        let swonly = h.arm(name, PrefetchSetup::SwOnlySelfRepair);
         let (rh, rs) = (hw88.speedup_over(&none), swonly.speedup_over(&none));
         hw.push(rh);
         sw.push(rs);
-        println!("{:<10} {:>14} {:>14}", name, pct(rh), pct(rs));
+        rep.row(*name, [pct(rh), pct(rs)]);
     }
-    println!("{}", "-".repeat(40));
-    println!("{:<10} {:>14} {:>14}", "geomean", pct(geomean(&hw)), pct(geomean(&sw)));
-    println!("\npaper: software prefetching alone beats hardware alone on most");
-    println!("       benchmarks (~11% more speedup on average), except dot, equake");
-    println!("       and swim where coverage or short strides favour hardware (Fig. 9).");
+    rep.footer("geomean", [pct(geomean(&hw)), pct(geomean(&sw))]);
+    rep.note("paper: software prefetching alone beats hardware alone on most");
+    rep.note("       benchmarks (~11% more speedup on average), except dot, equake");
+    rep.note("       and swim where coverage or short strides favour hardware (Fig. 9).");
+    h.emit(&rep);
 }

@@ -1,24 +1,51 @@
 //! Table 1: the baseline SMT processor configuration.
 
+use tdo_bench::HarnessOpts;
 use tdo_cpu::CpuConfig;
 use tdo_mem::MemConfig;
 
 fn main() {
+    // Static configuration dump: flags are validated but have no effect.
+    let _ = HarnessOpts::from_args();
     let cpu = CpuConfig::paper_baseline();
     let mem = MemConfig::paper_baseline();
     println!("Table 1: baseline SMT processor configuration");
     println!("---------------------------------------------");
-    println!("Pipeline            20-stage (mispredict refill {} cycles), 2 hardware contexts", cpu.mispredict_penalty);
-    println!("Issue bandwidth     {} instructions/cycle ({} loads/stores, {} FP)",
-        cpu.issue_width, cpu.mem_ports, cpu.fp_units);
+    println!(
+        "Pipeline            20-stage (mispredict refill {} cycles), 2 hardware contexts",
+        cpu.mispredict_penalty
+    );
+    println!(
+        "Issue bandwidth     {} instructions/cycle ({} loads/stores, {} FP)",
+        cpu.issue_width, cpu.mem_ports, cpu.fp_units
+    );
     println!("Branch predictor    gshare 64K + bimodal 16K + 64K meta chooser");
-    println!("L1 size & latency   {} KB {}-way, {} cycles", mem.l1.size_bytes >> 10, mem.l1.assoc, mem.l1.latency);
-    println!("L2 size & latency   {} KB {}-way, {} cycles", mem.l2.size_bytes >> 10, mem.l2.assoc, mem.l2.latency);
-    println!("L3 size & latency   {} MB {}-way, {} cycles", mem.l3.size_bytes >> 20, mem.l3.assoc, mem.l3.latency);
-    println!("Memory latency      {} cycles (bus occupancy {}/line, {} MSHRs)",
-        mem.mem_latency, mem.bus_occupancy, mem.mshrs);
+    println!(
+        "L1 size & latency   {} KB {}-way, {} cycles",
+        mem.l1.size_bytes >> 10,
+        mem.l1.assoc,
+        mem.l1.latency
+    );
+    println!(
+        "L2 size & latency   {} KB {}-way, {} cycles",
+        mem.l2.size_bytes >> 10,
+        mem.l2.assoc,
+        mem.l2.latency
+    );
+    println!(
+        "L3 size & latency   {} MB {}-way, {} cycles",
+        mem.l3.size_bytes >> 20,
+        mem.l3.assoc,
+        mem.l3.latency
+    );
+    println!(
+        "Memory latency      {} cycles (bus occupancy {}/line, {} MSHRs)",
+        mem.mem_latency, mem.bus_occupancy, mem.mshrs
+    );
     let sb = mem.stream.expect("baseline has stream buffers");
-    println!("Stream buffers      {} buffers x {} entries, {}-entry history table",
-        sb.buffers, sb.entries_per_buffer, sb.history_entries);
+    println!(
+        "Stream buffers      {} buffers x {} entries, {}-entry history table",
+        sb.buffers, sb.entries_per_buffer, sb.history_entries
+    );
     println!("Helper thread       {}-cycle startup latency", cpu.helper_startup_cycles);
 }

@@ -1,9 +1,12 @@
 //! Table 2: the Trident hardware monitoring structures.
 
+use tdo_bench::HarnessOpts;
 use tdo_core::DltConfig;
 use tdo_trident::{ProfilerConfig, WatchConfig};
 
 fn main() {
+    // Static configuration dump: flags are validated but have no effect.
+    let _ = HarnessOpts::from_args();
     let p = ProfilerConfig::paper_baseline();
     let w = WatchConfig::paper_baseline();
     let d = DltConfig::paper_baseline();

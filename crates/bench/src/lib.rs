@@ -5,28 +5,107 @@
 //! or series the paper reports, so `cargo run -p tdo-bench --bin fig5_speedup`
 //! regenerates the paper's Figure 5 on the simulated system.
 //!
-//! All binaries accept `--quick` to run at test scale (smaller working sets
-//! and windows against the scaled-down hierarchy) for a fast sanity pass;
-//! without it they run the full paper configuration.
+//! All binaries run on the shared experiment engine ([`tdo_sim::Runner`]):
+//! they declare their cells as an [`ExperimentSpec`], the engine simulates
+//! the unique cells across worker threads (memoizing results, so arms shared
+//! between sections are computed once), and the rows render through the
+//! common [`Report`] layer.
+//!
+//! Common flags, parsed strictly (unknown flags are an error):
+//!
+//! * `--quick` — run at test scale (smaller working sets and windows against
+//!   the scaled-down hierarchy) for a fast sanity pass; without it the full
+//!   paper configuration runs.
+//! * `--jobs N` — simulate up to `N` cells in parallel (default: one per
+//!   hardware thread). Output is byte-identical regardless of `N`.
+//! * `--format {table,csv,json}` — rendering of the result rows.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use tdo_sim::{run, PrefetchSetup, SimConfig, SimResult};
-use tdo_workloads::{build, names, Scale, Workload};
+use std::sync::Arc;
+
+use tdo_sim::{Cell, ExperimentSpec, Format, PrefetchSetup, Report, Runner, SimConfig, SimResult};
+use tdo_workloads::{names, Scale};
 
 /// Harness options parsed from the command line.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HarnessOpts {
     /// Run at test scale for a fast pass.
     pub quick: bool,
+    /// Worker threads for the engine (`0` = one per hardware thread).
+    pub jobs: usize,
+    /// Requested output format, if any (`None` = the binary's default).
+    pub format: Option<Format>,
 }
 
+/// Usage text shared by every harness binary.
+pub const USAGE: &str = "options:
+  --quick            run at test scale (fast sanity pass)
+  --jobs N           simulate up to N cells in parallel (0 = all cores)
+  --format FORMAT    output format: table, csv or json
+  --help             show this help";
+
 impl HarnessOpts {
-    /// Parses `--quick` from `std::env::args`.
+    /// Parses harness flags from an argument list (without the program
+    /// name). Rejects unknown flags, missing values and malformed values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending argument.
+    pub fn parse<I>(args: I) -> Result<HarnessOpts, String>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut opts = HarnessOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let arg = arg.as_ref();
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f, Some(v.to_string())),
+                None => (arg, None),
+            };
+            let value = |it: &mut I::IntoIter| -> Result<String, String> {
+                match inline.clone() {
+                    Some(v) => Ok(v),
+                    None => it
+                        .next()
+                        .map(|v| v.as_ref().to_string())
+                        .ok_or_else(|| format!("`{flag}` needs a value")),
+                }
+            };
+            match flag {
+                "--quick" if inline.is_none() => opts.quick = true,
+                "--jobs" => {
+                    let v = value(&mut it)?;
+                    opts.jobs = v.parse().map_err(|_| format!("invalid `--jobs` value `{v}`"))?;
+                }
+                "--format" => {
+                    opts.format = Some(value(&mut it)?.parse()?);
+                }
+                _ => return Err(format!("unknown option `{arg}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses `std::env::args`, printing usage and exiting on bad flags or
+    /// `--help`.
     #[must_use]
     pub fn from_args() -> HarnessOpts {
-        HarnessOpts { quick: std::env::args().any(|a| a == "--quick") }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        match HarnessOpts::parse(&args) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// The workload scale implied by the options.
@@ -48,30 +127,81 @@ impl HarnessOpts {
             SimConfig::paper(setup)
         }
     }
+
+    /// The output format, with a per-binary default.
+    #[must_use]
+    pub fn format_or(&self, dflt: Format) -> Format {
+        self.format.unwrap_or(dflt)
+    }
 }
 
-/// Builds the named workload at the harness scale.
-///
-/// # Panics
-///
-/// Panics on unknown names (harness binaries use the fixed suite).
-#[must_use]
-pub fn workload(name: &str, opts: &HarnessOpts) -> Workload {
-    build(name, opts.scale()).unwrap_or_else(|| panic!("unknown workload {name}"))
+/// A harness: parsed options plus the memoizing parallel engine.
+pub struct Harness {
+    /// The parsed command-line options.
+    pub opts: HarnessOpts,
+    runner: Runner,
 }
 
-/// Runs one workload under one arm.
-#[must_use]
-pub fn run_arm(name: &str, setup: PrefetchSetup, opts: &HarnessOpts) -> SimResult {
-    let w = workload(name, opts);
-    run(&w, &opts.config(setup))
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness::new(HarnessOpts::default())
+    }
 }
 
-/// Runs one workload under a custom configuration.
-#[must_use]
-pub fn run_cfg(name: &str, cfg: &SimConfig, opts: &HarnessOpts) -> SimResult {
-    let w = workload(name, opts);
-    run(&w, cfg)
+impl Harness {
+    /// Creates a harness over explicit options.
+    #[must_use]
+    pub fn new(opts: HarnessOpts) -> Harness {
+        Harness { opts, runner: Runner::new(opts.jobs) }
+    }
+
+    /// Creates a harness from `std::env::args` (exits on bad flags).
+    #[must_use]
+    pub fn from_args() -> Harness {
+        Harness::new(HarnessOpts::from_args())
+    }
+
+    /// A cell for one workload under one standard arm, at the harness scale.
+    #[must_use]
+    pub fn cell(&self, name: &str, setup: PrefetchSetup) -> Cell {
+        self.cell_cfg(name, self.opts.config(setup))
+    }
+
+    /// A cell for one workload under a custom configuration.
+    #[must_use]
+    pub fn cell_cfg(&self, name: &str, cfg: SimConfig) -> Cell {
+        Cell::new(name, self.opts.scale(), cfg)
+    }
+
+    /// Simulates every cell of a spec in parallel (memoized); later
+    /// [`Harness::arm`]/[`Harness::cfg`] calls for the same cells are cache
+    /// hits.
+    pub fn run(&self, spec: &ExperimentSpec) -> Vec<Arc<SimResult>> {
+        self.runner.run_spec(spec)
+    }
+
+    /// Result for one workload under one standard arm (memoized).
+    #[must_use]
+    pub fn arm(&self, name: &str, setup: PrefetchSetup) -> Arc<SimResult> {
+        self.runner.run_cell(&self.cell(name, setup))
+    }
+
+    /// Result for one workload under a custom configuration (memoized).
+    #[must_use]
+    pub fn cfg(&self, name: &str, cfg: &SimConfig) -> Arc<SimResult> {
+        self.runner.run_cell(&self.cell_cfg(name, cfg.clone()))
+    }
+
+    /// Prints a report in the harness format (default: aligned table).
+    pub fn emit(&self, report: &Report) {
+        print!("{}", report.render(self.opts.format_or(Format::Table)));
+    }
+
+    /// The underlying engine.
+    #[must_use]
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
 }
 
 /// The benchmark suite in the paper's order.
@@ -97,25 +227,6 @@ pub fn mean(xs: &[f64]) -> f64 {
     } else {
         xs.iter().sum::<f64>() / xs.len() as f64
     }
-}
-
-/// Prints a table header: workload column plus the given value columns.
-pub fn print_header(cols: &[&str]) {
-    print!("{:<10}", "workload");
-    for c in cols {
-        print!(" {c:>12}");
-    }
-    println!();
-    println!("{}", "-".repeat(10 + cols.len() * 13));
-}
-
-/// Prints one row of f64 values with a formatter.
-pub fn print_row(name: &str, values: &[f64], fmt: impl Fn(f64) -> String) {
-    print!("{name:<10}");
-    for v in values {
-        print!(" {:>12}", fmt(*v));
-    }
-    println!();
 }
 
 /// Formats a ratio as a percent delta ("+23.4%").
@@ -145,5 +256,25 @@ mod tests {
     fn formatting() {
         assert_eq!(pct(1.234), "+23.4%");
         assert_eq!(frac(0.5), "50.0%");
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = HarnessOpts::parse(["--quick", "--jobs", "4", "--format", "csv"]).unwrap();
+        assert_eq!(o, HarnessOpts { quick: true, jobs: 4, format: Some(Format::Csv) });
+        let o = HarnessOpts::parse(["--jobs=2", "--format=json"]).unwrap();
+        assert_eq!(o, HarnessOpts { quick: false, jobs: 2, format: Some(Format::Json) });
+        assert_eq!(HarnessOpts::parse(Vec::<String>::new()).unwrap(), HarnessOpts::default());
+    }
+
+    #[test]
+    fn flags_reject_garbage() {
+        assert!(HarnessOpts::parse(["--qick"]).is_err());
+        assert!(HarnessOpts::parse(["--jobs"]).is_err());
+        assert!(HarnessOpts::parse(["--jobs", "many"]).is_err());
+        assert!(HarnessOpts::parse(["--format", "yaml"]).is_err());
+        assert!(HarnessOpts::parse(["--quick=1"]).is_err());
+        assert!(HarnessOpts::parse(["extra"]).is_err());
+        assert!(HarnessOpts::parse(["-q"]).is_err());
     }
 }

@@ -3,15 +3,21 @@
 //! ```text
 //! tdo list                         # workloads and their characterizations
 //! tdo run mcf --arm sr --full      # one run, summary report
-//! tdo compare art                  # every arm side by side
+//! tdo compare art --jobs 4        # every arm side by side, in parallel
 //! tdo disasm gap | head            # workload disassembly
 //! tdo traces mcf --arm sr          # installed hot traces after a run
 //! ```
+//!
+//! `run` and `compare` execute through the shared experiment engine
+//! ([`tdo_sim::Runner`]): `compare` simulates all arms across `--jobs`
+//! worker threads, and repeated cells within one invocation are memoized.
 
 use std::process::ExitCode;
 
 use tdo_isa::{decode, INST_BYTES};
-use tdo_sim::{Machine, PrefetchSetup, SimConfig, SimResult};
+use tdo_sim::{
+    Cell, ExperimentSpec, Format, Machine, PrefetchSetup, Report, Runner, SimConfig, SimResult,
+};
 use tdo_trident::TraceOp;
 use tdo_workloads::{build, names, Scale, Workload};
 
@@ -29,7 +35,9 @@ fn usage() -> ExitCode {
          options:\n\
          \x20 --arm <none|hw4x4|hw8x8|basic|whole|sr|swonly>   (default sr)\n\
          \x20 --full                    paper-scale run (default: test scale)\n\
-         \x20 --insts <N>               measured original instructions"
+         \x20 --insts <N>               measured original instructions\n\
+         \x20 --jobs <N>                parallel simulations (0 = all cores)\n\
+         \x20 --format <table|csv|json> result rendering (default table)"
     );
     ExitCode::FAILURE
 }
@@ -38,10 +46,18 @@ struct Opts {
     arm: PrefetchSetup,
     full: bool,
     insts: Option<u64>,
+    jobs: usize,
+    format: Format,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut o = Opts { arm: PrefetchSetup::SwSelfRepair, full: false, insts: None };
+    let mut o = Opts {
+        arm: PrefetchSetup::SwSelfRepair,
+        full: false,
+        insts: None,
+        jobs: 0,
+        format: Format::Table,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -63,10 +79,26 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--insts needs a value")?;
                 o.insts = Some(v.parse().map_err(|_| format!("bad --insts `{v}`"))?);
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                o.jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                o.format = v.parse()?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(o)
+}
+
+fn scale(o: &Opts) -> Scale {
+    if o.full {
+        Scale::Full
+    } else {
+        Scale::Test
+    }
 }
 
 fn load_workload(name: &str, full: bool) -> Result<Workload, String> {
@@ -74,8 +106,8 @@ fn load_workload(name: &str, full: bool) -> Result<Workload, String> {
     build(name, scale).ok_or_else(|| format!("unknown workload `{name}`; try `tdo list`"))
 }
 
-fn config(o: &Opts) -> SimConfig {
-    let mut cfg = if o.full { SimConfig::paper(o.arm) } else { SimConfig::test(o.arm) };
+fn config(o: &Opts, arm: PrefetchSetup) -> SimConfig {
+    let mut cfg = if o.full { SimConfig::paper(arm) } else { SimConfig::test(arm) };
     if let Some(n) = o.insts {
         cfg.measure_insts = n;
     }
@@ -116,6 +148,30 @@ fn report(r: &SimResult) {
     );
 }
 
+/// The run summary as a machine-readable report (csv/json modes).
+fn metrics_report(name: &str, arm: PrefetchSetup, r: &SimResult) -> Report {
+    let mut rep = Report::new("run").key("metric", 18).col("value", 12);
+    let b = r.load_breakdown();
+    for (metric, value) in [
+        ("workload", name.to_string()),
+        ("arm", format!("{arm:?}")),
+        ("cycles", r.cycles.to_string()),
+        ("orig_insts", r.orig_insts.to_string()),
+        ("ipc", format!("{:.5}", r.ipc())),
+        ("helper_active_frac", format!("{:.5}", r.helper_active_fraction())),
+        ("hits", format!("{:.5}", b[0])),
+        ("hit_prefetched", format!("{:.5}", b[1])),
+        ("partial", format!("{:.5}", b[2])),
+        ("miss", format!("{:.5}", b[3])),
+        ("miss_by_prefetch", format!("{:.5}", b[4])),
+        ("miss_in_traces_frac", format!("{:.5}", r.miss_coverage_by_traces())),
+        ("miss_prefetched_frac", format!("{:.5}", r.miss_coverage_by_prefetcher())),
+    ] {
+        rep.row(metric, [value]);
+    }
+    rep
+}
+
 fn cmd_list() -> ExitCode {
     for name in names() {
         let w = build(name, Scale::Test).expect("suite workload");
@@ -125,30 +181,41 @@ fn cmd_list() -> ExitCode {
 }
 
 fn cmd_run(name: &str, o: &Opts) -> Result<ExitCode, String> {
-    let w = load_workload(name, o.full)?;
-    println!("{name} under {:?} ({}):", o.arm, if o.full { "full scale" } else { "test scale" });
-    let r = tdo_sim::run(&w, &config(o));
-    report(&r);
+    load_workload(name, o.full)?; // validate the name up front
+    let runner = Runner::new(o.jobs);
+    let r = runner.run_cell(&Cell::new(name, scale(o), config(o, o.arm)));
+    if o.format == Format::Table {
+        println!(
+            "{name} under {:?} ({}):",
+            o.arm,
+            if o.full { "full scale" } else { "test scale" }
+        );
+        report(&r);
+    } else {
+        print!("{}", metrics_report(name, o.arm, &r).render(o.format));
+    }
     Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_compare(name: &str, o: &Opts) -> Result<ExitCode, String> {
-    let w = load_workload(name, o.full)?;
-    println!("{:<18} {:>10} {:>10}", "arm", "IPC", "vs hw8x8");
-    let base = tdo_sim::run(&w, &config(&Opts { arm: PrefetchSetup::Hw8x8, ..*o }));
+    load_workload(name, o.full)?;
+    let runner = Runner::new(o.jobs);
+    let mut spec = ExperimentSpec::new();
     for arm in PrefetchSetup::ALL {
-        let r = if arm == PrefetchSetup::Hw8x8 {
-            base.clone()
-        } else {
-            tdo_sim::run(&w, &config(&Opts { arm, ..*o }))
-        };
-        println!(
-            "{:<18} {:>10.4} {:>9.1}%",
+        spec.push(Cell::new(name, scale(o), config(o, arm)));
+    }
+    let _ = runner.run_spec(&spec);
+
+    let base = runner.run_cell(&Cell::new(name, scale(o), config(o, PrefetchSetup::Hw8x8)));
+    let mut rep = Report::new("compare").key("arm", 18).col("IPC", 10).col("vs hw8x8", 10).rule(0);
+    for arm in PrefetchSetup::ALL {
+        let r = runner.run_cell(&Cell::new(name, scale(o), config(o, arm)));
+        rep.row(
             format!("{arm:?}"),
-            r.ipc(),
-            (r.speedup_over(&base) - 1.0) * 100.0
+            [format!("{:.4}", r.ipc()), format!("{:>9.1}%", (r.speedup_over(&base) - 1.0) * 100.0)],
         );
     }
+    print!("{}", rep.render(o.format));
     Ok(ExitCode::SUCCESS)
 }
 
@@ -166,7 +233,7 @@ fn cmd_disasm(name: &str, o: &Opts) -> Result<ExitCode, String> {
 
 fn cmd_traces(name: &str, o: &Opts) -> Result<ExitCode, String> {
     let w = load_workload(name, o.full)?;
-    let machine = Machine::new(&w, config(o));
+    let machine = Machine::new(&w, config(o, o.arm));
     let mut dumped = false;
     let r = machine.run_with_inspect(&mut |m| {
         for id in m.installed_traces() {
@@ -196,8 +263,12 @@ fn cmd_traces(name: &str, o: &Opts) -> Result<ExitCode, String> {
     if !dumped {
         println!("(no traces installed)");
     }
-    println!();
-    report(&r);
+    if o.format == Format::Table {
+        println!();
+        report(&r);
+    } else {
+        print!("{}", metrics_report(name, o.arm, &r).render(o.format));
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -112,9 +112,7 @@ fn code_stride_of(trace: &Trace, reg: Reg) -> Option<i64> {
         stride = match inst {
             Inst::Lda { ra, rb, imm } if ra == reg && rb == reg => Some(imm),
             Inst::OpImm { op: AluOp::Add, ra, imm, rc } if ra == reg && rc == reg => Some(imm),
-            Inst::OpImm { op: AluOp::Sub, ra, imm, rc } if ra == reg && rc == reg => {
-                Some(-imm)
-            }
+            Inst::OpImm { op: AluOp::Sub, ra, imm, rc } if ra == reg && rc == reg => Some(-imm),
             _ => None,
         };
     }
@@ -183,10 +181,7 @@ pub fn classify(trace: &Trace, dlt: &Dlt, cc_pc_of: impl Fn(usize) -> u64) -> Cl
         let pc = cc_pc_of(li.index);
         li.delinquent = dlt.is_delinquent(pc);
         let code_stride = code_stride_of(trace, li.base);
-        let hw_stride = dlt
-            .snapshot(pc)
-            .filter(|s| s.stride_predictable)
-            .map(|s| s.stride);
+        let hw_stride = dlt.snapshot(pc).filter(|s| s.stride_predictable).map(|s| s.stride);
         li.is_pointer = is_pointer_load(trace, li.index, li.dest);
         li.class = if let Some(s) = code_stride.or(hw_stride) {
             LoadClass::Stride { stride: s }
@@ -234,9 +229,10 @@ pub fn classify(trace: &Trace, dlt: &Dlt, cc_pc_of: impl Fn(usize) -> u64) -> Cl
         g.pointer_base = loads.iter().any(|other| {
             other.dest == g.base
                 && matches!(other.class, LoadClass::Pointer | LoadClass::Stride { .. })
-        }) || trace.insts.iter().any(|ti| {
-            matches!(ti.op, TraceOp::Real(Inst::Load { ra, .. }) if ra == g.base)
-        });
+        }) || trace
+            .insts
+            .iter()
+            .any(|ti| matches!(ti.op, TraceOp::Real(Inst::Load { ra, .. }) if ra == g.base));
     }
 
     Classification { loads, groups }

@@ -72,7 +72,8 @@ impl DltConfig {
     /// paper quotes (miss threshold = window × rate).
     #[must_use]
     pub fn with_window(self, window: u32, miss_rate_percent: f64) -> DltConfig {
-        let miss_threshold = ((f64::from(window) * miss_rate_percent / 100.0).round() as u32).max(1);
+        let miss_threshold =
+            ((f64::from(window) * miss_rate_percent / 100.0).round() as u32).max(1);
         DltConfig { window, miss_threshold, ..self }
     }
 }
@@ -251,9 +252,7 @@ impl Dlt {
     #[must_use]
     pub fn snapshot(&self, pc: u64) -> Option<LoadSnapshot> {
         let base = self.set_base(pc);
-        let e = self.sets[base..base + self.cfg.assoc]
-            .iter()
-            .find(|e| e.valid && e.tag == pc)?;
+        let e = self.sets[base..base + self.cfg.assoc].iter().find(|e| e.valid && e.tag == pc)?;
         (e.accesses >= self.cfg.partial_min_accesses).then(|| LoadSnapshot {
             accesses: e.accesses,
             misses: e.misses,
@@ -283,9 +282,8 @@ impl Dlt {
     /// Helper-thread window clear after an optimization touched `pc`.
     pub fn clear_window(&mut self, pc: u64) {
         let base = self.set_base(pc);
-        if let Some(e) = self.sets[base..base + self.cfg.assoc]
-            .iter_mut()
-            .find(|e| e.valid && e.tag == pc)
+        if let Some(e) =
+            self.sets[base..base + self.cfg.assoc].iter_mut().find(|e| e.valid && e.tag == pc)
         {
             e.accesses = 0;
             e.misses = 0;
@@ -297,9 +295,8 @@ impl Dlt {
     /// Sets the mature flag for `pc` (unrepairable or repair budget spent).
     pub fn set_mature(&mut self, pc: u64) {
         let base = self.set_base(pc);
-        if let Some(e) = self.sets[base..base + self.cfg.assoc]
-            .iter_mut()
-            .find(|e| e.valid && e.tag == pc)
+        if let Some(e) =
+            self.sets[base..base + self.cfg.assoc].iter_mut().find(|e| e.valid && e.tag == pc)
         {
             e.mature = true;
             e.pending = false;
@@ -325,9 +322,7 @@ impl Dlt {
     #[must_use]
     pub fn is_mature(&self, pc: u64) -> bool {
         let base = self.set_base(pc);
-        self.sets[base..base + self.cfg.assoc]
-            .iter()
-            .any(|e| e.valid && e.tag == pc && e.mature)
+        self.sets[base..base + self.cfg.assoc].iter().any(|e| e.valid && e.tag == pc && e.mature)
     }
 
     /// Total hardware state in bits — used for the paper's §5.4 experiment

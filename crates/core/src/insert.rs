@@ -127,12 +127,8 @@ pub fn plan_insertion(
     if opts.same_object {
         for g in &class.groups {
             let Some(stride) = g.stride else { continue };
-            let members: Vec<usize> = g
-                .members
-                .iter()
-                .copied()
-                .filter(|&m| class.loads[m].delinquent)
-                .collect();
+            let members: Vec<usize> =
+                g.members.iter().copied().filter(|&m| class.loads[m].delinquent).collect();
             if members.is_empty() {
                 continue;
             }
@@ -142,11 +138,8 @@ pub fn plan_insertion(
                 .min_by_key(|&m| trace.insts[class.loads[m].index].orig_pc)
                 .expect("non-empty");
             let distance = (opts.distance_of)(rep).max(1);
-            let group_anchor = members
-                .iter()
-                .map(|&m| class.loads[m].index)
-                .min()
-                .expect("non-empty");
+            let group_anchor =
+                members.iter().map(|&m| class.loads[m].index).min().expect("non-empty");
             let Some(stride32) = clamp_i32(stride) else { continue };
             // Each cache block's prefetch is anchored just before the first
             // member load touching that block, spreading a wide group's
@@ -314,17 +307,18 @@ pub fn plan_insertion(
             LoadClass::Stride { stride } => (li.base, Some(li.off), stride),
             _ => (li.dest, None, 0),
         };
-        let distance = if deref_base_off.is_some() {
-            u8::max((opts.distance_of)(li_idx), 1)
-        } else {
-            0
-        };
+        let distance =
+            if deref_base_off.is_some() { u8::max((opts.distance_of)(li_idx), 1) } else { 0 };
         let deref_off = match deref_base_off {
             Some(base_off) => base_off + jp_stride * i64::from(distance),
             None => li.off,
         };
-        let mut emitted =
-            vec![Inst::Load { ra: rt, rb: deref_base, off: deref_off, kind: LoadKind::NonFaulting }];
+        let mut emitted = vec![Inst::Load {
+            ra: rt,
+            rb: deref_base,
+            off: deref_off,
+            kind: LoadKind::NonFaulting,
+        }];
         let mut covered_pcs = Vec::new();
         if needs_self {
             covered_pcs.push(trace.insts[li.index].orig_pc);
@@ -471,9 +465,18 @@ mod tests {
             id: TraceId(0),
             head: 0x1000,
             insts: vec![
-                ti(TraceOp::Real(Inst::Load { ra: r(2), rb: r(1), off: 0, kind: LoadKind::Int }), 0x1000),
-                ti(TraceOp::Real(Inst::Load { ra: r(3), rb: r(1), off: 8, kind: LoadKind::Int }), 0x1008),
-                ti(TraceOp::Real(Inst::Load { ra: r(4), rb: r(1), off: 80, kind: LoadKind::Int }), 0x1010),
+                ti(
+                    TraceOp::Real(Inst::Load { ra: r(2), rb: r(1), off: 0, kind: LoadKind::Int }),
+                    0x1000,
+                ),
+                ti(
+                    TraceOp::Real(Inst::Load { ra: r(3), rb: r(1), off: 8, kind: LoadKind::Int }),
+                    0x1008,
+                ),
+                ti(
+                    TraceOp::Real(Inst::Load { ra: r(4), rb: r(1), off: 80, kind: LoadKind::Int }),
+                    0x1010,
+                ),
                 ti(TraceOp::Real(Inst::Lda { ra: r(1), rb: r(1), imm: 96 }), 0x1018),
                 ti(TraceOp::CondExit { cond: Cond::Eq, ra: r(5), to: 0x2000 }, 0x1020),
                 ti(TraceOp::LoopBack, 0x1028),
@@ -536,7 +539,10 @@ mod tests {
             id: TraceId(1),
             head: 0x1000,
             insts: vec![
-                ti(TraceOp::Real(Inst::Load { ra: r(1), rb: r(1), off: 8, kind: LoadKind::Int }), 0x1000),
+                ti(
+                    TraceOp::Real(Inst::Load { ra: r(1), rb: r(1), off: 8, kind: LoadKind::Int }),
+                    0x1000,
+                ),
                 ti(TraceOp::CondExit { cond: Cond::Eq, ra: r(1), to: 0x2000 }, 0x1008),
                 ti(TraceOp::LoopBack, 0x1010),
             ],
@@ -589,7 +595,10 @@ mod tests {
             id: TraceId(2),
             head: 0x1000,
             insts: vec![
-                ti(TraceOp::Real(Inst::Load { ra: r(1), rb: r(1), off: 8, kind: LoadKind::Int }), 0x1000),
+                ti(
+                    TraceOp::Real(Inst::Load { ra: r(1), rb: r(1), off: 8, kind: LoadKind::Int }),
+                    0x1000,
+                ),
                 ti(TraceOp::LoopBack, 0x1008),
             ],
             is_loop: true,

@@ -45,6 +45,5 @@ pub use classify::{classify, Classification, LoadClass, LoadInfo, ObjectGroup};
 pub use dlt::{Dlt, DltConfig, DltEntry, LoadSnapshot};
 pub use insert::{plan_insertion, GroupKind, InsertOptions, InsertionPlan, PlannedGroup};
 pub use optimizer::{
-    GroupState, OptimizerConfig, OptimizerStats, PrefetchOptimizer, PreparedAction,
-    SwPrefetchMode,
+    GroupState, OptimizerConfig, OptimizerStats, PrefetchOptimizer, PreparedAction, SwPrefetchMode,
 };

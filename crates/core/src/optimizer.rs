@@ -236,12 +236,10 @@ impl PrefetchOptimizer {
         // Max distance = memory access latency / trace minimal execution
         // time (paper §3.5.2). Before any measurement, fall back to an
         // estimate from the trace length at one instruction per cycle.
-        let min_time = trident.watch.min_exec_time(trace).unwrap_or_else(|| {
-            trident
-                .trace(trace)
-                .map_or(16, |t| t.insts.len() as u64)
-                .max(1)
-        });
+        let min_time = trident
+            .watch
+            .min_exec_time(trace)
+            .unwrap_or_else(|| trident.trace(trace).map_or(16, |t| t.insts.len() as u64).max(1));
         let d = (self.cfg.mem_latency / min_time.max(1)).clamp(1, 255) as u8;
         (d, min_time)
     }
@@ -267,8 +265,7 @@ impl PrefetchOptimizer {
             }
         }
 
-        let use_estimate =
-            self.cfg.estimated_initial_distance || !self.cfg.mode.repairs();
+        let use_estimate = self.cfg.estimated_initial_distance || !self.cfg.mode.repairs();
         // Estimated initial distance (eq. 2): average miss latency divided
         // by the trace's iteration time, per load, from DLT snapshots.
         let cc_of: Vec<u64> = (0..trace.insts.len()).map(|i| trace.cc_pc(i)).collect();
@@ -280,9 +277,7 @@ impl PrefetchOptimizer {
                 return 1;
             }
             let pc = cc_of[loads[li].index];
-            let avg = dlt_ref
-                .snapshot(pc)
-                .map_or(mem_latency as f64, |s| s.avg_miss_latency);
+            let avg = dlt_ref.snapshot(pc).map_or(mem_latency as f64, |s| s.avg_miss_latency);
             let d = (avg / iter_time.max(1) as f64).ceil();
             (d as u64).clamp(1, u64::from(max_dist)) as u8
         };
@@ -392,11 +387,7 @@ impl PrefetchOptimizer {
         // Improve → keep increasing; worsen → back off one step. A small
         // tolerance keeps measurement noise (bus contention, window
         // alignment) from ping-ponging the distance.
-        let prev = state
-            .prev_avg_latency
-            .iter()
-            .find(|(pc, _)| *pc == orig_pc)
-            .map(|(_, l)| *l);
+        let prev = state.prev_avg_latency.iter().find(|(pc, _)| *pc == orig_pc).map(|(_, l)| *l);
         let increase = match prev {
             None => true,
             Some(prev) => avg_access <= prev * 1.02,
@@ -463,8 +454,8 @@ impl PrefetchOptimizer {
                 }) => {
                     if let Some((base_off, stride)) = deref {
                         let off = base_off + stride * i64::from(new_distance);
-                        let word = encode(&Inst::Load { ra, rb, off, kind })
-                            .expect("deref offset fits");
+                        let word =
+                            encode(&Inst::Load { ra, rb, off, kind }).expect("deref offset fits");
                         patches.push((i, word));
                     }
                 }

@@ -98,7 +98,8 @@ fn load_indices(trident: &Trident, trace: TraceId) -> Vec<usize> {
 fn first_event_inserts_prefetches_into_a_replacement_trace() {
     let (mut trident, code, trace) = setup();
     let mut dlt = small_dlt();
-    let mut opt = PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
+    let mut opt =
+        PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
 
     let loads = load_indices(&trident, trace);
     assert_eq!(loads.len(), 2);
@@ -143,7 +144,8 @@ fn first_event_inserts_prefetches_into_a_replacement_trace() {
 fn repair_walks_distance_up_while_latency_improves() {
     let (mut trident, code, trace) = setup();
     let mut dlt = small_dlt();
-    let mut opt = PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
+    let mut opt =
+        PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
 
     // Insert.
     let loads = load_indices(&trident, trace);
@@ -207,7 +209,8 @@ fn repair_walks_distance_up_while_latency_improves() {
 fn worsening_latency_backs_the_distance_off() {
     let (mut trident, code, trace) = setup();
     let mut dlt = small_dlt();
-    let mut opt = PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
+    let mut opt =
+        PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
 
     let loads = load_indices(&trident, trace);
     let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).unwrap();
@@ -251,7 +254,8 @@ fn worsening_latency_backs_the_distance_off() {
 fn repair_budget_exhaustion_matures_the_load() {
     let (mut trident, code, trace) = setup();
     let mut dlt = small_dlt();
-    let mut opt = PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
+    let mut opt =
+        PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
 
     // A long min execution time, observed before insertion, keeps the max
     // distance (and therefore the repair budget) small: max = 350/200 = 1,

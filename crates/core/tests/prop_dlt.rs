@@ -1,10 +1,11 @@
-//! Property tests for the Delinquent Load Table against a naive reference
-//! model of the paper's §3.3 rules.
+//! Randomized tests for the Delinquent Load Table against a naive reference
+//! model of the paper's §3.3 rules. (Seeded `tdo_rand` sweeps; `--features
+//! exhaustive` widens them.)
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use proptest::prelude::*;
 use tdo_core::{Dlt, DltConfig};
+use tdo_rand::{cases, Rng};
 
 #[derive(Default, Clone)]
 struct RefEntry {
@@ -42,7 +43,7 @@ impl RefModel {
             e.misses += 1;
             e.total_lat += lat;
         }
-        if e.accesses % self.cfg.window != 0 {
+        if !e.accesses.is_multiple_of(self.cfg.window) {
             return false;
         }
         let delinquent = e.misses >= self.cfg.miss_threshold
@@ -74,57 +75,61 @@ fn cfg() -> DltConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-    #[test]
-    fn dlt_matches_reference_model(
-        ops in prop::collection::vec(
-            (0u64..8, 0u64..1 << 20, any::<bool>(), 3u64..400),
-            1..600,
-        ),
-    ) {
+#[test]
+fn dlt_matches_reference_model() {
+    let mut rng = Rng::new(0xd17_0001);
+    for case in 0..cases(128) {
         let mut dlt = Dlt::new(cfg());
         let mut reference = RefModel { cfg: cfg(), entries: HashMap::new() };
-        for (pc_idx, addr, miss, lat) in ops {
+        for _ in 0..rng.gen_range(1..600) {
             // Well-spread PCs avoid set conflicts so eviction never differs.
-            let pc = 0x1000 + pc_idx * 0x808;
+            let pc = 0x1000 + rng.gen_range(0..8) * 0x808;
+            let addr = rng.gen_range(0..1 << 20);
+            let miss = rng.gen_bool(0.5);
+            let lat = rng.gen_range(3..400);
             let a = dlt.observe(pc, addr, miss, lat);
             let b = reference.observe(pc, addr, miss, lat);
-            prop_assert_eq!(a, b, "event divergence at pc {:#x}", pc);
+            assert_eq!(a, b, "case {case}: event divergence at pc {pc:#x}");
         }
         // Snapshots agree with the model on stride predictability.
         for (pc, e) in &reference.entries {
             if e.accesses >= cfg().partial_min_accesses {
                 let snap = dlt.snapshot(*pc).expect("tracked");
-                prop_assert_eq!(snap.accesses, e.accesses);
-                prop_assert_eq!(snap.misses, e.misses);
-                prop_assert_eq!(
+                assert_eq!(snap.accesses, e.accesses, "case {case}");
+                assert_eq!(snap.misses, e.misses, "case {case}");
+                assert_eq!(
                     snap.stride_predictable,
-                    e.conf >= cfg().conf_max && e.stride != 0
+                    e.conf >= cfg().conf_max && e.stride != 0,
+                    "case {case}: pc {pc:#x}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn mature_loads_never_fire(
-        ops in prop::collection::vec((0u64..1 << 16, 3u64..400), 64..400),
-    ) {
+#[test]
+fn mature_loads_never_fire() {
+    let mut rng = Rng::new(0xd17_0002);
+    for case in 0..cases(128) {
         let mut dlt = Dlt::new(cfg());
         let pc = 0x2000;
         dlt.observe(pc, 0, true, 350);
         dlt.set_mature(pc);
-        for (addr, lat) in ops {
-            prop_assert!(!dlt.observe(pc, addr, true, lat), "mature load fired");
+        for _ in 0..rng.gen_range(64..400) {
+            let addr = rng.gen_range(0..1 << 16);
+            let lat = rng.gen_range(3..400);
+            assert!(!dlt.observe(pc, addr, true, lat), "case {case}: mature load fired");
         }
-        prop_assert!(!dlt.is_delinquent(pc));
+        assert!(!dlt.is_delinquent(pc), "case {case}");
     }
+}
 
-    #[test]
-    fn clear_window_resets_counters_but_keeps_stride(
-        n in 16u32..200,
-        stride in 1u64..512,
-    ) {
+#[test]
+fn clear_window_resets_counters_but_keeps_stride() {
+    let mut rng = Rng::new(0xd17_0003);
+    for case in 0..cases(128) {
+        let n = rng.gen_range(16..200) as u32;
+        let stride = rng.gen_range(1..512);
         let mut dlt = Dlt::new(cfg());
         let pc = 0x3000;
         for i in 0..n {
@@ -136,25 +141,32 @@ proptest! {
             dlt.observe(pc, u64::from(n + i) * stride, false, 3);
         }
         let after = dlt.snapshot(pc).expect("still tracked");
-        prop_assert_eq!(after.accesses, 8, "window restarted");
-        prop_assert_eq!(after.misses, 0);
+        assert_eq!(after.accesses, 8, "case {case}: window restarted");
+        assert_eq!(after.misses, 0, "case {case}");
         if let Some(b) = before {
             // Stride learning is cumulative across window clears.
-            prop_assert!(after.stride_predictable || !b.stride_predictable);
+            assert!(after.stride_predictable || !b.stride_predictable, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn clear_all_mature_reopens_every_load(pcs in prop::collection::hash_set(0u64..1 << 14, 1..32)) {
+#[test]
+fn clear_all_mature_reopens_every_load() {
+    let mut rng = Rng::new(0xd17_0004);
+    for case in 0..cases(128) {
+        let mut pcs = HashSet::new();
+        for _ in 0..rng.gen_range(1..32) {
+            pcs.insert(rng.gen_range(0..1 << 14));
+        }
         let mut dlt = Dlt::new(cfg());
         for pc in &pcs {
             dlt.observe(*pc * 8, 0, true, 350);
             dlt.set_mature(*pc * 8);
         }
         let cleared = dlt.clear_all_mature();
-        prop_assert!(cleared >= 1);
+        assert!(cleared >= 1, "case {case}");
         for pc in &pcs {
-            prop_assert!(!dlt.is_mature(*pc * 8));
+            assert!(!dlt.is_mature(*pc * 8), "case {case}: pc {pc:#x}");
         }
     }
 }

@@ -1,11 +1,12 @@
-//! Property tests on prefetch-insertion invariants: whatever the trace and
+//! Randomized tests on prefetch-insertion invariants: whatever the trace and
 //! DLT state, the planned body is layout-sane, weight-preserving, and never
-//! prefetches a cache block twice for the same group.
+//! prefetches a cache block twice for the same group. (Seeded `tdo_rand`
+//! sweeps; `--features exhaustive` widens them.)
 
-use proptest::prelude::*;
-use tdo_core::{plan_insertion, Dlt, DltConfig, InsertOptions};
 use tdo_core::classify::classify;
+use tdo_core::{plan_insertion, Dlt, DltConfig, InsertOptions};
 use tdo_isa::{AluOp, Cond, Inst, LoadKind, Reg};
+use tdo_rand::{cases, Rng};
 use tdo_trident::{Trace, TraceId, TraceInst, TraceOp};
 
 fn ti(op: TraceOp) -> TraceInst {
@@ -15,30 +16,44 @@ fn ti(op: TraceOp) -> TraceInst {
 /// Builds a random loop trace: a handful of loads off bases r1..r3 with
 /// random offsets, base updates, some ALU noise, a conditional exit, and a
 /// loop-back. orig_pc values are made unique afterwards.
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    let load = (1u8..4, 0i64..40).prop_map(|(b, o)| {
-        TraceOp::Real(Inst::Load {
-            ra: Reg::int(10 + b),
-            rb: Reg::int(b),
-            off: o * 8,
-            kind: LoadKind::Int,
+fn arb_trace(rng: &mut Rng) -> Trace {
+    let n = rng.gen_range(2..24);
+    let mut insts: Vec<TraceInst> = (0..n)
+        .map(|_| {
+            // Weighted 4 (load) / 2 (alu) / 1 (base bump).
+            ti(match rng.gen_range(0..7) {
+                0..=3 => {
+                    let b = rng.gen_range(1..4) as u8;
+                    TraceOp::Real(Inst::Load {
+                        ra: Reg::int(10 + b),
+                        rb: Reg::int(b),
+                        off: rng.gen_range_i64(0..40) * 8,
+                        kind: LoadKind::Int,
+                    })
+                }
+                4 | 5 => TraceOp::Real(Inst::OpImm {
+                    op: AluOp::Add,
+                    ra: Reg::int(rng.gen_range(1..10) as u8),
+                    imm: 1,
+                    rc: Reg::int(15),
+                }),
+                _ => {
+                    let b = rng.gen_range(1..4) as u8;
+                    TraceOp::Real(Inst::Lda {
+                        ra: Reg::int(b),
+                        rb: Reg::int(b),
+                        imm: rng.gen_range_i64(1..64) * 8,
+                    })
+                }
+            })
         })
-    });
-    let alu = (1u8..10).prop_map(|r| {
-        TraceOp::Real(Inst::OpImm { op: AluOp::Add, ra: Reg::int(r), imm: 1, rc: Reg::int(15) })
-    });
-    let bump = (1u8..4, 1i64..64).prop_map(|(b, s)| {
-        TraceOp::Real(Inst::Lda { ra: Reg::int(b), rb: Reg::int(b), imm: s * 8 })
-    });
-    prop::collection::vec(prop_oneof![4 => load, 2 => alu, 1 => bump], 2..24).prop_map(|ops| {
-        let mut insts: Vec<TraceInst> = ops.into_iter().map(ti).collect();
-        insts.push(ti(TraceOp::CondExit { cond: Cond::Eq, ra: Reg::int(9), to: 0x9000 }));
-        insts.push(ti(TraceOp::LoopBack));
-        for (i, t) in insts.iter_mut().enumerate() {
-            t.orig_pc = 0x1000 + i as u64 * 8;
-        }
-        Trace { id: TraceId(0), head: 0x1000, insts, is_loop: true, cc_addr: 0x10_0000 }
-    })
+        .collect();
+    insts.push(ti(TraceOp::CondExit { cond: Cond::Eq, ra: Reg::int(9), to: 0x9000 }));
+    insts.push(ti(TraceOp::LoopBack));
+    for (i, t) in insts.iter_mut().enumerate() {
+        t.orig_pc = 0x1000 + i as u64 * 8;
+    }
+    Trace { id: TraceId(0), head: 0x1000, insts, is_loop: true, cc_addr: 0x10_0000 }
 }
 
 const SCRATCH: [Reg; 8] = [
@@ -52,10 +67,11 @@ const SCRATCH: [Reg; 8] = [
     Reg::int(27),
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-    #[test]
-    fn insertion_invariants_hold(trace in arb_trace(), misses in any::<u64>()) {
+#[test]
+fn insertion_invariants_hold() {
+    let mut rng = Rng::new(0x1a5_0001);
+    for case in 0..cases(192) {
+        let trace = arb_trace(&mut rng);
         // Make a pseudo-random subset of loads delinquent via the DLT.
         let mut dlt = Dlt::new(DltConfig {
             entries: 256,
@@ -66,11 +82,9 @@ proptest! {
             partial_min_accesses: 8,
             ..DltConfig::paper_baseline()
         });
-        let mut x = misses | 1;
         for (i, t) in trace.insts.iter().enumerate() {
             if matches!(t.op, TraceOp::Real(Inst::Load { .. })) {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                let missy = x & 1 == 1;
+                let missy = rng.gen_bool(0.5);
                 for k in 0..16u64 {
                     dlt.observe(trace.cc_pc(i), 0x8_0000 + k * 8, missy, 350);
                 }
@@ -85,21 +99,20 @@ proptest! {
             scratch_pool: &SCRATCH,
         };
         let Some(plan) = plan_insertion(&trace, &c, &opts) else {
-            return Ok(()); // nothing delinquent/prefetchable: fine
+            continue; // nothing delinquent/prefetchable: fine
         };
 
         // 1. The original instructions appear in order, uninserted slots
         //    untouched; total weight is preserved.
-        let originals: Vec<&TraceInst> =
-            plan.new_insts.iter().filter(|t| !t.synthetic).collect();
-        prop_assert_eq!(originals.len(), trace.insts.len());
+        let originals: Vec<&TraceInst> = plan.new_insts.iter().filter(|t| !t.synthetic).collect();
+        assert_eq!(originals.len(), trace.insts.len(), "case {case}");
         for (a, b) in originals.iter().zip(trace.insts.iter()) {
-            prop_assert_eq!(a.op, b.op);
-            prop_assert_eq!(a.weight, b.weight);
+            assert_eq!(a.op, b.op, "case {case}");
+            assert_eq!(a.weight, b.weight, "case {case}");
         }
         let w_before: u64 = trace.insts.iter().map(|t| u64::from(t.weight)).sum();
         let w_after: u64 = plan.new_insts.iter().map(|t| u64::from(t.weight)).sum();
-        prop_assert_eq!(w_before, w_after, "synthetic instructions weigh zero");
+        assert_eq!(w_before, w_after, "case {case}: synthetic instructions weigh zero");
 
         // 2. Every synthetic instruction is a prefetch or a non-faulting
         //    load using only scratch destinations.
@@ -107,9 +120,9 @@ proptest! {
             match t.op {
                 TraceOp::Real(Inst::Prefetch { .. }) => {}
                 TraceOp::Real(Inst::Load { ra, kind: LoadKind::NonFaulting, .. }) => {
-                    prop_assert!(SCRATCH.contains(&ra), "deref clobbers {ra}");
+                    assert!(SCRATCH.contains(&ra), "case {case}: deref clobbers {ra}");
                 }
-                ref other => prop_assert!(false, "unexpected synthetic {other:?}"),
+                ref other => panic!("case {case}: unexpected synthetic {other:?}"),
             }
         }
 
@@ -120,27 +133,26 @@ proptest! {
             for &idx in &g.prefetch_indices {
                 if let TraceOp::Real(Inst::Prefetch { off, stride, .. }) = plan.new_insts[idx].op {
                     if stride != 0 {
-                        prop_assert!(
+                        assert!(
                             lines.insert(i64::from(off).div_euclid(64)),
-                            "block prefetched twice at offset {off}"
+                            "case {case}: block prefetched twice at offset {off}"
                         );
                     }
                 }
             }
             // 4. Group indices point at actual prefetches.
             for &idx in &g.prefetch_indices {
-                let is_pf =
-                    matches!(plan.new_insts[idx].op, TraceOp::Real(Inst::Prefetch { .. }));
-                prop_assert!(is_pf, "index {idx} is not a prefetch");
+                let is_pf = matches!(plan.new_insts[idx].op, TraceOp::Real(Inst::Prefetch { .. }));
+                assert!(is_pf, "case {case}: index {idx} is not a prefetch");
             }
             // 5. Synthetic instructions carry the representative's orig_pc.
             for &idx in &g.prefetch_indices {
-                prop_assert_eq!(plan.new_insts[idx].orig_pc, g.rep_orig_pc);
+                assert_eq!(plan.new_insts[idx].orig_pc, g.rep_orig_pc, "case {case}");
             }
         }
 
         // 6. The terminators survive in place at the end.
         let ends_with_loopback = matches!(plan.new_insts.last().unwrap().op, TraceOp::LoopBack);
-        prop_assert!(ends_with_loopback);
+        assert!(ends_with_loopback, "case {case}");
     }
 }

@@ -51,10 +51,7 @@ impl CodeImage {
     /// Panics if the code-cache region overlaps the program code.
     #[must_use]
     pub fn new(program: &Program, code_cache_base: u64) -> CodeImage {
-        assert!(
-            code_cache_base >= program.code_end(),
-            "code cache must sit above program code"
-        );
+        assert!(code_cache_base >= program.code_end(), "code cache must sit above program code");
         CodeImage {
             base: program.code_base,
             words: program.code.clone(),
@@ -142,10 +139,7 @@ mod tests {
             name: "t".into(),
             entry: 0x1000,
             code_base: 0x1000,
-            code: vec![
-                encode(&Inst::Nop).unwrap(),
-                encode(&Inst::Halt).unwrap(),
-            ],
+            code: vec![encode(&Inst::Nop).unwrap(), encode(&Inst::Halt).unwrap()],
             data: vec![],
         };
         CodeImage::new(&prog, 0x10_0000)
@@ -173,10 +167,7 @@ mod tests {
     #[test]
     fn unaligned_patch_is_rejected() {
         let mut c = img();
-        assert_eq!(
-            c.write_word(0x1001, 0),
-            Err(PatchError::Unaligned { addr: 0x1001 })
-        );
+        assert_eq!(c.write_word(0x1001, 0), Err(PatchError::Unaligned { addr: 0x1001 }));
         assert_eq!(c.word_at(0x1001), None);
     }
 

@@ -46,13 +46,7 @@ struct Context {
 
 impl Context {
     fn new(entry: u64) -> Context {
-        Context {
-            pc: entry,
-            regs: [0; 64],
-            ready_at: [0; 64],
-            stall_until: 0,
-            halted: false,
-        }
+        Context { pc: entry, regs: [0; 64], ready_at: [0; 64], stall_until: 0, halted: false }
     }
 }
 
@@ -150,10 +144,8 @@ impl Core {
         if !self.helper_idle() {
             return false;
         }
-        self.helper = HelperState::Starting {
-            job,
-            ready_at: self.cycle + self.cfg.helper_startup_cycles,
-        };
+        self.helper =
+            HelperState::Starting { job, ready_at: self.cycle + self.cfg.helper_startup_cycles };
         true
     }
 
@@ -218,7 +210,8 @@ impl Core {
                 }
             }
             // Structural hazards.
-            let needs_mem = matches!(inst, Inst::Load { .. } | Inst::Store { .. } | Inst::Prefetch { .. });
+            let needs_mem =
+                matches!(inst, Inst::Load { .. } | Inst::Store { .. } | Inst::Prefetch { .. });
             if needs_mem && *mem_ports == 0 {
                 return;
             }
@@ -376,8 +369,8 @@ impl Core {
                 if *mem_ports == 0 {
                     break;
                 }
-                let addr = self.cfg.helper_scratch_base
-                    + (index * 64) % self.cfg.helper_scratch_bytes;
+                let addr =
+                    self.cfg.helper_scratch_base + (index * 64) % self.cfg.helper_scratch_bytes;
                 let r = hier.load(now, HELPER_PC_BASE + (index % 64) * 8, addr);
                 dep_ready = now + r.latency;
                 *mem_ports -= 1;
@@ -540,13 +533,8 @@ mod tests {
         a.bcond_to(Cond::Ne, r1, "loop");
         a.halt();
         let code = a.assemble().unwrap();
-        let prog = Program {
-            name: "t".into(),
-            entry: 0x1000,
-            code_base: 0x1000,
-            code,
-            data: vec![],
-        };
+        let prog =
+            Program { name: "t".into(), entry: 0x1000, code_base: 0x1000, code, data: vec![] };
         let img = CodeImage::new(&prog, 0x100_0000);
         let mut data = Memory::new();
         let mut hier = Hierarchy::new(MemConfig::tiny_for_tests());
@@ -577,13 +565,8 @@ mod tests {
         let mut a = Asm::new(0x1000);
         a.halt();
         let code = a.assemble().unwrap();
-        let prog = Program {
-            name: "t".into(),
-            entry: 0x1000,
-            code_base: 0x1000,
-            code,
-            data: vec![],
-        };
+        let prog =
+            Program { name: "t".into(), entry: 0x1000, code_base: 0x1000, code, data: vec![] };
         let img = CodeImage::new(&prog, 0x100_0000);
         let mut data = Memory::new();
         let mut hier = Hierarchy::new(MemConfig::tiny_for_tests());

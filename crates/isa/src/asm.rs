@@ -263,10 +263,7 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut a = Asm::new(0);
         a.br_to("nowhere");
-        assert_eq!(
-            a.assemble(),
-            Err(AsmError::UndefinedLabel { label: "nowhere".into() })
-        );
+        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel { label: "nowhere".into() }));
     }
 
     #[test]

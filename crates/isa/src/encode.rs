@@ -175,9 +175,7 @@ pub fn encode(inst: &Inst) -> Result<Word, EncodeError> {
             let w = base(OPC_LDA) | pack_imm(imm)?;
             with_reg(with_reg(w, ra, RA_SHIFT), rb, RB_SHIFT)
         }
-        Inst::Move { ra, rc } => {
-            with_reg(with_reg(base(OPC_MOVE), ra, RA_SHIFT), rc, RC_SHIFT)
-        }
+        Inst::Move { ra, rc } => with_reg(with_reg(base(OPC_MOVE), ra, RA_SHIFT), rc, RC_SHIFT),
         Inst::Load { ra, rb, off, kind } => {
             let opc = match kind {
                 LoadKind::Int => OPC_LDQ,
@@ -236,12 +234,9 @@ pub fn decode(w: Word) -> Result<Inst, DecodeError> {
         o if (OPC_ALU_BASE..OPC_ALU_BASE + 12).contains(&o) => {
             Inst::Op { op: AluOp::ALL[(o - OPC_ALU_BASE) as usize], ra, rb, rc }
         }
-        o if (OPC_ALUI_BASE..OPC_ALUI_BASE + 12).contains(&o) => Inst::OpImm {
-            op: AluOp::ALL[(o - OPC_ALUI_BASE) as usize],
-            ra,
-            imm: unpack_imm(w),
-            rc,
-        },
+        o if (OPC_ALUI_BASE..OPC_ALUI_BASE + 12).contains(&o) => {
+            Inst::OpImm { op: AluOp::ALL[(o - OPC_ALUI_BASE) as usize], ra, imm: unpack_imm(w), rc }
+        }
         OPC_LDA => Inst::Lda { ra, rb, imm: unpack_imm(w) },
         OPC_MOVE => Inst::Move { ra, rc },
         OPC_LDQ => Inst::Load { ra, rb, off: unpack_imm(w), kind: LoadKind::Int },

@@ -362,10 +362,7 @@ impl Inst {
     /// Whether this is any control transfer (branch, jump, or halt).
     #[must_use]
     pub fn is_control(&self) -> bool {
-        matches!(
-            self,
-            Inst::Br { .. } | Inst::Bcond { .. } | Inst::Jmp { .. } | Inst::Halt
-        )
+        matches!(self, Inst::Br { .. } | Inst::Bcond { .. } | Inst::Jmp { .. } | Inst::Halt)
     }
 
     /// Whether this is a conditional branch.

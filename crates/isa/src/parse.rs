@@ -113,11 +113,8 @@ pub fn parse_inst(text: &str) -> Result<Inst, ParseError> {
         Some(i) => (&text[..i], text[i..].trim()),
         None => (text, ""),
     };
-    let args: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let args: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
     let want = |n: usize| -> Result<(), ParseError> {
         if args.len() == n {
             Ok(())
@@ -170,18 +167,11 @@ pub fn parse_inst(text: &str) -> Result<Inst, ParseError> {
             };
             let plus = expr.find('+').ok_or_else(|| err("prefetch needs off+stride*dist"))?;
             let star = expr.rfind('*').ok_or_else(|| err("prefetch needs stride*dist"))?;
-            let off: i32 = expr[..plus]
-                .trim()
-                .parse()
-                .map_err(|_| err("bad prefetch offset"))?;
-            let stride: i32 = expr[plus + 1..star]
-                .trim()
-                .parse()
-                .map_err(|_| err("bad prefetch stride"))?;
-            let dist: u8 = expr[star + 1..]
-                .trim()
-                .parse()
-                .map_err(|_| err("bad prefetch distance"))?;
+            let off: i32 = expr[..plus].trim().parse().map_err(|_| err("bad prefetch offset"))?;
+            let stride: i32 =
+                expr[plus + 1..star].trim().parse().map_err(|_| err("bad prefetch stride"))?;
+            let dist: u8 =
+                expr[star + 1..].trim().parse().map_err(|_| err("bad prefetch distance"))?;
             Ok(Inst::Prefetch { base, off, stride, dist })
         }
         "br" => {
@@ -260,11 +250,10 @@ mod tests {
             parse_inst("fmul f3, f1, f2"),
             Ok(Inst::FOp { op: FpuOp::Mul, ra: Reg::fp(1), rb: Reg::fp(2), rc: Reg::fp(3) })
         );
-        assert_eq!(parse_inst("bne r4, -12"), Ok(Inst::Bcond {
-            cond: Cond::Ne,
-            ra: Reg::int(4),
-            disp: -12,
-        }));
+        assert_eq!(
+            parse_inst("bne r4, -12"),
+            Ok(Inst::Bcond { cond: Cond::Ne, ra: Reg::int(4), disp: -12 })
+        );
         assert_eq!(parse_inst("jmp (r7)"), Ok(Inst::Jmp { rb: Reg::int(7) }));
     }
 

@@ -1,83 +1,94 @@
-//! Property tests: every constructible instruction round-trips through the
+//! Randomized tests: every constructible instruction round-trips through the
 //! binary encoding, and prefetch-distance patching is exact and minimal.
+//! (Formerly proptest-based; now seeded `tdo_rand` sweeps so the workspace
+//! builds with no external dependencies. `--features exhaustive` widens the
+//! sweeps.)
 
-use proptest::prelude::*;
 use tdo_isa::{
-    decode, encode, patch_prefetch_distance, prefetch_distance, AluOp, Cond, FpuOp, Inst,
-    LoadKind, Reg,
+    decode, encode, patch_prefetch_distance, prefetch_distance, AluOp, Cond, FpuOp, Inst, LoadKind,
+    Reg,
 };
+use tdo_rand::{cases, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..64).prop_map(|i| Reg::from_index(i).unwrap())
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::from_index(rng.gen_range(0..64) as u8).unwrap()
 }
 
-fn arb_alu() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(AluOp::ALL.to_vec())
+fn arb_imm38(rng: &mut Rng) -> i64 {
+    rng.gen_range_i64(-(1i64 << 37)..(1i64 << 37))
 }
 
-fn arb_fpu() -> impl Strategy<Value = FpuOp> {
-    prop::sample::select(FpuOp::ALL.to_vec())
+fn arb_kind(rng: &mut Rng) -> LoadKind {
+    *rng.choose(&[LoadKind::Int, LoadKind::NonFaulting, LoadKind::Float])
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    prop::sample::select(Cond::ALL.to_vec())
-}
-
-fn arb_imm38() -> impl Strategy<Value = i64> {
-    -(1i64 << 37)..(1i64 << 37)
-}
-
-fn arb_kind() -> impl Strategy<Value = LoadKind> {
-    prop::sample::select(vec![LoadKind::Int, LoadKind::NonFaulting, LoadKind::Float])
-}
-
-prop_compose! {
-    fn arb_prefetch()(
-        base in arb_reg(),
-        off in -(1i32 << 15)..(1i32 << 15),
-        stride in -(1i32 << 25)..(1i32 << 25),
-        dist in any::<u8>(),
-    ) -> Inst {
-        Inst::Prefetch { base, off, stride, dist }
+fn arb_prefetch(rng: &mut Rng) -> Inst {
+    Inst::Prefetch {
+        base: arb_reg(rng),
+        off: rng.gen_range_i64(-(1i64 << 15)..(1i64 << 15)) as i32,
+        stride: rng.gen_range_i64(-(1i64 << 25)..(1i64 << 25)) as i32,
+        dist: rng.next_u64() as u8,
     }
 }
 
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        Just(Inst::Nop),
-        Just(Inst::Halt),
-        (arb_alu(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, ra, rb, rc)| Inst::Op { op, ra, rb, rc }),
-        (arb_alu(), arb_reg(), arb_imm38(), arb_reg())
-            .prop_map(|(op, ra, imm, rc)| Inst::OpImm { op, ra, imm, rc }),
-        (arb_reg(), arb_reg(), arb_imm38()).prop_map(|(ra, rb, imm)| Inst::Lda { ra, rb, imm }),
-        (arb_reg(), arb_reg()).prop_map(|(ra, rc)| Inst::Move { ra, rc }),
-        (arb_reg(), arb_reg(), arb_imm38(), arb_kind())
-            .prop_map(|(ra, rb, off, kind)| Inst::Load { ra, rb, off, kind }),
-        (arb_reg(), arb_reg(), arb_imm38()).prop_map(|(ra, rb, off)| Inst::Store { ra, rb, off }),
-        arb_prefetch(),
-        (arb_fpu(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, ra, rb, rc)| Inst::FOp { op, ra, rb, rc }),
-        arb_imm38().prop_map(|disp| Inst::Br { disp }),
-        (arb_cond(), arb_reg(), arb_imm38())
-            .prop_map(|(cond, ra, disp)| Inst::Bcond { cond, ra, disp }),
-        arb_reg().prop_map(|rb| Inst::Jmp { rb }),
-    ]
+fn arb_inst(rng: &mut Rng) -> Inst {
+    match rng.gen_range(0..12) {
+        0 => Inst::Nop,
+        1 => Inst::Halt,
+        2 => Inst::Op {
+            op: *rng.choose(&AluOp::ALL),
+            ra: arb_reg(rng),
+            rb: arb_reg(rng),
+            rc: arb_reg(rng),
+        },
+        3 => Inst::OpImm {
+            op: *rng.choose(&AluOp::ALL),
+            ra: arb_reg(rng),
+            imm: arb_imm38(rng),
+            rc: arb_reg(rng),
+        },
+        4 => Inst::Lda { ra: arb_reg(rng), rb: arb_reg(rng), imm: arb_imm38(rng) },
+        5 => Inst::Move { ra: arb_reg(rng), rc: arb_reg(rng) },
+        6 => Inst::Load {
+            ra: arb_reg(rng),
+            rb: arb_reg(rng),
+            off: arb_imm38(rng),
+            kind: arb_kind(rng),
+        },
+        7 => Inst::Store { ra: arb_reg(rng), rb: arb_reg(rng), off: arb_imm38(rng) },
+        8 => arb_prefetch(rng),
+        9 => Inst::FOp {
+            op: *rng.choose(&FpuOp::ALL),
+            ra: arb_reg(rng),
+            rb: arb_reg(rng),
+            rc: arb_reg(rng),
+        },
+        10 => Inst::Br { disp: arb_imm38(rng) },
+        11 => Inst::Bcond { cond: *rng.choose(&Cond::ALL), ra: arb_reg(rng), disp: arb_imm38(rng) },
+        _ => Inst::Jmp { rb: arb_reg(rng) },
+    }
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_round_trips(inst in arb_inst()) {
+#[test]
+fn encode_decode_round_trips() {
+    let mut rng = Rng::new(0x15a_0001);
+    for case in 0..cases(2048) {
+        let inst = arb_inst(&mut rng);
         let w = encode(&inst).expect("all generated fields fit");
         let back = decode(w).expect("decodes");
-        prop_assert_eq!(back, inst);
+        assert_eq!(back, inst, "case {case}");
     }
+}
 
-    #[test]
-    fn patch_changes_exactly_the_distance(pf in arb_prefetch(), new_dist in any::<u8>()) {
+#[test]
+fn patch_changes_exactly_the_distance() {
+    let mut rng = Rng::new(0x15a_0002);
+    for case in 0..cases(2048) {
+        let pf = arb_prefetch(&mut rng);
+        let new_dist = rng.next_u64() as u8;
         let w = encode(&pf).unwrap();
         let w2 = patch_prefetch_distance(w, new_dist).unwrap();
-        prop_assert_eq!(prefetch_distance(w2), Some(new_dist));
+        assert_eq!(prefetch_distance(w2), Some(new_dist), "case {case}");
         // All non-distance fields identical.
         let (a, b) = (decode(w).unwrap(), decode(w2).unwrap());
         match (a, b) {
@@ -85,42 +96,49 @@ proptest! {
                 Inst::Prefetch { base: b1, off: o1, stride: s1, .. },
                 Inst::Prefetch { base: b2, off: o2, stride: s2, .. },
             ) => {
-                prop_assert_eq!(b1, b2);
-                prop_assert_eq!(o1, o2);
-                prop_assert_eq!(s1, s2);
+                assert_eq!(b1, b2, "case {case}");
+                assert_eq!(o1, o2, "case {case}");
+                assert_eq!(s1, s2, "case {case}");
             }
-            _ => prop_assert!(false, "patched word must stay a prefetch"),
+            _ => panic!("case {case}: patched word must stay a prefetch"),
         }
         // Patching back restores the original word bit-for-bit.
         let dist0 = prefetch_distance(w).unwrap();
-        prop_assert_eq!(patch_prefetch_distance(w2, dist0), Some(w));
+        assert_eq!(patch_prefetch_distance(w2, dist0), Some(w), "case {case}");
     }
+}
 
-    #[test]
-    fn branch_displacement_round_trips(pc in (0u64..1 << 40).prop_map(|p| p * 8),
-                                       disp in -(1i64 << 30)..(1i64 << 30)) {
+#[test]
+fn branch_displacement_round_trips() {
+    let mut rng = Rng::new(0x15a_0003);
+    for case in 0..cases(2048) {
+        let pc = rng.gen_range(0..1 << 40) * 8;
+        let disp = rng.gen_range_i64(-(1i64 << 30)..(1i64 << 30));
         let b = Inst::Br { disp };
         let target = b.branch_target(pc).unwrap();
-        prop_assert_eq!(Inst::disp_between(pc, target), Some(disp));
+        assert_eq!(Inst::disp_between(pc, target), Some(disp), "case {case}");
     }
+}
 
-    #[test]
-    fn display_never_panics(inst in arb_inst()) {
-        let _ = inst.to_string();
-    }
-
-    #[test]
-    fn display_parse_round_trips(inst in arb_inst()) {
+#[test]
+fn display_parse_round_trips_and_never_panics() {
+    let mut rng = Rng::new(0x15a_0004);
+    for case in 0..cases(2048) {
+        let inst = arb_inst(&mut rng);
         let text = inst.to_string();
         let back = tdo_isa::parse_inst(&text)
-            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
-        prop_assert_eq!(back, inst);
+            .unwrap_or_else(|e| panic!("case {case}: `{text}` failed to parse: {e}"));
+        assert_eq!(back, inst, "case {case}: `{text}`");
     }
+}
 
-    #[test]
-    fn def_is_none_or_nonzero(inst in arb_inst()) {
+#[test]
+fn def_is_none_or_nonzero() {
+    let mut rng = Rng::new(0x15a_0005);
+    for case in 0..cases(2048) {
+        let inst = arb_inst(&mut rng);
         if let Some(d) = inst.def() {
-            prop_assert!(!d.is_zero());
+            assert!(!d.is_zero(), "case {case}: {inst}");
         }
     }
 }

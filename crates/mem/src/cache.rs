@@ -126,10 +126,7 @@ impl Cache {
         let (base, tag) = self.set_range(addr);
         let ways = self.cfg.assoc as usize;
         // Already present: refresh.
-        if let Some(l) = self.sets[base..base + ways]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
+        if let Some(l) = self.sets[base..base + ways].iter_mut().find(|l| l.valid && l.tag == tag) {
             l.last_use = self.stamp;
             return None;
         }

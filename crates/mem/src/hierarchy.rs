@@ -157,9 +157,7 @@ impl Hierarchy {
     /// Statistics of the hardware stream buffers: (issued, hits, allocations).
     #[must_use]
     pub fn stream_stats(&self) -> (u64, u64, u64) {
-        self.stream
-            .as_ref()
-            .map_or((0, 0, 0), |s| (s.issued, s.hits, s.allocations))
+        self.stream.as_ref().map_or((0, 0, 0), |s| (s.issued, s.hits, s.allocations))
     }
 
     fn prune(&mut self, now: u64) {
@@ -183,9 +181,7 @@ impl Hierarchy {
     /// Extra cycles a demand miss waits for a free MSHR.
     fn mshr_stall(&self, now: u64) -> u64 {
         if self.mshrs_full() {
-            self.inflight_q
-                .front()
-                .map_or(0, |&(t, _)| t.saturating_sub(now))
+            self.inflight_q.front().map_or(0, |&(t, _)| t.saturating_sub(now))
         } else {
             0
         }
@@ -217,10 +213,7 @@ impl Hierarchy {
         };
         for a in addrs {
             let lat = self.lower.probe_latency(now, a);
-            self.stream
-                .as_mut()
-                .expect("checked above")
-                .push_fill(buffer, a, now + lat);
+            self.stream.as_mut().expect("checked above").push_fill(buffer, a, now + lat);
         }
     }
 
@@ -320,11 +313,8 @@ impl Hierarchy {
         if self.cfg.next_line {
             self.next_line_prefetch(now, addr);
         }
-        let class = if self.displaced.take(line) {
-            LoadClass::MissDueToPrefetch
-        } else {
-            LoadClass::Miss
-        };
+        let class =
+            if self.displaced.take(line) { LoadClass::MissDueToPrefetch } else { LoadClass::Miss };
         let stall = self.mshr_stall(now);
         let (lower_lat, level) = self.lower.fetch(now + stall, addr);
         let latency = stall + lower_lat;
@@ -362,10 +352,7 @@ impl Hierarchy {
             if let Some((buf, addrs)) = s.consider_allocation(pc, addr) {
                 for a in addrs {
                     let lat = self.lower.probe_latency(now, a);
-                    self.stream
-                        .as_mut()
-                        .expect("stream enabled")
-                        .push_fill(buf, a, now + lat);
+                    self.stream.as_mut().expect("stream enabled").push_fill(buf, a, now + lat);
                 }
             }
         }

@@ -40,10 +40,8 @@ impl Memory {
 
     /// Writes one byte, allocating the page on demand.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+        let page =
+            self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
         page[(addr as usize) & (PAGE_BYTES - 1)] = value;
     }
 
@@ -71,10 +69,8 @@ impl Memory {
         let off = (addr as usize) & (PAGE_BYTES - 1);
         let bytes = value.to_le_bytes();
         if off + 8 <= PAGE_BYTES {
-            let page = self
-                .pages
-                .entry(addr >> PAGE_BITS)
-                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            let page =
+                self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
             page[off..off + 8].copy_from_slice(&bytes);
         } else {
             for (i, b) in bytes.iter().enumerate() {
@@ -91,10 +87,8 @@ impl Memory {
         while !rest.is_empty() {
             let off = (a as usize) & (PAGE_BYTES - 1);
             let n = (PAGE_BYTES - off).min(rest.len());
-            let page = self
-                .pages
-                .entry(a >> PAGE_BITS)
-                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            let page =
+                self.pages.entry(a >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
             page[off..off + n].copy_from_slice(&rest[..n]);
             a += n as u64;
             rest = &rest[n..];

@@ -94,7 +94,10 @@ impl MemStats {
     /// Total demand loads observed.
     #[must_use]
     pub fn loads(&self) -> u64 {
-        self.hits + self.hits_prefetched + self.partial_hits + self.misses
+        self.hits
+            + self.hits_prefetched
+            + self.partial_hits
+            + self.misses
             + self.misses_due_to_prefetch
     }
 

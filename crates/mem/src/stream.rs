@@ -192,9 +192,7 @@ impl StreamBuffers {
     #[must_use]
     pub fn contains(&self, addr: u64) -> bool {
         let line = self.line_of(addr);
-        self.buffers
-            .iter()
-            .any(|b| b.valid && b.entries.iter().any(|e| e.line_addr == line))
+        self.buffers.iter().any(|b| b.valid && b.entries.iter().any(|e| e.line_addr == line))
     }
 
     /// Probes all buffers for the line containing `addr` and, on a hit,
@@ -243,9 +241,7 @@ impl StreamBuffers {
     pub fn push_fill(&mut self, buffer: usize, line_addr: u64, ready_at: u64) {
         let line = self.line_of(line_addr);
         self.issued += 1;
-        self.buffers[buffer]
-            .entries
-            .push_back(StreamEntry { line_addr: line, ready_at });
+        self.buffers[buffer].entries.push_back(StreamEntry { line_addr: line, ready_at });
     }
 
     /// Considers allocating a buffer for a demand miss at `(pc, addr)`.
@@ -277,18 +273,14 @@ impl StreamBuffers {
         }) {
             return None;
         }
-        let victim = self
-            .buffers
-            .iter()
-            .position(|b| !b.valid)
-            .unwrap_or_else(|| {
-                self.buffers
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, b)| b.last_use)
-                    .map(|(i, _)| i)
-                    .expect("at least one buffer")
-            });
+        let victim = self.buffers.iter().position(|b| !b.valid).unwrap_or_else(|| {
+            self.buffers
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.last_use)
+                .map(|(i, _)| i)
+                .expect("at least one buffer")
+        });
         let b = &mut self.buffers[victim];
         b.valid = true;
         b.entries.clear();

@@ -1,11 +1,12 @@
-//! Property tests: the set-associative cache agrees with a naive reference
+//! Randomized tests: the set-associative cache agrees with a naive reference
 //! LRU model, and the hierarchy maintains its latency/class invariants on
-//! arbitrary access streams.
+//! arbitrary access streams. (Seeded `tdo_rand` sweeps; `--features
+//! exhaustive` widens them.)
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
 use tdo_mem::{Cache, CacheConfig, Hierarchy, LoadClass, MemConfig, ServiceLevel};
+use tdo_rand::{cases, Rng};
 
 /// Reference model: per-set LRU lists of line addresses.
 struct RefLru {
@@ -42,15 +43,16 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #[test]
-    fn cache_matches_reference_lru(
-        addrs in prop::collection::vec(0u64..4096, 1..300),
-    ) {
+#[test]
+fn cache_matches_reference_lru() {
+    let mut rng = Rng::new(0x3e3_0001);
+    for case in 0..cases(256) {
         let cfg = CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, latency: 3 };
         let mut cache = Cache::new(cfg);
         let mut reference = RefLru::new(&cfg);
-        for a in addrs {
+        let n = rng.gen_range(1..300);
+        for _ in 0..n {
+            let a = rng.gen_range(0..4096);
             let model_hit = reference.access(a);
             let real_hit = match cache.lookup(a) {
                 Some(_) => true,
@@ -59,29 +61,34 @@ proptest! {
                     false
                 }
             };
-            prop_assert_eq!(real_hit, model_hit, "divergence at addr {:#x}", a);
+            assert_eq!(real_hit, model_hit, "case {case}: divergence at addr {a:#x}");
         }
     }
+}
 
-    #[test]
-    fn hierarchy_latency_and_class_invariants(
-        ops in prop::collection::vec((0u8..3, 0u64..1 << 16), 1..400),
-    ) {
+#[test]
+fn hierarchy_latency_and_class_invariants() {
+    let mut rng = Rng::new(0x3e3_0002);
+    for case in 0..cases(256) {
         let mut h = Hierarchy::new(MemConfig::tiny_for_tests());
         let mut now = 0u64;
-        for (kind, addr) in ops {
+        let n = rng.gen_range(1..400);
+        for _ in 0..n {
+            let kind = rng.gen_range(0..3);
+            let addr = rng.gen_range(0..1 << 16);
             match kind {
                 0 => {
                     let r = h.load(now, 0x1000 + (addr & 0xff), addr);
                     let l1_lat = h.config().l1.latency;
-                    prop_assert!(r.latency >= l1_lat);
+                    assert!(r.latency >= l1_lat, "case {case}");
                     if (r.class == LoadClass::Hit || r.class == LoadClass::HitPrefetched)
-                        && r.level == ServiceLevel::L1 {
-                            prop_assert_eq!(r.latency, l1_lat);
-                            prop_assert!(!r.l1_miss);
-                        }
+                        && r.level == ServiceLevel::L1
+                    {
+                        assert_eq!(r.latency, l1_lat, "case {case}");
+                        assert!(!r.l1_miss, "case {case}");
+                    }
                     if r.class == LoadClass::Miss || r.class == LoadClass::MissDueToPrefetch {
-                        prop_assert!(r.l1_miss);
+                        assert!(r.l1_miss, "case {case}");
                     }
                     now += r.latency / 2; // overlap accesses a little
                 }
@@ -96,28 +103,30 @@ proptest! {
             }
         }
         let s = &h.stats;
-        prop_assert_eq!(
+        assert_eq!(
             s.loads(),
-            s.hits + s.hits_prefetched + s.partial_hits + s.misses + s.misses_due_to_prefetch
+            s.hits + s.hits_prefetched + s.partial_hits + s.misses + s.misses_due_to_prefetch,
+            "case {case}"
         );
-        prop_assert!(s.total_miss_latency <= s.total_load_latency);
+        assert!(s.total_miss_latency <= s.total_load_latency, "case {case}");
     }
+}
 
-    #[test]
-    fn hierarchy_with_streams_never_misclassifies_hits(
-        stride in prop::sample::select(vec![8u64, 64, 128, 256]),
-        n in 16usize..128,
-    ) {
+#[test]
+fn hierarchy_with_streams_never_misclassifies_hits() {
+    let mut rng = Rng::new(0x3e3_0003);
+    for case in 0..cases(128) {
+        let stride = *rng.choose(&[8u64, 64, 128, 256]);
+        let n = rng.gen_range(16..128);
         let mut cfg = MemConfig::tiny_for_tests();
         cfg.stream = Some(tdo_mem::StreamBufferConfig::four_by_four());
         let mut h = Hierarchy::new(cfg);
         let mut now = 0u64;
-        for i in 0..n as u64 {
+        for i in 0..n {
             let r = h.load(now, 0x4242, 0x10_0000 + i * stride);
             now += r.latency + 50;
         }
-        let s = &h.stats;
         // Every load is accounted for exactly once.
-        prop_assert_eq!(s.loads(), n as u64);
+        assert_eq!(h.stats.loads(), n, "case {case}: stride {stride}");
     }
 }

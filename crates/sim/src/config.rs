@@ -57,9 +57,7 @@ impl PrefetchSetup {
     #[must_use]
     pub fn mem(self) -> MemConfig {
         match self {
-            PrefetchSetup::NoPrefetch | PrefetchSetup::SwOnlySelfRepair => {
-                MemConfig::no_prefetch()
-            }
+            PrefetchSetup::NoPrefetch | PrefetchSetup::SwOnlySelfRepair => MemConfig::no_prefetch(),
             PrefetchSetup::Hw4x4 => MemConfig::hw_four_by_four(),
             _ => MemConfig::paper_baseline(),
         }

@@ -1,0 +1,250 @@
+//! The parallel, memoizing experiment engine.
+//!
+//! Every figure and ablation of the reproduction is a set of *cells* — a
+//! (workload, configuration, scale) triple simulated once. Historically each
+//! harness binary re-simulated its own cells serially, re-running arms that
+//! other figures had already paid for (the no-prefetch and hw-8×8 baselines
+//! appear in Figures 2, 5, 8 and 9 alike). The engine replaces that with:
+//!
+//! * a declarative [`ExperimentSpec`] enumerating cells up front;
+//! * a [`Runner`] that executes unique cells across `std::thread::scope`
+//!   workers and memoizes each [`SimResult`] under a content fingerprint, so
+//!   a cell is simulated exactly once per process no matter how many figures
+//!   ask for it;
+//! * deterministic results: workload generation is seeded *per cell* (every
+//!   generator owns a fixed-seed [`tdo_rand::Rng`]; there is no global
+//!   generator state), so a cell's result is byte-identical whether it runs
+//!   on one worker thread or sixteen, first or memoized.
+//!
+//! ```
+//! use tdo_sim::{Cell, ExperimentSpec, PrefetchSetup, Runner, SimConfig};
+//! use tdo_workloads::Scale;
+//!
+//! let mut spec = ExperimentSpec::new();
+//! for arm in [PrefetchSetup::NoPrefetch, PrefetchSetup::Hw8x8] {
+//!     spec.push(Cell::new("mcf", Scale::Test, SimConfig::test(arm)));
+//! }
+//! let runner = Runner::new(2);
+//! let results = runner.run_spec(&spec);
+//! assert_eq!(results.len(), 2);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tdo_workloads::{build, Scale};
+
+use crate::config::SimConfig;
+use crate::machine::run;
+use crate::result::SimResult;
+
+/// One experiment cell: a named workload simulated under one configuration.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Workload name (must be in [`tdo_workloads::names`]).
+    pub workload: String,
+    /// Workload generation scale.
+    pub scale: Scale,
+    /// Full simulation configuration (the experimental arm).
+    pub cfg: SimConfig,
+}
+
+impl Cell {
+    /// Creates a cell.
+    #[must_use]
+    pub fn new(workload: impl Into<String>, scale: Scale, cfg: SimConfig) -> Cell {
+        Cell { workload: workload.into(), scale, cfg }
+    }
+
+    /// The memoization fingerprint: the full rendered content of the cell.
+    ///
+    /// Two cells with equal fingerprints run the same workload bytes under
+    /// the same configuration and therefore produce the same [`SimResult`].
+    /// (The debug rendering covers every `SimConfig` field, so there are no
+    /// false cache hits; a formatting-identical configuration is a
+    /// field-identical one.)
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!("{}|{:?}|{:?}", self.workload, self.scale, self.cfg)
+    }
+
+    /// Builds the workload and runs the simulation for this cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown workload name.
+    #[must_use]
+    pub fn simulate(&self) -> SimResult {
+        let w = build(&self.workload, self.scale)
+            .unwrap_or_else(|| panic!("unknown workload `{}`", self.workload));
+        run(&w, &self.cfg)
+    }
+}
+
+/// A declarative batch of cells, in presentation order (duplicates allowed —
+/// the runner deduplicates by fingerprint).
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentSpec {
+    /// The cells to simulate.
+    pub cells: Vec<Cell>,
+}
+
+impl ExperimentSpec {
+    /// An empty spec.
+    #[must_use]
+    pub fn new() -> ExperimentSpec {
+        ExperimentSpec::default()
+    }
+
+    /// Appends a cell.
+    pub fn push(&mut self, cell: Cell) {
+        self.cells.push(cell);
+    }
+
+    /// Appends every cell of `other`.
+    pub fn extend(&mut self, other: ExperimentSpec) {
+        self.cells.extend(other.cells);
+    }
+
+    /// Number of cells (including duplicates).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the spec is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Executes cells in parallel and memoizes their results for the lifetime of
+/// the runner.
+pub struct Runner {
+    jobs: usize,
+    cache: Mutex<HashMap<String, Arc<SimResult>>>,
+}
+
+impl Runner {
+    /// Creates a runner with `jobs` worker threads; `0` means one per
+    /// available hardware thread.
+    #[must_use]
+    pub fn new(jobs: usize) -> Runner {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            jobs
+        };
+        Runner { jobs, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Number of distinct cells simulated (or memoized) so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the cache lock.
+    #[must_use]
+    pub fn cells_cached(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Runs (or recalls) a single cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown workload name.
+    #[must_use]
+    pub fn run_cell(&self, cell: &Cell) -> Arc<SimResult> {
+        let key = cell.fingerprint();
+        if let Some(r) = self.cache.lock().unwrap().get(&key) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(cell.simulate());
+        self.cache.lock().unwrap().entry(key).or_insert_with(|| Arc::clone(&r)).clone()
+    }
+
+    /// Runs a whole spec: unique un-memoized cells execute across up to
+    /// `jobs` scoped worker threads; the returned vector matches
+    /// `spec.cells` element for element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell names an unknown workload (propagated from the
+    /// worker that simulated it).
+    #[must_use]
+    pub fn run_spec(&self, spec: &ExperimentSpec) -> Vec<Arc<SimResult>> {
+        // Unique cells not already memoized, in first-appearance order so a
+        // serial runner (jobs=1) visits them deterministically.
+        let mut pending: Vec<&Cell> = Vec::new();
+        {
+            let cache = self.cache.lock().unwrap();
+            let mut seen = HashSet::new();
+            for cell in &spec.cells {
+                let key = cell.fingerprint();
+                if !cache.contains_key(&key) && seen.insert(key) {
+                    pending.push(cell);
+                }
+            }
+        }
+        if !pending.is_empty() {
+            let next = AtomicUsize::new(0);
+            let workers = self.jobs.min(pending.len());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = pending.get(i) else { break };
+                        let r = Arc::new(cell.simulate());
+                        self.cache.lock().unwrap().insert(cell.fingerprint(), r);
+                    });
+                }
+            });
+        }
+        let cache = self.cache.lock().unwrap();
+        spec.cells.iter().map(|c| Arc::clone(&cache[&c.fingerprint()])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetchSetup;
+
+    fn quick_cell(setup: PrefetchSetup) -> Cell {
+        let mut cfg = SimConfig::test(setup);
+        cfg.warmup_insts = 2_000;
+        cfg.measure_insts = 20_000;
+        Cell::new("swim", Scale::Test, cfg)
+    }
+
+    #[test]
+    fn fingerprints_separate_configs_and_workloads() {
+        let a = quick_cell(PrefetchSetup::NoPrefetch);
+        let b = quick_cell(PrefetchSetup::Hw8x8);
+        let mut c = quick_cell(PrefetchSetup::NoPrefetch);
+        c.workload = "art".into();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), quick_cell(PrefetchSetup::NoPrefetch).fingerprint());
+    }
+
+    #[test]
+    fn duplicate_cells_simulate_once_and_share_the_result() {
+        let runner = Runner::new(2);
+        let mut spec = ExperimentSpec::new();
+        spec.push(quick_cell(PrefetchSetup::NoPrefetch));
+        spec.push(quick_cell(PrefetchSetup::NoPrefetch));
+        let rs = runner.run_spec(&spec);
+        assert_eq!(rs.len(), 2);
+        assert!(Arc::ptr_eq(&rs[0], &rs[1]), "memoized result is shared");
+        assert_eq!(runner.cells_cached(), 1);
+    }
+}

@@ -20,9 +20,13 @@
 #![warn(clippy::all)]
 
 pub mod config;
+pub mod engine;
 pub mod machine;
+pub mod report;
 pub mod result;
 
 pub use config::{JobCostModel, PrefetchSetup, SimConfig};
+pub use engine::{Cell, ExperimentSpec, Runner};
 pub use machine::{run, Machine};
+pub use report::{Format, Report};
 pub use result::{DriverCounters, SimResult};

@@ -219,10 +219,7 @@ impl Machine {
         self.commit_buf = buf;
 
         // 3. Dispatch one pending event to the helper if it is free.
-        if self.optimization_enabled()
-            && self.pending_job.is_none()
-            && self.core.helper_idle()
-        {
+        if self.optimization_enabled() && self.pending_job.is_none() && self.core.helper_idle() {
             self.dispatch_event();
         }
 
@@ -232,8 +229,7 @@ impl Machine {
         }
 
         // 5. Phase-change extension: periodically re-open matured loads.
-        if let (Some(at), Some(interval)) =
-            (self.next_mature_clear, self.cfg.mature_clear_interval)
+        if let (Some(at), Some(interval)) = (self.next_mature_clear, self.cfg.mature_clear_interval)
         {
             if self.core.now() >= at {
                 self.dlt.clear_all_mature();
@@ -308,11 +304,8 @@ impl Machine {
                         && self.optimization_enabled()
                         && self.dlt.observe(c.pc, addr, result.l1_miss, result.latency)
                     {
-                        let suppressed = self
-                            .trident
-                            .watch
-                            .get(i.trace)
-                            .is_none_or(|e| e.being_optimized);
+                        let suppressed =
+                            self.trident.watch.get(i.trace).is_none_or(|e| e.being_optimized);
                         if !suppressed {
                             self.trident.push_event(HotEvent::DelinquentLoad {
                                 load_pc: c.pc,
@@ -324,13 +317,13 @@ impl Machine {
                 }
             }
             CommitKind::Branch { taken, target, .. }
-                if info.is_none() && self.optimization_enabled() => {
-                    self.trident.observe_branch(c.pc, taken, target, true);
-                }
-            CommitKind::Jump { target }
-                if info.is_none() && self.optimization_enabled() => {
-                    self.trident.observe_branch(c.pc, true, target, false);
-                }
+                if info.is_none() && self.optimization_enabled() =>
+            {
+                self.trident.observe_branch(c.pc, taken, target, true);
+            }
+            CommitKind::Jump { target } if info.is_none() && self.optimization_enabled() => {
+                self.trident.observe_branch(c.pc, true, target, false);
+            }
             _ => {}
         }
     }
@@ -375,8 +368,7 @@ impl Machine {
                 self.counters.hot_trace_events += 1;
                 let code = &self.code;
                 let fetch = |pc: u64| code.fetch(pc);
-                let Ok(pending) = self.trident.prepare_install(&fetch, head, bitmap, nbits)
-                else {
+                let Ok(pending) = self.trident.prepare_install(&fetch, head, bitmap, nbits) else {
                     return;
                 };
                 let cost = self.cfg.job_cost.form_base

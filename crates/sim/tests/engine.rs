@@ -1,0 +1,69 @@
+//! Determinism and memoization guarantees of the experiment engine: a cell's
+//! result is identical run-to-run, across worker counts, and whether it is
+//! simulated fresh or recalled from the memo cache.
+
+use std::sync::Arc;
+
+use tdo_sim::{Cell, ExperimentSpec, PrefetchSetup, Runner, SimConfig, SimResult};
+use tdo_workloads::Scale;
+
+/// A short but non-trivial cell (exercises the optimizer path).
+fn cell(workload: &str, setup: PrefetchSetup) -> Cell {
+    let mut cfg = SimConfig::test(setup);
+    cfg.warmup_insts = 5_000;
+    cfg.measure_insts = 45_000;
+    Cell::new(workload, Scale::Test, cfg)
+}
+
+/// Full-state comparison via the debug rendering (covers every counter).
+fn render(r: &SimResult) -> String {
+    format!("{r:?}")
+}
+
+#[test]
+fn same_cell_twice_is_identical() {
+    let c = cell("mcf", PrefetchSetup::SwSelfRepair);
+    assert_eq!(render(&c.simulate()), render(&c.simulate()));
+}
+
+#[test]
+fn serial_and_parallel_runs_are_identical() {
+    let mut spec = ExperimentSpec::new();
+    for workload in ["mcf", "art", "equake"] {
+        for setup in [PrefetchSetup::NoPrefetch, PrefetchSetup::Hw8x8, PrefetchSetup::SwSelfRepair]
+        {
+            spec.push(cell(workload, setup));
+        }
+    }
+    let serial: Vec<String> = Runner::new(1).run_spec(&spec).iter().map(|r| render(r)).collect();
+    let parallel: Vec<String> = Runner::new(4).run_spec(&spec).iter().map(|r| render(r)).collect();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn memoized_result_equals_fresh_result() {
+    let c = cell("vis", PrefetchSetup::SwSelfRepair);
+    let runner = Runner::new(2);
+    let first = runner.run_cell(&c);
+    let memoized = runner.run_cell(&c);
+    assert!(Arc::ptr_eq(&first, &memoized), "second lookup is a cache hit");
+    assert_eq!(render(&first), render(&c.simulate()), "cache returns what a fresh run computes");
+}
+
+#[test]
+fn spec_results_match_cell_order_across_shared_arms() {
+    // fig2/fig5/fig9-style sharing: the same baseline cell appears in
+    // several places; every occurrence gets the same result object.
+    let base = cell("gap", PrefetchSetup::Hw8x8);
+    let other = cell("gap", PrefetchSetup::SwSelfRepair);
+    let mut spec = ExperimentSpec::new();
+    spec.push(base.clone());
+    spec.push(other.clone());
+    spec.push(base.clone());
+    let runner = Runner::new(3);
+    let rs = runner.run_spec(&spec);
+    assert_eq!(rs.len(), 3);
+    assert!(Arc::ptr_eq(&rs[0], &rs[2]));
+    assert_eq!(runner.cells_cached(), 2, "two unique cells simulated");
+    assert_ne!(render(&rs[0]), render(&rs[1]));
+}

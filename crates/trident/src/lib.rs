@@ -40,9 +40,7 @@ pub mod watch;
 pub use cache::CodeCache;
 pub use events::{EventQueue, HotEvent, TraceId};
 pub use profiler::{BranchProfiler, ProfilerConfig};
-pub use runtime::{
-    InstallError, Patch, PendingInstall, Trident, TridentConfig, TridentStats,
-};
+pub use runtime::{InstallError, Patch, PendingInstall, Trident, TridentConfig, TridentStats};
 pub use trace::{
     form_trace, CodeSource, FormError, FormationEnd, Trace, TraceInst, TraceOp, MAX_TRACE_LEN,
 };

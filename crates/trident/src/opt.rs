@@ -92,9 +92,7 @@ pub fn reassociation(insts: &mut [TraceInst]) {
             {
                 Some((rc, ra, -imm))
             }
-            TraceOp::Real(Inst::Move { ra, rc }) if rc != ra && !rc.is_zero() => {
-                Some((rc, ra, 0))
-            }
+            TraceOp::Real(Inst::Move { ra, rc }) if rc != ra && !rc.is_zero() => Some((rc, ra, 0)),
             _ => None,
         };
         // A write invalidates facts about the destination and facts rooted
@@ -253,9 +251,7 @@ pub fn strength_reduction(insts: &mut [TraceInst]) {
                 imm: (m as u64).trailing_zeros() as i64,
                 rc,
             }),
-            (AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor, 0) => {
-                Some(Inst::Move { ra, rc })
-            }
+            (AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor, 0) => Some(Inst::Move { ra, rc }),
             _ => None,
         };
         if let Some(inst) = new {
@@ -305,9 +301,8 @@ pub fn redundant_load_elimination(insts: &mut [TraceInst]) {
         let mut add: Option<(Reg, i64, LoadKind, Reg)> = None;
         match ti.op {
             TraceOp::Real(Inst::Load { ra, rb, off, kind }) => {
-                if let Some(&(_, _, _, v)) = avail
-                    .iter()
-                    .find(|(b, o, k, _)| *b == rb && *o == off && *k == kind)
+                if let Some(&(_, _, _, v)) =
+                    avail.iter().find(|(b, o, k, _)| *b == rb && *o == off && *k == kind)
                 {
                     if !ra.is_zero() && v != ra {
                         ti.op = TraceOp::Real(Inst::Move { ra: v, rc: ra });
@@ -349,10 +344,7 @@ mod tests {
             ti(Real(Inst::Op { op: AluOp::Add, ra: r(2), rb: r(2), rc: r(3) })),
         ];
         copy_propagation(&mut t);
-        assert_eq!(
-            t[1].op,
-            Real(Inst::Op { op: AluOp::Add, ra: r(1), rb: r(1), rc: r(3) })
-        );
+        assert_eq!(t[1].op, Real(Inst::Op { op: AluOp::Add, ra: r(1), rb: r(1), rc: r(3) }));
     }
 
     #[test]

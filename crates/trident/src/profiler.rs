@@ -29,13 +29,7 @@ impl ProfilerConfig {
     /// The paper's Table 2 configuration.
     #[must_use]
     pub fn paper_baseline() -> ProfilerConfig {
-        ProfilerConfig {
-            entries: 256,
-            assoc: 4,
-            hot_threshold: 15,
-            capture_units: 3,
-            max_bits: 16,
-        }
+        ProfilerConfig { entries: 256, assoc: 4, hot_threshold: 15, capture_units: 3, max_bits: 16 }
     }
 }
 
@@ -139,10 +133,9 @@ impl BranchProfiler {
         }
 
         // 2. Hot-head counting: backward taken branches indicate loop heads.
-        if taken && target < pc && !self.traced.contains(&target)
-            && self.bump_counter(target) {
-                self.arm_capture(target);
-            }
+        if taken && target < pc && !self.traced.contains(&target) && self.bump_counter(target) {
+            self.arm_capture(target);
+        }
 
         // 3. Arrival at an armed (non-recording) capture head starts
         //    recording the path.
@@ -171,10 +164,8 @@ impl BranchProfiler {
             return e.counter >= self.cfg.hot_threshold;
         }
         // Allocate (LRU within the set).
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
-            .expect("assoc > 0");
+        let victim =
+            ways.iter_mut().min_by_key(|e| if e.valid { e.stamp } else { 0 }).expect("assoc > 0");
         *victim = CounterEntry { valid: true, tag: head, counter: 1, stamp: self.clock };
         false
     }
@@ -219,7 +210,13 @@ mod tests {
     /// Drives the profiler with a simple loop: a backward conditional branch
     /// at `pc` jumping to `head` `iters` times, with `inner` conditional
     /// branches (not-taken) inside the body.
-    fn drive_loop(p: &mut BranchProfiler, head: u64, pc: u64, iters: usize, inner: usize) -> Vec<HotEvent> {
+    fn drive_loop(
+        p: &mut BranchProfiler,
+        head: u64,
+        pc: u64,
+        iters: usize,
+        inner: usize,
+    ) -> Vec<HotEvent> {
         let mut evs = Vec::new();
         for _ in 0..iters {
             for j in 0..inner {

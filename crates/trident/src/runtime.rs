@@ -282,10 +282,9 @@ impl Trident {
         patches.push(Patch { addr: trace.head, word: encode(&Inst::Br { disp }).expect("fits") });
         // Remember the original head instruction for unlinking (only the
         // first time this head is patched).
-        self.original_head.entry(trace.head).or_insert_with(|| {
-            
-            code.fetch_inst(trace.head).expect("formed trace head is mapped")
-        });
+        self.original_head
+            .entry(trace.head)
+            .or_insert_with(|| code.fetch_inst(trace.head).expect("formed trace head is mapped"));
         Ok(PendingInstall { trace, patches, replaces })
     }
 
@@ -304,10 +303,7 @@ impl Trident {
     /// [`InstallError::WatchFull`] when the watch table cannot accept the
     /// trace (the installation must then be abandoned and no patches
     /// applied).
-    pub fn commit_install(
-        &mut self,
-        pending: &PendingInstall,
-    ) -> Result<Vec<Patch>, InstallError> {
+    pub fn commit_install(&mut self, pending: &PendingInstall) -> Result<Vec<Patch>, InstallError> {
         let trace = &pending.trace;
         let mut forwards = Vec::new();
         if let Some(old) = pending.replaces {
@@ -345,7 +341,8 @@ impl Trident {
         self.profiler.clear_traced(trace.head);
         self.stats.backouts += 1;
         let orig = self.original_head[&trace.head];
-        let mut patches = vec![Patch { addr: trace.head, word: encode(&orig).expect("round trip") }];
+        let mut patches =
+            vec![Patch { addr: trace.head, word: encode(&orig).expect("round trip") }];
         patches.extend(forward_loopbacks(&trace, trace.head));
         Ok(patches)
     }
@@ -458,10 +455,7 @@ mod tests {
         cfg.code_cache_base = 0x10_0000;
         cfg.code_cache_bytes = 8; // room for one instruction
         let mut t = Trident::new(cfg);
-        assert!(matches!(
-            t.prepare_install(&code, 0x1000, 0b1, 1),
-            Err(InstallError::CacheFull)
-        ));
+        assert!(matches!(t.prepare_install(&code, 0x1000, 0b1, 1), Err(InstallError::CacheFull)));
         assert_eq!(t.stats.cache_full, 1);
     }
 

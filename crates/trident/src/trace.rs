@@ -292,9 +292,9 @@ impl Trace {
                     ra,
                     disp: Inst::disp_between(pc, to).expect("aligned code addresses"),
                 },
-                TraceOp::JumpBack { to } => Inst::Br {
-                    disp: Inst::disp_between(pc, to).expect("aligned code addresses"),
-                },
+                TraceOp::JumpBack { to } => {
+                    Inst::Br { disp: Inst::disp_between(pc, to).expect("aligned code addresses") }
+                }
                 TraceOp::LoopBack => Inst::Br {
                     disp: Inst::disp_between(pc, cc_addr).expect("aligned code addresses"),
                 },

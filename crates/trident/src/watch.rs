@@ -103,10 +103,7 @@ impl WatchTable {
     /// The trace containing code-cache address `pc`, if watched.
     #[must_use]
     pub fn trace_at(&self, pc: u64) -> Option<TraceId> {
-        self.entries
-            .iter()
-            .find(|e| (e.cc_start..e.cc_end).contains(&pc))
-            .map(|e| e.trace)
+        self.entries.iter().find(|e| (e.cc_start..e.cc_end).contains(&pc)).map(|e| e.trace)
     }
 
     /// Number of watched traces.
@@ -169,9 +166,7 @@ impl WatchTable {
     /// The minimal execution time for `trace`, if one has been observed.
     #[must_use]
     pub fn min_exec_time(&self, trace: TraceId) -> Option<u64> {
-        self.get(trace).and_then(|e| {
-            (e.min_exec_time != u64::MAX).then_some(e.min_exec_time)
-        })
+        self.get(trace).and_then(|e| (e.min_exec_time != u64::MAX).then_some(e.min_exec_time))
     }
 }
 

@@ -1,40 +1,60 @@
-//! Property test: the classical trace optimizations preserve architectural
+//! Randomized test: the classical trace optimizations preserve architectural
 //! semantics — registers, memory, and the exit taken — on random traces.
+//! (Seeded `tdo_rand` sweeps; `--features exhaustive` widens them.)
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
 use tdo_isa::{AluOp, Cond, Inst, LoadKind, Reg};
+use tdo_rand::{cases, Rng};
 use tdo_trident::opt;
 use tdo_trident::trace::{TraceInst, TraceOp};
 
-fn r() -> impl Strategy<Value = Reg> {
-    (0u8..10).prop_map(Reg::int)
+fn r(rng: &mut Rng) -> Reg {
+    Reg::int(rng.gen_range(0..10) as u8)
 }
 
-fn arb_op() -> impl Strategy<Value = TraceOp> {
-    let alu = prop::sample::select(AluOp::ALL.to_vec());
-    let cond = prop::sample::select(Cond::ALL.to_vec());
-    prop_oneof![
-        6 => (alu.clone(), r(), r(), r()).prop_map(|(op, ra, rb, rc)| TraceOp::Real(Inst::Op { op, ra, rb, rc })),
-        6 => (alu, r(), -64i64..64, r()).prop_map(|(op, ra, imm, rc)| TraceOp::Real(Inst::OpImm { op, ra, imm, rc })),
-        3 => (r(), r(), -32i64..32).prop_map(|(ra, rb, imm)| TraceOp::Real(Inst::Lda { ra, rb, imm })),
-        3 => (r(), r()).prop_map(|(ra, rc)| TraceOp::Real(Inst::Move { ra, rc })),
-        3 => (r(), 0i64..8).prop_map(|(ra, off)| TraceOp::Real(Inst::Load { ra, rb: Reg::int(9), off: off * 8, kind: LoadKind::Int })),
-        2 => (r(), 0i64..8).prop_map(|(ra, off)| TraceOp::Real(Inst::Store { ra, rb: Reg::int(9), off: off * 8 })),
-        1 => (cond, r()).prop_map(|(cond, ra)| TraceOp::CondExit { cond, ra, to: 0x9000 }),
-    ]
+fn arb_op(rng: &mut Rng) -> TraceOp {
+    // Weighted mix mirroring real trace bodies: mostly ALU, some memory,
+    // an occasional conditional exit (weights 6/6/3/3/3/2/1).
+    match rng.gen_range(0..24) {
+        0..=5 => TraceOp::Real(Inst::Op {
+            op: *rng.choose(&AluOp::ALL),
+            ra: r(rng),
+            rb: r(rng),
+            rc: r(rng),
+        }),
+        6..=11 => TraceOp::Real(Inst::OpImm {
+            op: *rng.choose(&AluOp::ALL),
+            ra: r(rng),
+            imm: rng.gen_range_i64(-64..64),
+            rc: r(rng),
+        }),
+        12..=14 => {
+            TraceOp::Real(Inst::Lda { ra: r(rng), rb: r(rng), imm: rng.gen_range_i64(-32..32) })
+        }
+        15..=17 => TraceOp::Real(Inst::Move { ra: r(rng), rc: r(rng) }),
+        18..=20 => TraceOp::Real(Inst::Load {
+            ra: r(rng),
+            rb: Reg::int(9),
+            off: rng.gen_range_i64(0..8) * 8,
+            kind: LoadKind::Int,
+        }),
+        21 | 22 => TraceOp::Real(Inst::Store {
+            ra: r(rng),
+            rb: Reg::int(9),
+            off: rng.gen_range_i64(0..8) * 8,
+        }),
+        _ => TraceOp::CondExit { cond: *rng.choose(&Cond::ALL), ra: r(rng), to: 0x9000 },
+    }
 }
 
-fn arb_trace() -> impl Strategy<Value = Vec<TraceInst>> {
-    prop::collection::vec(arb_op(), 1..60).prop_map(|ops| {
-        let mut v: Vec<TraceInst> = ops
-            .into_iter()
-            .map(|op| TraceInst { op, orig_pc: 0x1000, weight: 1, synthetic: false })
-            .collect();
-        v.push(TraceInst { op: TraceOp::LoopBack, orig_pc: 0x1000, weight: 0, synthetic: false });
-        v
-    })
+fn arb_trace(rng: &mut Rng) -> Vec<TraceInst> {
+    let n = rng.gen_range(1..60);
+    let mut v: Vec<TraceInst> = (0..n)
+        .map(|_| TraceInst { op: arb_op(rng), orig_pc: 0x1000, weight: 1, synthetic: false })
+        .collect();
+    v.push(TraceInst { op: TraceOp::LoopBack, orig_pc: 0x1000, weight: 0, synthetic: false });
+    v
 }
 
 // Mirror of the interpreter in tdo-trident's internal tests (kept separate so
@@ -55,14 +75,12 @@ fn run(insts: &[TraceInst], regs: &mut [u64; 64], mem: &mut BTreeMap<u64, u64>) 
                         regs[rc.index()] = v;
                     }
                 }
-                Inst::Lda { ra, rb, imm }
-                    if !ra.is_zero() => {
-                        regs[ra.index()] = regs[rb.index()].wrapping_add(imm as u64);
-                    }
-                Inst::Move { ra, rc }
-                    if !rc.is_zero() => {
-                        regs[rc.index()] = regs[ra.index()];
-                    }
+                Inst::Lda { ra, rb, imm } if !ra.is_zero() => {
+                    regs[ra.index()] = regs[rb.index()].wrapping_add(imm as u64);
+                }
+                Inst::Move { ra, rc } if !rc.is_zero() => {
+                    regs[rc.index()] = regs[ra.index()];
+                }
                 Inst::Load { ra, rb, off, .. } => {
                     let a = regs[rb.index()].wrapping_add(off as u64);
                     if !ra.is_zero() {
@@ -86,44 +104,45 @@ fn run(insts: &[TraceInst], regs: &mut [u64; 64], mem: &mut BTreeMap<u64, u64>) 
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn optimize_preserves_semantics(
-        trace in arb_trace(),
-        seeds in prop::collection::vec(any::<u64>(), 10),
-        mem_seed in any::<u64>(),
-    ) {
+#[test]
+fn optimize_preserves_semantics() {
+    let mut rng = Rng::new(0x0b7_0001);
+    for case in 0..cases(256) {
+        let trace = arb_trace(&mut rng);
         let mut optimized = trace.clone();
         opt::optimize(&mut optimized);
-        prop_assert_eq!(optimized.len(), trace.len(), "passes are slot-preserving");
+        assert_eq!(optimized.len(), trace.len(), "case {case}: passes are slot-preserving");
 
         // Random initial state: registers r0..r9 plus memory at the base.
         let mut regs_a = [0u64; 64];
-        for (i, s) in seeds.iter().enumerate() {
-            regs_a[i] = *s;
+        for reg in regs_a.iter_mut().take(10) {
+            *reg = rng.next_u64();
         }
         regs_a[9] = 0x10_000; // data base used by generated loads/stores
         let mut regs_b = regs_a;
-        let mut mem_a: BTreeMap<u64, u64> = (0..8)
-            .map(|i| (0x10_000 + i * 8, mem_seed.wrapping_mul(i + 1)))
-            .collect();
+        let mem_seed = rng.next_u64();
+        let mut mem_a: BTreeMap<u64, u64> =
+            (0..8).map(|i| (0x10_000 + i * 8, mem_seed.wrapping_mul(i + 1))).collect();
         let mut mem_b = mem_a.clone();
 
         let exit_a = run(&trace, &mut regs_a, &mut mem_a);
         let exit_b = run(&optimized, &mut regs_b, &mut mem_b);
 
-        prop_assert_eq!(exit_a, exit_b, "same exit behaviour");
-        prop_assert_eq!(regs_a, regs_b, "same registers");
-        prop_assert_eq!(mem_a, mem_b, "same memory");
+        assert_eq!(exit_a, exit_b, "case {case}: same exit behaviour");
+        assert_eq!(regs_a, regs_b, "case {case}: same registers");
+        assert_eq!(mem_a, mem_b, "case {case}: same memory");
     }
+}
 
-    #[test]
-    fn optimize_preserves_weights(trace in arb_trace()) {
+#[test]
+fn optimize_preserves_weights() {
+    let mut rng = Rng::new(0x0b7_0002);
+    for case in 0..cases(256) {
+        let trace = arb_trace(&mut rng);
         let before: u64 = trace.iter().map(|t| u64::from(t.weight)).sum();
         let mut optimized = trace;
         opt::optimize(&mut optimized);
         let after: u64 = optimized.iter().map(|t| u64::from(t.weight)).sum();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
     }
 }

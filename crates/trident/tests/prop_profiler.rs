@@ -1,8 +1,9 @@
-//! Property tests for the branch profiler: hot-trace events are only ever
+//! Randomized tests for the branch profiler: hot-trace events are only ever
 //! emitted for genuinely repeating paths, and every emitted bitmap replays
-//! the captured branch directions exactly.
+//! the captured branch directions exactly. (Seeded `tdo_rand` sweeps;
+//! `--features exhaustive` widens them.)
 
-use proptest::prelude::*;
+use tdo_rand::{cases, Rng};
 use tdo_trident::{BranchProfiler, HotEvent, ProfilerConfig};
 
 /// A synthetic loop: head, `dirs.len()` conditional branches per iteration
@@ -25,33 +26,35 @@ fn drive(p: &mut BranchProfiler, head: u64, dirs: &[bool], iters: usize) -> Vec<
     out
 }
 
-proptest! {
-    #[test]
-    fn stable_loops_emit_exactly_their_bitmap(
-        dirs in prop::collection::vec(any::<bool>(), 0..12),
-        head in (1u64..1 << 20).prop_map(|h| h * 8 + (1 << 24)),
-    ) {
+#[test]
+fn stable_loops_emit_exactly_their_bitmap() {
+    let mut rng = Rng::new(0x9f0_0001);
+    for case in 0..cases(256) {
+        let dirs: Vec<bool> = (0..rng.gen_range(0..12)).map(|_| rng.gen_bool(0.5)).collect();
+        let head = rng.gen_range(1..1 << 20) * 8 + (1 << 24);
         let mut p = BranchProfiler::new(ProfilerConfig::paper_baseline());
         let evs = drive(&mut p, head, &dirs, 64);
-        prop_assert_eq!(evs.len(), 1, "stable loop emits exactly once");
+        assert_eq!(evs.len(), 1, "case {case}: stable loop emits exactly once");
         match evs[0] {
             HotEvent::HotTrace { head: h, bitmap, nbits } => {
-                prop_assert_eq!(h, head);
+                assert_eq!(h, head, "case {case}");
                 // Inner branch directions + the (taken) loop-closing branch.
-                prop_assert_eq!(usize::from(nbits), dirs.len() + 1);
+                assert_eq!(usize::from(nbits), dirs.len() + 1, "case {case}");
                 for (j, d) in dirs.iter().enumerate() {
-                    prop_assert_eq!((bitmap >> j) & 1 == 1, *d, "bit {}", j);
+                    assert_eq!((bitmap >> j) & 1 == 1, *d, "case {case}: bit {j}");
                 }
-                prop_assert_eq!((bitmap >> dirs.len()) & 1, 1, "backward branch taken");
+                assert_eq!((bitmap >> dirs.len()) & 1, 1, "case {case}: backward branch taken");
             }
-            other => prop_assert!(false, "unexpected event {other:?}"),
+            other => panic!("case {case}: unexpected event {other:?}"),
         }
     }
+}
 
-    #[test]
-    fn alternating_paths_never_stabilize(
-        head in (1u64..1 << 20).prop_map(|h| h * 8 + (1 << 24)),
-    ) {
+#[test]
+fn alternating_paths_never_stabilize() {
+    let mut rng = Rng::new(0x9f0_0002);
+    for case in 0..cases(128) {
+        let head = rng.gen_range(1..1 << 20) * 8 + (1 << 24);
         let mut p = BranchProfiler::new(ProfilerConfig::paper_baseline());
         let mut emitted = 0;
         for i in 0..200u64 {
@@ -63,30 +66,32 @@ proptest! {
                 emitted += 1;
             }
         }
-        prop_assert_eq!(emitted, 0, "period-2 paths cannot produce equal consecutive captures");
+        assert_eq!(
+            emitted, 0,
+            "case {case}: period-2 paths cannot produce equal consecutive captures"
+        );
     }
+}
 
-    #[test]
-    fn cold_code_never_emits(
-        branches in prop::collection::vec(
-            ((1u64..1 << 20), any::<bool>(), (1u64..1 << 20)),
-            0..256,
-        ),
-    ) {
+#[test]
+fn cold_code_never_emits() {
+    let mut rng = Rng::new(0x9f0_0003);
+    for case in 0..cases(256) {
         // Random branches that never revisit the same target 15+ times in a
         // stable way: with fully random (pc, target) pairs repetition is
         // vanishingly unlikely, so no event may fire.
         let mut seen = std::collections::HashMap::new();
         let mut p = BranchProfiler::new(ProfilerConfig::paper_baseline());
-        for (pc, taken, tgt) in branches {
-            let pc = pc * 8 + (1 << 28);
-            let tgt = tgt * 8;
+        for _ in 0..rng.gen_range(0..256) {
+            let pc = rng.gen_range(1..1 << 20) * 8 + (1 << 28);
+            let taken = rng.gen_bool(0.5);
+            let tgt = rng.gen_range(1..1 << 20) * 8;
             *seen.entry(tgt).or_insert(0u32) += u32::from(taken && tgt < pc);
             if let Some(e) = p.observe_branch(pc, taken, tgt, true) {
                 // Only acceptable if some target genuinely saturated.
-                prop_assert!(
+                assert!(
                     seen.values().any(|&c| c >= 15),
-                    "event without a hot target: {e:?}"
+                    "case {case}: event without a hot target: {e:?}"
                 );
             }
         }

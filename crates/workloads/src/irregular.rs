@@ -9,9 +9,8 @@
 //!   streams (prefetchable) feeding an indexed gather (not prefetchable by
 //!   this optimizer), capping the achievable speedup.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tdo_isa::{AluOp, Asm, Cond};
+use tdo_rand::Rng;
 
 use crate::build::{finish, regs::f, regs::r, DataAlloc, Scale, Workload, CODE_BASE};
 
@@ -26,11 +25,10 @@ pub fn gap(scale: Scale) -> Workload {
     let idx_n = 4096u64; // dispatch stream length (power of two)
     let idx_base = d.reserve(idx_n * 8);
     let table_base = d.reserve(16 * 8);
-    let mut rng = SmallRng::seed_from_u64(0x6a70_0001);
+    let mut rng = Rng::new(0x6a70_0001);
     // 50% routine 0 (hot), rest uniform over 1..16.
-    let stream: Vec<u64> = (0..idx_n)
-        .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..16u64) })
-        .collect();
+    let stream: Vec<u64> =
+        (0..idx_n).map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..16) }).collect();
     d.segments.push(tdo_isa::DataSegment::from_words(idx_base, &stream));
     let outer = scale.outer(6, 10_000_000);
 
@@ -76,9 +74,8 @@ pub fn gap(scale: Scale) -> Workload {
     b.bcond_to(Cond::Ne, r(5), "outer");
     b.halt();
     // Jump table: routine label addresses (known before final assembly).
-    let routines: Vec<u64> = (0..16)
-        .map(|i| b.label_addr(&format!("routine{i}")).expect("routine label"))
-        .collect();
+    let routines: Vec<u64> =
+        (0..16).map(|i| b.label_addr(&format!("routine{i}")).expect("routine label")).collect();
     d.segments.push(tdo_isa::DataSegment::from_words(table_base, &routines));
 
     finish(
@@ -101,7 +98,7 @@ pub fn equake(scale: Scale) -> Workload {
     let vals = d.reserve(nnz * 8);
     let cols = d.reserve(nnz * 8);
     let xv = d.reserve(x_elems * 8);
-    let mut rng = SmallRng::seed_from_u64(0xe9_4a4e);
+    let mut rng = Rng::new(0xe9_4a4e);
     let col_idx: Vec<u64> = (0..nnz).map(|_| rng.gen_range(0..x_elems) * 8).collect();
     d.segments.push(tdo_isa::DataSegment::from_words(cols, &col_idx));
     let outer = scale.outer(2, 100_000);

@@ -75,9 +75,8 @@ mod tests {
             assert_eq!(w.program.name, *name);
             assert!(!w.program.code.is_empty(), "{name} has code");
             for (i, word) in w.program.code.iter().enumerate() {
-                decode(*word).unwrap_or_else(|e| {
-                    panic!("{name} instruction {i} fails to decode: {e}")
-                });
+                decode(*word)
+                    .unwrap_or_else(|e| panic!("{name} instruction {i} fails to decode: {e}"));
             }
             assert_eq!(w.program.entry, w.program.code_base);
         }
@@ -111,11 +110,7 @@ mod tests {
         for name in names() {
             let w = build(name, Scale::Test).unwrap();
             for seg in &w.program.data {
-                assert!(
-                    seg.base >= DATA_BASE,
-                    "{name} segment at {:#x} below data base",
-                    seg.base
-                );
+                assert!(seg.base >= DATA_BASE, "{name} segment at {:#x} below data base", seg.base);
             }
         }
     }
@@ -137,18 +132,11 @@ mod tests {
     #[test]
     fn gap_jump_table_points_at_code() {
         let w = build("gap", Scale::Test).unwrap();
-        let table = w
-            .program
-            .data
-            .iter()
-            .find(|s| s.bytes.len() == 16 * 8)
-            .expect("jump table segment");
+        let table =
+            w.program.data.iter().find(|s| s.bytes.len() == 16 * 8).expect("jump table segment");
         for c in table.bytes.chunks(8) {
             let addr = u64::from_le_bytes(c.try_into().unwrap());
-            assert!(
-                w.program.contains_pc(addr),
-                "routine address {addr:#x} outside code"
-            );
+            assert!(w.program.contains_pc(addr), "routine address {addr:#x} outside code");
         }
     }
 

@@ -13,10 +13,8 @@
 //! * `parser` — hash-bucket chains of data-dependent length with randomized
 //!   allocation: irregular control flow and non-stride chains.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use tdo_isa::{AluOp, Asm, Cond};
+use tdo_rand::Rng;
 
 use crate::build::{finish, regs::f, regs::r, DataAlloc, Scale, Workload, CODE_BASE};
 
@@ -71,10 +69,10 @@ pub fn dot(scale: Scale) -> Workload {
     let nodes = (scale.ws(16 << 20) / 64).next_power_of_two() / 2; // 2^k
     let levels = nodes.trailing_zeros() as u64; // descend levels per walk
     let base = d.reserve(nodes * 64);
-    let mut rng = SmallRng::seed_from_u64(0x00d0_7001);
+    let mut rng = Rng::new(0x00d0_7001);
     // Shuffled placement: tree slot i lives at placement[i].
     let mut placement: Vec<u64> = (0..nodes).collect();
-    placement.shuffle(&mut rng);
+    rng.shuffle(&mut placement);
     let addr_of = |slot: u64| base + placement[slot as usize] * 64;
     let mut words = vec![0u64; (nodes * 8) as usize];
     for slot in 0..nodes {
@@ -85,7 +83,7 @@ pub fn dot(scale: Scale) -> Workload {
         // Keys steering the descent: biased 3:1 toward "left" so some paths
         // recur often enough to become (briefly) hot, as real dot exhibits —
         // overall coverage stays low.
-        let key = rng.gen::<u64>();
+        let key = rng.next_u64();
         words[at + 2] = if rng.gen_bool(0.75) { key & !1 } else { key | 1 };
     }
     d.segments.push(tdo_isa::DataSegment::from_words(base, &words));
@@ -126,9 +124,9 @@ pub fn vis(scale: Scale) -> Workload {
     let blocks = scale.ws(16 << 20) / 2 / 64;
     let ptrs = d.reserve(blocks * 8);
     let blk = d.reserve(blocks * 64);
-    let mut rng = SmallRng::seed_from_u64(0x0000_1755);
+    let mut rng = Rng::new(0x0000_1755);
     let mut order: Vec<u64> = (0..blocks).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let table: Vec<u64> = order.iter().map(|i| blk + i * 64).collect();
     d.segments.push(tdo_isa::DataSegment::from_words(ptrs, &table));
     let outer = scale.outer(8, 100_000);
@@ -172,15 +170,15 @@ pub fn parser(scale: Scale) -> Workload {
     let idx_n = 4096u64;
     let idx_base = d.reserve(idx_n * 8);
 
-    let mut rng = SmallRng::seed_from_u64(0x9a95_e700);
+    let mut rng = Rng::new(0x9a95_e700);
     // Randomized node placement.
     let mut order: Vec<u64> = (0..chain_nodes).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let mut node_words = vec![0u64; (chain_nodes * 8) as usize];
     let mut bucket_words = vec![0u64; buckets as usize];
     let mut next_node = 0usize;
     for bucket in bucket_words.iter_mut() {
-        let len = match rng.gen_range(0..4u32) {
+        let len = match rng.gen_range(0..4) {
             0 => 0,
             1 | 2 => 1,
             _ => 3,
@@ -194,7 +192,7 @@ pub fn parser(scale: Scale) -> Workload {
             next_node += 1;
             let addr = node_base + at * 64;
             node_words[(at * 8) as usize] = head; // next
-            node_words[(at * 8 + 1) as usize] = rng.gen::<u64>(); // key
+            node_words[(at * 8 + 1) as usize] = rng.next_u64(); // key
             head = addr;
         }
         *bucket = head;

@@ -27,12 +27,7 @@ use crate::build::{finish, regs::f, regs::r, DataAlloc, Scale, Workload, CODE_BA
 fn fp_filler(a: &mut Asm, count: usize) {
     for i in 0..count {
         let src = f(1 + (i % 4) as u8);
-        a.push(tdo_isa::Inst::FOp {
-            op: tdo_isa::FpuOp::Add,
-            ra: f(6),
-            rb: src,
-            rc: f(6),
-        });
+        a.push(tdo_isa::Inst::FOp { op: tdo_isa::FpuOp::Add, ra: f(6), rb: src, rc: f(6) });
     }
 }
 
@@ -229,12 +224,7 @@ fn medium_body(name: &str, scale: Scale, body: usize, streams: u8) -> Workload {
     a.op_imm(AluOp::Sub, r(15), 1, r(15));
     a.bcond_to(Cond::Ne, r(15), "outer");
     a.halt();
-    finish(
-        name,
-        format!("{streams} f64 streams of {n} elements with a {body}-op body"),
-        &a,
-        d,
-    )
+    finish(name, format!("{streams} f64 streams of {n} elements with a {body}-op body"), &a, d)
 }
 
 /// `facerec`: ten streams, ~160-instruction body — naive estimates suffice.

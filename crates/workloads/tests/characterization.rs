@@ -7,19 +7,11 @@ use tdo_isa::{decode, Inst, LoadKind};
 use tdo_workloads::{build, Scale, Workload};
 
 fn seg_words(w: &Workload, idx: usize) -> Vec<u64> {
-    w.program.data[idx]
-        .bytes
-        .chunks(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    w.program.data[idx].bytes.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
 }
 
 fn count_load_pcs(w: &Workload) -> usize {
-    w.program
-        .code
-        .iter()
-        .filter(|word| matches!(decode(**word), Ok(Inst::Load { .. })))
-        .count()
+    w.program.code.iter().filter(|word| matches!(decode(**word), Ok(Inst::Load { .. }))).count()
 }
 
 #[test]
@@ -171,13 +163,8 @@ fn working_sets_exceed_the_test_l3() {
             // Reserved (zero) regions don't appear as segments; measure the
             // span of the data area instead.
             let lo = w.program.data.iter().map(|s| s.base).min().unwrap_or(0);
-            let hi = w
-                .program
-                .data
-                .iter()
-                .map(|s| s.base + s.bytes.len() as u64)
-                .max()
-                .unwrap_or(0);
+            let hi =
+                w.program.data.iter().map(|s| s.base + s.bytes.len() as u64).max().unwrap_or(0);
             hi.saturating_sub(lo).max(
                 // Pure-reserve workloads (FP arrays) have no segments at all;
                 // fall back to the declared description sizes via the code's

@@ -11,7 +11,9 @@
 
 use std::collections::HashMap;
 
-use tdo_core::{Dlt, DltConfig, OptimizerConfig, PrefetchOptimizer, PreparedAction, SwPrefetchMode};
+use tdo_core::{
+    Dlt, DltConfig, OptimizerConfig, PrefetchOptimizer, PreparedAction, SwPrefetchMode,
+};
 use tdo_isa::{decode, prefetch_distance, AluOp, Asm, Cond, Inst, Reg};
 use tdo_trident::{CodeSource, HotEvent, TraceOp, Trident, TridentConfig};
 
@@ -52,8 +54,11 @@ fn main() {
     let pending = trident.prepare_install(&code, 0x1000, 0b1, 1).unwrap();
     trident.commit_install(&pending).unwrap();
     let mut trace = pending.trace.id;
-    println!("installed hot trace {trace:?} at {:#x} ({} instructions)",
-        pending.trace.cc_addr, pending.trace.insts.len());
+    println!(
+        "installed hot trace {trace:?} at {:#x} ({} instructions)",
+        pending.trace.cc_addr,
+        pending.trace.insts.len()
+    );
 
     // Pretend the nodes are allocated sequentially (stride 64): the DLT's
     // hardware stride detector discovers what no static analysis could.

@@ -54,7 +54,9 @@ fn build_blocked_sweep() -> Workload {
             code,
             data: data.segments,
         },
-        description: format!("blocked 2-D sweep: {rows} rows, 8 lines touched per {row_bytes}B row"),
+        description: format!(
+            "blocked 2-D sweep: {rows} rows, 8 lines touched per {row_bytes}B row"
+        ),
     }
 }
 

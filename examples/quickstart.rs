@@ -30,10 +30,17 @@ fn main() {
     println!("traces installed:         {}", repaired.trident.traces_installed);
     println!("delinquent-load events:   {}", repaired.optimizer.events);
     println!("prefetch insertions:      {}", repaired.optimizer.insertions);
-    println!("in-place repairs:         {} ({} up, {} down)",
-        repaired.optimizer.repairs, repaired.optimizer.distance_up, repaired.optimizer.distance_down);
+    println!(
+        "in-place repairs:         {} ({} up, {} down)",
+        repaired.optimizer.repairs,
+        repaired.optimizer.distance_up,
+        repaired.optimizer.distance_down
+    );
     println!("loads matured:            {}", repaired.optimizer.matured);
-    println!("helper thread active:     {:.1}% of cycles", repaired.helper_active_fraction() * 100.0);
+    println!(
+        "helper thread active:     {:.1}% of cycles",
+        repaired.helper_active_fraction() * 100.0
+    );
     println!(
         "miss coverage:            {:.0}% in hot traces, {:.0}% prefetched",
         repaired.miss_coverage_by_traces() * 100.0,

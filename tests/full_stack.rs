@@ -107,10 +107,8 @@ fn underperforming_traces_are_backed_out() {
         code: a.assemble().unwrap(),
         data: vec![],
     };
-    let workload = tdo::workloads::Workload {
-        program,
-        description: "trace back-out provocation".into(),
-    };
+    let workload =
+        tdo::workloads::Workload { program, description: "trace back-out provocation".into() };
     let mut cfg = SimConfig::test(PrefetchSetup::SwSelfRepair);
     cfg.warmup_insts = 100;
     cfg.measure_insts = u64::MAX;

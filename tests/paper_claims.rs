@@ -53,11 +53,7 @@ fn optimizer_overhead_is_under_five_percent() {
 #[test]
 fn mcf_misses_live_in_hot_traces() {
     let r = arm("mcf", PrefetchSetup::SwSelfRepair);
-    assert!(
-        r.miss_coverage_by_traces() > 0.7,
-        "trace coverage {:.2}",
-        r.miss_coverage_by_traces()
-    );
+    assert!(r.miss_coverage_by_traces() > 0.7, "trace coverage {:.2}", r.miss_coverage_by_traces());
     assert!(
         r.miss_coverage_by_prefetcher() > 0.5,
         "prefetch coverage {:.2}",
@@ -109,11 +105,7 @@ fn misses_due_to_prefetching_are_rare() {
     for name in ["art", "mcf", "galgel"] {
         let r = arm(name, PrefetchSetup::SwSelfRepair);
         let b = r.load_breakdown();
-        assert!(
-            b[4] < 0.05,
-            "{name}: miss-due-to-prefetch fraction {:.3}",
-            b[4]
-        );
+        assert!(b[4] < 0.05, "{name}: miss-due-to-prefetch fraction {:.3}", b[4]);
     }
 }
 
