@@ -28,6 +28,7 @@ fn main() {
         spec.push(h.cell_cfg(name, nl_cfg.clone()));
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("ablation_hw_prefetchers")
         .title("Ablation: hardware prefetcher generations (speedup over no prefetching)")

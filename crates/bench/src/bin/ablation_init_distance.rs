@@ -21,6 +21,7 @@ fn main() {
         spec.push(h.cell_cfg(name, est_cfg.clone()));
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("ablation_init_distance")
         .title("Ablation: initial prefetch distance under self-repair")

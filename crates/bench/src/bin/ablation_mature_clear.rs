@@ -23,6 +23,7 @@ fn main() {
         spec.push(h.cell_cfg(name, clear_cfg.clone()));
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("ablation_mature_clear")
         .title("Ablation: periodic mature-flag clearing (every 2M cycles)")

@@ -16,6 +16,7 @@ fn main() {
         }
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("fig2")
         .title("Figure 2: hardware stream-buffer prefetching vs no prefetching")

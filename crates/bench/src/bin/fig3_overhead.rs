@@ -31,6 +31,7 @@ fn main() {
         }
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("fig3")
         .title("Figure 3: optimization-thread activity (self-repairing prefetcher)")

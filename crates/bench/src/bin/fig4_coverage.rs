@@ -11,6 +11,7 @@ fn main() {
         spec.push(h.cell(name, PrefetchSetup::SwSelfRepair));
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("fig4")
         .title("Figure 4: load-miss coverage by hot traces and the prefetcher")

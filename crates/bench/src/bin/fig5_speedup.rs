@@ -20,6 +20,7 @@ fn main() {
         }
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("fig5")
         .title("Figure 5: software prefetching speedup over the hw-8x8 baseline")

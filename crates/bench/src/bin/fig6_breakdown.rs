@@ -12,6 +12,7 @@ fn main() {
         spec.push(h.cell(name, PrefetchSetup::SwSelfRepair));
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("fig6")
         .title("Figure 6: dynamic-load breakdown (self-repairing prefetcher)")

@@ -1,7 +1,7 @@
 //! Figure 7: sensitivity of the self-repairing prefetcher to the DLT's
 //! load-monitoring window size and miss-rate threshold.
 
-use tdo_bench::{geomean, pct, suite, Harness};
+use tdo_bench::{geomean, mean, pct, suite, Harness};
 use tdo_sim::{ExperimentSpec, PrefetchSetup, Report, SimConfig};
 
 fn main() {
@@ -23,6 +23,7 @@ fn main() {
         }
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("fig7")
         .title("Figure 7: average speedup vs DLT monitoring window x miss-rate threshold")
@@ -52,4 +53,31 @@ fn main() {
     rep.note("paper: a 3% miss-rate threshold over a 256-access window works best;");
     rep.note("       too-aggressive thresholds over-prefetch, too-lax ones miss loads (Fig. 7).");
     h.emit(&rep);
+
+    // Repair effort behind the sweep: how hard the self-repairing prefetcher
+    // worked to converge under each DLT setting (mean over the suite).
+    let mut effort = Report::new("fig7_effort")
+        .title("Figure 7 companion: repairs/group (mean cycles to converge) per DLT setting")
+        .key("window", 10);
+    for r in rates {
+        effort = effort.col(format!("{r:.0}% rate"), 16);
+    }
+    for w in windows {
+        let cells: Vec<String> = rates
+            .iter()
+            .map(|&rate| {
+                let (mut rpg, mut conv) = (Vec::new(), Vec::new());
+                for name in suite() {
+                    let r = h.cfg(name, &sweep_cfg(w, rate));
+                    rpg.push(r.repairs_per_group());
+                    conv.push(r.avg_cycles_to_converge());
+                }
+                format!("{:.1} ({:.0}k)", mean(&rpg), mean(&conv) / 1000.0)
+            })
+            .collect();
+        effort.row(w.to_string(), cells);
+    }
+    effort.note("repairs/group counts in-place distance repairs per inserted prefetch");
+    effort.note("group; cycles to converge spans insertion to the last distance change.");
+    h.emit(&effort);
 }

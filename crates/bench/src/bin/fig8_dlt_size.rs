@@ -36,6 +36,7 @@ fn main() {
         spec.push(h.cell_cfg(name, bigger_l1_cfg.clone()));
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("fig8")
         .title("Figure 8: average speedup vs DLT size (self-repairing over hw-8x8)");

@@ -16,6 +16,7 @@ fn main() {
         }
     }
     let _ = h.run(&spec);
+    h.dump_trace(&spec);
 
     let mut rep = Report::new("fig9")
         .title("Figure 9: prefetching alone — software (self-repairing) vs hardware (8x8)")

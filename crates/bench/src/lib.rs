@@ -25,11 +25,13 @@
 
 use std::sync::Arc;
 
-use tdo_sim::{Cell, ExperimentSpec, Format, PrefetchSetup, Report, Runner, SimConfig, SimResult};
-use tdo_workloads::{names, Scale};
+use tdo_sim::{
+    run_traced, Cell, ExperimentSpec, Format, PrefetchSetup, Report, Runner, SimConfig, SimResult,
+};
+use tdo_workloads::{build, names, Scale};
 
 /// Harness options parsed from the command line.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HarnessOpts {
     /// Run at test scale for a fast pass.
     pub quick: bool,
@@ -37,6 +39,9 @@ pub struct HarnessOpts {
     pub jobs: usize,
     /// Requested output format, if any (`None` = the binary's default).
     pub format: Option<Format>,
+    /// Re-run the spec's first cell with recording on and write the event
+    /// trace here (`.json` = Chrome trace_event, anything else = JSONL).
+    pub trace_out: Option<String>,
 }
 
 /// Usage text shared by every harness binary.
@@ -44,6 +49,8 @@ pub const USAGE: &str = "options:
   --quick            run at test scale (fast sanity pass)
   --jobs N           simulate up to N cells in parallel (0 = all cores)
   --format FORMAT    output format: table, csv or json
+  --trace-out PATH   record the first cell's event trace to PATH
+                     (.json = Chrome trace_event, otherwise JSONL)
   --help             show this help";
 
 impl HarnessOpts {
@@ -83,6 +90,9 @@ impl HarnessOpts {
                 }
                 "--format" => {
                     opts.format = Some(value(&mut it)?.parse()?);
+                }
+                "--trace-out" => {
+                    opts.trace_out = Some(value(&mut it)?);
                 }
                 _ => return Err(format!("unknown option `{arg}`")),
             }
@@ -152,7 +162,8 @@ impl Harness {
     /// Creates a harness over explicit options.
     #[must_use]
     pub fn new(opts: HarnessOpts) -> Harness {
-        Harness { opts, runner: Runner::new(opts.jobs) }
+        let runner = Runner::new(opts.jobs);
+        Harness { opts, runner }
     }
 
     /// Creates a harness from `std::env::args` (exits on bad flags).
@@ -201,6 +212,32 @@ impl Harness {
     #[must_use]
     pub fn runner(&self) -> &Runner {
         &self.runner
+    }
+
+    /// Honours `--trace-out`: re-simulates the spec's first cell with event
+    /// recording on and writes the trace to the requested path (`.json` =
+    /// Chrome trace_event format, anything else = JSONL). A no-op without the
+    /// flag; recording runs a fresh single machine, so the memoized results
+    /// and the report bytes are untouched.
+    pub fn dump_trace(&self, spec: &ExperimentSpec) {
+        let Some(path) = self.opts.trace_out.as_deref() else { return };
+        let Some(cell) = spec.cells.first() else {
+            eprintln!("--trace-out: spec has no cells, nothing to trace");
+            return;
+        };
+        let w = build(&cell.workload, cell.scale)
+            .unwrap_or_else(|| panic!("unknown workload `{}`", cell.workload));
+        let (_, recorder) = run_traced(&w, &cell.cfg);
+        let text =
+            if path.ends_with(".json") { recorder.to_chrome_trace() } else { recorder.to_jsonl() };
+        match std::fs::write(path, text) {
+            Ok(()) => eprintln!(
+                "wrote {} events for cell `{}` to {path}",
+                recorder.events().len(),
+                cell.workload
+            ),
+            Err(e) => eprintln!("--trace-out: cannot write `{path}`: {e}"),
+        }
     }
 }
 
@@ -261,9 +298,19 @@ mod tests {
     #[test]
     fn flags_parse() {
         let o = HarnessOpts::parse(["--quick", "--jobs", "4", "--format", "csv"]).unwrap();
-        assert_eq!(o, HarnessOpts { quick: true, jobs: 4, format: Some(Format::Csv) });
+        assert_eq!(
+            o,
+            HarnessOpts { quick: true, jobs: 4, format: Some(Format::Csv), trace_out: None }
+        );
         let o = HarnessOpts::parse(["--jobs=2", "--format=json"]).unwrap();
-        assert_eq!(o, HarnessOpts { quick: false, jobs: 2, format: Some(Format::Json) });
+        assert_eq!(
+            o,
+            HarnessOpts { quick: false, jobs: 2, format: Some(Format::Json), trace_out: None }
+        );
+        let o = HarnessOpts::parse(["--trace-out", "t.json"]).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        let o = HarnessOpts::parse(["--trace-out=t.jsonl"]).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.jsonl"));
         assert_eq!(HarnessOpts::parse(Vec::<String>::new()).unwrap(), HarnessOpts::default());
     }
 
@@ -273,6 +320,7 @@ mod tests {
         assert!(HarnessOpts::parse(["--jobs"]).is_err());
         assert!(HarnessOpts::parse(["--jobs", "many"]).is_err());
         assert!(HarnessOpts::parse(["--format", "yaml"]).is_err());
+        assert!(HarnessOpts::parse(["--trace-out"]).is_err());
         assert!(HarnessOpts::parse(["--quick=1"]).is_err());
         assert!(HarnessOpts::parse(["extra"]).is_err());
         assert!(HarnessOpts::parse(["-q"]).is_err());

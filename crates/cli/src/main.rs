@@ -6,6 +6,8 @@
 //! tdo compare art --jobs 4        # every arm side by side, in parallel
 //! tdo disasm gap | head            # workload disassembly
 //! tdo traces mcf --arm sr          # installed hot traces after a run
+//! tdo timeline mcf --trace-out t.json   # repair convergence + event trace
+//! tdo trace-validate t.json        # schema-check an emitted trace file
 //! ```
 //!
 //! `run` and `compare` execute through the shared experiment engine
@@ -15,8 +17,10 @@
 use std::process::ExitCode;
 
 use tdo_isa::{decode, INST_BYTES};
+use tdo_obs::{validate_chrome_trace, validate_jsonl};
 use tdo_sim::{
-    Cell, ExperimentSpec, Format, Machine, PrefetchSetup, Report, Runner, SimConfig, SimResult,
+    run_traced, Cell, ExperimentSpec, Format, Machine, PrefetchSetup, Report, Runner, SimConfig,
+    SimResult, Timeline,
 };
 use tdo_trident::TraceOp;
 use tdo_workloads::{build, names, Scale, Workload};
@@ -31,13 +35,18 @@ fn usage() -> ExitCode {
          \x20 compare <workload> [opts] simulate every arm\n\
          \x20 disasm <workload>         dump the workload's code\n\
          \x20 traces <workload> [opts]  dump installed hot traces after a run\n\
+         \x20 timeline <workload> [opts] cycle-stamped repair-convergence report\n\
+         \x20 trace-validate <file>     schema-check an emitted JSONL/Chrome trace\n\
          \n\
          options:\n\
          \x20 --arm <none|hw4x4|hw8x8|basic|whole|sr|swonly>   (default sr)\n\
          \x20 --full                    paper-scale run (default: test scale)\n\
          \x20 --insts <N>               measured original instructions\n\
          \x20 --jobs <N>                parallel simulations (0 = all cores)\n\
-         \x20 --format <table|csv|json> result rendering (default table)"
+         \x20 --format <table|csv|json> result rendering (default table)\n\
+         \x20 --trace-out <path>        write a Chrome trace_event file (timeline)\n\
+         \x20 --jsonl-out <path>        write the raw JSONL event log (timeline)\n\
+         \x20 --quick                   shorten the run for CI (timeline)"
     );
     ExitCode::FAILURE
 }
@@ -48,6 +57,9 @@ struct Opts {
     insts: Option<u64>,
     jobs: usize,
     format: Format,
+    trace_out: Option<String>,
+    jsonl_out: Option<String>,
+    quick: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -57,11 +69,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         insts: None,
         jobs: 0,
         format: Format::Table,
+        trace_out: None,
+        jsonl_out: None,
+        quick: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => o.full = true,
+            "--quick" => o.quick = true,
+            "--trace-out" => {
+                o.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+            }
+            "--jsonl-out" => {
+                o.jsonl_out = Some(it.next().ok_or("--jsonl-out needs a path")?.clone());
+            }
             "--arm" => {
                 let v = it.next().ok_or("--arm needs a value")?;
                 o.arm = match v.as_str() {
@@ -124,6 +146,12 @@ fn report(r: &SimResult) {
         r.trident.traces_installed, r.trident.reoptimizations, r.trident.backouts
     );
     println!(
+        "  events           {} queued, {} dropped saturated, {} dropped duplicate",
+        r.trident.events_queued,
+        r.trident.events_dropped_saturated,
+        r.trident.events_dropped_duplicate
+    );
+    println!(
         "  optimizer        {} events, {} insertions, {} repairs ({} up / {} down), {} matured",
         r.optimizer.events,
         r.optimizer.insertions,
@@ -132,6 +160,14 @@ fn report(r: &SimResult) {
         r.optimizer.distance_down,
         r.optimizer.matured
     );
+    if r.optimizer.groups > 0 {
+        println!(
+            "  convergence      {} groups, {:.1} repairs/group, {:.0} avg cycles to converge",
+            r.optimizer.groups,
+            r.repairs_per_group(),
+            r.avg_cycles_to_converge()
+        );
+    }
     let b = r.load_breakdown();
     println!(
         "  loads            {:.1}% hit | {:.1}% hit-pf | {:.1}% partial | {:.1}% miss | {:.2}% miss-by-pf",
@@ -166,6 +202,11 @@ fn metrics_report(name: &str, arm: PrefetchSetup, r: &SimResult) -> Report {
         ("miss_by_prefetch", format!("{:.5}", b[4])),
         ("miss_in_traces_frac", format!("{:.5}", r.miss_coverage_by_traces())),
         ("miss_prefetched_frac", format!("{:.5}", r.miss_coverage_by_prefetcher())),
+        ("events_queued", r.trident.events_queued.to_string()),
+        ("dropped_saturated", r.trident.events_dropped_saturated.to_string()),
+        ("dropped_duplicate", r.trident.events_dropped_duplicate.to_string()),
+        ("repairs_per_group", format!("{:.3}", r.repairs_per_group())),
+        ("avg_converge_cycles", format!("{:.0}", r.avg_cycles_to_converge())),
     ] {
         rep.row(metric, [value]);
     }
@@ -272,6 +313,55 @@ fn cmd_traces(name: &str, o: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_timeline(name: &str, o: &Opts) -> Result<ExitCode, String> {
+    let w = load_workload(name, o.full)?;
+    let mut cfg = config(o, o.arm);
+    if o.quick {
+        cfg.measure_insts = cfg.measure_insts.min(100_000);
+    }
+    // A timeline run is one machine on one thread: `--jobs` cannot change a
+    // single cell's execution, so the emitted bytes are identical for any
+    // worker count.
+    let (r, recorder) = run_traced(&w, &cfg);
+    let timeline = Timeline::from_events(recorder.events());
+
+    if let Some(path) = &o.jsonl_out {
+        std::fs::write(path, recorder.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {} events to {path}", recorder.len());
+    }
+    if let Some(path) = &o.trace_out {
+        std::fs::write(path, recorder.to_chrome_trace())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (load in about:tracing or Perfetto)");
+    }
+
+    println!(
+        "{name} under {:?} ({}): repair convergence",
+        o.arm,
+        if o.full { "full scale" } else { "test scale" }
+    );
+    print!("{}", timeline.render_convergence());
+    println!();
+    println!("windowed performance (every {} insts):", cfg.sample_insts);
+    print!("{}", timeline.render_samples());
+    println!();
+    report(&r);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trace_validate(path: &str) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let what = if text.starts_with("{\"traceEvents\":[") {
+        let n = validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        format!("valid Chrome trace ({n} entries)")
+    } else {
+        let n = validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        format!("valid JSONL event log ({n} events)")
+    };
+    println!("{path}: {what}");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -280,7 +370,13 @@ fn main() -> ExitCode {
     let run = || -> Result<ExitCode, String> {
         match cmd.as_str() {
             "list" => Ok(cmd_list()),
-            "run" | "compare" | "disasm" | "traces" => {
+            "trace-validate" => {
+                let Some(path) = args.get(1) else {
+                    return Err("trace-validate needs a file path".into());
+                };
+                cmd_trace_validate(path)
+            }
+            "run" | "compare" | "disasm" | "traces" | "timeline" => {
                 let Some(name) = args.get(1) else {
                     return Err(format!("{cmd} needs a workload name"));
                 };
@@ -289,6 +385,7 @@ fn main() -> ExitCode {
                     "run" => cmd_run(name, &opts),
                     "compare" => cmd_compare(name, &opts),
                     "disasm" => cmd_disasm(name, &opts),
+                    "timeline" => cmd_timeline(name, &opts),
                     _ => cmd_traces(name, &opts),
                 }
             }

@@ -12,11 +12,12 @@
 use std::collections::HashMap;
 
 use tdo_isa::{encode, patch_prefetch_distance, Inst, Reg, Word};
+use tdo_obs::{Event, LoadClassKind, PrefetchGroupKind, SharedProbe};
 use tdo_trident::{
     CodeSource, HotEvent, InstallError, Patch, PendingInstall, TraceId, TraceOp, Trident,
 };
 
-use crate::classify::classify;
+use crate::classify::{classify, LoadClass};
 use crate::dlt::Dlt;
 use crate::insert::{plan_insertion, GroupKind, InsertOptions};
 
@@ -102,6 +103,12 @@ pub struct GroupState {
     /// For jump-pointer groups: base offset of the dereference load, whose
     /// encoded offset is repaired to `deref_base_off + stride·distance`.
     pub deref_base_off: Option<i64>,
+    /// Cycle the group's prefetches were first inserted.
+    pub inserted_at: u64,
+    /// Cycle of the last distance change (equals `inserted_at` while the
+    /// initial distance still stands). `last_change_at - inserted_at` is the
+    /// group's cycles-to-converge.
+    pub last_change_at: u64,
 }
 
 /// What the optimizer decided for one event; committed at helper completion.
@@ -137,6 +144,15 @@ pub struct OptimizerStats {
     pub distance_down: u64,
     /// Loads matured (budget exhausted or unprefetchable).
     pub matured: u64,
+    /// Prefetch groups tracked over the run (filled by
+    /// [`PrefetchOptimizer::finalize`]).
+    pub groups: u64,
+    /// Sum over groups of cycles from insertion to last distance change
+    /// (filled by [`PrefetchOptimizer::finalize`]).
+    pub converge_cycles_total: u64,
+    /// The slowest group's cycles-to-converge (filled by
+    /// [`PrefetchOptimizer::finalize`]).
+    pub converge_cycles_max: u64,
 }
 
 /// The prefetch optimizer.
@@ -149,6 +165,9 @@ pub struct PrefetchOptimizer {
     member_to_rep: HashMap<(u64, u64), u64>,
     /// Counters.
     pub stats: OptimizerStats,
+    probe: SharedProbe,
+    probe_on: bool,
+    finalized: bool,
 }
 
 impl PrefetchOptimizer {
@@ -160,6 +179,9 @@ impl PrefetchOptimizer {
             states: HashMap::new(),
             member_to_rep: HashMap::new(),
             stats: OptimizerStats::default(),
+            probe: tdo_obs::null_probe(),
+            probe_on: false,
+            finalized: false,
         }
     }
 
@@ -167,6 +189,35 @@ impl PrefetchOptimizer {
     #[must_use]
     pub fn config(&self) -> &OptimizerConfig {
         &self.cfg
+    }
+
+    /// Attaches an observability probe; classification, insertion, repair
+    /// and maturity events are recorded through it from now on.
+    pub fn set_probe(&mut self, probe: SharedProbe) {
+        self.probe_on = probe.borrow().enabled();
+        self.probe = probe;
+    }
+
+    /// Records one event when a probe is attached.
+    fn emit(&self, now: u64, ev: Event) {
+        if self.probe_on {
+            self.probe.borrow_mut().record(now, ev);
+        }
+    }
+
+    /// Folds per-group convergence figures into [`OptimizerStats`]. Called
+    /// once at end of simulation; further calls are no-ops.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        for st in self.states.values() {
+            self.stats.groups += 1;
+            let c = st.last_change_at.saturating_sub(st.inserted_at);
+            self.stats.converge_cycles_total += c;
+            self.stats.converge_cycles_max = self.stats.converge_cycles_max.max(c);
+        }
     }
 
     /// The repair state for the group covering `orig_pc` in the trace headed
@@ -196,12 +247,14 @@ impl PrefetchOptimizer {
         }
     }
 
-    /// Handles one delinquent-load event. DLT bookkeeping (window clears,
-    /// mature flags) happens immediately — the helper thread owns those
-    /// counters — while code changes are returned as a [`PreparedAction`]
-    /// for the caller to commit when the helper job completes.
+    /// Handles one delinquent-load event raised at cycle `now`. DLT
+    /// bookkeeping (window clears, mature flags) happens immediately — the
+    /// helper thread owns those counters — while code changes are returned
+    /// as a [`PreparedAction`] for the caller to commit when the helper job
+    /// completes.
     pub fn handle_event(
         &mut self,
+        now: u64,
         ev: HotEvent,
         trident: &mut Trident,
         dlt: &mut Dlt,
@@ -224,12 +277,12 @@ impl PrefetchOptimizer {
         let rep = self.member_to_rep.get(&(head, orig_pc)).copied();
         if let Some(rep_pc) = rep {
             if self.states.contains_key(&(head, rep_pc)) {
-                return self.repair(head, rep_pc, orig_pc, load_pc, trace_id, trident, dlt);
+                return self.repair(now, head, rep_pc, orig_pc, load_pc, trace_id, trident, dlt);
             }
         }
 
         // Insertion path.
-        self.insert(trace_id, trident, dlt, code)
+        self.insert(now, trace_id, trident, dlt, code)
     }
 
     fn max_distance(&self, trident: &Trident, trace: TraceId) -> (u8, u64) {
@@ -246,6 +299,7 @@ impl PrefetchOptimizer {
 
     fn insert(
         &mut self,
+        now: u64,
         trace_id: TraceId,
         trident: &mut Trident,
         dlt: &mut Dlt,
@@ -262,6 +316,20 @@ impl PrefetchOptimizer {
         for li in &mut classification.loads {
             if li.delinquent && self.is_covered(head, trace.insts[li.index].orig_pc) {
                 li.delinquent = false;
+            }
+        }
+        if self.probe_on {
+            for li in &classification.loads {
+                if !li.delinquent {
+                    continue;
+                }
+                let (class, stride) = match li.class {
+                    LoadClass::Stride { stride } => (LoadClassKind::Stride, stride),
+                    LoadClass::Pointer => (LoadClassKind::Pointer, 0),
+                    LoadClass::Other => (LoadClassKind::Other, 0),
+                };
+                let pc = trace.insts[li.index].orig_pc;
+                self.emit(now, Event::LoadClassified { pc, class, stride });
             }
         }
 
@@ -294,8 +362,10 @@ impl PrefetchOptimizer {
             // firing events (paper §3.5.2).
             for li in &classification.loads {
                 if li.delinquent {
-                    dlt.set_mature(trace.cc_pc(li.index));
+                    let pc = trace.cc_pc(li.index);
+                    dlt.set_mature(pc);
                     self.stats.matured += 1;
+                    self.emit(now, Event::LoadMatured { pc });
                 }
             }
             return PreparedAction::Nothing;
@@ -310,8 +380,10 @@ impl PrefetchOptimizer {
         for pc in &plan.unprefetchable_orig_pcs {
             // Original PC → current cc PC of that load.
             if let Some(i) = trace.insts.iter().position(|t| t.orig_pc == *pc && !t.synthetic) {
-                dlt.set_mature(trace.cc_pc(i));
+                let cc_pc = trace.cc_pc(i);
+                dlt.set_mature(cc_pc);
                 self.stats.matured += 1;
+                self.emit(now, Event::LoadMatured { pc: cc_pc });
             }
         }
 
@@ -331,6 +403,8 @@ impl PrefetchOptimizer {
                     stride: g.stride,
                     repairable,
                     deref_base_off: g.deref_base_off,
+                    inserted_at: now,
+                    last_change_at: now,
                 },
             );
             for m in &g.covered_orig_pcs {
@@ -340,8 +414,28 @@ impl PrefetchOptimizer {
         }
         self.stats.insertions += 1;
 
-        match trident.prepare_reinstall(code, trace_id, plan.new_insts) {
-            Ok(pending) => PreparedAction::Install(pending),
+        match trident.prepare_reinstall(now, code, trace_id, plan.new_insts) {
+            Ok(pending) => {
+                if self.probe_on {
+                    for g in &plan.groups {
+                        let kind = match g.kind {
+                            GroupKind::Stride => PrefetchGroupKind::Stride,
+                            GroupKind::Pointer => PrefetchGroupKind::Pointer,
+                        };
+                        self.emit(
+                            now,
+                            Event::PrefetchInserted {
+                                trace: pending.trace.id.0,
+                                group: g.rep_orig_pc,
+                                kind,
+                                distance: g.distance.max(1),
+                                prefetches: g.prefetch_indices.len() as u32,
+                            },
+                        );
+                    }
+                }
+                PreparedAction::Install(pending)
+            }
             Err(_) => PreparedAction::Nothing,
         }
     }
@@ -349,6 +443,7 @@ impl PrefetchOptimizer {
     #[allow(clippy::too_many_arguments)]
     fn repair(
         &mut self,
+        now: u64,
         head: u64,
         rep_pc: u64,
         orig_pc: u64,
@@ -365,11 +460,13 @@ impl PrefetchOptimizer {
             // E.g. a pointer group, or a non-repair mode: mature the load.
             dlt.set_mature(load_pc);
             self.stats.matured += 1;
+            self.emit(now, Event::LoadMatured { pc: load_pc });
             return PreparedAction::Nothing;
         }
         if state.repairs_left == 0 {
             dlt.set_mature(load_pc);
             self.stats.matured += 1;
+            self.emit(now, Event::LoadMatured { pc: load_pc });
             return PreparedAction::Nothing;
         }
         state.repairs_left -= 1;
@@ -403,6 +500,9 @@ impl PrefetchOptimizer {
         } else if state.distance < old {
             self.stats.distance_down += 1;
         }
+        if state.distance != old {
+            state.last_change_at = now;
+        }
         match state.prev_avg_latency.iter_mut().find(|(pc, _)| *pc == orig_pc) {
             Some(slot) => slot.1 = avg_access,
             None => state.prev_avg_latency.push((orig_pc, avg_access)),
@@ -416,11 +516,23 @@ impl PrefetchOptimizer {
                 state.max_distance, state.repairs_left
             );
         }
+        self.emit(
+            now,
+            Event::DistanceRepaired {
+                trace: trace_id.0,
+                group: rep_pc,
+                pc: orig_pc,
+                old,
+                new: new_distance,
+                avg_latency_x100: (avg_access * 100.0).round() as u64,
+            },
+        );
 
         dlt.clear_window(load_pc);
         if exhausted {
             dlt.set_mature(load_pc);
             self.stats.matured += 1;
+            self.emit(now, Event::LoadMatured { pc: load_pc });
         }
         self.stats.repairs += 1;
 
@@ -477,6 +589,7 @@ impl PrefetchOptimizer {
     /// registered (the caller must then drop the patches).
     pub fn commit(
         &mut self,
+        now: u64,
         action: PreparedAction,
         trident: &mut Trident,
         dlt: &mut Dlt,
@@ -486,7 +599,7 @@ impl PrefetchOptimizer {
             PreparedAction::Install(pending) => {
                 let head = pending.trace.head;
                 let new_id = pending.trace.id;
-                let forwards = trident.commit_install(&pending)?;
+                let forwards = trident.commit_install(now, &pending)?;
                 // Re-point group states at the new trace.
                 for ((h, _), st) in self.states.iter_mut() {
                     if *h == head {

@@ -41,8 +41,8 @@ fn setup() -> (Trident, MapCode, TraceId) {
     let mut cfg = TridentConfig::paper_baseline();
     cfg.code_cache_base = 0x10_0000;
     let mut trident = Trident::new(cfg);
-    let pending = trident.prepare_install(&code, 0x1000, 0b1, 1).unwrap();
-    trident.commit_install(&pending).unwrap();
+    let pending = trident.prepare_install(0, &code, 0x1000, 0b1, 1).unwrap();
+    trident.commit_install(0, &pending).unwrap();
     let id = pending.trace.id;
     (trident, code, id)
 }
@@ -105,7 +105,7 @@ fn first_event_inserts_prefetches_into_a_replacement_trace() {
     assert_eq!(loads.len(), 2);
     let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).expect("event");
     let ev = HotEvent::DelinquentLoad { load_pc: fired, trace };
-    let action = opt.handle_event(ev, &mut trident, &mut dlt, &code);
+    let action = opt.handle_event(0, ev, &mut trident, &mut dlt, &code);
     let PreparedAction::Install(ref pending) = action else {
         panic!("expected insertion, got {action:?}");
     };
@@ -133,7 +133,7 @@ fn first_event_inserts_prefetches_into_a_replacement_trace() {
         })
         .collect();
     assert_eq!(offs, vec![0, 64]);
-    let patches = opt.commit(action, &mut trident, &mut dlt).unwrap();
+    let patches = opt.commit(0, action, &mut trident, &mut dlt).unwrap();
     assert!(!patches.is_empty());
     assert!(trident.trace(trace).is_none(), "old trace replaced");
     assert!(trident.trace(new_id).is_some());
@@ -151,6 +151,7 @@ fn repair_walks_distance_up_while_latency_improves() {
     let loads = load_indices(&trident, trace);
     let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).unwrap();
     let action = opt.handle_event(
+        0,
         HotEvent::DelinquentLoad { load_pc: fired, trace },
         &mut trident,
         &mut dlt,
@@ -160,7 +161,7 @@ fn repair_walks_distance_up_while_latency_improves() {
         PreparedAction::Install(p) => p.trace.id,
         other => panic!("expected install, got {other:?}"),
     };
-    opt.commit(action, &mut trident, &mut dlt).unwrap();
+    opt.commit(0, action, &mut trident, &mut dlt).unwrap();
     // Provide a min execution time so the max distance is meaningful:
     // 350 / 10 = 35.
     trident.watch.on_enter(new_id, 0);
@@ -173,6 +174,7 @@ fn repair_walks_distance_up_while_latency_improves() {
         let fired = feed_window(&mut dlt, &trident, new_id, &loads, 280 - round * 40)
             .expect("still delinquent");
         let action = opt.handle_event(
+            0,
             HotEvent::DelinquentLoad { load_pc: fired, trace: new_id },
             &mut trident,
             &mut dlt,
@@ -185,7 +187,7 @@ fn repair_walks_distance_up_while_latency_improves() {
             }
             other => panic!("expected repair, got {other:?}"),
         }
-        let applied = opt.commit(action, &mut trident, &mut dlt).unwrap();
+        let applied = opt.commit(0, action, &mut trident, &mut dlt).unwrap();
         assert_eq!(applied.len(), 2, "both group prefetches repaired together");
     }
     assert_eq!(distances, vec![2, 3, 4], "distance walks up by one per repair");
@@ -215,6 +217,7 @@ fn worsening_latency_backs_the_distance_off() {
     let loads = load_indices(&trident, trace);
     let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).unwrap();
     let action = opt.handle_event(
+        0,
         HotEvent::DelinquentLoad { load_pc: fired, trace },
         &mut trident,
         &mut dlt,
@@ -224,7 +227,7 @@ fn worsening_latency_backs_the_distance_off() {
         PreparedAction::Install(p) => p.trace.id,
         other => panic!("unexpected {other:?}"),
     };
-    opt.commit(action, &mut trident, &mut dlt).unwrap();
+    opt.commit(0, action, &mut trident, &mut dlt).unwrap();
     trident.watch.on_enter(new_id, 0);
     trident.watch.on_enter(new_id, 10);
 
@@ -236,6 +239,7 @@ fn worsening_latency_backs_the_distance_off() {
         let loads = load_indices(&trident, new_id);
         let fired = feed_window(&mut dlt, &trident, new_id, &loads, lat).unwrap();
         let action = opt.handle_event(
+            0,
             HotEvent::DelinquentLoad { load_pc: fired, trace: new_id },
             &mut trident,
             &mut dlt,
@@ -244,7 +248,7 @@ fn worsening_latency_backs_the_distance_off() {
         if let PreparedAction::Repair { patches, .. } = &action {
             last_distance = prefetch_distance(patches[0].1).unwrap();
         }
-        opt.commit(action, &mut trident, &mut dlt).unwrap();
+        opt.commit(0, action, &mut trident, &mut dlt).unwrap();
     }
     assert_eq!(last_distance, 1, "worsening latency decrements the distance");
     assert_eq!(opt.stats.distance_down, 1);
@@ -265,6 +269,7 @@ fn repair_budget_exhaustion_matures_the_load() {
     let loads = load_indices(&trident, trace);
     let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).unwrap();
     let action = opt.handle_event(
+        0,
         HotEvent::DelinquentLoad { load_pc: fired, trace },
         &mut trident,
         &mut dlt,
@@ -274,7 +279,7 @@ fn repair_budget_exhaustion_matures_the_load() {
         PreparedAction::Install(p) => p.trace.id,
         other => panic!("unexpected {other:?}"),
     };
-    opt.commit(action, &mut trident, &mut dlt).unwrap();
+    opt.commit(0, action, &mut trident, &mut dlt).unwrap();
     trident.watch.on_enter(new_id, 0);
     trident.watch.on_enter(new_id, 200);
 
@@ -286,12 +291,13 @@ fn repair_budget_exhaustion_matures_the_load() {
         };
         matured_pc = Some(fired);
         let action = opt.handle_event(
+            0,
             HotEvent::DelinquentLoad { load_pc: fired, trace: new_id },
             &mut trident,
             &mut dlt,
             &code,
         );
-        opt.commit(action, &mut trident, &mut dlt).unwrap();
+        opt.commit(0, action, &mut trident, &mut dlt).unwrap();
     }
     let pc = matured_pc.expect("at least one repair event fired");
     assert!(dlt.is_mature(pc), "budget exhaustion sets the mature flag");
@@ -310,6 +316,7 @@ fn basic_mode_uses_estimated_distance_and_never_repairs() {
     let loads = load_indices(&trident, trace);
     let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).unwrap();
     let action = opt.handle_event(
+        0,
         HotEvent::DelinquentLoad { load_pc: fired, trace },
         &mut trident,
         &mut dlt,
@@ -335,12 +342,13 @@ fn basic_mode_uses_estimated_distance_and_never_repairs() {
     // Basic mode: two prefetches (no same-object grouping merges them).
     assert_eq!(dists.len(), 2, "one prefetch per delinquent load in basic mode");
     let new_id = pending.trace.id;
-    opt.commit(action, &mut trident, &mut dlt).unwrap();
+    opt.commit(0, action, &mut trident, &mut dlt).unwrap();
 
     // A further event must not repair (matures instead).
     let loads = load_indices(&trident, new_id);
     if let Some(fired) = feed_window(&mut dlt, &trident, new_id, &loads, 300) {
         let action = opt.handle_event(
+            0,
             HotEvent::DelinquentLoad { load_pc: fired, trace: new_id },
             &mut trident,
             &mut dlt,

@@ -1,0 +1,213 @@
+//! The recording probe and its two export formats.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::event::{Event, HelperJobKind};
+use crate::Probe;
+
+/// An enabled probe that appends `(cycle, event)` pairs in arrival order.
+///
+/// Arrival order is the machine's deterministic execution order, so the
+/// serialized forms are byte-identical for identical simulations no matter
+/// how many engine workers run *other* cells concurrently.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    events: Vec<(u64, Event)>,
+}
+
+impl Probe for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, cycle: u64, event: Event) {
+        self.events.push((cycle, event));
+    }
+}
+
+impl Recorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// A fresh recorder behind the shared-probe handle, plus the concrete
+    /// handle the caller keeps to read the events back after the run.
+    #[must_use]
+    pub fn shared() -> Rc<RefCell<Recorder>> {
+        Rc::new(RefCell::new(Recorder::new()))
+    }
+
+    /// The recorded `(cycle, event)` pairs in arrival order.
+    #[must_use]
+    pub fn events(&self) -> &[(u64, Event)] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the log as JSON lines, one flat object per event.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 80);
+        for (cycle, ev) in &self.events {
+            ev.write_jsonl(*cycle, &mut out);
+        }
+        out
+    }
+
+    /// Serializes the log in Chrome `trace_event` format (JSON object with a
+    /// `traceEvents` array), loadable in `about:tracing` or Perfetto.
+    ///
+    /// Timestamps (`ts`) are simulated cycles, not microseconds; helper jobs
+    /// render as duration spans on their own track, windowed samples as
+    /// counter series, and everything else as instant events.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 120 + 512);
+        out.push_str("{\"traceEvents\":[\n");
+        // Track metadata: tid 0 = driver instants, tid 1 = helper spans.
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"tdo-sim\"}},\n\
+             {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"driver\"}},\n\
+             {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+             \"args\":{\"name\":\"helper\"}}",
+        );
+        // Open helper spans by job id, for naming the matching span end.
+        let mut open: HashMap<u64, HelperJobKind> = HashMap::new();
+        for (cycle, ev) in &self.events {
+            let ts = *cycle;
+            match *ev {
+                Event::HelperStart { job, kind, cost } => {
+                    open.insert(job, kind);
+                    let _ = write!(
+                        out,
+                        ",\n{{\"name\":\"{}\",\"cat\":\"helper\",\"ph\":\"B\",\"ts\":{ts},\
+                         \"pid\":1,\"tid\":1,\"args\":{{\"job\":{job},\"cost\":{cost}}}}}",
+                        kind.name()
+                    );
+                }
+                Event::HelperFinish { job } => {
+                    let kind = open.remove(&job).unwrap_or(HelperJobKind::AnalyzeOnly);
+                    let _ = write!(
+                        out,
+                        ",\n{{\"name\":\"{}\",\"cat\":\"helper\",\"ph\":\"E\",\"ts\":{ts},\
+                         \"pid\":1,\"tid\":1}}",
+                        kind.name()
+                    );
+                }
+                Event::Sample { ipc_milli, l1_miss_milli, l2_miss_milli, pf_acc_milli, .. } => {
+                    for (name, v) in [
+                        ("ipc_milli", ipc_milli),
+                        ("l1_miss_milli", l1_miss_milli),
+                        ("l2_miss_milli", l2_miss_milli),
+                        ("pf_acc_milli", pf_acc_milli),
+                    ] {
+                        let _ = write!(
+                            out,
+                            ",\n{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\
+                             \"tid\":0,\"args\":{{\"value\":{v}}}}}"
+                        );
+                    }
+                }
+                Event::EventQueued { pending, .. } | Event::EventDrained { pending, .. } => {
+                    let _ = write!(
+                        out,
+                        ",\n{{\"name\":\"event_queue_depth\",\"ph\":\"C\",\"ts\":{ts},\
+                         \"pid\":1,\"tid\":0,\"args\":{{\"value\":{pending}}}}}"
+                    );
+                    self.instant(&mut out, ts, ev);
+                }
+                _ => self.instant(&mut out, ts, ev),
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes one instant event carrying the full JSONL fields as args.
+    fn instant(&self, out: &mut String, ts: u64, ev: &Event) {
+        // Reuse the JSONL serialization for the args object: strip the
+        // line's outer braces and its trailing newline.
+        let mut line = String::new();
+        ev.write_jsonl(ts, &mut line);
+        let inner = &line[1..line.len() - 2];
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"{}\",\"cat\":\"opt\",\"ph\":\"i\",\"ts\":{ts},\"pid\":1,\
+             \"tid\":0,\"s\":\"t\",\"args\":{{{inner}}}}}",
+            ev.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::QueueEventKind;
+
+    fn sample_recorder() -> Recorder {
+        let mut r = Recorder::new();
+        r.record(10, Event::EventQueued { kind: QueueEventKind::HotTrace, pc: 64, pending: 1 });
+        r.record(20, Event::HelperStart { job: 0, kind: HelperJobKind::FormTrace, cost: 700 });
+        r.record(95, Event::HelperFinish { job: 0 });
+        r.record(
+            100,
+            Event::Sample {
+                insts: 1000,
+                dcycles: 90,
+                ipc_milli: 11111,
+                l1_miss_milli: 50,
+                l2_miss_milli: 10,
+                pf_acc_milli: 0,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_event() {
+        let r = sample_recorder();
+        let log = r.to_jsonl();
+        assert_eq!(log.lines().count(), 4);
+        assert!(log.starts_with("{\"cycle\":10,\"event\":\"event_queued\""));
+        assert!(log.ends_with("}\n"));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_helper_spans_by_name() {
+        let trace = sample_recorder().to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":[\n"));
+        assert!(trace.ends_with("]}\n"));
+        let begins = trace.matches("\"ph\":\"B\"").count();
+        let ends = trace.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, 1);
+        assert_eq!(ends, 1);
+        assert_eq!(trace.matches("\"name\":\"form_trace\"").count(), 2);
+        // Four counter series per sample, one per queue transition.
+        assert_eq!(trace.matches("\"ph\":\"C\"").count(), 5);
+    }
+
+    #[test]
+    fn recording_is_in_arrival_order() {
+        let r = sample_recorder();
+        let cycles: Vec<u64> = r.events().iter().map(|(c, _)| *c).collect();
+        assert_eq!(cycles, [10, 20, 95, 100]);
+    }
+}

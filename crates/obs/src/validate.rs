@@ -1,0 +1,203 @@
+//! Schema validation for emitted logs — used by tests and by CI through
+//! `tdo trace-validate`.
+//!
+//! The JSONL validator is a tiny hand-rolled parser for exactly what the
+//! serializer produces: one flat object per line, string keys, integer or
+//! string values. It checks the schema, not just well-formedness:
+//!
+//! * `"cycle"` is the first key and an integer, non-decreasing across lines;
+//! * `"event"` is the second key and one of [`crate::event::EVENT_NAMES`];
+//! * every other value is an integer or a plain string.
+
+use crate::event::EVENT_NAMES;
+
+/// One parsed value in a flat JSONL object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Val {
+    Int(i64),
+    Str(String),
+}
+
+/// Parses one flat JSON object line into `(key, value)` pairs.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Val)>, String> {
+    let s: Vec<char> = line.chars().collect();
+    let mut i = 0usize;
+    let expect = |i: &mut usize, c: char| -> Result<(), String> {
+        if s.get(*i) == Some(&c) {
+            *i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at column {}", *i + 1))
+        }
+    };
+    let parse_string = |i: &mut usize| -> Result<String, String> {
+        if s.get(*i) != Some(&'"') {
+            return Err(format!("expected string at column {}", *i + 1));
+        }
+        *i += 1;
+        let mut out = String::new();
+        while let Some(&c) = s.get(*i) {
+            *i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => return Err("escapes are not part of the schema".into()),
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    };
+    let parse_int = |i: &mut usize| -> Result<i64, String> {
+        let start = *i;
+        if s.get(*i) == Some(&'-') {
+            *i += 1;
+        }
+        while s.get(*i).is_some_and(char::is_ascii_digit) {
+            *i += 1;
+        }
+        let text: String = s[start..*i].iter().collect();
+        text.parse().map_err(|_| format!("expected integer at column {}", start + 1))
+    };
+
+    let mut fields = Vec::new();
+    expect(&mut i, '{')?;
+    loop {
+        let key = parse_string(&mut i)?;
+        expect(&mut i, ':')?;
+        let val = if s.get(i) == Some(&'"') {
+            Val::Str(parse_string(&mut i)?)
+        } else {
+            Val::Int(parse_int(&mut i)?)
+        };
+        fields.push((key, val));
+        match s.get(i) {
+            Some(',') => i += 1,
+            Some('}') => {
+                i += 1;
+                break;
+            }
+            _ => return Err(format!("expected `,` or `}}` at column {}", i + 1)),
+        }
+    }
+    if i != s.len() {
+        return Err(format!("trailing content at column {}", i + 1));
+    }
+    Ok(fields)
+}
+
+/// Validates a JSONL event log against the schema.
+///
+/// Returns the number of events on success.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line and what is wrong with
+/// it.
+pub fn validate_jsonl(log: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    let mut last_cycle = 0i64;
+    for (no, line) in log.lines().enumerate() {
+        let at = |m: String| format!("line {}: {m}", no + 1);
+        let fields = parse_flat_object(line).map_err(&at)?;
+        match fields.first() {
+            Some((k, Val::Int(cycle))) if k == "cycle" => {
+                if *cycle < last_cycle {
+                    return Err(at(format!(
+                        "cycle {cycle} goes backwards (previous {last_cycle})"
+                    )));
+                }
+                last_cycle = *cycle;
+            }
+            _ => return Err(at("first field must be an integer `cycle`".into())),
+        }
+        match fields.get(1) {
+            Some((k, Val::Str(name))) if k == "event" => {
+                if !EVENT_NAMES.contains(&name.as_str()) {
+                    return Err(at(format!("unknown event `{name}`")));
+                }
+            }
+            _ => return Err(at("second field must be a string `event`".into())),
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Structurally validates a Chrome `trace_event` file: balanced braces,
+/// brackets and strings, with a top-level `traceEvents` array.
+///
+/// Returns the number of trace entries (phase markers) on success.
+///
+/// # Errors
+///
+/// Returns a message describing the structural problem.
+pub fn validate_chrome_trace(trace: &str) -> Result<usize, String> {
+    if !trace.starts_with("{\"traceEvents\":[") {
+        return Err("missing top-level traceEvents array".into());
+    }
+    let mut stack = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in trace.chars() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => stack.push(c),
+            '}' if stack.pop() != Some('{') => return Err("unbalanced `}`".into()),
+            ']' if stack.pop() != Some('[') => return Err("unbalanced `]`".into()),
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err("unterminated string".into());
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} unclosed delimiters", stack.len()));
+    }
+    Ok(trace.matches("\"ph\":").count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_the_serializer_output() {
+        let log = "{\"cycle\":1,\"event\":\"helper_finish\",\"job\":0}\n\
+                   {\"cycle\":5,\"event\":\"load_matured\",\"pc\":4096}\n";
+        assert_eq!(validate_jsonl(log), Ok(2));
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        assert!(validate_jsonl("{\"event\":\"sample\",\"cycle\":1}").is_err(), "order");
+        assert!(validate_jsonl("{\"cycle\":1,\"event\":\"nope\"}").is_err(), "unknown name");
+        assert!(
+            validate_jsonl(
+                "{\"cycle\":9,\"event\":\"helper_finish\",\"job\":0}\n\
+                 {\"cycle\":3,\"event\":\"helper_finish\",\"job\":1}\n"
+            )
+            .is_err(),
+            "cycle regression"
+        );
+        assert!(validate_jsonl("not json").is_err(), "garbage");
+        assert!(validate_jsonl("{\"cycle\":1,\"event\":\"sample\"} extra").is_err(), "trailing");
+    }
+
+    #[test]
+    fn chrome_validator_checks_structure() {
+        assert!(validate_chrome_trace("{\"traceEvents\":[\n]}\n").is_ok());
+        assert!(validate_chrome_trace("[]").is_err(), "wrong root");
+        assert!(validate_chrome_trace("{\"traceEvents\":[{]}").is_err(), "unbalanced");
+        let ok = "{\"traceEvents\":[\n{\"name\":\"x\",\"ph\":\"i\",\"ts\":1,\"pid\":1,\
+                  \"tid\":0,\"s\":\"t\",\"args\":{\"a\":1}}\n]}\n";
+        assert_eq!(validate_chrome_trace(ok), Ok(1));
+    }
+}

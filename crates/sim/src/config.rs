@@ -101,6 +101,10 @@ pub struct SimConfig {
     pub mature_clear_interval: Option<u64>,
     /// Helper-job cost model: instructions charged per optimization.
     pub job_cost: JobCostModel,
+    /// Observability: emit one windowed performance sample every this many
+    /// committed original-equivalent instructions (only when a probe is
+    /// attached; disabled runs never sample).
+    pub sample_insts: u64,
 }
 
 /// Simulated helper-thread instruction counts for each optimizer activity.
@@ -156,6 +160,7 @@ impl SimConfig {
             max_cycles: u64::MAX,
             mature_clear_interval: None,
             job_cost: JobCostModel::default(),
+            sample_insts: 50_000,
         }
     }
 
@@ -187,6 +192,7 @@ impl SimConfig {
             max_cycles: 200_000_000,
             mature_clear_interval: None,
             job_cost: JobCostModel::default(),
+            sample_insts: 10_000,
         }
     }
 

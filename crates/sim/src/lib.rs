@@ -24,9 +24,11 @@ pub mod engine;
 pub mod machine;
 pub mod report;
 pub mod result;
+pub mod timeline;
 
 pub use config::{JobCostModel, PrefetchSetup, SimConfig};
 pub use engine::{Cell, ExperimentSpec, Runner};
-pub use machine::{run, Machine};
+pub use machine::{run, run_traced, Machine};
 pub use report::{Format, Report};
 pub use result::{DriverCounters, SimResult};
+pub use timeline::Timeline;

@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use tdo_core::{Dlt, OptimizerConfig, PrefetchOptimizer, PreparedAction};
 use tdo_cpu::{CodeImage, Commit, CommitKind, Core, HelperJob};
 use tdo_mem::{Hierarchy, LoadClass, Memory};
+use tdo_obs::{Event, HelperJobKind, QueueEventKind, Recorder, SharedProbe};
 use tdo_trident::{HotEvent, PendingInstall, TraceId, Trident};
 use tdo_workloads::Workload;
 
@@ -38,6 +39,18 @@ struct PcInfo {
 enum PendingJob {
     InstallTrace(PendingInstall),
     Opt { action: PreparedAction, trace: TraceId },
+}
+
+/// Counter values at the last windowed sample, for window deltas.
+#[derive(Clone, Copy, Default)]
+struct SampleBase {
+    insts: u64,
+    cycles: u64,
+    loads: u64,
+    load_misses: u64,
+    l2_misses: u64,
+    pf_issued: u64,
+    pf_hits: u64,
 }
 
 /// The assembled machine for one run.
@@ -62,6 +75,10 @@ pub struct Machine {
     next_mature_clear: Option<u64>,
     commit_buf: Vec<Commit>,
     name: String,
+    probe: SharedProbe,
+    probe_on: bool,
+    next_sample: u64,
+    sample_base: SampleBase,
 }
 
 impl Machine {
@@ -102,7 +119,28 @@ impl Machine {
             next_mature_clear: cfg.mature_clear_interval,
             commit_buf: Vec::with_capacity(8),
             name: workload.program.name.clone(),
+            probe: tdo_obs::null_probe(),
+            probe_on: false,
+            next_sample: cfg.sample_insts.max(1),
+            sample_base: SampleBase::default(),
             cfg,
+        }
+    }
+
+    /// Attaches an observability probe, shared with the Trident runtime and
+    /// the prefetch optimizer: every layer's events land in one recorder, in
+    /// deterministic simulation order, stamped with simulated cycles.
+    pub fn set_probe(&mut self, probe: SharedProbe) {
+        self.probe_on = probe.borrow().enabled();
+        self.trident.set_probe(probe.clone());
+        self.optimizer.set_probe(probe.clone());
+        self.probe = probe;
+    }
+
+    /// Records one event when a probe is attached.
+    fn emit(&self, now: u64, ev: Event) {
+        if self.probe_on {
+            self.probe.borrow_mut().record(now, ev);
         }
     }
 
@@ -173,6 +211,7 @@ impl Machine {
                 warm_snapshot = Some(self.snapshot());
             }
         }
+        self.optimizer.finalize();
         let begin = warm_snapshot.unwrap_or_default();
         let end = self.snapshot();
         let (cycles, helper_active, helper_committed, window) =
@@ -218,6 +257,11 @@ impl Machine {
         }
         self.commit_buf = buf;
 
+        // 2b. Windowed performance sample for the timeline.
+        if self.probe_on && self.total_orig >= self.next_sample {
+            self.emit_sample();
+        }
+
         // 3. Dispatch one pending event to the helper if it is free.
         if self.optimization_enabled() && self.pending_job.is_none() && self.core.helper_idle() {
             self.dispatch_event();
@@ -236,6 +280,42 @@ impl Machine {
                 self.optimizer.refresh_budgets();
                 self.next_mature_clear = Some(at + interval);
             }
+        }
+    }
+
+    /// Emits one windowed [`Event::Sample`] and advances the window. Rates
+    /// are integer milli-units over the window just ended, so serialized
+    /// samples are byte-deterministic.
+    fn emit_sample(&mut self) {
+        let now = self.core.now();
+        let mem = &self.hier.stats;
+        let cur = SampleBase {
+            insts: self.total_orig,
+            cycles: now,
+            loads: self.counters.loads(),
+            load_misses: self.counters.load_misses,
+            l2_misses: mem.serviced[3] + mem.serviced[4],
+            pf_issued: mem.sw_prefetch_issued,
+            pf_hits: mem.hits_prefetched,
+        };
+        let base = self.sample_base;
+        let ratio = |num: u64, den: u64| (num * 1000).checked_div(den).unwrap_or(0);
+        let dcycles = cur.cycles - base.cycles;
+        self.emit(
+            now,
+            Event::Sample {
+                insts: cur.insts,
+                dcycles,
+                ipc_milli: ratio(cur.insts - base.insts, dcycles),
+                l1_miss_milli: ratio(cur.load_misses - base.load_misses, cur.loads - base.loads),
+                l2_miss_milli: ratio(cur.l2_misses - base.l2_misses, cur.loads - base.loads),
+                pf_acc_milli: ratio(cur.pf_hits - base.pf_hits, cur.pf_issued - base.pf_issued),
+            },
+        );
+        self.sample_base = cur;
+        let step = self.cfg.sample_insts.max(1);
+        while self.next_sample <= self.total_orig {
+            self.next_sample += step;
         }
     }
 
@@ -307,10 +387,10 @@ impl Machine {
                         let suppressed =
                             self.trident.watch.get(i.trace).is_none_or(|e| e.being_optimized);
                         if !suppressed {
-                            self.trident.push_event(HotEvent::DelinquentLoad {
-                                load_pc: c.pc,
-                                trace: i.trace,
-                            });
+                            self.trident.push_event(
+                                c.cycle,
+                                HotEvent::DelinquentLoad { load_pc: c.pc, trace: i.trace },
+                            );
                             self.counters.dlt_events_queued += 1;
                         }
                     }
@@ -319,10 +399,10 @@ impl Machine {
             CommitKind::Branch { taken, target, .. }
                 if info.is_none() && self.optimization_enabled() =>
             {
-                self.trident.observe_branch(c.pc, taken, target, true);
+                self.trident.observe_branch(c.cycle, c.pc, taken, target, true);
             }
             CommitKind::Jump { target } if info.is_none() && self.optimization_enabled() => {
-                self.trident.observe_branch(c.pc, true, target, false);
+                self.trident.observe_branch(c.cycle, c.pc, true, target, false);
             }
             _ => {}
         }
@@ -333,7 +413,7 @@ impl Machine {
         let early = last_idx + 1 != len;
         let backout = self.trident.watch.on_exit(trace, now, early);
         if backout && !self.job_references(trace) {
-            if let Ok(patches) = self.trident.backout(trace) {
+            if let Ok(patches) = self.trident.backout(now, trace) {
                 for p in patches {
                     let _ = self.code.write_word(p.addr, p.word);
                 }
@@ -354,21 +434,30 @@ impl Machine {
         let Some(ev) = self.trident.pop_event() else {
             return;
         };
+        let now = self.core.now();
+        if self.probe_on {
+            let (kind, pc) = match ev {
+                HotEvent::HotTrace { head, .. } => (QueueEventKind::HotTrace, head),
+                HotEvent::DelinquentLoad { load_pc, .. } => {
+                    (QueueEventKind::DelinquentLoad, load_pc)
+                }
+            };
+            let pending = self.trident.events.len() as u32;
+            self.emit(now, Event::EventDrained { kind, pc, pending });
+        }
         match ev {
             HotEvent::HotTrace { head, bitmap, nbits } => {
                 if self.trident.linked_at(head).is_some() {
                     return;
                 }
                 if std::env::var_os("TDO_DEBUG").is_some() {
-                    eprintln!(
-                        "[{}] hot trace head={head:#x} bitmap={bitmap:#b} nbits={nbits}",
-                        self.core.now()
-                    );
+                    eprintln!("[{now}] hot trace head={head:#x} bitmap={bitmap:#b} nbits={nbits}");
                 }
                 self.counters.hot_trace_events += 1;
                 let code = &self.code;
                 let fetch = |pc: u64| code.fetch(pc);
-                let Ok(pending) = self.trident.prepare_install(&fetch, head, bitmap, nbits) else {
+                let Ok(pending) = self.trident.prepare_install(now, &fetch, head, bitmap, nbits)
+                else {
                     return;
                 };
                 let cost = self.cfg.job_cost.form_base
@@ -376,6 +465,10 @@ impl Machine {
                 let id = self.next_job_id;
                 self.next_job_id += 1;
                 self.core.start_helper(HelperJob { id, instructions: cost });
+                self.emit(
+                    now,
+                    Event::HelperStart { job: id, kind: HelperJobKind::FormTrace, cost },
+                );
                 self.pending_job = Some((id, PendingJob::InstallTrace(pending)));
             }
             HotEvent::DelinquentLoad { load_pc: _, trace } => {
@@ -393,17 +486,23 @@ impl Machine {
                 let code = &self.code;
                 let fetch = |pc: u64| code.fetch(pc);
                 let action =
-                    self.optimizer.handle_event(ev, &mut self.trident, &mut self.dlt, &fetch);
-                let cost = match &action {
-                    PreparedAction::Install(_) => {
-                        self.cfg.job_cost.insert_base + self.cfg.job_cost.insert_per_inst * len
+                    self.optimizer.handle_event(now, ev, &mut self.trident, &mut self.dlt, &fetch);
+                let (cost, kind) = match &action {
+                    PreparedAction::Install(_) => (
+                        self.cfg.job_cost.insert_base + self.cfg.job_cost.insert_per_inst * len,
+                        HelperJobKind::InsertPrefetches,
+                    ),
+                    PreparedAction::Repair { .. } => {
+                        (self.cfg.job_cost.repair, HelperJobKind::RepairDistance)
                     }
-                    PreparedAction::Repair { .. } => self.cfg.job_cost.repair,
-                    PreparedAction::Nothing => self.cfg.job_cost.analyze_only,
+                    PreparedAction::Nothing => {
+                        (self.cfg.job_cost.analyze_only, HelperJobKind::AnalyzeOnly)
+                    }
                 };
                 let id = self.next_job_id;
                 self.next_job_id += 1;
                 self.core.start_helper(HelperJob { id, instructions: cost });
+                self.emit(now, Event::HelperStart { job: id, kind, cost });
                 self.pending_job = Some((id, PendingJob::Opt { action, trace }));
             }
         }
@@ -414,6 +513,8 @@ impl Machine {
             return;
         };
         debug_assert_eq!(job_id, id, "one helper job in flight at a time");
+        let now = self.core.now();
+        self.emit(now, Event::HelperFinish { job: id });
         match job {
             PendingJob::InstallTrace(pending) => {
                 if self.cfg.no_link {
@@ -421,7 +522,7 @@ impl Machine {
                     self.trident.profiler.mark_traced(pending.trace.head);
                     return;
                 }
-                let forwards = match self.trident.commit_install(&pending) {
+                let forwards = match self.trident.commit_install(now, &pending) {
                     Ok(f) => f,
                     Err(_) => {
                         self.trident.profiler.mark_traced(pending.trace.head);
@@ -438,7 +539,7 @@ impl Machine {
                     PreparedAction::Install(p) => Some((p.replaces, p.trace.id)),
                     _ => None,
                 };
-                match self.optimizer.commit(action, &mut self.trident, &mut self.dlt) {
+                match self.optimizer.commit(now, action, &mut self.trident, &mut self.dlt) {
                     Ok(patches) => {
                         for p in &patches {
                             let _ = self.code.write_word(p.addr, p.word);
@@ -508,4 +609,21 @@ impl Machine {
 #[must_use]
 pub fn run(workload: &Workload, cfg: &SimConfig) -> SimResult {
     Machine::new(workload, cfg.clone()).run()
+}
+
+/// Runs `workload` under `cfg` with a recording probe attached, returning
+/// the result plus the full cycle-stamped event log.
+///
+/// The log is a function of the (workload, config) pair alone — engine
+/// worker counts and wall-clock time never influence it — so serialized
+/// traces are byte-identical across runs.
+#[must_use]
+pub fn run_traced(workload: &Workload, cfg: &SimConfig) -> (SimResult, Recorder) {
+    let recorder = Recorder::shared();
+    let mut machine = Machine::new(workload, cfg.clone());
+    machine.set_probe(recorder.clone());
+    let result = machine.run();
+    let recorder =
+        std::rc::Rc::try_unwrap(recorder).expect("machine dropped its probe").into_inner();
+    (result, recorder)
 }

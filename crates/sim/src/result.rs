@@ -167,6 +167,28 @@ impl SimResult {
         ]
     }
 
+    /// Average in-place distance repairs per inserted prefetch group — the
+    /// self-repairing prefetcher's tuning effort.
+    #[must_use]
+    pub fn repairs_per_group(&self) -> f64 {
+        if self.optimizer.groups == 0 {
+            0.0
+        } else {
+            self.optimizer.repairs as f64 / self.optimizer.groups as f64
+        }
+    }
+
+    /// Average cycles from a group's prefetch insertion to its last distance
+    /// change (0 when the initial distance was never changed).
+    #[must_use]
+    pub fn avg_cycles_to_converge(&self) -> f64 {
+        if self.optimizer.groups == 0 {
+            0.0
+        } else {
+            self.optimizer.converge_cycles_total as f64 / self.optimizer.groups as f64
+        }
+    }
+
     pub(crate) fn window_from(
         snapshot: &Snapshot,
         end: &Snapshot,

@@ -33,6 +33,17 @@ pub enum HotEvent {
     },
 }
 
+/// What [`EventQueue::push`] did with an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The event is now pending.
+    Queued,
+    /// Refused: the queue was at capacity.
+    DroppedSaturated,
+    /// Refused: an identical event was already pending (coalesced).
+    DroppedDuplicate,
+}
+
 /// FIFO queue of pending events.
 ///
 /// Events wait here when the helper context is busy; Trident drains the
@@ -40,8 +51,10 @@ pub enum HotEvent {
 #[derive(Default, Debug)]
 pub struct EventQueue {
     q: VecDeque<HotEvent>,
-    /// Events dropped because the queue was saturated (stat).
-    pub dropped: u64,
+    /// Events dropped because the queue was at capacity (stat).
+    pub dropped_saturated: u64,
+    /// Events dropped because an identical event was already pending (stat).
+    pub dropped_duplicate: u64,
     cap: usize,
 }
 
@@ -49,17 +62,29 @@ impl EventQueue {
     /// Creates a queue bounded at `cap` pending events.
     #[must_use]
     pub fn new(cap: usize) -> EventQueue {
-        EventQueue { q: VecDeque::new(), dropped: 0, cap }
+        EventQueue { q: VecDeque::new(), dropped_saturated: 0, dropped_duplicate: 0, cap }
     }
 
-    /// Enqueues an event, dropping it (with a count) when saturated or
-    /// already pending.
-    pub fn push(&mut self, ev: HotEvent) {
-        if self.q.len() >= self.cap || self.q.contains(&ev) {
-            self.dropped += 1;
-            return;
+    /// Enqueues an event, dropping it (with a per-reason count) when already
+    /// pending or saturated. Coalescing wins when both apply: a duplicate is
+    /// a duplicate regardless of queue pressure.
+    pub fn push(&mut self, ev: HotEvent) -> PushOutcome {
+        if self.q.contains(&ev) {
+            self.dropped_duplicate += 1;
+            return PushOutcome::DroppedDuplicate;
+        }
+        if self.q.len() >= self.cap {
+            self.dropped_saturated += 1;
+            return PushOutcome::DroppedSaturated;
         }
         self.q.push_back(ev);
+        PushOutcome::Queued
+    }
+
+    /// Total events dropped for any reason.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped_saturated + self.dropped_duplicate
     }
 
     /// Dequeues the oldest event.
@@ -90,10 +115,12 @@ mod tests {
         let e1 = HotEvent::HotTrace { head: 1, bitmap: 0, nbits: 0 };
         let e2 = HotEvent::HotTrace { head: 2, bitmap: 0, nbits: 0 };
         let e3 = HotEvent::HotTrace { head: 3, bitmap: 0, nbits: 0 };
-        q.push(e1);
-        q.push(e2);
-        q.push(e3);
-        assert_eq!(q.dropped, 1);
+        assert_eq!(q.push(e1), PushOutcome::Queued);
+        assert_eq!(q.push(e2), PushOutcome::Queued);
+        assert_eq!(q.push(e3), PushOutcome::DroppedSaturated);
+        assert_eq!(q.dropped_saturated, 1);
+        assert_eq!(q.dropped_duplicate, 0);
+        assert_eq!(q.dropped(), 1);
         assert_eq!(q.pop(), Some(e1));
         assert_eq!(q.pop(), Some(e2));
         assert_eq!(q.pop(), None);
@@ -103,9 +130,21 @@ mod tests {
     fn duplicate_pending_events_are_coalesced() {
         let mut q = EventQueue::new(8);
         let e = HotEvent::DelinquentLoad { load_pc: 0x100, trace: TraceId(1) };
-        q.push(e);
-        q.push(e);
+        assert_eq!(q.push(e), PushOutcome::Queued);
+        assert_eq!(q.push(e), PushOutcome::DroppedDuplicate);
         assert_eq!(q.len(), 1);
-        assert_eq!(q.dropped, 1);
+        assert_eq!(q.dropped_duplicate, 1);
+        assert_eq!(q.dropped_saturated, 0);
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn duplicate_of_a_pending_event_wins_over_saturation() {
+        let mut q = EventQueue::new(1);
+        let e = HotEvent::HotTrace { head: 1, bitmap: 0, nbits: 0 };
+        q.push(e);
+        assert_eq!(q.push(e), PushOutcome::DroppedDuplicate, "full queue, but same event");
+        assert_eq!(q.dropped_duplicate, 1);
+        assert_eq!(q.dropped_saturated, 0);
     }
 }

@@ -9,9 +9,10 @@
 use std::collections::HashMap;
 
 use tdo_isa::{encode, Inst, Word};
+use tdo_obs::{DropReason, Event, QueueEventKind, SharedProbe};
 
 use crate::cache::CodeCache;
-use crate::events::{EventQueue, HotEvent, TraceId};
+use crate::events::{EventQueue, HotEvent, PushOutcome, TraceId};
 use crate::opt;
 use crate::profiler::{BranchProfiler, ProfilerConfig};
 use crate::trace::{form_trace, CodeSource, FormError, Trace, TraceInst};
@@ -81,6 +82,12 @@ pub struct TridentStats {
     pub backouts: u64,
     /// Installations abandoned because the code cache was full.
     pub cache_full: u64,
+    /// Hot events accepted by the pending queue.
+    pub events_queued: u64,
+    /// Hot events dropped because the queue was at capacity.
+    pub events_dropped_saturated: u64,
+    /// Hot events dropped because an identical event was already pending.
+    pub events_dropped_duplicate: u64,
 }
 
 /// Errors preparing a trace installation.
@@ -149,6 +156,8 @@ pub struct Trident {
     /// Original instruction at each patched head, for unlinking.
     original_head: HashMap<u64, Inst>,
     next_id: u32,
+    probe: SharedProbe,
+    probe_on: bool,
 }
 
 impl Trident {
@@ -166,6 +175,8 @@ impl Trident {
             head_of: HashMap::new(),
             original_head: HashMap::new(),
             next_id: 0,
+            probe: tdo_obs::null_probe(),
+            probe_on: false,
         }
     }
 
@@ -175,18 +186,70 @@ impl Trident {
         &self.cfg
     }
 
-    /// Feeds an original-code branch to the profiler; a resulting hot-trace
-    /// event is queued.
-    pub fn observe_branch(&mut self, pc: u64, taken: bool, target: u64, conditional: bool) {
+    /// Attaches an observability probe; trace and queue events are recorded
+    /// through it from now on.
+    pub fn set_probe(&mut self, probe: SharedProbe) {
+        self.probe_on = probe.borrow().enabled();
+        self.probe = probe;
+    }
+
+    /// Records one event when a probe is attached (cheap boolean test
+    /// otherwise — disabled runs construct no [`Event`] values).
+    fn emit(&self, now: u64, ev: Event) {
+        if self.probe_on {
+            self.probe.borrow_mut().record(now, ev);
+        }
+    }
+
+    /// Pushes `ev`, keeping the queue counters mirrored into
+    /// [`TridentStats`] and the probe informed.
+    fn enqueue(&mut self, now: u64, ev: HotEvent) {
+        let (kind, pc) = match ev {
+            HotEvent::HotTrace { head, .. } => (QueueEventKind::HotTrace, head),
+            HotEvent::DelinquentLoad { load_pc, .. } => (QueueEventKind::DelinquentLoad, load_pc),
+        };
+        match self.events.push(ev) {
+            PushOutcome::Queued => {
+                self.stats.events_queued += 1;
+                if self.probe_on {
+                    let pending = self.events.len() as u32;
+                    self.emit(now, Event::EventQueued { kind, pc, pending });
+                }
+            }
+            PushOutcome::DroppedSaturated => {
+                self.stats.events_dropped_saturated += 1;
+                if self.probe_on {
+                    self.emit(now, Event::EventDropped { kind, pc, reason: DropReason::Saturated });
+                }
+            }
+            PushOutcome::DroppedDuplicate => {
+                self.stats.events_dropped_duplicate += 1;
+                if self.probe_on {
+                    self.emit(now, Event::EventDropped { kind, pc, reason: DropReason::Duplicate });
+                }
+            }
+        }
+    }
+
+    /// Feeds an original-code branch to the profiler at cycle `now`; a
+    /// resulting hot-trace event is queued.
+    pub fn observe_branch(
+        &mut self,
+        now: u64,
+        pc: u64,
+        taken: bool,
+        target: u64,
+        conditional: bool,
+    ) {
         if let Some(ev) = self.profiler.observe_branch(pc, taken, target, conditional) {
-            self.events.push(ev);
+            self.enqueue(now, ev);
         }
     }
 
     /// Queues an externally generated event (e.g. a delinquent-load event
-    /// from the DLT).
-    pub fn push_event(&mut self, ev: HotEvent) {
-        self.events.push(ev);
+    /// from the DLT) raised at cycle `now`.
+    pub fn push_event(&mut self, now: u64, ev: HotEvent) {
+        self.enqueue(now, ev);
     }
 
     /// Pops the oldest pending event.
@@ -225,6 +288,7 @@ impl Trident {
     /// resources are exhausted.
     pub fn prepare_install(
         &mut self,
+        now: u64,
         code: &impl CodeSource,
         head: u64,
         bitmap: u16,
@@ -235,6 +299,7 @@ impl Trident {
         if self.cfg.classical_opts {
             opt::optimize(&mut trace.insts);
         }
+        self.emit(now, Event::TraceFormed { trace: id.0, head, insts: trace.insts.len() as u32 });
         self.layout(trace, None, code)
     }
 
@@ -247,6 +312,7 @@ impl Trident {
     /// capacity error.
     pub fn prepare_reinstall(
         &mut self,
+        now: u64,
         code: &impl CodeSource,
         old: TraceId,
         new_insts: Vec<TraceInst>,
@@ -256,6 +322,7 @@ impl Trident {
             (old_trace.head, old_trace.is_loop)
         };
         let id = self.fresh_id();
+        self.emit(now, Event::TraceFormed { trace: id.0, head, insts: new_insts.len() as u32 });
         let trace = Trace { id, head, insts: new_insts, is_loop, cc_addr: 0 };
         self.layout(trace, Some(old), code)
     }
@@ -303,7 +370,11 @@ impl Trident {
     /// [`InstallError::WatchFull`] when the watch table cannot accept the
     /// trace (the installation must then be abandoned and no patches
     /// applied).
-    pub fn commit_install(&mut self, pending: &PendingInstall) -> Result<Vec<Patch>, InstallError> {
+    pub fn commit_install(
+        &mut self,
+        now: u64,
+        pending: &PendingInstall,
+    ) -> Result<Vec<Patch>, InstallError> {
         let trace = &pending.trace;
         let mut forwards = Vec::new();
         if let Some(old) = pending.replaces {
@@ -322,6 +393,15 @@ impl Trident {
         self.profiler.mark_traced(trace.head);
         self.traces.insert(trace.id, trace.clone());
         self.stats.traces_installed += 1;
+        self.emit(
+            now,
+            Event::TraceInstalled {
+                trace: trace.id.0,
+                head: trace.head,
+                cc_addr: trace.cc_addr,
+                replaces: pending.replaces.map(|t| t.0),
+            },
+        );
         Ok(forwards)
     }
 
@@ -333,13 +413,14 @@ impl Trident {
     /// # Errors
     ///
     /// [`InstallError::UnknownTrace`] when `id` is not registered.
-    pub fn backout(&mut self, id: TraceId) -> Result<Vec<Patch>, InstallError> {
+    pub fn backout(&mut self, now: u64, id: TraceId) -> Result<Vec<Patch>, InstallError> {
         let trace = self.traces.remove(&id).ok_or(InstallError::UnknownTrace(id))?;
         self.watch.remove(id);
         self.head_of.remove(&trace.head);
         self.code_cache.retire(trace.insts.len());
         self.profiler.clear_traced(trace.head);
         self.stats.backouts += 1;
+        self.emit(now, Event::TraceBackedOut { trace: id.0, head: trace.head });
         let orig = self.original_head[&trace.head];
         let mut patches =
             vec![Patch { addr: trace.head, word: encode(&orig).expect("round trip") }];
@@ -398,7 +479,7 @@ mod tests {
     fn install_links_head_and_watches_trace() {
         let (_, code) = loop_code();
         let mut t = runtime();
-        let pending = t.prepare_install(&code, 0x1000, 0b1, 1).unwrap();
+        let pending = t.prepare_install(0, &code, 0x1000, 0b1, 1).unwrap();
         assert_eq!(pending.trace.cc_addr, 0x10_0000);
         // Link patch is last and rewrites the head.
         let link = *pending.patches.last().unwrap();
@@ -406,7 +487,7 @@ mod tests {
         let link_inst = tdo_isa::decode(link.word).unwrap();
         assert_eq!(link_inst.branch_target(0x1000), Some(0x10_0000));
 
-        t.commit_install(&pending).unwrap();
+        t.commit_install(0, &pending).unwrap();
         let id = pending.trace.id;
         assert_eq!(t.linked_at(0x1000), Some(id));
         assert_eq!(t.watch.trace_at(0x10_0000), Some(id));
@@ -417,13 +498,13 @@ mod tests {
     fn reinstall_replaces_old_trace() {
         let (_, code) = loop_code();
         let mut t = runtime();
-        let p1 = t.prepare_install(&code, 0x1000, 0b1, 1).unwrap();
-        t.commit_install(&p1).unwrap();
+        let p1 = t.prepare_install(0, &code, 0x1000, 0b1, 1).unwrap();
+        t.commit_install(0, &p1).unwrap();
         let old = p1.trace.id;
         let body = t.trace(old).unwrap().insts.clone();
-        let p2 = t.prepare_reinstall(&code, old, body).unwrap();
+        let p2 = t.prepare_reinstall(0, &code, old, body).unwrap();
         assert_eq!(p2.replaces, Some(old));
-        t.commit_install(&p2).unwrap();
+        t.commit_install(0, &p2).unwrap();
         assert!(t.trace(old).is_none());
         assert_eq!(t.linked_at(0x1000), Some(p2.trace.id));
         assert_eq!(t.watch.trace_at(p2.trace.cc_addr), Some(p2.trace.id));
@@ -434,9 +515,9 @@ mod tests {
     fn backout_restores_original_head() {
         let (_, code) = loop_code();
         let mut t = runtime();
-        let p = t.prepare_install(&code, 0x1000, 0b1, 1).unwrap();
-        t.commit_install(&p).unwrap();
-        let patches = t.backout(p.trace.id).unwrap();
+        let p = t.prepare_install(0, &code, 0x1000, 0b1, 1).unwrap();
+        t.commit_install(0, &p).unwrap();
+        let patches = t.backout(0, p.trace.id).unwrap();
         assert_eq!(patches[0].addr, 0x1000);
         let inst = tdo_isa::decode(patches[0].word).unwrap();
         assert!(matches!(inst, Inst::Op { op: AluOp::Add, .. }), "original add restored");
@@ -455,14 +536,17 @@ mod tests {
         cfg.code_cache_base = 0x10_0000;
         cfg.code_cache_bytes = 8; // room for one instruction
         let mut t = Trident::new(cfg);
-        assert!(matches!(t.prepare_install(&code, 0x1000, 0b1, 1), Err(InstallError::CacheFull)));
+        assert!(matches!(
+            t.prepare_install(0, &code, 0x1000, 0b1, 1),
+            Err(InstallError::CacheFull)
+        ));
         assert_eq!(t.stats.cache_full, 1);
     }
 
     #[test]
     fn unknown_trace_operations_error() {
         let mut t = runtime();
-        assert!(matches!(t.backout(TraceId(42)), Err(InstallError::UnknownTrace(_))));
+        assert!(matches!(t.backout(0, TraceId(42)), Err(InstallError::UnknownTrace(_))));
         let ti = crate::trace::TraceInst {
             op: crate::trace::TraceOp::LoopBack,
             orig_pc: 0,

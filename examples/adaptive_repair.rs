@@ -51,8 +51,8 @@ fn main() {
         code_cache_base: 0x10_0000,
         ..TridentConfig::paper_baseline()
     });
-    let pending = trident.prepare_install(&code, 0x1000, 0b1, 1).unwrap();
-    trident.commit_install(&pending).unwrap();
+    let pending = trident.prepare_install(0, &code, 0x1000, 0b1, 1).unwrap();
+    trident.commit_install(0, &pending).unwrap();
     let mut trace = pending.trace.id;
     println!(
         "installed hot trace {trace:?} at {:#x} ({} instructions)",
@@ -98,7 +98,11 @@ fn main() {
             println!("round {round:>2}: no delinquent-load event — converged");
             break;
         };
+        // A stand-in for the simulated clock: each monitoring round is one
+        // window's worth of cycles.
+        let now = (round + 1) as u64 * 10_000;
         let action = optimizer.handle_event(
+            now,
             HotEvent::DelinquentLoad { load_pc, trace },
             &mut trident,
             &mut dlt,
@@ -125,7 +129,7 @@ fn main() {
             }
             PreparedAction::Nothing => println!("round {round:>2}: no action (matured or stable)"),
         }
-        optimizer.commit(action, &mut trident, &mut dlt).unwrap();
+        optimizer.commit(now, action, &mut trident, &mut dlt).unwrap();
         // The better the distance, the lower the observed latency.
         latency = latency.saturating_sub(25).max(40);
     }
