@@ -42,6 +42,11 @@ pub struct HarnessOpts {
     /// Re-run the spec's first cell with recording on and write the event
     /// trace here (`.json` = Chrome trace_event, anything else = JSONL).
     pub trace_out: Option<String>,
+    /// Explicit persistent-store directory (default: `TDO_STORE` env or
+    /// `.tdo-store/`).
+    pub store_dir: Option<String>,
+    /// Disable the persistent result store (in-memory memoization only).
+    pub no_store: bool,
 }
 
 /// Usage text shared by every harness binary.
@@ -51,6 +56,9 @@ pub const USAGE: &str = "options:
   --format FORMAT    output format: table, csv or json
   --trace-out PATH   record the first cell's event trace to PATH
                      (.json = Chrome trace_event, otherwise JSONL)
+  --store-dir DIR    persistent result store directory
+                     (default: $TDO_STORE or .tdo-store/)
+  --no-store         skip the persistent result store entirely
   --help             show this help";
 
 impl HarnessOpts {
@@ -94,6 +102,10 @@ impl HarnessOpts {
                 "--trace-out" => {
                     opts.trace_out = Some(value(&mut it)?);
                 }
+                "--store-dir" => {
+                    opts.store_dir = Some(value(&mut it)?);
+                }
+                "--no-store" if inline.is_none() => opts.no_store = true,
                 _ => return Err(format!("unknown option `{arg}`")),
             }
         }
@@ -154,15 +166,24 @@ pub struct Harness {
 
 impl Default for Harness {
     fn default() -> Harness {
-        Harness::new(HarnessOpts::default())
+        // The programmatic default is storeless: only explicit flags (or
+        // `from_args`'s defaults) touch the filesystem.
+        Harness::new(HarnessOpts { no_store: true, ..HarnessOpts::default() })
     }
 }
 
 impl Harness {
-    /// Creates a harness over explicit options.
+    /// Creates a harness over explicit options. Unless `--no-store` was
+    /// given, the engine reads through to (and writes through to) the
+    /// persistent result store, so repeat invocations of any harness binary
+    /// against a warm store perform zero simulations.
     #[must_use]
     pub fn new(opts: HarnessOpts) -> Harness {
-        let runner = Runner::new(opts.jobs);
+        let runner = if opts.no_store {
+            Runner::new(opts.jobs)
+        } else {
+            Runner::with_default_store(opts.jobs, opts.store_dir.as_deref())
+        };
         Harness { opts, runner }
     }
 
@@ -214,6 +235,12 @@ impl Harness {
         &self.runner
     }
 
+    /// The store accounting footer, if a store is attached.
+    #[must_use]
+    pub fn store_summary(&self) -> Option<String> {
+        self.runner.store_summary()
+    }
+
     /// Honours `--trace-out`: re-simulates the spec's first cell with event
     /// recording on and writes the trace to the requested path (`.json` =
     /// Chrome trace_event format, anything else = JSONL). A no-op without the
@@ -237,6 +264,17 @@ impl Harness {
                 cell.workload
             ),
             Err(e) => eprintln!("--trace-out: cannot write `{path}`: {e}"),
+        }
+    }
+}
+
+impl Drop for Harness {
+    /// Every harness binary reports its store accounting on exit — to
+    /// stderr, so report bytes on stdout stay identical warm or cold (CI
+    /// asserts both properties).
+    fn drop(&mut self) {
+        if let Some(summary) = self.runner.store_summary() {
+            eprintln!("{summary}");
         }
     }
 }
@@ -300,17 +338,27 @@ mod tests {
         let o = HarnessOpts::parse(["--quick", "--jobs", "4", "--format", "csv"]).unwrap();
         assert_eq!(
             o,
-            HarnessOpts { quick: true, jobs: 4, format: Some(Format::Csv), trace_out: None }
+            HarnessOpts {
+                quick: true,
+                jobs: 4,
+                format: Some(Format::Csv),
+                ..HarnessOpts::default()
+            }
         );
         let o = HarnessOpts::parse(["--jobs=2", "--format=json"]).unwrap();
         assert_eq!(
             o,
-            HarnessOpts { quick: false, jobs: 2, format: Some(Format::Json), trace_out: None }
+            HarnessOpts { jobs: 2, format: Some(Format::Json), ..HarnessOpts::default() }
         );
         let o = HarnessOpts::parse(["--trace-out", "t.json"]).unwrap();
         assert_eq!(o.trace_out.as_deref(), Some("t.json"));
         let o = HarnessOpts::parse(["--trace-out=t.jsonl"]).unwrap();
         assert_eq!(o.trace_out.as_deref(), Some("t.jsonl"));
+        let o = HarnessOpts::parse(["--store-dir", "/tmp/s", "--no-store"]).unwrap();
+        assert_eq!(o.store_dir.as_deref(), Some("/tmp/s"));
+        assert!(o.no_store);
+        let o = HarnessOpts::parse(["--store-dir=/x"]).unwrap();
+        assert_eq!(o.store_dir.as_deref(), Some("/x"));
         assert_eq!(HarnessOpts::parse(Vec::<String>::new()).unwrap(), HarnessOpts::default());
     }
 
@@ -321,8 +369,17 @@ mod tests {
         assert!(HarnessOpts::parse(["--jobs", "many"]).is_err());
         assert!(HarnessOpts::parse(["--format", "yaml"]).is_err());
         assert!(HarnessOpts::parse(["--trace-out"]).is_err());
+        assert!(HarnessOpts::parse(["--store-dir"]).is_err());
+        assert!(HarnessOpts::parse(["--no-store=1"]).is_err());
         assert!(HarnessOpts::parse(["--quick=1"]).is_err());
         assert!(HarnessOpts::parse(["extra"]).is_err());
         assert!(HarnessOpts::parse(["-q"]).is_err());
+    }
+
+    #[test]
+    fn usage_documents_every_flag() {
+        for flag in ["--quick", "--jobs", "--format", "--trace-out", "--store-dir", "--no-store"] {
+            assert!(USAGE.contains(flag), "USAGE is missing `{flag}`");
+        }
     }
 }

@@ -8,37 +8,55 @@
 //! tdo traces mcf --arm sr          # installed hot traces after a run
 //! tdo timeline mcf --trace-out t.json   # repair convergence + event trace
 //! tdo trace-validate t.json        # schema-check an emitted trace file
+//! tdo serve --addr 127.0.0.1:7077  # result-serving daemon over the store
+//! tdo store stats                  # persistent result-store maintenance
+//! tdo ping 127.0.0.1:7077          # in-repo HTTP client (health/metrics/run)
 //! ```
 //!
 //! `run` and `compare` execute through the shared experiment engine
 //! ([`tdo_sim::Runner`]): `compare` simulates all arms across `--jobs`
-//! worker threads, and repeated cells within one invocation are memoized.
+//! worker threads, repeated cells within one invocation are memoized, and —
+//! unless `--no-store` is given — results persist to the content-addressed
+//! store (`--store-dir`, `$TDO_STORE`, default `.tdo-store/`), so repeat
+//! invocations simulate nothing.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use tdo_isa::{decode, INST_BYTES};
 use tdo_obs::{validate_chrome_trace, validate_jsonl};
+use tdo_server::{client, install_sigint_handler, Server, ServerConfig};
 use tdo_sim::{
     run_traced, Cell, ExperimentSpec, Format, Machine, PrefetchSetup, Report, Runner, SimConfig,
-    SimResult, Timeline,
+    SimResult, Timeline, SCHEMA_VERSION,
 };
+use tdo_store::Store;
 use tdo_trident::TraceOp;
 use tdo_workloads::{build, names, Scale, Workload};
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: tdo <command> [args]\n\
-         \n\
-         commands:\n\
-         \x20 list                      workloads and descriptions\n\
-         \x20 run <workload> [opts]     simulate one workload\n\
-         \x20 compare <workload> [opts] simulate every arm\n\
-         \x20 disasm <workload>         dump the workload's code\n\
-         \x20 traces <workload> [opts]  dump installed hot traces after a run\n\
-         \x20 timeline <workload> [opts] cycle-stamped repair-convergence report\n\
-         \x20 trace-validate <file>     schema-check an emitted JSONL/Chrome trace\n\
-         \n\
-         options:\n\
+/// Every dispatched subcommand, with its one-line summary. The dispatcher
+/// and the usage text are both driven by this table, and a unit test pins
+/// every entry into [`usage_text`] so the help cannot drift from the code.
+const COMMANDS: &[(&str, &str)] = &[
+    ("list", "workloads and descriptions"),
+    ("run", "simulate one workload: run <workload> [opts]"),
+    ("compare", "simulate every arm: compare <workload> [opts]"),
+    ("disasm", "dump the workload's code: disasm <workload>"),
+    ("traces", "dump installed hot traces after a run: traces <workload> [opts]"),
+    ("timeline", "cycle-stamped repair-convergence report: timeline <workload> [opts]"),
+    ("trace-validate", "schema-check an emitted JSONL/Chrome trace: trace-validate <file>"),
+    ("serve", "HTTP daemon serving results from the store: serve [opts]"),
+    ("store", "persistent store maintenance: store <stats|verify|gc> [opts]"),
+    ("ping", "HTTP client for a running daemon: ping <addr> [opts]"),
+];
+
+fn usage_text() -> String {
+    let mut text = String::from("usage: tdo <command> [args]\n\ncommands:\n");
+    for (name, summary) in COMMANDS {
+        text.push_str(&format!("  {name:<15} {summary}\n"));
+    }
+    text.push_str(
+        "\nworkload options (run/compare/disasm/traces/timeline):\n\
          \x20 --arm <none|hw4x4|hw8x8|basic|whole|sr|swonly>   (default sr)\n\
          \x20 --full                    paper-scale run (default: test scale)\n\
          \x20 --insts <N>               measured original instructions\n\
@@ -46,8 +64,33 @@ fn usage() -> ExitCode {
          \x20 --format <table|csv|json> result rendering (default table)\n\
          \x20 --trace-out <path>        write a Chrome trace_event file (timeline)\n\
          \x20 --jsonl-out <path>        write the raw JSONL event log (timeline)\n\
-         \x20 --quick                   shorten the run for CI (timeline)"
+         \x20 --quick                   shorten the run for CI (timeline)\n\
+         \x20 --store-dir <dir>         persistent result store directory\n\
+         \x20                           (default: $TDO_STORE or .tdo-store/)\n\
+         \x20 --no-store                skip the persistent result store\n\
+         \nserve options:\n\
+         \x20 --addr <host:port>        listen address (default 127.0.0.1:7077)\n\
+         \x20 --threads <N>             simulation worker threads (default 2)\n\
+         \x20 --queue <N>               bounded /run queue; beyond it requests\n\
+         \x20                           shed with 503 (default 16)\n\
+         \x20 --store-dir / --no-store  as above\n\
+         \nstore actions (all honour --store-dir):\n\
+         \x20 stats                     record/byte/hit counters\n\
+         \x20 verify                    checksum every record in the log\n\
+         \x20 gc                        drop stale-schema + shadowed records\n\
+         \nping options:\n\
+         \x20 (default)                 GET /health\n\
+         \x20 --metrics                 GET /metrics\n\
+         \x20 --workloads               GET /workloads\n\
+         \x20 --path </p>               GET an arbitrary path\n\
+         \x20 --run <workload>          POST /run (honours --arm/--full/--insts)\n\
+         \x20 --shutdown                POST /shutdown (graceful stop)\n",
     );
+    text
+}
+
+fn usage() -> ExitCode {
+    eprint!("{}", usage_text());
     ExitCode::FAILURE
 }
 
@@ -60,6 +103,8 @@ struct Opts {
     trace_out: Option<String>,
     jsonl_out: Option<String>,
     quick: bool,
+    store_dir: Option<String>,
+    no_store: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -72,30 +117,28 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         trace_out: None,
         jsonl_out: None,
         quick: false,
+        store_dir: None,
+        no_store: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => o.full = true,
             "--quick" => o.quick = true,
+            "--no-store" => o.no_store = true,
             "--trace-out" => {
                 o.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
             }
             "--jsonl-out" => {
                 o.jsonl_out = Some(it.next().ok_or("--jsonl-out needs a path")?.clone());
             }
+            "--store-dir" => {
+                o.store_dir = Some(it.next().ok_or("--store-dir needs a directory")?.clone());
+            }
             "--arm" => {
                 let v = it.next().ok_or("--arm needs a value")?;
-                o.arm = match v.as_str() {
-                    "none" => PrefetchSetup::NoPrefetch,
-                    "hw4x4" => PrefetchSetup::Hw4x4,
-                    "hw8x8" => PrefetchSetup::Hw8x8,
-                    "basic" => PrefetchSetup::SwBasic,
-                    "whole" => PrefetchSetup::SwWholeObject,
-                    "sr" => PrefetchSetup::SwSelfRepair,
-                    "swonly" => PrefetchSetup::SwOnlySelfRepair,
-                    other => return Err(format!("unknown arm `{other}`")),
-                };
+                o.arm =
+                    PrefetchSetup::from_cli_name(v).ok_or_else(|| format!("unknown arm `{v}`"))?;
             }
             "--insts" => {
                 let v = it.next().ok_or("--insts needs a value")?;
@@ -113,6 +156,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         }
     }
     Ok(o)
+}
+
+/// The engine for `run`/`compare`: store-backed unless `--no-store`.
+fn runner(o: &Opts) -> Runner {
+    if o.no_store {
+        Runner::new(o.jobs)
+    } else {
+        Runner::with_default_store(o.jobs, o.store_dir.as_deref())
+    }
+}
+
+/// Prints the store accounting footer to stderr (stdout report bytes stay
+/// identical warm or cold).
+fn store_footer(runner: &Runner) {
+    if let Some(summary) = runner.store_summary() {
+        eprintln!("{summary}");
+    }
 }
 
 fn scale(o: &Opts) -> Scale {
@@ -223,8 +283,9 @@ fn cmd_list() -> ExitCode {
 
 fn cmd_run(name: &str, o: &Opts) -> Result<ExitCode, String> {
     load_workload(name, o.full)?; // validate the name up front
-    let runner = Runner::new(o.jobs);
+    let runner = runner(o);
     let r = runner.run_cell(&Cell::new(name, scale(o), config(o, o.arm)));
+    store_footer(&runner);
     if o.format == Format::Table {
         println!(
             "{name} under {:?} ({}):",
@@ -240,7 +301,7 @@ fn cmd_run(name: &str, o: &Opts) -> Result<ExitCode, String> {
 
 fn cmd_compare(name: &str, o: &Opts) -> Result<ExitCode, String> {
     load_workload(name, o.full)?;
-    let runner = Runner::new(o.jobs);
+    let runner = runner(o);
     let mut spec = ExperimentSpec::new();
     for arm in PrefetchSetup::ALL {
         spec.push(Cell::new(name, scale(o), config(o, arm)));
@@ -257,6 +318,7 @@ fn cmd_compare(name: &str, o: &Opts) -> Result<ExitCode, String> {
         );
     }
     print!("{}", rep.render(o.format));
+    store_footer(&runner);
     Ok(ExitCode::SUCCESS)
 }
 
@@ -362,41 +424,245 @@ fn cmd_trace_validate(path: &str) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `tdo serve`: the result-serving daemon (see `tdo-server`).
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                cfg.workers = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+            }
+            "--queue" => {
+                let v = it.next().ok_or("--queue needs a value")?;
+                cfg.queue_cap = v.parse().map_err(|_| format!("bad --queue `{v}`"))?;
+            }
+            "--store-dir" => {
+                cfg.store_dir = Some(it.next().ok_or("--store-dir needs a directory")?.clone());
+            }
+            "--no-store" => cfg.no_store = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    install_sigint_handler();
+    let server = Server::bind(&cfg).map_err(|e| format!("cannot bind `{}`: {e}", cfg.addr))?;
+    let addr = server.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    println!(
+        "tdo serve: listening on http://{addr} (workers={}, queue={})",
+        cfg.workers.max(1),
+        cfg.queue_cap.max(1)
+    );
+    let _ = std::io::stdout().flush(); // daemon spawners wait for this line
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    eprintln!("tdo serve: shut down cleanly");
+    store_footer(server.runner());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `tdo store <stats|verify|gc>`: persistent-store maintenance.
+fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
+    let Some(action) = args.first() else {
+        return Err("store needs an action: stats, verify or gc".into());
+    };
+    if !matches!(action.as_str(), "stats" | "verify" | "gc") {
+        return Err(format!("unknown store action `{action}` (want stats, verify or gc)"));
+    }
+    let mut store_dir: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store-dir" => {
+                store_dir = Some(it.next().ok_or("--store-dir needs a directory")?.clone());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let dir = Store::resolve_dir(store_dir.as_deref());
+    let store =
+        Store::open(&dir).map_err(|e| format!("cannot open store `{}`: {e}", dir.display()))?;
+    match action.as_str() {
+        "stats" => {
+            let s = store.stats();
+            println!("store {}", dir.display());
+            println!("  live records       {}", s.live_records);
+            println!("  shadowed records   {}", s.shadowed_records);
+            println!("  log bytes          {}", s.log_bytes);
+            println!("  quarantine bytes   {}", s.quarantine_bytes);
+            println!("  quarantined (run)  {}", s.quarantined);
+            println!("  schema version     {SCHEMA_VERSION}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let report = store.verify().map_err(|e| format!("verify: {e}"))?;
+            println!(
+                "store {}: {} good, {} corrupt, {} trailing garbage bytes",
+                dir.display(),
+                report.good,
+                report.corrupt,
+                report.trailing_garbage_bytes
+            );
+            Ok(if report.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        "gc" => {
+            let report = store.gc(SCHEMA_VERSION).map_err(|e| format!("gc: {e}"))?;
+            println!(
+                "store {}: kept {}, dropped {} stale + {} shadowed, {} -> {} bytes",
+                dir.display(),
+                report.kept,
+                report.dropped_stale,
+                report.dropped_shadowed,
+                report.bytes_before,
+                report.bytes_after
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => unreachable!("action validated above"),
+    }
+}
+
+/// `tdo ping <addr>`: the in-repo HTTP client (CI has no curl).
+fn cmd_ping(args: &[String]) -> Result<ExitCode, String> {
+    let Some(addr) = args.first() else {
+        return Err("ping needs a server address (host:port)".into());
+    };
+    let mut path: Option<String> = None;
+    let mut run_workload: Option<String> = None;
+    let mut arm = PrefetchSetup::SwSelfRepair;
+    let mut full = false;
+    let mut insts: Option<u64> = None;
+    let mut shutdown = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--path" => path = Some(it.next().ok_or("--path needs a path")?.clone()),
+            "--metrics" => path = Some("/metrics".into()),
+            "--workloads" => path = Some("/workloads".into()),
+            "--run" => {
+                run_workload = Some(it.next().ok_or("--run needs a workload name")?.clone());
+            }
+            "--arm" => {
+                let v = it.next().ok_or("--arm needs a value")?;
+                arm =
+                    PrefetchSetup::from_cli_name(v).ok_or_else(|| format!("unknown arm `{v}`"))?;
+            }
+            "--full" => full = true,
+            "--insts" => {
+                let v = it.next().ok_or("--insts needs a value")?;
+                insts = Some(v.parse().map_err(|_| format!("bad --insts `{v}`"))?);
+            }
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let response = if shutdown {
+        client::post(addr, "/shutdown", "")
+    } else if let Some(workload) = run_workload {
+        let mut body = format!(
+            "{{\"workload\":\"{workload}\",\"arm\":\"{}\",\"scale\":\"{}\"",
+            arm.cli_name(),
+            if full { "full" } else { "test" }
+        );
+        if let Some(n) = insts {
+            body.push_str(&format!(",\"insts\":{n}"));
+        }
+        body.push('}');
+        client::post(addr, "/run", &body)
+    } else {
+        client::get(addr, path.as_deref().unwrap_or("/health"))
+    };
+    let response = response.map_err(|e| format!("cannot reach `{addr}`: {e}"))?;
+    println!("{}", response.body);
+    if response.ok() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Err(format!("server answered HTTP {}", response.status))
+    }
+}
+
+/// Routes one command. Every arm here must be listed in [`COMMANDS`] (and
+/// therefore in the usage text) — a unit test enforces it.
+fn dispatch(cmd: &str, args: &[String]) -> Result<ExitCode, String> {
+    match cmd {
+        "list" => Ok(cmd_list()),
+        "trace-validate" => {
+            let Some(path) = args.first() else {
+                return Err("trace-validate needs a file path".into());
+            };
+            cmd_trace_validate(path)
+        }
+        "serve" => cmd_serve(args),
+        "store" => cmd_store(args),
+        "ping" => cmd_ping(args),
+        "run" | "compare" | "disasm" | "traces" | "timeline" => {
+            let Some(name) = args.first() else {
+                return Err(format!("{cmd} needs a workload name"));
+            };
+            let opts = parse_opts(&args[1..])?;
+            match cmd {
+                "run" => cmd_run(name, &opts),
+                "compare" => cmd_compare(name, &opts),
+                "disasm" => cmd_disasm(name, &opts),
+                "timeline" => cmd_timeline(name, &opts),
+                _ => cmd_traces(name, &opts),
+            }
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return usage();
     };
-    let run = || -> Result<ExitCode, String> {
-        match cmd.as_str() {
-            "list" => Ok(cmd_list()),
-            "trace-validate" => {
-                let Some(path) = args.get(1) else {
-                    return Err("trace-validate needs a file path".into());
-                };
-                cmd_trace_validate(path)
-            }
-            "run" | "compare" | "disasm" | "traces" | "timeline" => {
-                let Some(name) = args.get(1) else {
-                    return Err(format!("{cmd} needs a workload name"));
-                };
-                let opts = parse_opts(&args[2..])?;
-                match cmd.as_str() {
-                    "run" => cmd_run(name, &opts),
-                    "compare" => cmd_compare(name, &opts),
-                    "disasm" => cmd_disasm(name, &opts),
-                    "timeline" => cmd_timeline(name, &opts),
-                    _ => cmd_traces(name, &opts),
-                }
-            }
-            other => Err(format!("unknown command `{other}`")),
-        }
-    };
-    match run() {
+    match dispatch(cmd, &args[1..]) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             usage()
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite guarantee: the help text cannot drift from the dispatcher.
+    /// Every dispatched subcommand string appears in `usage()`, and every
+    /// documented command is actually dispatched (a bogus flag produces a
+    /// per-command error, never `unknown command`).
+    #[test]
+    fn every_command_is_documented_and_dispatched() {
+        let text = usage_text();
+        for (name, summary) in COMMANDS {
+            assert!(
+                text.lines().any(|l| l.trim_start().starts_with(name)),
+                "usage() does not document `{name}`"
+            );
+            assert!(!summary.is_empty(), "`{name}` needs a summary");
+            let err =
+                dispatch(name, &["--definitely-not-a-flag".to_string()]).err().unwrap_or_default();
+            assert!(
+                !err.starts_with("unknown command"),
+                "documented command `{name}` is not dispatched"
+            );
+        }
+        assert!(
+            dispatch("definitely-not-a-command", &[]).unwrap_err().starts_with("unknown command"),
+            "the dispatcher must reject unknown commands"
+        );
+    }
+
+    /// Arm names accepted by `--arm` round-trip through the shared mapping.
+    #[test]
+    fn arm_names_round_trip() {
+        for setup in PrefetchSetup::ALL {
+            assert_eq!(PrefetchSetup::from_cli_name(setup.cli_name()), Some(setup));
+        }
+        assert_eq!(PrefetchSetup::from_cli_name("warp-drive"), None);
+        assert!(usage_text().contains("none|hw4x4|hw8x8|basic|whole|sr|swonly"));
     }
 }

@@ -1,0 +1,169 @@
+//! Spawned-binary tests: `tdo serve` + `tdo ping` end to end over a real
+//! socket (the in-repo client is what CI uses — there is no curl), plus the
+//! `tdo store` maintenance actions.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const TDO: &str = env!("CARGO_BIN_EXE_tdo");
+
+/// A unique scratch directory per test, removed on drop.
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> TestDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tdo-cli-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        TestDir(dir)
+    }
+
+    fn path(&self) -> String {
+        self.0.display().to_string()
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kills the daemon if the test panics before the graceful shutdown.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn tdo(args: &[&str]) -> Output {
+    Command::new(TDO).args(args).output().expect("spawn tdo")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Successful invocation, returning stdout.
+fn ok(args: &[&str]) -> String {
+    let out = tdo(args);
+    assert!(
+        out.status.success(),
+        "`tdo {}` failed: {}{}",
+        args.join(" "),
+        stdout_of(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    stdout_of(&out)
+}
+
+#[test]
+fn serve_and_ping_round_trip() {
+    let store = TestDir::new("serve");
+    let mut child = ChildGuard(
+        Command::new(TDO)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "1",
+                "--queue",
+                "4",
+                "--store-dir",
+                &store.path(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn tdo serve"),
+    );
+
+    // The daemon announces its (ephemeral) address on the first stdout line.
+    let mut banner = String::new();
+    let mut stdout = BufReader::new(child.0.stdout.take().expect("stdout piped"));
+    stdout.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .to_string();
+
+    // Liveness, then the suite listing.
+    assert!(ok(&["ping", &addr]).contains("\"status\":\"ok\""));
+    assert!(ok(&["ping", &addr, "--workloads"]).contains("\"name\":\"mcf\""));
+
+    // One simulation; the identical repeat is served from the memo cache.
+    let run = &["ping", &addr, "--run", "swim", "--arm", "sr", "--insts", "20000"];
+    let first = ok(run);
+    assert!(first.contains("\"cycles\":"), "{first}");
+    let repeat = ok(run);
+    assert!(repeat.contains("\"cycles\":"), "{repeat}");
+
+    // /metrics over `tdo ping`: counters reflect exactly what we did.
+    let metrics = ok(&["ping", &addr, "--metrics"]);
+    for expected in [
+        "\"health\":1",
+        "\"workloads\":1",
+        "\"run_ok\":2",
+        "\"sims\":1",
+        "\"store_misses\":1",
+        "\"puts\":1",
+    ] {
+        assert!(metrics.contains(expected), "want {expected} in {metrics}");
+    }
+
+    // Graceful stop; the daemon must exit cleanly on its own.
+    assert!(ok(&["ping", &addr, "--shutdown"]).contains("shutting_down"));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.0.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit after /shutdown");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "daemon exit status: {status:?}");
+
+    let mut stderr_text = String::new();
+    let _ = child.0.stderr.take().expect("stderr piped").read_to_string(&mut stderr_text);
+    assert!(stderr_text.contains("shut down cleanly"), "{stderr_text}");
+    assert!(stderr_text.contains("store: hits=0 misses=1 sims=1"), "{stderr_text}");
+
+    // With the daemon gone, ping reports the failure as a nonzero exit.
+    assert!(!tdo(&["ping", &addr]).status.success());
+}
+
+#[test]
+fn store_maintenance_actions_on_an_empty_store() {
+    let dir = TestDir::new("store");
+    let stats = ok(&["store", "stats", "--store-dir", &dir.path()]);
+    assert!(stats.contains("live records       0"), "{stats}");
+
+    let verify = ok(&["store", "verify", "--store-dir", &dir.path()]);
+    assert!(verify.contains("0 good, 0 corrupt"), "{verify}");
+
+    let gc = ok(&["store", "gc", "--store-dir", &dir.path()]);
+    assert!(gc.contains("kept 0"), "{gc}");
+
+    let bad = tdo(&["store", "explode", "--store-dir", &dir.path()]);
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("unknown store action"),
+        "stderr: {}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+}

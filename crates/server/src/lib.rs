@@ -1,0 +1,586 @@
+//! # tdo-server — the result-serving daemon behind `tdo serve`
+//!
+//! A hand-rolled HTTP/1.1 server over `std::net::TcpListener` (the build is
+//! hermetic — no async runtime, no HTTP crate) that serves experiment
+//! results to many clients from the persistent store (`tdo-store`),
+//! simulating on miss and writing the result through so the next client is
+//! a cache hit.
+//!
+//! **Architecture.** One accept thread parses each request and answers the
+//! cheap read-only endpoints (`/health`, `/metrics`, `/workloads`) inline;
+//! `POST /run` is handed to a small fixed pool of worker threads through a
+//! bounded queue. When the queue is full the accept thread sheds the
+//! request with an explicit `503` instead of letting latency collapse.
+//! Identical cells requested concurrently are *single-flighted*: the first
+//! request simulates, the rest wait on the same flight and share the one
+//! result. `SIGINT`/ctrl-C (or `POST /shutdown`) stops accepting, drains
+//! the queue, finishes in-flight simulations and exits cleanly.
+//!
+//! | Endpoint | Served by | Behaviour |
+//! |---|---|---|
+//! | `GET /health` | accept thread | liveness probe |
+//! | `GET /metrics` | accept thread | integer counters (requests, coalesced, shed, store hits/misses, sims, queue depth) |
+//! | `GET /workloads` | accept thread | the workload suite with descriptions |
+//! | `POST /run` | worker pool | JSON cell spec → result (store, then memo, then simulate) |
+//! | `POST /shutdown` | accept thread | graceful shutdown (equivalent to SIGINT) |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use tdo_sim::{Cell, PrefetchSetup, Runner, SimConfig, SimResult};
+use tdo_workloads::{build, names, Scale};
+
+use http::{read_request, write_response, Request};
+use json::{escape, parse_object};
+
+/// Default listen address for `tdo serve`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7077";
+
+/// Set by the SIGINT handler; honoured by every running server's accept
+/// loop.
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+/// Installs a process-wide SIGINT (ctrl-C) handler that asks every running
+/// [`Server`] to shut down gracefully. No-op off Unix. Idempotent.
+pub fn install_sigint_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigint(_signum: i32) {
+            // Only async-signal-safe work here: one atomic store.
+            SIGINT_SEEN.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+/// Server construction options.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads simulating `/run` requests.
+    pub workers: usize,
+    /// Bounded `/run` queue capacity; beyond it requests shed with 503.
+    pub queue_cap: usize,
+    /// Explicit store directory (`None` = `TDO_STORE` env or `.tdo-store/`).
+    pub store_dir: Option<String>,
+    /// Run without a persistent store (memo cache only).
+    pub no_store: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            workers: 2,
+            queue_cap: 16,
+            store_dir: None,
+            no_store: false,
+        }
+    }
+}
+
+/// One queued `/run` request: the connection plus its already-read body.
+struct Job {
+    stream: TcpStream,
+    body: String,
+}
+
+/// Integer request counters (served verbatim by `GET /metrics`).
+#[derive(Debug, Default)]
+struct Metrics {
+    requests: AtomicU64,
+    health: AtomicU64,
+    metrics: AtomicU64,
+    workloads: AtomicU64,
+    run_requests: AtomicU64,
+    run_ok: AtomicU64,
+    run_rejected: AtomicU64,
+    run_failed: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    bad_requests: AtomicU64,
+    not_found: AtomicU64,
+    runs_started: AtomicU64,
+    runs_finished: AtomicU64,
+}
+
+impl Metrics {
+    fn bump(field: &AtomicU64) -> u64 {
+        field.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn read(field: &AtomicU64) -> u64 {
+        field.load(Ordering::Relaxed)
+    }
+}
+
+/// A single-flight slot: the leader publishes here, followers wait.
+#[derive(Default)]
+struct Flight {
+    done: Mutex<Option<Result<Arc<SimResult>, String>>>,
+    cv: Condvar,
+}
+
+/// Shared server state (accept thread + workers).
+struct State {
+    runner: Runner,
+    workloads_json: String,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_cap: usize,
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
+    shutdown: AtomicBool,
+    m: Metrics,
+}
+
+impl State {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGINT_SEEN.load(Ordering::SeqCst)
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+}
+
+/// Recovers from mutex poisoning — a panicking worker must not wedge the
+/// daemon (the state it guards is always observed in a consistent shape).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A handle for asking a running server to stop (used by tests and the
+/// `/shutdown` endpoint; ctrl-C does the same through the signal handler).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<State>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful shutdown: stop accepting, drain the queue,
+    /// finish in-flight work, exit.
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listen socket and opens the store (unless `no_store`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error; an unopenable store degrades to serving
+    /// without one (a warning is printed), matching the engine's behaviour.
+    pub fn bind(cfg: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let runner = if cfg.no_store {
+            Runner::new(1)
+        } else {
+            Runner::with_default_store(1, cfg.store_dir.as_deref())
+        };
+        let state = Arc::new(State {
+            runner,
+            workloads_json: workloads_json(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_cap: cfg.queue_cap.max(1),
+            inflight: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            m: Metrics::default(),
+        });
+        Ok(Server { listener, state, workers: cfg.workers.max(1) })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-name lookup error.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown handle usable from other threads.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { state: Arc::clone(&self.state) }
+    }
+
+    /// Serves until shutdown (SIGINT, `/shutdown` or [`ServerHandle`]),
+    /// then drains the queue, joins the workers and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns listener configuration errors; per-connection errors are
+    /// absorbed (logged as 400s in the metrics where attributable).
+    pub fn run(&self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut workers = Vec::with_capacity(self.workers);
+        for i in 0..self.workers {
+            let state = Arc::clone(&self.state);
+            let t = std::thread::Builder::new()
+                .name(format!("tdo-serve-{i}"))
+                .spawn(move || worker_loop(&state))
+                .expect("spawn worker thread");
+            workers.push(t);
+        }
+        while !self.state.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => handle_connection(&self.state, stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        // Stop the pool: workers drain the queue, then exit.
+        self.state.request_shutdown();
+        for t in workers {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+
+    /// The underlying engine (store counters etc.), for the CLI's exit
+    /// summary.
+    #[must_use]
+    pub fn runner(&self) -> &Runner {
+        &self.state.runner
+    }
+}
+
+/// Routes one parsed connection. Cheap endpoints answer inline; `/run`
+/// goes through the bounded queue to the worker pool.
+fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(e) => {
+            Metrics::bump(&state.m.bad_requests);
+            respond_error(&mut stream, 400, &e.to_string());
+            return;
+        }
+    };
+    Metrics::bump(&state.m.requests);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => {
+            Metrics::bump(&state.m.health);
+            let _ = write_response(&mut stream, 200, "{\"status\":\"ok\"}");
+        }
+        ("GET", "/metrics") => {
+            Metrics::bump(&state.m.metrics);
+            let body = metrics_json(state);
+            let _ = write_response(&mut stream, 200, &body);
+        }
+        ("GET", "/workloads") => {
+            Metrics::bump(&state.m.workloads);
+            let body = state.workloads_json.clone();
+            let _ = write_response(&mut stream, 200, &body);
+        }
+        ("POST", "/shutdown") => {
+            let _ = write_response(&mut stream, 200, "{\"shutting_down\":true}");
+            state.request_shutdown();
+        }
+        ("POST", "/run") => enqueue_run(state, stream, req),
+        ("GET" | "POST", "/health" | "/metrics" | "/workloads" | "/run" | "/shutdown") => {
+            Metrics::bump(&state.m.bad_requests);
+            respond_error(&mut stream, 405, "method not allowed");
+        }
+        _ => {
+            Metrics::bump(&state.m.not_found);
+            respond_error(&mut stream, 404, "no such endpoint");
+        }
+    }
+}
+
+/// Admits a `/run` request to the bounded queue, or sheds it with a 503.
+fn enqueue_run(state: &Arc<State>, stream: TcpStream, req: Request) {
+    Metrics::bump(&state.m.run_requests);
+    let mut rejected = Some(stream); // taken on admission
+    {
+        let mut q = relock(&state.queue);
+        if q.len() < state.queue_cap && !state.shutting_down() {
+            let stream = rejected.take().expect("stream not yet moved");
+            q.push_back(Job { stream, body: req.body });
+        }
+    }
+    match rejected {
+        None => state.queue_cv.notify_one(),
+        Some(mut stream) => {
+            Metrics::bump(&state.m.shed);
+            respond_error(&mut stream, 503, "run queue full, request shed");
+        }
+    }
+}
+
+/// Worker thread: pop jobs until the queue is drained *and* shutdown was
+/// requested.
+fn worker_loop(state: &Arc<State>) {
+    loop {
+        let job = {
+            let mut q = relock(&state.queue);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                if state.shutting_down() {
+                    break None;
+                }
+                q = state.queue_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(mut job) = job else { return };
+        serve_run(state, &mut job.stream, &job.body);
+    }
+}
+
+/// Parses a cell spec, runs it (single-flighted) and writes the response.
+fn serve_run(state: &Arc<State>, stream: &mut TcpStream, body: &str) {
+    let (cell, arm) = match parse_cell_spec(body) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            Metrics::bump(&state.m.run_rejected);
+            respond_error(stream, 400, &msg);
+            return;
+        }
+    };
+    let (result, coalesced) = run_coalesced(state, &cell);
+    match result {
+        Ok(r) => {
+            Metrics::bump(&state.m.run_ok);
+            let body = result_json(&cell, arm, &r, coalesced);
+            let _ = write_response(stream, 200, &body);
+        }
+        Err(msg) => {
+            Metrics::bump(&state.m.run_failed);
+            respond_error(stream, 500, &msg);
+        }
+    }
+}
+
+/// Runs one cell with single-flight coalescing: concurrent identical cells
+/// share one simulation. Returns the result and whether this call was a
+/// follower (coalesced onto another request's flight).
+fn run_coalesced(state: &Arc<State>, cell: &Cell) -> (Result<Arc<SimResult>, String>, bool) {
+    let key = cell.fingerprint();
+    let (flight, leader) = {
+        let mut map = relock(&state.inflight);
+        match map.get(&key) {
+            Some(f) => (Arc::clone(f), false),
+            None => {
+                let f = Arc::new(Flight::default());
+                map.insert(key.clone(), Arc::clone(&f));
+                (f, true)
+            }
+        }
+    };
+    if leader {
+        Metrics::bump(&state.m.runs_started);
+        let result = catch_unwind(AssertUnwindSafe(|| state.runner.run_cell(cell)))
+            .map_err(|_| format!("simulation panicked for workload `{}`", cell.workload));
+        *relock(&flight.done) = Some(result.clone());
+        flight.cv.notify_all();
+        relock(&state.inflight).remove(&key);
+        Metrics::bump(&state.m.runs_finished);
+        (result, false)
+    } else {
+        Metrics::bump(&state.m.coalesced);
+        let mut done = relock(&flight.done);
+        while done.is_none() {
+            done = flight.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+        (done.clone().expect("flight published"), true)
+    }
+}
+
+/// Decodes a `/run` body into an experiment cell.
+///
+/// Accepted keys: `workload` (required), `arm` (default `sr`), `scale`
+/// (`test`|`full`, default `test`), `insts` (optional measured-instruction
+/// override).
+fn parse_cell_spec(body: &str) -> Result<(Cell, PrefetchSetup), String> {
+    let pairs = parse_object(body).map_err(|e| format!("bad JSON body: {e}"))?;
+    let mut workload: Option<String> = None;
+    let mut arm = PrefetchSetup::SwSelfRepair;
+    let mut scale = Scale::Test;
+    let mut insts: Option<u64> = None;
+    for (key, value) in pairs {
+        match key.as_str() {
+            "workload" => {
+                workload = Some(value.as_str().ok_or("`workload` must be a string")?.to_string());
+            }
+            "arm" => {
+                let name = value.as_str().ok_or("`arm` must be a string")?;
+                arm = PrefetchSetup::from_cli_name(name)
+                    .ok_or_else(|| format!("unknown arm `{name}`"))?;
+            }
+            "scale" => {
+                scale = match value.as_str().ok_or("`scale` must be a string")? {
+                    "test" => Scale::Test,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "insts" => {
+                insts = Some(value.as_int().ok_or("`insts` must be an integer")?);
+            }
+            other => return Err(format!("unknown key `{other}`")),
+        }
+    }
+    let workload = workload.ok_or("missing required key `workload`")?;
+    if !names().contains(&workload.as_str()) {
+        return Err(format!("unknown workload `{workload}`"));
+    }
+    let mut cfg = match scale {
+        Scale::Test => SimConfig::test(arm),
+        Scale::Full => SimConfig::paper(arm),
+    };
+    if let Some(n) = insts {
+        cfg.measure_insts = n;
+    }
+    Ok((Cell::new(workload, scale, cfg), arm))
+}
+
+/// The integer-only `/run` response body.
+fn result_json(cell: &Cell, arm: PrefetchSetup, r: &SimResult, coalesced: bool) -> String {
+    format!(
+        "{{\"workload\":\"{}\",\"arm\":\"{}\",\"scale\":\"{}\",\"coalesced\":{},\
+         \"cycles\":{},\"orig_insts\":{},\"helper_active_cycles\":{},\"helper_committed\":{},\
+         \"traces_installed\":{},\"reoptimizations\":{},\"backouts\":{},\
+         \"events_queued\":{},\"events_dropped_saturated\":{},\"events_dropped_duplicate\":{},\
+         \"insertions\":{},\"prefetches_inserted\":{},\"repairs\":{},\
+         \"distance_up\":{},\"distance_down\":{},\"matured\":{},\
+         \"sw_prefetch_issued\":{},\"sw_prefetch_redundant\":{},\"sw_prefetch_dropped\":{},\
+         \"halted\":{}}}",
+        escape(&cell.workload),
+        arm.cli_name(),
+        if cell.scale == Scale::Full { "full" } else { "test" },
+        u8::from(coalesced),
+        r.cycles,
+        r.orig_insts,
+        r.helper_active_cycles,
+        r.helper_committed,
+        r.trident.traces_installed,
+        r.trident.reoptimizations,
+        r.trident.backouts,
+        r.trident.events_queued,
+        r.trident.events_dropped_saturated,
+        r.trident.events_dropped_duplicate,
+        r.optimizer.insertions,
+        r.optimizer.prefetches_inserted,
+        r.optimizer.repairs,
+        r.optimizer.distance_up,
+        r.optimizer.distance_down,
+        r.optimizer.matured,
+        r.mem.sw_prefetch_issued,
+        r.mem.sw_prefetch_redundant,
+        r.mem.sw_prefetch_dropped,
+        r.halted,
+    )
+}
+
+/// The `GET /metrics` body: request counters, pool/queue gauges and the
+/// engine's store counters, all integers.
+fn metrics_json(state: &Arc<State>) -> String {
+    let m = &state.m;
+    let queue_depth = relock(&state.queue).len();
+    let runs_started = Metrics::read(&m.runs_started);
+    let runs_finished = Metrics::read(&m.runs_finished);
+    let store = state.runner.store().map(|s| s.stats());
+    let store_json = match &store {
+        Some(s) => format!(
+            ",\"store\":{{\"live_records\":{},\"shadowed_records\":{},\"log_bytes\":{},\
+             \"quarantine_bytes\":{},\"quarantined\":{},\"hits\":{},\"misses\":{},\"puts\":{}}}",
+            s.live_records,
+            s.shadowed_records,
+            s.log_bytes,
+            s.quarantine_bytes,
+            s.quarantined,
+            s.hits,
+            s.misses,
+            s.puts
+        ),
+        None => String::new(),
+    };
+    format!(
+        "{{\"requests\":{},\"health\":{},\"metrics\":{},\"workloads\":{},\
+         \"run_requests\":{},\"run_ok\":{},\"run_rejected\":{},\"run_failed\":{},\
+         \"coalesced\":{},\"shed\":{},\"bad_requests\":{},\"not_found\":{},\
+         \"runs_started\":{},\"runs_finished\":{},\"runs_inflight\":{},\
+         \"queue_depth\":{queue_depth},\"queue_cap\":{},\
+         \"sims\":{},\"store_hits\":{},\"store_misses\":{},\"cells_cached\":{}{store_json}}}",
+        Metrics::read(&m.requests),
+        Metrics::read(&m.health),
+        Metrics::read(&m.metrics),
+        Metrics::read(&m.workloads),
+        Metrics::read(&m.run_requests),
+        Metrics::read(&m.run_ok),
+        Metrics::read(&m.run_rejected),
+        Metrics::read(&m.run_failed),
+        Metrics::read(&m.coalesced),
+        Metrics::read(&m.shed),
+        Metrics::read(&m.bad_requests),
+        Metrics::read(&m.not_found),
+        runs_started,
+        runs_finished,
+        runs_started.saturating_sub(runs_finished),
+        state.queue_cap,
+        state.runner.sims_run(),
+        state.runner.store_hits(),
+        state.runner.store_misses(),
+        state.runner.cells_cached(),
+    )
+}
+
+/// The precomputed `GET /workloads` body.
+fn workloads_json() -> String {
+    let mut out = String::from("{\"workloads\":[");
+    for (i, name) in names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let description =
+            build(name, Scale::Test).map(|w| w.description.to_string()).unwrap_or_default();
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"description\":\"{}\"}}",
+            escape(name),
+            escape(&description)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, msg: &str) {
+    let body = format!("{{\"error\":\"{}\"}}", escape(msg));
+    let _ = write_response(stream, status, &body);
+}

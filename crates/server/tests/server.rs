@@ -1,0 +1,208 @@
+//! End-to-end daemon tests over real sockets: routing, single-flight
+//! coalescing, bounded-queue shedding and graceful shutdown.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tdo_server::client::{self, Response};
+use tdo_server::{Server, ServerConfig, ServerHandle};
+
+/// Starts a server on an ephemeral port, storeless by default (tests that
+/// want persistence pass a directory).
+fn start(workers: usize, queue_cap: usize) -> (String, ServerHandle, JoinHandle<()>) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_cap,
+        store_dir: None,
+        no_store: true,
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr: SocketAddr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let t = std::thread::spawn(move || server.run().expect("server run"));
+    (addr.to_string(), handle, t)
+}
+
+/// Extracts an integer counter from a (flat or store-nested) metrics body.
+fn counter(body: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    let at = body.find(&needle).unwrap_or_else(|| panic!("metric `{name}` in {body}"));
+    body[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer metric")
+}
+
+fn metrics(addr: &str) -> String {
+    client::get(addr, "/metrics").expect("GET /metrics").body
+}
+
+/// Polls `/metrics` until `pred` holds (the accept thread serves metrics
+/// inline, so this works even while every worker is busy).
+fn wait_for(addr: &str, what: &str, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let body = metrics(addr);
+        if pred(&body) {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}; metrics: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn post_run(addr: &str, body: &str) -> Response {
+    client::post(addr, "/run", body).expect("POST /run")
+}
+
+/// A cell slow enough (~seconds in a debug build) that concurrent clients
+/// reliably overlap with its simulation.
+const SLOW_CELL: &str = r#"{"workload":"swim","arm":"sr","insts":400000}"#;
+
+#[test]
+fn routing_and_error_paths() {
+    let (addr, handle, t) = start(1, 4);
+
+    let health = client::get(&addr, "/health").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "{\"status\":\"ok\"}");
+
+    let workloads = client::get(&addr, "/workloads").unwrap();
+    assert_eq!(workloads.status, 200);
+    assert!(workloads.body.contains("\"name\":\"mcf\""), "suite listed: {}", workloads.body);
+
+    assert_eq!(client::get(&addr, "/nope").unwrap().status, 404);
+    assert_eq!(client::post(&addr, "/health", "").unwrap().status, 405);
+
+    // Bad /run bodies are 400s decided on the worker, never crashes.
+    for bad in [
+        "",
+        "not json",
+        "{}",
+        r#"{"workload":"no-such-workload"}"#,
+        r#"{"workload":"mcf","arm":"warp-drive"}"#,
+        r#"{"workload":"mcf","scale":"huge"}"#,
+        r#"{"workload":"mcf","insts":"many"}"#,
+        r#"{"workload":"mcf","surprise":1}"#,
+    ] {
+        let r = post_run(&addr, bad);
+        assert_eq!(r.status, 400, "body `{bad}` must be rejected, got {}", r.body);
+    }
+
+    let m = metrics(&addr);
+    assert_eq!(counter(&m, "health"), 1);
+    assert_eq!(counter(&m, "workloads"), 1);
+    assert_eq!(counter(&m, "not_found"), 1);
+    assert_eq!(counter(&m, "run_rejected"), 8);
+    assert_eq!(counter(&m, "run_ok"), 0);
+
+    handle.shutdown();
+    t.join().expect("clean shutdown");
+}
+
+#[test]
+fn identical_concurrent_runs_single_flight_into_one_simulation() {
+    let (addr, handle, t) = start(4, 8);
+
+    // Leader first; wait until its simulation is observably in flight.
+    let leader = {
+        let addr = addr.clone();
+        std::thread::spawn(move || post_run(&addr, SLOW_CELL))
+    };
+    wait_for(&addr, "leader in flight", |m| counter(m, "runs_inflight") == 1);
+
+    // Three identical followers arrive while the leader is simulating.
+    let followers: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || post_run(&addr, SLOW_CELL))
+        })
+        .collect();
+    wait_for(&addr, "followers coalesced", |m| counter(m, "coalesced") == 3);
+
+    let mut bodies = vec![leader.join().unwrap()];
+    bodies.extend(followers.into_iter().map(|f| f.join().unwrap()));
+    for r in &bodies {
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+    // All four answers carry the same result.
+    let cycles = counter(&bodies[0].body, "cycles");
+    assert!(cycles > 0);
+    for r in &bodies {
+        assert_eq!(counter(&r.body, "cycles"), cycles);
+    }
+
+    let m = metrics(&addr);
+    assert_eq!(counter(&m, "run_ok"), 4, "{m}");
+    assert_eq!(counter(&m, "sims"), 1, "exactly one simulation ran: {m}");
+    assert_eq!(counter(&m, "runs_started"), 1, "{m}");
+    assert_eq!(counter(&m, "coalesced"), 3, "{m}");
+
+    handle.shutdown();
+    t.join().expect("clean shutdown");
+}
+
+#[test]
+fn full_queue_sheds_with_503() {
+    // One worker, one queue slot: with a slow run in flight and one queued,
+    // the third request must shed — deterministically, because we gate each
+    // step on the (inline-served) metrics.
+    let (addr, handle, t) = start(1, 1);
+
+    let inflight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || post_run(&addr, SLOW_CELL))
+    };
+    wait_for(&addr, "slow run in flight", |m| counter(m, "runs_inflight") == 1);
+
+    let queued = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            post_run(&addr, r#"{"workload":"swim","arm":"none","insts":5000}"#)
+        })
+    };
+    wait_for(&addr, "second run queued", |m| counter(m, "queue_depth") == 1);
+
+    let shed = post_run(&addr, r#"{"workload":"swim","arm":"hw8x8","insts":5000}"#);
+    assert_eq!(shed.status, 503, "{}", shed.body);
+    assert!(shed.body.contains("shed"), "{}", shed.body);
+
+    let m = metrics(&addr);
+    assert_eq!(counter(&m, "shed"), 1, "{m}");
+
+    // The admitted requests still complete normally.
+    assert_eq!(inflight.join().unwrap().status, 200);
+    assert_eq!(queued.join().unwrap().status, 200);
+
+    handle.shutdown();
+    t.join().expect("clean shutdown");
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_daemon_and_drains_the_queue() {
+    let (addr, _handle, t) = start(2, 4);
+
+    // Something in flight when shutdown arrives.
+    let running = {
+        let addr = addr.clone();
+        std::thread::spawn(move || post_run(&addr, SLOW_CELL))
+    };
+    wait_for(&addr, "run in flight", |m| counter(m, "runs_inflight") == 1);
+
+    let r = client::post(&addr, "/shutdown", "").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("shutting_down"));
+
+    // The in-flight request finishes (drained, not dropped)...
+    assert_eq!(running.join().unwrap().status, 200);
+    // ...and the server thread exits.
+    t.join().expect("clean shutdown");
+
+    // New connections are refused once the listener is gone.
+    let after = client::get(&addr, "/health");
+    assert!(after.is_err(), "listener closed after shutdown");
+}

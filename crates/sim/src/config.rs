@@ -53,6 +53,27 @@ impl PrefetchSetup {
         }
     }
 
+    /// The short name used at every user-facing surface (`tdo run --arm`,
+    /// `tdo compare` rows, server `/run` bodies).
+    #[must_use]
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            PrefetchSetup::NoPrefetch => "none",
+            PrefetchSetup::Hw4x4 => "hw4x4",
+            PrefetchSetup::Hw8x8 => "hw8x8",
+            PrefetchSetup::SwBasic => "basic",
+            PrefetchSetup::SwWholeObject => "whole",
+            PrefetchSetup::SwSelfRepair => "sr",
+            PrefetchSetup::SwOnlySelfRepair => "swonly",
+        }
+    }
+
+    /// Parses a short arm name (the inverse of [`PrefetchSetup::cli_name`]).
+    #[must_use]
+    pub fn from_cli_name(name: &str) -> Option<PrefetchSetup> {
+        PrefetchSetup::ALL.into_iter().find(|s| s.cli_name() == name)
+    }
+
     /// The memory configuration this arm runs (full-scale hierarchy).
     #[must_use]
     pub fn mem(self) -> MemConfig {

@@ -30,13 +30,16 @@
 //! ```
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use tdo_store::Store;
 use tdo_workloads::{build, Scale};
 
 use crate::config::SimConfig;
 use crate::machine::run;
+use crate::persist;
 use crate::result::SimResult;
 
 /// One experiment cell: a named workload simulated under one configuration.
@@ -121,15 +124,23 @@ impl ExperimentSpec {
 }
 
 /// Executes cells in parallel and memoizes their results for the lifetime of
-/// the runner.
+/// the runner — and, when a persistent store is attached, across processes:
+/// lookups read through the in-memory cache to the store, and fresh
+/// simulations write through to it, so a warm store makes repeat sweeps
+/// perform zero simulations.
 pub struct Runner {
     jobs: usize,
     cache: Mutex<HashMap<String, Arc<SimResult>>>,
+    store: Option<Arc<Store>>,
+    sims: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    failed: Mutex<Vec<String>>,
 }
 
 impl Runner {
-    /// Creates a runner with `jobs` worker threads; `0` means one per
-    /// available hardware thread.
+    /// Creates a runner with `jobs` worker threads and no persistent store;
+    /// `0` means one per available hardware thread.
     #[must_use]
     pub fn new(jobs: usize) -> Runner {
         let jobs = if jobs == 0 {
@@ -137,7 +148,42 @@ impl Runner {
         } else {
             jobs
         };
-        Runner { jobs, cache: Mutex::new(HashMap::new()) }
+        Runner {
+            jobs,
+            cache: Mutex::new(HashMap::new()),
+            store: None,
+            sims: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            failed: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a runner backed by an explicit persistent store.
+    #[must_use]
+    pub fn with_store(jobs: usize, store: Arc<Store>) -> Runner {
+        let mut runner = Runner::new(jobs);
+        runner.store = Some(store);
+        runner
+    }
+
+    /// Creates a runner over the default store location: `dir_override`
+    /// (`--store-dir`), else the `TDO_STORE` environment variable, else
+    /// `.tdo-store/`. An unopenable store degrades to a storeless runner
+    /// with a warning — persistence is an accelerator, never a blocker.
+    #[must_use]
+    pub fn with_default_store(jobs: usize, dir_override: Option<&str>) -> Runner {
+        let dir = Store::resolve_dir(dir_override);
+        match Store::open(&dir) {
+            Ok(store) => Runner::with_store(jobs, Arc::new(store)),
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open result store `{}` ({e}); running without one",
+                    dir.display()
+                );
+                Runner::new(jobs)
+            }
+        }
     }
 
     /// The configured worker count.
@@ -146,17 +192,105 @@ impl Runner {
         self.jobs
     }
 
-    /// Number of distinct cells simulated (or memoized) so far.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panicked while holding the cache lock.
+    /// The attached persistent store, if any.
     #[must_use]
-    pub fn cells_cached(&self) -> usize {
-        self.cache.lock().unwrap().len()
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
-    /// Runs (or recalls) a single cell.
+    /// Simulations actually executed by this runner (excludes memoized and
+    /// store-served cells).
+    #[must_use]
+    pub fn sims_run(&self) -> u64 {
+        self.sims.load(Ordering::Relaxed)
+    }
+
+    /// Cells served from the persistent store.
+    #[must_use]
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells the persistent store could not serve (absent or stale).
+    #[must_use]
+    pub fn store_misses(&self) -> u64 {
+        self.store_misses.load(Ordering::Relaxed)
+    }
+
+    /// Fingerprints of cells whose simulation panicked during
+    /// [`Runner::run_spec`].
+    #[must_use]
+    pub fn failed_cells(&self) -> Vec<String> {
+        self.lock_failed().clone()
+    }
+
+    /// One-line cache/store accounting, for CI assertions and `--verbose`
+    /// style footers: `store: hits=H misses=M sims=S`. `None` when no store
+    /// is attached.
+    #[must_use]
+    pub fn store_summary(&self) -> Option<String> {
+        self.store.as_ref()?;
+        Some(format!(
+            "store: hits={} misses={} sims={}",
+            self.store_hits(),
+            self.store_misses(),
+            self.sims_run()
+        ))
+    }
+
+    /// Number of distinct cells memoized in this process so far.
+    #[must_use]
+    pub fn cells_cached(&self) -> usize {
+        self.lock_cache().len()
+    }
+
+    /// Locks the memo cache, recovering from poisoning: a panicking worker
+    /// must not cascade into unrelated cells (they re-simulate; the map is
+    /// only ever observed with complete entries).
+    fn lock_cache(&self) -> MutexGuard<'_, HashMap<String, Arc<SimResult>>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_failed(&self) -> MutexGuard<'_, Vec<String>> {
+        self.failed.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Store read-through: on a hit, decodes and promotes the result into
+    /// the memo cache.
+    fn recall_store(&self, key: &str) -> Option<Arc<SimResult>> {
+        let store = self.store.as_ref()?;
+        let hit = store
+            .get(tdo_store::fnv1a64(key.as_bytes()), persist::SCHEMA_VERSION)
+            .and_then(|payload| persist::decode_result(&payload));
+        match hit {
+            Some(result) => {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                let r = Arc::new(result);
+                Some(Arc::clone(
+                    self.lock_cache().entry(key.to_string()).or_insert_with(|| Arc::clone(&r)),
+                ))
+            }
+            None => {
+                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store write-through: persists a freshly simulated result. I/O errors
+    /// only cost persistence, never the run.
+    fn persist(&self, key: &str, result: &SimResult) {
+        let Some(store) = self.store.as_ref() else { return };
+        let payload = persist::encode_result(result);
+        if let Err(e) =
+            store.put(tdo_store::fnv1a64(key.as_bytes()), persist::SCHEMA_VERSION, &payload)
+        {
+            eprintln!("warning: cannot persist cell to result store: {e}");
+        }
+    }
+
+    /// Runs (or recalls) a single cell: memo cache, then store, then a
+    /// fresh simulation (written through to the store).
     ///
     /// # Panics
     ///
@@ -164,28 +298,37 @@ impl Runner {
     #[must_use]
     pub fn run_cell(&self, cell: &Cell) -> Arc<SimResult> {
         let key = cell.fingerprint();
-        if let Some(r) = self.cache.lock().unwrap().get(&key) {
+        if let Some(r) = self.lock_cache().get(&key) {
             return Arc::clone(r);
         }
+        if let Some(r) = self.recall_store(&key) {
+            return r;
+        }
+        self.sims.fetch_add(1, Ordering::Relaxed);
         let r = Arc::new(cell.simulate());
-        self.cache.lock().unwrap().entry(key).or_insert_with(|| Arc::clone(&r)).clone()
+        self.persist(&key, &r);
+        Arc::clone(self.lock_cache().entry(key).or_insert_with(|| Arc::clone(&r)))
     }
 
     /// Runs a whole spec: unique un-memoized cells execute across up to
     /// `jobs` scoped worker threads; the returned vector matches
     /// `spec.cells` element for element.
     ///
+    /// A cell whose simulation panics does not cascade: the panic is caught
+    /// on the worker, the cell is recorded (see [`Runner::failed_cells`]),
+    /// and every other cell still completes (and persists to the store).
+    ///
     /// # Panics
     ///
-    /// Panics if any cell names an unknown workload (propagated from the
-    /// worker that simulated it).
+    /// Panics — after all other cells have completed — if any cell failed,
+    /// naming the offenders.
     #[must_use]
     pub fn run_spec(&self, spec: &ExperimentSpec) -> Vec<Arc<SimResult>> {
         // Unique cells not already memoized, in first-appearance order so a
         // serial runner (jobs=1) visits them deterministically.
         let mut pending: Vec<&Cell> = Vec::new();
         {
-            let cache = self.cache.lock().unwrap();
+            let cache = self.lock_cache();
             let mut seen = HashSet::new();
             for cell in &spec.cells {
                 let key = cell.fingerprint();
@@ -202,14 +345,40 @@ impl Runner {
                     s.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(cell) = pending.get(i) else { break };
-                        let r = Arc::new(cell.simulate());
-                        self.cache.lock().unwrap().insert(cell.fingerprint(), r);
+                        let key = cell.fingerprint();
+                        if self.recall_store(&key).is_some() {
+                            continue;
+                        }
+                        self.sims.fetch_add(1, Ordering::Relaxed);
+                        match catch_unwind(AssertUnwindSafe(|| cell.simulate())) {
+                            Ok(result) => {
+                                self.persist(&key, &result);
+                                self.lock_cache().insert(key, Arc::new(result));
+                            }
+                            Err(_) => self.lock_failed().push(key),
+                        }
                     });
                 }
             });
         }
-        let cache = self.cache.lock().unwrap();
-        spec.cells.iter().map(|c| Arc::clone(&cache[&c.fingerprint()])).collect()
+        let failed = self.lock_failed();
+        let cache = self.lock_cache();
+        let results: Vec<Arc<SimResult>> = spec
+            .cells
+            .iter()
+            .map(|c| {
+                let key = c.fingerprint();
+                cache.get(&key).cloned().unwrap_or_else(|| {
+                    panic!(
+                        "{} cell(s) failed to simulate (first: `{}` on workload `{}`)",
+                        failed.len(),
+                        failed.first().map_or("?", String::as_str),
+                        c.workload
+                    )
+                })
+            })
+            .collect();
+        results
     }
 }
 

@@ -22,6 +22,7 @@
 pub mod config;
 pub mod engine;
 pub mod machine;
+pub mod persist;
 pub mod report;
 pub mod result;
 pub mod timeline;
@@ -29,6 +30,7 @@ pub mod timeline;
 pub use config::{JobCostModel, PrefetchSetup, SimConfig};
 pub use engine::{Cell, ExperimentSpec, Runner};
 pub use machine::{run, run_traced, Machine};
+pub use persist::{cell_key, decode_result, encode_result, SCHEMA_VERSION};
 pub use report::{Format, Report};
 pub use result::{DriverCounters, SimResult};
 pub use timeline::Timeline;

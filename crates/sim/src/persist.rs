@@ -1,0 +1,289 @@
+//! The persistent record schema for [`SimResult`] — how the experiment
+//! engine's results serialize into the content-addressed store
+//! (`tdo-store`).
+//!
+//! The store itself is generic (`u64` key → versioned `Vec<u64>` payload);
+//! this module owns the `SimResult` encoding: a length-prefixed workload
+//! name followed by every counter field in a fixed order. The encoding is
+//! integer-only, so a decoded result is bit-identical to the simulated one
+//! and warm-store report output is byte-identical to cold output.
+//!
+//! **Versioning.** [`SCHEMA_VERSION`] must be bumped whenever a field is
+//! added, removed or reordered anywhere in the [`SimResult`] tree. Stale
+//! records are simply misses (re-simulated and overwritten); `tdo store gc`
+//! reclaims them.
+
+use tdo_core::OptimizerStats;
+use tdo_cpu::CpuStats;
+use tdo_mem::MemStats;
+use tdo_trident::TridentStats;
+
+use crate::engine::Cell;
+use crate::result::{DriverCounters, SimResult};
+
+/// Payload schema version for stored [`SimResult`] records.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Fixed counter words following the variable-length name prefix.
+const FIXED_WORDS: usize = 59;
+
+/// The store key of a cell: the stable 64-bit FNV-1a hash of its
+/// [`Cell::fingerprint`]. Two cells with equal fingerprints simulate
+/// identically, so the hash is a sound content address.
+#[must_use]
+pub fn cell_key(cell: &Cell) -> u64 {
+    tdo_store::fnv1a64(cell.fingerprint().as_bytes())
+}
+
+/// Serializes a result into the integer record payload.
+#[must_use]
+pub fn encode_result(r: &SimResult) -> Vec<u64> {
+    let name = r.name.as_bytes();
+    let name_words = name.len().div_ceil(8);
+    let mut out = Vec::with_capacity(1 + name_words + FIXED_WORDS);
+    out.push(name.len() as u64);
+    for chunk in name.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        out.push(u64::from_le_bytes(word));
+    }
+    out.extend_from_slice(&[r.cycles, r.orig_insts, r.helper_active_cycles, r.helper_committed]);
+    let w = &r.window;
+    out.extend_from_slice(&[
+        w.orig_insts,
+        w.loads_hit,
+        w.loads_hit_prefetched,
+        w.loads_partial,
+        w.loads_miss,
+        w.loads_miss_due_to_prefetch,
+        w.load_misses,
+        w.load_misses_in_traces,
+        w.load_misses_covered,
+        w.dlt_events_queued,
+        w.hot_trace_events,
+        w.trace_backouts,
+    ]);
+    let c = &r.cpu;
+    out.extend_from_slice(&[
+        c.cycles,
+        c.main_committed,
+        c.helper_committed,
+        c.helper_active_cycles,
+        c.helper_jobs,
+        c.main_loads,
+        c.main_stores,
+        c.main_prefetches,
+    ]);
+    let m = &r.mem;
+    out.extend_from_slice(&[
+        m.hits,
+        m.hits_prefetched,
+        m.partial_hits,
+        m.misses,
+        m.misses_due_to_prefetch,
+    ]);
+    out.extend_from_slice(&m.serviced);
+    out.extend_from_slice(&[
+        m.total_load_latency,
+        m.total_miss_latency,
+        m.stores,
+        m.sw_prefetch_issued,
+        m.sw_prefetch_redundant,
+        m.sw_prefetch_dropped,
+        m.writebacks,
+    ]);
+    let t = &r.trident;
+    out.extend_from_slice(&[
+        t.traces_installed,
+        t.reoptimizations,
+        t.backouts,
+        t.cache_full,
+        t.events_queued,
+        t.events_dropped_saturated,
+        t.events_dropped_duplicate,
+    ]);
+    let o = &r.optimizer;
+    out.extend_from_slice(&[
+        o.events,
+        o.insertions,
+        o.prefetches_inserted,
+        o.repairs,
+        o.distance_up,
+        o.distance_down,
+        o.matured,
+        o.groups,
+        o.converge_cycles_total,
+        o.converge_cycles_max,
+    ]);
+    out.push(u64::from(r.halted));
+    out
+}
+
+/// Deserializes a record payload back into a result.
+///
+/// Returns `None` on any structural mismatch (wrong length, invalid name
+/// bytes, non-boolean halt flag) — the caller treats that as a store miss
+/// and re-simulates.
+#[must_use]
+pub fn decode_result(words: &[u64]) -> Option<SimResult> {
+    let name_len = usize::try_from(*words.first()?).ok()?;
+    if name_len > 4096 {
+        return None;
+    }
+    let name_words = name_len.div_ceil(8);
+    if words.len() != 1 + name_words + FIXED_WORDS {
+        return None;
+    }
+    let mut name_bytes = Vec::with_capacity(name_words * 8);
+    for w in &words[1..1 + name_words] {
+        name_bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    name_bytes.truncate(name_len);
+    let name = String::from_utf8(name_bytes).ok()?;
+
+    let mut it = words[1 + name_words..].iter().copied();
+    let mut next = || it.next().expect("length checked above");
+    let (cycles, orig_insts, helper_active_cycles, helper_committed) =
+        (next(), next(), next(), next());
+    let window = DriverCounters {
+        orig_insts: next(),
+        loads_hit: next(),
+        loads_hit_prefetched: next(),
+        loads_partial: next(),
+        loads_miss: next(),
+        loads_miss_due_to_prefetch: next(),
+        load_misses: next(),
+        load_misses_in_traces: next(),
+        load_misses_covered: next(),
+        dlt_events_queued: next(),
+        hot_trace_events: next(),
+        trace_backouts: next(),
+    };
+    let cpu = CpuStats {
+        cycles: next(),
+        main_committed: next(),
+        helper_committed: next(),
+        helper_active_cycles: next(),
+        helper_jobs: next(),
+        main_loads: next(),
+        main_stores: next(),
+        main_prefetches: next(),
+    };
+    let mem = MemStats {
+        hits: next(),
+        hits_prefetched: next(),
+        partial_hits: next(),
+        misses: next(),
+        misses_due_to_prefetch: next(),
+        serviced: [next(), next(), next(), next(), next()],
+        total_load_latency: next(),
+        total_miss_latency: next(),
+        stores: next(),
+        sw_prefetch_issued: next(),
+        sw_prefetch_redundant: next(),
+        sw_prefetch_dropped: next(),
+        writebacks: next(),
+    };
+    let trident = TridentStats {
+        traces_installed: next(),
+        reoptimizations: next(),
+        backouts: next(),
+        cache_full: next(),
+        events_queued: next(),
+        events_dropped_saturated: next(),
+        events_dropped_duplicate: next(),
+    };
+    let optimizer = OptimizerStats {
+        events: next(),
+        insertions: next(),
+        prefetches_inserted: next(),
+        repairs: next(),
+        distance_up: next(),
+        distance_down: next(),
+        matured: next(),
+        groups: next(),
+        converge_cycles_total: next(),
+        converge_cycles_max: next(),
+    };
+    let halted = match next() {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    Some(SimResult {
+        name,
+        cycles,
+        orig_insts,
+        helper_active_cycles,
+        helper_committed,
+        window,
+        cpu,
+        mem,
+        trident,
+        optimizer,
+        halted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PrefetchSetup, SimConfig};
+    use tdo_workloads::Scale;
+
+    fn sample() -> SimResult {
+        let mut r = SimResult {
+            name: "mcf".into(),
+            cycles: 123_456,
+            orig_insts: 7_890,
+            helper_active_cycles: 42,
+            helper_committed: 7,
+            window: DriverCounters::default(),
+            cpu: CpuStats::default(),
+            mem: MemStats::default(),
+            trident: TridentStats::default(),
+            optimizer: OptimizerStats::default(),
+            halted: true,
+        };
+        r.window.loads_hit = 99;
+        r.window.trace_backouts = 3;
+        r.cpu.main_committed = 1_000_000;
+        r.mem.serviced = [1, 2, 3, 4, 5];
+        r.mem.writebacks = 17;
+        r.trident.events_dropped_duplicate = 8;
+        r.optimizer.converge_cycles_max = u64::MAX;
+        r
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let r = sample();
+        let decoded = decode_result(&encode_result(&r)).expect("decodes");
+        assert_eq!(format!("{r:?}"), format!("{decoded:?}"));
+    }
+
+    #[test]
+    fn structural_damage_is_a_miss_not_a_panic() {
+        let words = encode_result(&sample());
+        assert!(decode_result(&words[..words.len() - 1]).is_none(), "short payload");
+        let mut long = words.clone();
+        long.push(0);
+        assert!(decode_result(&long).is_none(), "long payload");
+        let mut bad_halt = words.clone();
+        *bad_halt.last_mut().unwrap() = 2;
+        assert!(decode_result(&bad_halt).is_none(), "non-boolean halt flag");
+        let mut bad_name = words;
+        bad_name[0] = u64::MAX;
+        assert!(decode_result(&bad_name).is_none(), "absurd name length");
+        assert!(decode_result(&[]).is_none(), "empty payload");
+    }
+
+    #[test]
+    fn key_stability_golden() {
+        // The store key of a pinned cell. If this changes, every existing
+        // store on disk silently stops matching: bump SCHEMA_VERSION and
+        // re-pin instead of papering over it.
+        let cell = Cell::new("mcf", Scale::Test, SimConfig::test(PrefetchSetup::SwSelfRepair));
+        assert_eq!(cell_key(&cell), 7_766_886_223_830_284_027);
+    }
+}

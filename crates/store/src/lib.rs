@@ -1,0 +1,531 @@
+//! # tdo-store — persistent, content-addressed experiment-result store
+//!
+//! The experiment engine memoizes simulation results in memory, per process.
+//! This crate makes that cache durable and shareable: an append-only record
+//! log plus an index file under one directory, keyed by a stable 64-bit
+//! FNV-1a hash of the experiment cell's fingerprint. Every bench binary, CI
+//! job and CLI invocation pointed at the same directory (`TDO_STORE` /
+//! `--store-dir`, default `.tdo-store/`) reuses each other's simulations.
+//!
+//! The store is deliberately generic: it maps `u64` keys to versioned
+//! integer payloads (`Vec<u64>`). The `SimResult` record schema lives next
+//! to `SimResult` itself (`tdo_sim::persist`), so this crate has no
+//! dependencies and no knowledge of simulator types.
+//!
+//! **Durability contract.** Appends are flushed and the index is committed
+//! by write-to-temp-then-rename, so a crash can only ever lose the record
+//! being written, never corrupt acknowledged ones. On open, an index whose
+//! recorded log length does not match the file is discarded and the log is
+//! rescanned. Records that fail their checksum are *quarantined* — moved to
+//! `quarantine.log` and dropped from the live log — rather than failing the
+//! run; a store with a torn tail (killed mid-append) or a flipped bit heals
+//! itself and keeps serving the surviving records.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod fnv;
+pub mod record;
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub use fnv::fnv1a64;
+pub use record::FORMAT_VERSION;
+
+use record::{Decoded, IndexEntry, Record};
+
+/// Environment variable naming the store directory.
+pub const STORE_ENV: &str = "TDO_STORE";
+/// Default store directory (relative to the working directory).
+pub const DEFAULT_DIR: &str = ".tdo-store";
+
+const LOG_FILE: &str = "records.log";
+const INDEX_FILE: &str = "index.bin";
+const QUARANTINE_FILE: &str = "quarantine.log";
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    offset: u64,
+    version: u32,
+    words: u32,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    index: HashMap<u64, Entry>,
+    log_len: u64,
+    shadowed: u64,
+}
+
+/// Point-in-time store statistics (see [`Store::stats`]).
+#[derive(Clone, Debug, Default)]
+pub struct StoreStats {
+    /// Live (addressable) records.
+    pub live_records: u64,
+    /// Records in the log superseded by a newer write of the same key.
+    pub shadowed_records: u64,
+    /// Log file size in bytes.
+    pub log_bytes: u64,
+    /// Quarantine file size in bytes (total ever quarantined).
+    pub quarantine_bytes: u64,
+    /// Records quarantined by this process (open-scan + reads).
+    pub quarantined: u64,
+    /// Successful reads served by this process.
+    pub hits: u64,
+    /// Lookups this process could not serve (absent or stale version).
+    pub misses: u64,
+    /// Records written by this process.
+    pub puts: u64,
+}
+
+/// Outcome of a full-log verification pass (see [`Store::verify`]).
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Records whose checksum verified.
+    pub good: u64,
+    /// Records whose checksum failed (still counted, not yet quarantined).
+    pub corrupt: u64,
+    /// Bytes at the end of the log that do not frame records.
+    pub trailing_garbage_bytes: u64,
+}
+
+impl VerifyReport {
+    /// Whether the log is fully intact.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.corrupt == 0 && self.trailing_garbage_bytes == 0
+    }
+}
+
+/// Outcome of a garbage collection (see [`Store::gc`]).
+#[derive(Clone, Debug, Default)]
+pub struct GcReport {
+    /// Live records kept.
+    pub kept: u64,
+    /// Live records dropped for having a stale schema version.
+    pub dropped_stale: u64,
+    /// Shadowed or corrupt records reclaimed.
+    pub dropped_shadowed: u64,
+    /// Log size before, in bytes.
+    pub bytes_before: u64,
+    /// Log size after, in bytes.
+    pub bytes_after: u64,
+}
+
+/// A persistent key → versioned-integer-payload store over one directory.
+///
+/// All operations are thread-safe; the store can be shared behind an `Arc`
+/// by engine workers and server threads alike.
+pub struct Store {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store").field("dir", &self.dir).finish_non_exhaustive()
+    }
+}
+
+impl Store {
+    /// Resolves the store directory: an explicit override (`--store-dir`),
+    /// else [`STORE_ENV`], else [`DEFAULT_DIR`].
+    #[must_use]
+    pub fn resolve_dir(override_dir: Option<&str>) -> PathBuf {
+        match override_dir {
+            Some(d) => PathBuf::from(d),
+            None => match std::env::var(STORE_ENV) {
+                Ok(d) if !d.is_empty() => PathBuf::from(d),
+                _ => PathBuf::from(DEFAULT_DIR),
+            },
+        }
+    }
+
+    /// Opens (creating if necessary) the store under `dir`.
+    ///
+    /// A valid index whose recorded log length matches the log file is
+    /// trusted as-is; otherwise the log is scanned record by record,
+    /// corrupt records are quarantined, and both files are rewritten
+    /// atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error creating the directory or reading/writing the
+    /// store files. Corrupt *contents* are never an error — they are
+    /// quarantined.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let store = Store {
+            dir,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+        };
+        store.load()?;
+        Ok(store)
+    }
+
+    /// The directory this store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of live (addressable) records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    /// Whether the store has no live records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the payload stored under `key`, requiring schema `version`.
+    ///
+    /// Returns `None` when the key is absent, stored under a different
+    /// schema version, or fails its checksum on read (in which case the
+    /// record is quarantined and forgotten — the caller re-simulates and
+    /// overwrites it).
+    #[must_use]
+    pub fn get(&self, key: u64, version: u32) -> Option<Vec<u64>> {
+        let mut inner = self.lock();
+        let Some(entry) = inner.index.get(&key).copied() else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if entry.version != version {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        match self.read_record(&entry) {
+            Ok(Decoded::Good { rec, .. }) if rec.key == key => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rec.payload)
+            }
+            _ => {
+                // Bad bytes under a live index entry: quarantine and drop.
+                let len = record::record_len(entry.words) as u64;
+                let _ = self.quarantine_region(entry.offset, len);
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                inner.index.remove(&key);
+                let _ = self.write_index(&inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Writes (or overwrites) the payload under `key` at schema `version`.
+    ///
+    /// The record is appended to the log and flushed, then the index is
+    /// committed via write-then-rename; an older record under the same key
+    /// becomes shadowed (reclaimable by [`Store::gc`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error appending or committing. The store stays
+    /// consistent on failure: a half-appended record is quarantined by the
+    /// next open.
+    pub fn put(&self, key: u64, version: u32, payload: &[u64]) -> io::Result<()> {
+        let bytes = record::encode_record(&Record { version, key, payload: payload.to_vec() });
+        let mut inner = self.lock();
+        let mut f = fs::OpenOptions::new().append(true).open(self.dir.join(LOG_FILE))?;
+        let offset = f.seek(SeekFrom::End(0))?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+        inner.log_len = offset + bytes.len() as u64;
+        let words = u32::try_from(payload.len()).expect("payload fits u32");
+        if inner.index.insert(key, Entry { offset, version, words }).is_some() {
+            inner.shadowed += 1;
+        }
+        self.write_index(&inner)?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Point-in-time statistics.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.lock();
+        StoreStats {
+            live_records: inner.index.len() as u64,
+            shadowed_records: inner.shadowed,
+            log_bytes: inner.log_len,
+            quarantine_bytes: fs::metadata(self.dir.join(QUARANTINE_FILE)).map_or(0, |m| m.len()),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Re-reads the whole log and checks every record's checksum without
+    /// modifying anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error reading the log.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let _inner = self.lock();
+        let bytes = fs::read(self.dir.join(LOG_FILE))?;
+        Ok(verify_bytes(&bytes))
+    }
+
+    /// Compacts the log: keeps only live records whose schema version is
+    /// `keep_version`, dropping stale-schema, shadowed and corrupt records.
+    /// The new log and index are committed atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error rewriting the files.
+    pub fn gc(&self, keep_version: u32) -> io::Result<GcReport> {
+        let mut inner = self.lock();
+        let mut report = GcReport { bytes_before: inner.log_len, ..GcReport::default() };
+        let mut kept: Vec<(u64, Record)> = Vec::new();
+        for (&key, entry) in &inner.index {
+            if entry.version != keep_version {
+                report.dropped_stale += 1;
+                continue;
+            }
+            if let Ok(Decoded::Good { rec, .. }) = self.read_record(entry) {
+                kept.push((key, rec));
+            } else {
+                report.dropped_shadowed += 1;
+            }
+        }
+        kept.sort_by_key(|(key, _)| *key);
+        let total_before = {
+            // Everything in the log that is not kept is reclaimed.
+            let v = verify_bytes(&fs::read(self.dir.join(LOG_FILE))?);
+            v.good + v.corrupt
+        };
+        report.kept = kept.len() as u64;
+        report.dropped_shadowed =
+            total_before.saturating_sub(kept.len() as u64 + report.dropped_stale);
+
+        let mut log = record::log_header();
+        let mut index = HashMap::new();
+        for (key, rec) in &kept {
+            let offset = log.len() as u64;
+            let words = u32::try_from(rec.payload.len()).expect("payload fits u32");
+            log.extend_from_slice(&record::encode_record(rec));
+            index.insert(*key, Entry { offset, version: rec.version, words });
+        }
+        self.commit(&self.dir.join(LOG_FILE), &log)?;
+        inner.index = index;
+        inner.log_len = log.len() as u64;
+        inner.shadowed = 0;
+        self.write_index(&inner)?;
+        report.bytes_after = inner.log_len;
+        Ok(report)
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    /// Locks the inner state, recovering from a poisoned mutex (a panicking
+    /// thread must not take the whole store down with it).
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Atomic write-then-rename commit of `bytes` to `path`.
+    fn commit(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    fn write_index(&self, inner: &Inner) -> io::Result<()> {
+        let mut entries: Vec<IndexEntry> = inner
+            .index
+            .iter()
+            .map(|(&key, e)| IndexEntry {
+                key,
+                offset: e.offset,
+                version: e.version,
+                words: e.words,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.key);
+        self.commit(&self.dir.join(INDEX_FILE), &record::encode_index(&entries, inner.log_len))
+    }
+
+    fn read_record(&self, entry: &Entry) -> io::Result<Decoded> {
+        let mut f = fs::File::open(self.dir.join(LOG_FILE))?;
+        f.seek(SeekFrom::Start(entry.offset))?;
+        let mut buf = vec![0u8; record::record_len(entry.words)];
+        match f.read_exact(&mut buf) {
+            Ok(()) => Ok(record::decode_record(&buf)),
+            Err(_) => Ok(Decoded::Garbage),
+        }
+    }
+
+    fn quarantine_region(&self, offset: u64, len: u64) -> io::Result<()> {
+        let mut f = fs::File::open(self.dir.join(LOG_FILE))?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; usize::try_from(len).expect("region fits usize")];
+        let n = f.read(&mut buf)?;
+        buf.truncate(n);
+        let mut q = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(QUARANTINE_FILE))?;
+        q.write_all(&buf)
+    }
+
+    /// Loads the store: trusts a matching index, otherwise scans the log,
+    /// quarantining corrupt records and rewriting the files.
+    fn load(&self) -> io::Result<()> {
+        let log_path = self.dir.join(LOG_FILE);
+        if !log_path.exists() {
+            let mut inner = self.lock();
+            self.commit(&log_path, &record::log_header())?;
+            inner.index.clear();
+            inner.log_len = record::LOG_HEADER_BYTES;
+            return self.write_index(&inner);
+        }
+        let log_len = fs::metadata(&log_path)?.len();
+        if let Ok(bytes) = fs::read(self.dir.join(INDEX_FILE)) {
+            if let Some((entries, indexed_len)) = record::decode_index(&bytes) {
+                if indexed_len == log_len {
+                    let mut inner = self.lock();
+                    inner.index = entries
+                        .into_iter()
+                        .map(|e| {
+                            (e.key, Entry { offset: e.offset, version: e.version, words: e.words })
+                        })
+                        .collect();
+                    inner.log_len = log_len;
+                    return Ok(());
+                }
+            }
+        }
+        self.rescan()
+    }
+
+    /// Full log scan: keep good records (newest per key wins), quarantine
+    /// everything else, and commit a clean log + index.
+    fn rescan(&self) -> io::Result<()> {
+        let log_path = self.dir.join(LOG_FILE);
+        let bytes = fs::read(&log_path)?;
+        let mut good: Vec<Record> = Vec::new();
+        let mut quarantine: Vec<u8> = Vec::new();
+        let mut shadowed = 0u64;
+        let mut pos = record::LOG_HEADER_BYTES as usize;
+        if !record::check_log_header(&bytes) {
+            quarantine.extend_from_slice(&bytes);
+            pos = bytes.len();
+        }
+        while pos < bytes.len() {
+            match record::decode_record(&bytes[pos..]) {
+                Decoded::Good { rec, len } => {
+                    if good.iter().any(|r| r.key == rec.key) {
+                        shadowed += 1;
+                    }
+                    good.push(rec);
+                    pos += len;
+                }
+                Decoded::BadChecksum { len } => {
+                    quarantine.extend_from_slice(&bytes[pos..pos + len]);
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    pos += len;
+                }
+                Decoded::Garbage => {
+                    quarantine.extend_from_slice(&bytes[pos..]);
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    pos = bytes.len();
+                }
+            }
+        }
+        let mut inner = self.lock();
+        if quarantine.is_empty()
+            && !good.is_empty()
+            && bytes.len() as u64 > record::LOG_HEADER_BYTES
+        {
+            // Log intact, only the index was missing/stale: keep the log
+            // bytes as-is and just rebuild the index.
+            let mut index = HashMap::new();
+            let mut offset = record::LOG_HEADER_BYTES;
+            for rec in &good {
+                let words = u32::try_from(rec.payload.len()).expect("payload fits u32");
+                index.insert(rec.key, Entry { offset, version: rec.version, words });
+                offset += rec.encoded_len() as u64;
+            }
+            inner.index = index;
+            inner.log_len = bytes.len() as u64;
+            inner.shadowed = shadowed;
+            return self.write_index(&inner);
+        }
+        if !quarantine.is_empty() {
+            let mut q = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join(QUARANTINE_FILE))?;
+            q.write_all(&quarantine)?;
+        }
+        // Rewrite the log with only the surviving records (newest per key
+        // kept live; older duplicates are preserved as shadowed history).
+        let mut log = record::log_header();
+        let mut index = HashMap::new();
+        let mut shadowed = 0u64;
+        for rec in &good {
+            let offset = log.len() as u64;
+            let words = u32::try_from(rec.payload.len()).expect("payload fits u32");
+            log.extend_from_slice(&record::encode_record(rec));
+            if index.insert(rec.key, Entry { offset, version: rec.version, words }).is_some() {
+                shadowed += 1;
+            }
+        }
+        self.commit(&log_path, &log)?;
+        inner.index = index;
+        inner.log_len = log.len() as u64;
+        inner.shadowed = shadowed;
+        self.write_index(&inner)
+    }
+}
+
+/// Scans `bytes` (a whole log file) and classifies every record.
+fn verify_bytes(bytes: &[u8]) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    if !record::check_log_header(bytes) {
+        report.trailing_garbage_bytes = bytes.len() as u64;
+        return report;
+    }
+    let mut pos = record::LOG_HEADER_BYTES as usize;
+    while pos < bytes.len() {
+        match record::decode_record(&bytes[pos..]) {
+            Decoded::Good { len, .. } => {
+                report.good += 1;
+                pos += len;
+            }
+            Decoded::BadChecksum { len } => {
+                report.corrupt += 1;
+                pos += len;
+            }
+            Decoded::Garbage => {
+                report.trailing_garbage_bytes = (bytes.len() - pos) as u64;
+                break;
+            }
+        }
+    }
+    report
+}
