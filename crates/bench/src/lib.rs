@@ -23,6 +23,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod perf;
+
 use std::sync::Arc;
 
 use tdo_sim::{

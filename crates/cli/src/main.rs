@@ -48,6 +48,7 @@ const COMMANDS: &[(&str, &str)] = &[
     ("serve", "HTTP daemon serving results from the store: serve [opts]"),
     ("store", "persistent store maintenance: store <stats|verify|gc> [opts]"),
     ("ping", "HTTP client for a running daemon: ping <addr> [opts]"),
+    ("perf", "throughput baseline + regression gate: perf [opts]"),
 ];
 
 fn usage_text() -> String {
@@ -81,10 +82,22 @@ fn usage_text() -> String {
          \nping options:\n\
          \x20 (default)                 GET /health\n\
          \x20 --metrics                 GET /metrics\n\
+         \x20 --prom                    GET /metrics?format=prom and validate it\n\
          \x20 --workloads               GET /workloads\n\
          \x20 --path </p>               GET an arbitrary path\n\
+         \x20 --count <N>               repeat the GET N times, report RTT\n\
+         \x20                           min/avg/max in integer microseconds\n\
          \x20 --run <workload>          POST /run (honours --arm/--full/--insts)\n\
-         \x20 --shutdown                POST /shutdown (graceful stop)\n",
+         \x20 --shutdown                POST /shutdown (graceful stop)\n\
+         \nperf options:\n\
+         \x20 --quick                   test-scale suite (CI-sized)\n\
+         \x20 --jobs <N>                parallel engine workers for phase A\n\
+         \x20 --insts <N>               measured-instruction override\n\
+         \x20 --out <path>              write the BENCH_PR4.json baseline\n\
+         \x20 --check <path>            gate against a committed baseline\n\
+         \x20 --tolerance <pct>         allowed throughput regression (default 15)\n\
+         \x20 --format <table|csv|json> summary rendering\n\
+         \x20 --store-dir / --no-store  as above\n",
     );
     text
 }
@@ -492,6 +505,35 @@ fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
             println!("  quarantine bytes   {}", s.quarantine_bytes);
             println!("  quarantined (run)  {}", s.quarantined);
             println!("  schema version     {SCHEMA_VERSION}");
+            let sz = store.size_stats();
+            if !sz.per_generation.is_empty() {
+                println!();
+                let mut rep = Report::new("generations")
+                    .key("generation", 12)
+                    .col("records", 9)
+                    .col("bytes", 12)
+                    .rule(0);
+                for g in &sz.per_generation {
+                    rep.row(
+                        format!("v{}", g.version),
+                        [g.records.to_string(), g.bytes.to_string()],
+                    );
+                }
+                print!("{}", rep.render(Format::Table));
+                let h = &sz.record_bytes;
+                println!("  record bytes       mean {} over {} records", h.mean(), h.count);
+                let mut cum = 0u64;
+                for (i, n) in h.buckets.iter().enumerate() {
+                    cum += n;
+                    if *n == 0 {
+                        continue;
+                    }
+                    match tdo_metrics::Histogram::bucket_le(i) {
+                        Some(le) => println!("    <= {le:>10} B   {cum}"),
+                        None => println!("    <=        inf B   {cum}"),
+                    }
+                }
+            }
             Ok(ExitCode::SUCCESS)
         }
         "verify" => {
@@ -533,12 +575,22 @@ fn cmd_ping(args: &[String]) -> Result<ExitCode, String> {
     let mut full = false;
     let mut insts: Option<u64> = None;
     let mut shutdown = false;
+    let mut prom = false;
+    let mut count: u32 = 1;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--path" => path = Some(it.next().ok_or("--path needs a path")?.clone()),
             "--metrics" => path = Some("/metrics".into()),
+            "--prom" => prom = true,
             "--workloads" => path = Some("/workloads".into()),
+            "--count" => {
+                let v = it.next().ok_or("--count needs a value")?;
+                count = v.parse().map_err(|_| format!("bad --count `{v}`"))?;
+                if count == 0 {
+                    return Err("--count must be at least 1".into());
+                }
+            }
             "--run" => {
                 run_workload = Some(it.next().ok_or("--run needs a workload name")?.clone());
             }
@@ -556,29 +608,123 @@ fn cmd_ping(args: &[String]) -> Result<ExitCode, String> {
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    let response = if shutdown {
-        client::post(addr, "/shutdown", "")
-    } else if let Some(workload) = run_workload {
-        let mut body = format!(
-            "{{\"workload\":\"{workload}\",\"arm\":\"{}\",\"scale\":\"{}\"",
-            arm.cli_name(),
-            if full { "full" } else { "test" }
-        );
-        if let Some(n) = insts {
-            body.push_str(&format!(",\"insts\":{n}"));
-        }
-        body.push('}');
-        client::post(addr, "/run", &body)
+    if shutdown || run_workload.is_some() {
+        // One-shot POST modes; --count applies to the GET pings only.
+        let response = if shutdown {
+            client::post(addr, "/shutdown", "")
+        } else {
+            let workload = run_workload.expect("checked above");
+            let mut body = format!(
+                "{{\"workload\":\"{workload}\",\"arm\":\"{}\",\"scale\":\"{}\"",
+                arm.cli_name(),
+                if full { "full" } else { "test" }
+            );
+            if let Some(n) = insts {
+                body.push_str(&format!(",\"insts\":{n}"));
+            }
+            body.push('}');
+            client::post(addr, "/run", &body)
+        };
+        let response = response.map_err(|e| format!("cannot reach `{addr}`: {e}"))?;
+        println!("{}", response.body);
+        return if response.ok() {
+            Ok(ExitCode::SUCCESS)
+        } else {
+            Err(format!("server answered HTTP {}", response.status))
+        };
+    }
+
+    // GET modes: `--count N` repeats the request and reports round-trip
+    // times in integer microseconds.
+    let get_path = if prom {
+        "/metrics?format=prom".to_string()
     } else {
-        client::get(addr, path.as_deref().unwrap_or("/health"))
+        path.unwrap_or_else(|| "/health".into())
     };
-    let response = response.map_err(|e| format!("cannot reach `{addr}`: {e}"))?;
+    let mut rtts_us: Vec<u64> = Vec::with_capacity(count as usize);
+    let mut response = None;
+    for _ in 0..count {
+        let t0 = std::time::Instant::now();
+        let r = client::get(addr, &get_path).map_err(|e| format!("cannot reach `{addr}`: {e}"))?;
+        rtts_us.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        response = Some(r);
+    }
+    let response = response.expect("count >= 1");
     println!("{}", response.body);
+    let (min, max) = (rtts_us.iter().min(), rtts_us.iter().max());
+    let avg = rtts_us.iter().sum::<u64>() / rtts_us.len() as u64;
+    println!(
+        "rtt_us min={} avg={avg} max={} ({count} pings)",
+        min.expect("nonempty"),
+        max.expect("nonempty")
+    );
+    if prom {
+        let stats = tdo_metrics::expo::parse_text(&response.body)
+            .map_err(|e| format!("prom exposition invalid: {e}"))?;
+        println!("prom: {} families, {} samples, exposition valid", stats.families, stats.samples);
+    }
     if response.ok() {
         Ok(ExitCode::SUCCESS)
     } else {
         Err(format!("server answered HTTP {}", response.status))
     }
+}
+
+/// `tdo perf`: the throughput-baseline pipeline (see `tdo_bench::perf`).
+fn cmd_perf(args: &[String]) -> Result<ExitCode, String> {
+    // Like run/compare, the CLI reads through the persistent store unless
+    // `--no-store` asks otherwise (the programmatic default is storeless).
+    let mut o = tdo_bench::perf::PerfOpts { no_store: false, ..Default::default() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => o.quick = true,
+            "--no-store" => o.no_store = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                o.jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            }
+            "--insts" => {
+                let v = it.next().ok_or("--insts needs a value")?;
+                o.insts = Some(v.parse().map_err(|_| format!("bad --insts `{v}`"))?);
+            }
+            "--out" => o.out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--check" => o.check = Some(it.next().ok_or("--check needs a path")?.clone()),
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                o.tolerance = v.parse().map_err(|_| format!("bad --tolerance `{v}`"))?;
+                if o.tolerance > 100 {
+                    return Err("--tolerance is a percentage (0-100)".into());
+                }
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                o.format = v.parse()?;
+            }
+            "--store-dir" => {
+                o.store_dir = Some(it.next().ok_or("--store-dir needs a directory")?.clone());
+                o.no_store = false;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let outcome = tdo_bench::perf::measure(&o);
+    print!("{}", outcome.table);
+    if let Some(summary) = &outcome.store_summary {
+        eprintln!("{summary}");
+    }
+    if let Some(path) = &o.out {
+        std::fs::write(path, &outcome.json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote baseline to {path}");
+    }
+    if let Some(path) = &o.check {
+        let baseline =
+            std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+        let verdict =
+            tdo_bench::perf::check_against(&baseline, outcome.insts_per_sec, o.tolerance)?;
+        println!("{verdict}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Routes one command. Every arm here must be listed in [`COMMANDS`] (and
@@ -595,6 +741,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<ExitCode, String> {
         "serve" => cmd_serve(args),
         "store" => cmd_store(args),
         "ping" => cmd_ping(args),
+        "perf" => cmd_perf(args),
         "run" | "compare" | "disasm" | "traces" | "timeline" => {
             let Some(name) = args.first() else {
                 return Err(format!("{cmd} needs a workload name"));

@@ -102,9 +102,22 @@ fn serve_and_ping_round_trip() {
         .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
         .to_string();
 
-    // Liveness, then the suite listing.
-    assert!(ok(&["ping", &addr]).contains("\"status\":\"ok\""));
+    // Liveness (every GET ping reports its round-trip time), then the
+    // suite listing.
+    let health = ok(&["ping", &addr]);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("rtt_us min="), "{health}");
+    assert!(health.contains("(1 pings)"), "{health}");
+    let multi = ok(&["ping", &addr, "--count", "3"]);
+    assert!(multi.contains("(3 pings)"), "{multi}");
     assert!(ok(&["ping", &addr, "--workloads"]).contains("\"name\":\"mcf\""));
+
+    // The Prometheus exposition is served, parses strictly, and carries the
+    // per-endpoint counters.
+    let prom = ok(&["ping", &addr, "--prom"]);
+    assert!(prom.contains("exposition valid"), "{prom}");
+    assert!(prom.contains("tdo_server_requests_total"), "{prom}");
+    assert!(prom.contains("tdo_server_request_latency_us_count"), "{prom}");
 
     // One simulation; the identical repeat is served from the memo cache.
     let run = &["ping", &addr, "--run", "swim", "--arm", "sr", "--insts", "20000"];
@@ -116,7 +129,7 @@ fn serve_and_ping_round_trip() {
     // /metrics over `tdo ping`: counters reflect exactly what we did.
     let metrics = ok(&["ping", &addr, "--metrics"]);
     for expected in [
-        "\"health\":1",
+        "\"health\":4", // 1 liveness ping + 3 counted pings
         "\"workloads\":1",
         "\"run_ok\":2",
         "\"sims\":1",
@@ -145,6 +158,54 @@ fn serve_and_ping_round_trip() {
 
     // With the daemon gone, ping reports the failure as a nonzero exit.
     assert!(!tdo(&["ping", &addr]).status.success());
+
+    // The round trip left one record behind; `store stats` breaks it down
+    // per generation with record-size accounting.
+    let stats = ok(&["store", "stats", "--store-dir", &store.path()]);
+    assert!(stats.contains("live records       1"), "{stats}");
+    assert!(stats.contains("v1"), "{stats}");
+    assert!(stats.contains("record bytes       mean"), "{stats}");
+}
+
+#[test]
+fn perf_baseline_is_deterministic_and_gates() {
+    let dir = TestDir::new("perf");
+    fs::create_dir_all(&dir.0).expect("mkdir");
+    let a_path = format!("{}/a.json", dir.path());
+    let b_path = format!("{}/b.json", dir.path());
+    let common: &[&str] = &["perf", "--quick", "--insts", "3000", "--no-store"];
+
+    // Same suite under 1 and 4 engine workers: the baselines must agree
+    // byte-for-byte once wall-clock keys are stripped.
+    let table = ok(&[common, &["--jobs", "1", "--out", &a_path]].concat());
+    assert!(table.contains("total throughput:"), "{table}");
+    ok(&[common, &["--jobs", "4", "--out", &b_path]].concat());
+    let strip = |p: &str| {
+        fs::read_to_string(p)
+            .expect("baseline written")
+            .lines()
+            .filter(|l| !l.contains("\"wall_"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&a_path), strip(&b_path), "worker count leaked into the baseline");
+
+    // Self-check against the just-written baseline passes at any sane
+    // tolerance (100% floors the gate at zero — immune to host noise).
+    let checked = ok(&[common, &["--check", &a_path, "--tolerance", "100"]].concat());
+    assert!(checked.contains("throughput ok"), "{checked}");
+
+    // An absurdly fast fake baseline trips the gate.
+    let fake = format!("{}/fake.json", dir.path());
+    fs::write(&fake, "{\n  \"wall_total_insts_per_sec\": 18446744073709551615\n}\n")
+        .expect("write fake baseline");
+    let failed = tdo(&[common, &["--check", &fake, "--tolerance", "0"]].concat());
+    assert!(!failed.status.success(), "gate must fail against an unreachable baseline");
+    assert!(
+        String::from_utf8_lossy(&failed.stderr).contains("throughput regression"),
+        "stderr: {}",
+        String::from_utf8_lossy(&failed.stderr)
+    );
 }
 
 #[test]

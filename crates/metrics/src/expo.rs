@@ -1,0 +1,233 @@
+//! A strict validator/parser for the Prometheus-style text exposition
+//! this crate emits.
+//!
+//! The server smoke test and `tdo ping --prom` run every scrape through
+//! [`parse_text`] so a malformed exposition fails CI rather than a
+//! downstream scraper. The grammar accepted is deliberately the subset
+//! we produce: `# HELP` / `# TYPE` comments, integer-valued samples,
+//! and cumulative histogram series whose `+Inf` bucket matches the
+//! family `_count`.
+
+use std::collections::HashMap;
+
+/// Summary of a successfully validated exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpoStats {
+    /// Number of metric families (`# TYPE` lines).
+    pub families: usize,
+    /// Number of sample lines.
+    pub samples: usize,
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: u64,
+}
+
+/// Validates exposition text, returning summary statistics.
+///
+/// # Errors
+/// Returns a one-line description of the first violation found:
+/// unknown comment, bad metric/label name, non-integer value, a sample
+/// for an undeclared family, a non-monotone histogram bucket series, or
+/// a `+Inf` bucket that disagrees with `_count`.
+pub fn parse_text(text: &str) -> Result<ExpoStats, String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kind = parts.next().unwrap_or_default();
+            let name = parts.next().unwrap_or_default();
+            let payload = parts.next().unwrap_or_default();
+            match kind {
+                "HELP" => {
+                    if !crate::valid_name(name) {
+                        return Err(format!("line {n}: bad family name in HELP: {name:?}"));
+                    }
+                    if payload.is_empty() {
+                        return Err(format!("line {n}: HELP without text for {name}"));
+                    }
+                }
+                "TYPE" => {
+                    if !crate::valid_name(name) {
+                        return Err(format!("line {n}: bad family name in TYPE: {name:?}"));
+                    }
+                    if !matches!(payload, "counter" | "gauge" | "histogram") {
+                        return Err(format!("line {n}: unknown type {payload:?} for {name}"));
+                    }
+                    if types.insert(name.to_string(), payload.to_string()).is_some() {
+                        return Err(format!("line {n}: duplicate TYPE for {name}"));
+                    }
+                }
+                _ => return Err(format!("line {n}: unknown comment kind {kind:?}")),
+            }
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {n}: {e}"))?);
+    }
+
+    // Every sample must belong to a declared family (histogram samples
+    // via their _bucket/_sum/_count suffixes).
+    for s in &samples {
+        if family_of(&s.name, &types).is_none() {
+            return Err(format!("sample {} has no TYPE declaration", s.name));
+        }
+    }
+    check_histograms(&types, &samples)?;
+    Ok(ExpoStats { families: types.len(), samples: samples.len() })
+}
+
+/// Resolves a sample name to its declared family, honouring histogram
+/// suffixes.
+fn family_of<'a>(name: &'a str, types: &HashMap<String, String>) -> Option<&'a str> {
+    if types.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if types.get(stem).map(String::as_str) == Some("histogram") {
+                return Some(stem);
+            }
+        }
+    }
+    None
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (series, value) =
+        line.rsplit_once(' ').ok_or_else(|| format!("no value separator in {line:?}"))?;
+    let value: u64 = value.parse().map_err(|_| format!("non-integer sample value {value:?}"))?;
+    let (name, labels) = match series.split_once('{') {
+        None => (series, Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label block in {series:?}"))?;
+            (name, parse_labels(body)?)
+        }
+    };
+    if !crate::valid_name(name) {
+        return Err(format!("bad sample name {name:?}"));
+    }
+    Ok(Sample { name: name.to_string(), labels, value })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for pair in body.split(',') {
+        let (k, v) = pair.split_once('=').ok_or_else(|| format!("bad label pair {pair:?}"))?;
+        if !crate::valid_name(k) && k != "le" {
+            return Err(format!("bad label name {k:?}"));
+        }
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted label value {v:?}"))?;
+        out.push((k.to_string(), v.to_string()));
+    }
+    Ok(out)
+}
+
+/// Verifies every histogram family: bucket series cumulative and
+/// non-decreasing in emission order, ending in a `+Inf` bucket equal to
+/// the series' `_count`.
+fn check_histograms(types: &HashMap<String, String>, samples: &[Sample]) -> Result<(), String> {
+    for (family, ty) in types {
+        if ty != "histogram" {
+            continue;
+        }
+        // Group bucket samples by their non-le label set, preserving order.
+        let mut series: Vec<(String, Vec<&Sample>)> = Vec::new();
+        for s in samples.iter().filter(|s| s.name == format!("{family}_bucket")) {
+            let key = series_key(s);
+            match series.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(s),
+                None => series.push((key, vec![s])),
+            }
+        }
+        if series.is_empty() {
+            return Err(format!("histogram {family} has no bucket samples"));
+        }
+        for (key, buckets) in &series {
+            let mut last = 0u64;
+            for b in buckets {
+                if b.value < last {
+                    return Err(format!("histogram {family}{key} buckets not cumulative"));
+                }
+                last = b.value;
+            }
+            let inf = buckets
+                .last()
+                .filter(|b| b.labels.iter().any(|(k, v)| k == "le" && v == "+Inf"))
+                .ok_or_else(|| format!("histogram {family}{key} missing +Inf bucket"))?;
+            let count = samples
+                .iter()
+                .find(|s| s.name == format!("{family}_count") && series_key(s) == *key)
+                .ok_or_else(|| format!("histogram {family}{key} missing _count"))?;
+            if inf.value != count.value {
+                return Err(format!(
+                    "histogram {family}{key}: +Inf bucket {} != count {}",
+                    inf.value, count.value
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A stable key for a sample's labels with `le` removed.
+fn series_key(s: &Sample) -> String {
+    let mut parts: Vec<String> =
+        s.labels.iter().filter(|(k, _)| k != "le").map(|(k, v)| format!("{k}={v}")).collect();
+    parts.sort();
+    format!("[{}]", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let text = "# HELP tdo_x_total Things.\n\
+                    # TYPE tdo_x_total counter\n\
+                    tdo_x_total{endpoint=\"health\"} 3\n\
+                    # HELP tdo_lat_us Latency.\n\
+                    # TYPE tdo_lat_us histogram\n\
+                    tdo_lat_us_bucket{le=\"1\"} 1\n\
+                    tdo_lat_us_bucket{le=\"+Inf\"} 2\n\
+                    tdo_lat_us_sum 41\n\
+                    tdo_lat_us_count 2\n";
+        let stats = parse_text(text).expect("valid");
+        assert_eq!(stats, ExpoStats { families: 2, samples: 5 });
+    }
+
+    #[test]
+    fn rejects_undeclared_samples_and_bad_values() {
+        assert!(parse_text("tdo_mystery_total 1\n").is_err(), "no TYPE");
+        let bad_value = "# HELP tdo_x_total X.\n# TYPE tdo_x_total counter\ntdo_x_total 1.5\n";
+        assert!(parse_text(bad_value).is_err(), "float value");
+    }
+
+    #[test]
+    fn rejects_non_cumulative_or_mismatched_histograms() {
+        let shrinking = "# HELP tdo_l_us L.\n# TYPE tdo_l_us histogram\n\
+                         tdo_l_us_bucket{le=\"1\"} 5\n\
+                         tdo_l_us_bucket{le=\"+Inf\"} 3\n\
+                         tdo_l_us_sum 1\ntdo_l_us_count 3\n";
+        assert!(parse_text(shrinking).unwrap_err().contains("not cumulative"));
+        let mismatch = "# HELP tdo_l_us L.\n# TYPE tdo_l_us histogram\n\
+                        tdo_l_us_bucket{le=\"1\"} 1\n\
+                        tdo_l_us_bucket{le=\"+Inf\"} 2\n\
+                        tdo_l_us_sum 1\ntdo_l_us_count 9\n";
+        assert!(parse_text(mismatch).unwrap_err().contains("!= count"));
+    }
+}

@@ -1,0 +1,530 @@
+//! Lock-free metrics for the TDO stack: atomic [`Counter`]s and
+//! [`Gauge`]s, a fixed-bucket log2 [`Histogram`] with a deterministic
+//! integer merge, and a [`Registry`] that renders every registered
+//! instrument as Prometheus-style text exposition (see [`expo`]).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No dependencies.** Everything is `std::sync::atomic` + `Mutex`
+//!    (the mutex guards only the registry's entry list, never the hot
+//!    path of an instrument).
+//! 2. **Deterministic aggregation.** All state is unsigned integers and
+//!    every combining operation is commutative addition, so merging
+//!    per-worker histograms — or racing `observe` calls from any number
+//!    of `--jobs` threads — produces the same final snapshot regardless
+//!    of interleaving.
+//! 3. **Cheap when idle.** An un-scraped instrument costs one relaxed
+//!    atomic RMW per update; there is no allocation after registration.
+//!
+//! Naming convention (enforced by [`Registry`] in debug builds):
+//! `tdo_<crate>_<name>_<unit>`, e.g. `tdo_store_get_latency_us`.
+//! Counters additionally end in `_total`. Units are base units spelled
+//! out (`us`, `bytes`, `cycles`) — never scaled.
+
+pub mod expo;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depth, inflight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of finite histogram buckets; upper bounds are `2^0 .. 2^31`.
+pub const FINITE_BUCKETS: usize = 32;
+/// Total buckets including the saturating overflow (`+Inf`) bucket.
+pub const TOTAL_BUCKETS: usize = FINITE_BUCKETS + 1;
+
+/// A fixed-bucket base-2 histogram of `u64` observations.
+///
+/// Bucket `i < 32` counts observations `v` with `v <= 2^i` (cumulatively
+/// rendered as Prometheus `le` buckets); anything above `2^31` saturates
+/// into the final `+Inf` bucket. Buckets, sum and count are independent
+/// relaxed atomics: a concurrent scrape may observe a sample in the
+/// bucket array before it is in `sum`, which is acceptable for
+/// monitoring and irrelevant once threads are joined (merges and
+/// post-run reads are exact).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; TOTAL_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An owned, plain-integer copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: [u64; TOTAL_BUCKETS],
+    /// Sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; TOTAL_BUCKETS], sum: 0, count: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, rounded down; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index recording value `v`: the smallest `i` with
+    /// `v <= 2^i`, saturating at the `+Inf` bucket.
+    #[must_use]
+    pub fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            return 0;
+        }
+        // ceil(log2(v)) for v > 1.
+        let idx = 64 - (v - 1).leading_zeros() as usize;
+        idx.min(FINITE_BUCKETS)
+    }
+
+    /// The inclusive upper bound of finite bucket `i`, or `None` for the
+    /// `+Inf` overflow bucket.
+    #[must_use]
+    pub fn bucket_le(i: usize) -> Option<u64> {
+        (i < FINITE_BUCKETS).then(|| 1u64 << i)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds every bucket, the sum and the count of `other` into `self`.
+    ///
+    /// Addition is commutative and associative on integers, so merging
+    /// per-worker histograms yields the same result in any order — the
+    /// property the `--jobs`-independence tests pin down.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Copies the current state out as plain integers.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered instrument.
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    family: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    inst: Instrument,
+}
+
+/// A set of named instruments that can render itself as exposition text.
+///
+/// The registry owns `Arc` handles; callers keep clones and update them
+/// lock-free. Registration order is irrelevant — rendering sorts by
+/// `(family, labels)` so the output is deterministic.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// `true` if `name` is a valid metric family or label name:
+/// `[a-z_][a-z0-9_]*`.
+#[must_use]
+pub fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, family: &str, labels: &[(&str, &str)], help: &str, inst: Instrument) {
+        debug_assert!(valid_name(family), "bad metric family name: {family}");
+        debug_assert!(labels.iter().all(|(k, _)| valid_name(k)), "bad label name in {family}");
+        let mut entries = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        debug_assert!(
+            entries.iter().filter(|e| e.family == family).all(|e| {
+                let same_labels = e.labels.len() == labels.len()
+                    && e.labels.iter().zip(labels).all(|((k0, v0), (k1, v1))| k0 == k1 && v0 == v1);
+                e.inst.type_name() == inst.type_name() && !same_labels
+            }),
+            "family {family} re-registered with a conflicting type or duplicate label set"
+        );
+        entries.push(Entry {
+            family: family.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            help: help.to_string(),
+            inst,
+        });
+    }
+
+    /// Creates, registers and returns a counter.
+    pub fn counter(&self, family: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.register_counter(family, labels, help, Arc::clone(&c));
+        c
+    }
+
+    /// Registers an existing counter handle.
+    pub fn register_counter(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        c: Arc<Counter>,
+    ) {
+        self.push(family, labels, help, Instrument::Counter(c));
+    }
+
+    /// Creates, registers and returns a gauge.
+    pub fn gauge(&self, family: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.register_gauge(family, labels, help, Arc::clone(&g));
+        g
+    }
+
+    /// Registers an existing gauge handle.
+    pub fn register_gauge(&self, family: &str, labels: &[(&str, &str)], help: &str, g: Arc<Gauge>) {
+        self.push(family, labels, help, Instrument::Gauge(g));
+    }
+
+    /// Creates, registers and returns a histogram.
+    pub fn histogram(&self, family: &str, labels: &[(&str, &str)], help: &str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.register_histogram(family, labels, help, Arc::clone(&h));
+        h
+    }
+
+    /// Registers an existing histogram handle.
+    pub fn register_histogram(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        h: Arc<Histogram>,
+    ) {
+        self.push(family, labels, help, Instrument::Histogram(h));
+    }
+
+    /// Renders every instrument as Prometheus text exposition.
+    ///
+    /// Families are sorted by name, series within a family by label set;
+    /// `# HELP` / `# TYPE` appear once per family. Only integers are
+    /// ever emitted, which keeps the output byte-deterministic for a
+    /// deterministic workload.
+    #[must_use]
+    pub fn render_prom(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            (&entries[a].family, &entries[a].labels).cmp(&(&entries[b].family, &entries[b].labels))
+        });
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for &i in &order {
+            let e = &entries[i];
+            if last_family != Some(e.family.as_str()) {
+                out.push_str(&format!("# HELP {} {}\n", e.family, e.help));
+                out.push_str(&format!("# TYPE {} {}\n", e.family, e.inst.type_name()));
+                last_family = Some(e.family.as_str());
+            }
+            match &e.inst {
+                Instrument::Counter(c) => {
+                    out.push_str(&sample_line(&e.family, &e.labels, None, c.get()));
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(&sample_line(&e.family, &e.labels, None, g.get()));
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (b, n) in snap.buckets.iter().enumerate() {
+                        cumulative += n;
+                        let le = Histogram::bucket_le(b)
+                            .map_or_else(|| "+Inf".to_string(), |v| v.to_string());
+                        out.push_str(&bucket_line(&e.family, &e.labels, &le, cumulative));
+                    }
+                    out.push_str(&sample_line(
+                        &format!("{}_sum", e.family),
+                        &e.labels,
+                        None,
+                        snap.sum,
+                    ));
+                    out.push_str(&sample_line(
+                        &format!("{}_count", e.family),
+                        &e.labels,
+                        None,
+                        snap.count,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn sample_line(
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    v: u64,
+) -> String {
+    format!("{name}{} {v}\n", label_block(labels, extra))
+}
+
+fn bucket_line(family: &str, labels: &[(String, String)], le: &str, v: u64) -> String {
+    sample_line(&format!("{family}_bucket"), labels, Some(("le", le)), v)
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        // An exact power of two lands in the bucket whose le equals it;
+        // one past it spills into the next bucket.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        for i in 1..FINITE_BUCKETS {
+            let p = 1u64 << i;
+            assert_eq!(Histogram::bucket_index(p), i, "2^{i} belongs in its own bucket");
+            assert_eq!(Histogram::bucket_index(p + 1), (i + 1).min(FINITE_BUCKETS));
+            if i > 1 {
+                assert_eq!(Histogram::bucket_index(p - 1), i, "just under 2^{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_saturates() {
+        let h = Histogram::new();
+        h.observe(1u64 << 31); // last finite bucket
+        h.observe((1u64 << 31) + 1); // first overflow value
+        h.observe(u64::MAX - 1); // deep overflow still saturates, no panic
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[FINITE_BUCKETS - 1], 1);
+        assert_eq!(snap.buckets[FINITE_BUCKETS], 2, "values past 2^31 saturate into +Inf");
+        assert_eq!(snap.count, 3);
+    }
+
+    #[test]
+    fn merge_is_deterministic_across_worker_counts() {
+        // Shard the same observation stream across 1, 2 and 4 workers;
+        // merged snapshots must be identical because merge is pure
+        // integer addition.
+        let values: Vec<u64> = (0..1000).map(|i| i * 37 % 5000).collect();
+        let mut snaps = Vec::new();
+        for jobs in [1usize, 2, 4] {
+            let shards: Vec<Histogram> = (0..jobs).map(|_| Histogram::new()).collect();
+            std::thread::scope(|s| {
+                for (w, shard) in shards.iter().enumerate() {
+                    let values = &values;
+                    s.spawn(move || {
+                        for v in values.iter().skip(w).step_by(jobs) {
+                            shard.observe(*v);
+                        }
+                    });
+                }
+            });
+            let merged = Histogram::new();
+            for shard in &shards {
+                merged.merge_from(shard);
+            }
+            snaps.push(merged.snapshot());
+        }
+        assert_eq!(snaps[0], snaps[1]);
+        assert_eq!(snaps[0], snaps[2]);
+        assert_eq!(snaps[0].count, 1000);
+    }
+
+    #[test]
+    fn registry_renders_sorted_families_with_single_headers() {
+        let reg = Registry::new();
+        let c2 = reg.counter("tdo_test_b_total", &[("endpoint", "x")], "Second family.");
+        let c1 = reg.counter("tdo_test_a_total", &[], "First family.");
+        let c3 = reg.counter("tdo_test_b_total", &[("endpoint", "a")], "Second family.");
+        c1.add(5);
+        c2.inc();
+        c3.add(7);
+        let text = reg.render_prom();
+        let expected = "# HELP tdo_test_a_total First family.\n\
+                        # TYPE tdo_test_a_total counter\n\
+                        tdo_test_a_total 5\n\
+                        # HELP tdo_test_b_total Second family.\n\
+                        # TYPE tdo_test_b_total counter\n\
+                        tdo_test_b_total{endpoint=\"a\"} 7\n\
+                        tdo_test_b_total{endpoint=\"x\"} 1\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn histogram_rendering_is_cumulative_and_parses() {
+        let reg = Registry::new();
+        let h = reg.histogram("tdo_test_latency_us", &[], "A latency.");
+        h.observe(1);
+        h.observe(3);
+        h.observe(3);
+        h.observe(1u64 << 40);
+        let text = reg.render_prom();
+        assert!(text.contains("tdo_test_latency_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("tdo_test_latency_us_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("tdo_test_latency_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("tdo_test_latency_us_count 4\n"));
+        let stats = expo::parse_text(&text).expect("own output must parse");
+        assert_eq!(stats.families, 1);
+    }
+
+    #[test]
+    fn gauge_set_overwrites() {
+        let g = Gauge::new();
+        g.set(9);
+        g.set(4);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("tdo_store_get_latency_us"));
+        assert!(!valid_name("TdoBad"));
+        assert!(!valid_name("9starts_with_digit"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("has-dash"));
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(clippy::all)]
 
 pub mod event;
+pub mod profile;
 pub mod recorder;
 pub mod validate;
 
@@ -41,6 +42,7 @@ use std::rc::Rc;
 pub use event::{
     DropReason, Event, HelperJobKind, LoadClassKind, PrefetchGroupKind, QueueEventKind,
 };
+pub use profile::PhaseTimer;
 pub use recorder::Recorder;
 pub use validate::{validate_chrome_trace, validate_jsonl};
 

@@ -1,0 +1,94 @@
+//! A minimal phase-attribution wall-clock timer.
+//!
+//! [`PhaseTimer`] is the host-time counterpart to [`crate::Probe`]: a
+//! hot loop owns one (usually behind an `Option` so the disabled path is
+//! a single branch), calls [`PhaseTimer::start`] at the top of each
+//! iteration and [`PhaseTimer::lap`] after each phase, and reads the
+//! accumulated per-phase nanoseconds when the run ends. Phase indices
+//! are defined by the owner; the timer is just `N` buckets and a mark.
+
+use std::time::Instant;
+
+/// Accumulates wall-clock nanoseconds into `N` phase buckets.
+#[derive(Debug, Clone)]
+pub struct PhaseTimer<const N: usize> {
+    /// Nanoseconds attributed to each phase so far.
+    pub wall_ns: [u64; N],
+    mark: Option<Instant>,
+}
+
+impl<const N: usize> Default for PhaseTimer<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> PhaseTimer<N> {
+    /// A fresh timer with all buckets at zero and no mark.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { wall_ns: [0; N], mark: None }
+    }
+
+    /// Sets the mark the next [`PhaseTimer::lap`] measures from.
+    pub fn start(&mut self) {
+        self.mark = Some(Instant::now());
+    }
+
+    /// Attributes the time since the last mark to `phase` and re-marks.
+    /// Without a prior mark (or after [`PhaseTimer::pause`]) this only
+    /// re-marks, attributing nothing.
+    pub fn lap(&mut self, phase: usize) {
+        let now = Instant::now();
+        if let Some(t0) = self.mark {
+            self.wall_ns[phase] =
+                self.wall_ns[phase].saturating_add(duration_ns(now.duration_since(t0)));
+        }
+        self.mark = Some(now);
+    }
+
+    /// Clears the mark so time until the next [`PhaseTimer::start`] is
+    /// attributed to no phase.
+    pub fn pause(&mut self) {
+        self.mark = None;
+    }
+
+    /// Total nanoseconds attributed across all phases.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.wall_ns.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+}
+
+fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_attribute_to_the_named_phase() {
+        let mut t: PhaseTimer<3> = PhaseTimer::new();
+        t.start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.lap(1);
+        t.lap(2); // immediate: tiny but attributed
+        assert!(t.wall_ns[0] == 0, "phase 0 never lapped");
+        assert!(t.wall_ns[1] >= 1_000_000, "sleep shows up in phase 1");
+        assert_eq!(t.total_ns(), t.wall_ns.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn lap_without_mark_attributes_nothing() {
+        let mut t: PhaseTimer<2> = PhaseTimer::new();
+        t.lap(0);
+        assert_eq!(t.wall_ns, [t.wall_ns[0], 0]);
+        t.pause();
+        t.lap(1);
+        // The pause cleared the mark set by the first lap, so phase 1
+        // got nothing even though time passed.
+        assert_eq!(t.wall_ns[1], 0);
+    }
+}

@@ -103,8 +103,23 @@ pub fn reason(status: u16) -> &'static str {
 ///
 /// Propagates transport errors (including write timeouts).
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write_response_typed(stream, status, "application/json", body)
+}
+
+/// Like [`write_response`] with an explicit `Content-Type` (the metrics
+/// endpoint serves Prometheus text exposition as `text/plain`).
+///
+/// # Errors
+///
+/// Propagates transport errors (including write timeouts).
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         reason(status),
         body.len()
     );

@@ -35,14 +35,15 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use tdo_metrics::{Counter, Gauge, Histogram, Registry};
 use tdo_sim::{Cell, PrefetchSetup, Runner, SimConfig, SimResult};
 use tdo_workloads::{build, names, Scale};
 
-use http::{read_request, write_response, Request};
+use http::{read_request, write_response, write_response_typed, Request};
 use json::{escape, parse_object};
 
 /// Default listen address for `tdo serve`.
@@ -98,39 +99,92 @@ impl Default for ServerConfig {
     }
 }
 
-/// One queued `/run` request: the connection plus its already-read body.
+/// One queued `/run` request: the connection, its already-read body, and
+/// the instant the request was read (latency includes queue wait).
 struct Job {
     stream: TcpStream,
     body: String,
+    t0: Instant,
 }
 
-/// Integer request counters (served verbatim by `GET /metrics`).
-#[derive(Debug, Default)]
+/// Request counters and latency histograms, registered with the server's
+/// metrics [`Registry`] so one set of bookkeeping feeds both the JSON
+/// `/metrics` body and the Prometheus exposition.
 struct Metrics {
-    requests: AtomicU64,
-    health: AtomicU64,
-    metrics: AtomicU64,
-    workloads: AtomicU64,
-    run_requests: AtomicU64,
-    run_ok: AtomicU64,
-    run_rejected: AtomicU64,
-    run_failed: AtomicU64,
-    coalesced: AtomicU64,
-    shed: AtomicU64,
-    bad_requests: AtomicU64,
-    not_found: AtomicU64,
-    runs_started: AtomicU64,
-    runs_finished: AtomicU64,
+    requests: Arc<Counter>,
+    health: Arc<Counter>,
+    metrics: Arc<Counter>,
+    workloads: Arc<Counter>,
+    run_requests: Arc<Counter>,
+    run_ok: Arc<Counter>,
+    run_rejected: Arc<Counter>,
+    run_failed: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    shed: Arc<Counter>,
+    bad_requests: Arc<Counter>,
+    not_found: Arc<Counter>,
+    runs_started: Arc<Counter>,
+    runs_finished: Arc<Counter>,
+    lat_health: Arc<Histogram>,
+    lat_metrics: Arc<Histogram>,
+    lat_workloads: Arc<Histogram>,
+    lat_run: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    queue_cap: Arc<Gauge>,
 }
 
 impl Metrics {
-    fn bump(field: &AtomicU64) -> u64 {
-        field.fetch_add(1, Ordering::Relaxed) + 1
+    fn new(reg: &Registry) -> Metrics {
+        let c = |family, help| reg.counter(family, &[], help);
+        let ep = |name| {
+            reg.counter(
+                "tdo_server_endpoint_requests_total",
+                &[("endpoint", name)],
+                "Requests routed per endpoint.",
+            )
+        };
+        let lat = |name| {
+            reg.histogram(
+                "tdo_server_request_latency_us",
+                &[("endpoint", name)],
+                "Request latency, read to response (includes queue wait for run).",
+            )
+        };
+        Metrics {
+            requests: c("tdo_server_requests_total", "Requests successfully parsed."),
+            health: ep("health"),
+            metrics: ep("metrics"),
+            workloads: ep("workloads"),
+            run_requests: ep("run"),
+            run_ok: c("tdo_server_run_ok_total", "Run requests answered 200."),
+            run_rejected: c("tdo_server_run_rejected_total", "Run requests with a bad cell spec."),
+            run_failed: c("tdo_server_run_failed_total", "Run requests whose simulation failed."),
+            coalesced: c(
+                "tdo_server_coalesced_total",
+                "Run requests coalesced onto another flight.",
+            ),
+            shed: c("tdo_server_shed_total", "Run requests shed at a full queue."),
+            bad_requests: c("tdo_server_bad_requests_total", "Malformed or misrouted requests."),
+            not_found: c("tdo_server_not_found_total", "Requests for unknown endpoints."),
+            runs_started: c("tdo_server_runs_started_total", "Single-flight leaders started."),
+            runs_finished: c("tdo_server_runs_finished_total", "Single-flight leaders finished."),
+            lat_health: lat("health"),
+            lat_metrics: lat("metrics"),
+            lat_workloads: lat("workloads"),
+            lat_run: lat("run"),
+            queue_depth: reg.gauge(
+                "tdo_server_queue_depth",
+                &[],
+                "Jobs waiting in the bounded run queue.",
+            ),
+            queue_cap: reg.gauge("tdo_server_queue_cap", &[], "Capacity of the bounded run queue."),
+        }
     }
+}
 
-    fn read(field: &AtomicU64) -> u64 {
-        field.load(Ordering::Relaxed)
-    }
+/// Whole microseconds since `t0`, saturating.
+fn elapsed_us(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// A single-flight slot: the leader publishes here, followers wait.
@@ -149,6 +203,7 @@ struct State {
     queue_cap: usize,
     inflight: Mutex<HashMap<String, Arc<Flight>>>,
     shutdown: AtomicBool,
+    registry: Registry,
     m: Metrics,
 }
 
@@ -205,6 +260,9 @@ impl Server {
         } else {
             Runner::with_default_store(1, cfg.store_dir.as_deref())
         };
+        let registry = Registry::new();
+        let m = Metrics::new(&registry);
+        runner.register_metrics(&registry);
         let state = Arc::new(State {
             runner,
             workloads_json: workloads_json(),
@@ -213,8 +271,10 @@ impl Server {
             queue_cap: cfg.queue_cap.max(1),
             inflight: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
-            m: Metrics::default(),
+            registry,
+            m,
         });
+        state.m.queue_cap.set(state.queue_cap as u64);
         Ok(Server { listener, state, workers: cfg.workers.max(1) })
     }
 
@@ -282,27 +342,54 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let t0 = Instant::now();
     let req = match read_request(&mut stream) {
         Ok(req) => req,
         Err(e) => {
-            Metrics::bump(&state.m.bad_requests);
+            state.m.bad_requests.inc();
             respond_error(&mut stream, 400, &e.to_string());
             return;
         }
     };
-    Metrics::bump(&state.m.requests);
-    match (req.method.as_str(), req.path.as_str()) {
+    state.m.requests.inc();
+    // Only `/metrics` interprets its query string; the path part alone
+    // routes everywhere.
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (req.path.clone(), None),
+    };
+    match (req.method.as_str(), path.as_str()) {
         ("GET", "/health") => {
-            Metrics::bump(&state.m.health);
+            // Latency is observed before the response is written (here and on
+            // every endpoint): once a client holds the response, its sample is
+            // guaranteed visible to the next scrape, which keeps snapshot
+            // tests single-shot. The unmeasured tail is one loopback write.
+            state.m.health.inc();
+            state.m.lat_health.observe(elapsed_us(t0));
             let _ = write_response(&mut stream, 200, "{\"status\":\"ok\"}");
         }
         ("GET", "/metrics") => {
-            Metrics::bump(&state.m.metrics);
-            let body = metrics_json(state);
-            let _ = write_response(&mut stream, 200, &body);
+            state.m.metrics.inc();
+            state.m.lat_metrics.observe(elapsed_us(t0));
+            match query.as_deref() {
+                None | Some("") | Some("format=json") => {
+                    let body = metrics_json(state);
+                    let _ = write_response(&mut stream, 200, &body);
+                }
+                Some("format=prom") => {
+                    let body = metrics_prom(state);
+                    let _ =
+                        write_response_typed(&mut stream, 200, "text/plain; version=0.0.4", &body);
+                }
+                Some(q) => {
+                    state.m.bad_requests.inc();
+                    respond_error(&mut stream, 400, &format!("unsupported metrics query `{q}`"));
+                }
+            }
         }
         ("GET", "/workloads") => {
-            Metrics::bump(&state.m.workloads);
+            state.m.workloads.inc();
+            state.m.lat_workloads.observe(elapsed_us(t0));
             let body = state.workloads_json.clone();
             let _ = write_response(&mut stream, 200, &body);
         }
@@ -310,33 +397,34 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
             let _ = write_response(&mut stream, 200, "{\"shutting_down\":true}");
             state.request_shutdown();
         }
-        ("POST", "/run") => enqueue_run(state, stream, req),
+        ("POST", "/run") => enqueue_run(state, stream, req, t0),
         ("GET" | "POST", "/health" | "/metrics" | "/workloads" | "/run" | "/shutdown") => {
-            Metrics::bump(&state.m.bad_requests);
+            state.m.bad_requests.inc();
             respond_error(&mut stream, 405, "method not allowed");
         }
         _ => {
-            Metrics::bump(&state.m.not_found);
+            state.m.not_found.inc();
             respond_error(&mut stream, 404, "no such endpoint");
         }
     }
 }
 
 /// Admits a `/run` request to the bounded queue, or sheds it with a 503.
-fn enqueue_run(state: &Arc<State>, stream: TcpStream, req: Request) {
-    Metrics::bump(&state.m.run_requests);
+fn enqueue_run(state: &Arc<State>, stream: TcpStream, req: Request, t0: Instant) {
+    state.m.run_requests.inc();
     let mut rejected = Some(stream); // taken on admission
     {
         let mut q = relock(&state.queue);
         if q.len() < state.queue_cap && !state.shutting_down() {
             let stream = rejected.take().expect("stream not yet moved");
-            q.push_back(Job { stream, body: req.body });
+            q.push_back(Job { stream, body: req.body, t0 });
+            state.m.queue_depth.set(q.len() as u64);
         }
     }
     match rejected {
         None => state.queue_cv.notify_one(),
         Some(mut stream) => {
-            Metrics::bump(&state.m.shed);
+            state.m.shed.inc();
             respond_error(&mut stream, 503, "run queue full, request shed");
         }
     }
@@ -350,6 +438,7 @@ fn worker_loop(state: &Arc<State>) {
             let mut q = relock(&state.queue);
             loop {
                 if let Some(job) = q.pop_front() {
+                    state.m.queue_depth.set(q.len() as u64);
                     break Some(job);
                 }
                 if state.shutting_down() {
@@ -359,29 +448,33 @@ fn worker_loop(state: &Arc<State>) {
             }
         };
         let Some(mut job) = job else { return };
-        serve_run(state, &mut job.stream, &job.body);
+        serve_run(state, &mut job.stream, &job.body, job.t0);
     }
 }
 
 /// Parses a cell spec, runs it (single-flighted) and writes the response.
-fn serve_run(state: &Arc<State>, stream: &mut TcpStream, body: &str) {
+fn serve_run(state: &Arc<State>, stream: &mut TcpStream, body: &str, t0: Instant) {
     let (cell, arm) = match parse_cell_spec(body) {
         Ok(spec) => spec,
         Err(msg) => {
-            Metrics::bump(&state.m.run_rejected);
+            state.m.run_rejected.inc();
+            state.m.lat_run.observe(elapsed_us(t0));
             respond_error(stream, 400, &msg);
             return;
         }
     };
+    // Latency covers read → queue wait → simulate; observed before the
+    // response is written so a follow-up scrape always sees the sample.
     let (result, coalesced) = run_coalesced(state, &cell);
+    state.m.lat_run.observe(elapsed_us(t0));
     match result {
         Ok(r) => {
-            Metrics::bump(&state.m.run_ok);
+            state.m.run_ok.inc();
             let body = result_json(&cell, arm, &r, coalesced);
             let _ = write_response(stream, 200, &body);
         }
         Err(msg) => {
-            Metrics::bump(&state.m.run_failed);
+            state.m.run_failed.inc();
             respond_error(stream, 500, &msg);
         }
     }
@@ -404,16 +497,16 @@ fn run_coalesced(state: &Arc<State>, cell: &Cell) -> (Result<Arc<SimResult>, Str
         }
     };
     if leader {
-        Metrics::bump(&state.m.runs_started);
+        state.m.runs_started.inc();
         let result = catch_unwind(AssertUnwindSafe(|| state.runner.run_cell(cell)))
             .map_err(|_| format!("simulation panicked for workload `{}`", cell.workload));
         *relock(&flight.done) = Some(result.clone());
         flight.cv.notify_all();
         relock(&state.inflight).remove(&key);
-        Metrics::bump(&state.m.runs_finished);
+        state.m.runs_finished.inc();
         (result, false)
     } else {
-        Metrics::bump(&state.m.coalesced);
+        state.m.coalesced.inc();
         let mut done = relock(&flight.done);
         while done.is_none() {
             done = flight.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
@@ -513,8 +606,9 @@ fn result_json(cell: &Cell, arm: PrefetchSetup, r: &SimResult, coalesced: bool) 
 fn metrics_json(state: &Arc<State>) -> String {
     let m = &state.m;
     let queue_depth = relock(&state.queue).len();
-    let runs_started = Metrics::read(&m.runs_started);
-    let runs_finished = Metrics::read(&m.runs_finished);
+    m.queue_depth.set(queue_depth as u64);
+    let runs_started = m.runs_started.get();
+    let runs_finished = m.runs_finished.get();
     let store = state.runner.store().map(|s| s.stats());
     let store_json = match &store {
         Some(s) => format!(
@@ -537,19 +631,21 @@ fn metrics_json(state: &Arc<State>) -> String {
          \"coalesced\":{},\"shed\":{},\"bad_requests\":{},\"not_found\":{},\
          \"runs_started\":{},\"runs_finished\":{},\"runs_inflight\":{},\
          \"queue_depth\":{queue_depth},\"queue_cap\":{},\
-         \"sims\":{},\"store_hits\":{},\"store_misses\":{},\"cells_cached\":{}{store_json}}}",
-        Metrics::read(&m.requests),
-        Metrics::read(&m.health),
-        Metrics::read(&m.metrics),
-        Metrics::read(&m.workloads),
-        Metrics::read(&m.run_requests),
-        Metrics::read(&m.run_ok),
-        Metrics::read(&m.run_rejected),
-        Metrics::read(&m.run_failed),
-        Metrics::read(&m.coalesced),
-        Metrics::read(&m.shed),
-        Metrics::read(&m.bad_requests),
-        Metrics::read(&m.not_found),
+         \"sims\":{},\"store_hits\":{},\"store_misses\":{},\"cells_cached\":{},\
+         \"events_queued\":{},\"events_dropped_saturated\":{},\
+         \"events_dropped_duplicate\":{}{store_json}}}",
+        m.requests.get(),
+        m.health.get(),
+        m.metrics.get(),
+        m.workloads.get(),
+        m.run_requests.get(),
+        m.run_ok.get(),
+        m.run_rejected.get(),
+        m.run_failed.get(),
+        m.coalesced.get(),
+        m.shed.get(),
+        m.bad_requests.get(),
+        m.not_found.get(),
         runs_started,
         runs_finished,
         runs_started.saturating_sub(runs_finished),
@@ -558,7 +654,17 @@ fn metrics_json(state: &Arc<State>) -> String {
         state.runner.store_hits(),
         state.runner.store_misses(),
         state.runner.cells_cached(),
+        state.runner.events_queued(),
+        state.runner.events_dropped().0,
+        state.runner.events_dropped().1,
     )
+}
+
+/// The `GET /metrics?format=prom` body: the whole registry in Prometheus
+/// text exposition. Gauges sampled lazily are refreshed first.
+fn metrics_prom(state: &Arc<State>) -> String {
+    state.m.queue_depth.set(relock(&state.queue).len() as u64);
+    state.registry.render_prom()
 }
 
 /// The precomputed `GET /workloads` body.

@@ -182,6 +182,66 @@ fn full_queue_sheds_with_503() {
     t.join().expect("clean shutdown");
 }
 
+/// Masks the only nondeterministic values in a prom exposition: bucket
+/// counts and sums of wall-time histograms (families ending `_us`). Sample
+/// counts stay — they are request-count determined.
+fn mask_wall_values(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    for line in body.lines() {
+        let wall = line.contains("_us_bucket{") || line.contains("_us_sum");
+        match (wall, line.rsplit_once(' ')) {
+            (true, Some((head, _))) => {
+                out.push_str(head);
+                out.push_str(" <wall>\n");
+            }
+            _ => {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_snapshot() {
+    // A seeded sequence — one health ping, one tiny deterministic run — then
+    // a single scrape. Everything except wall-clock values must be
+    // byte-stable; the golden regenerates with
+    // `TDO_BLESS=1 cargo test -p tdo-server --test server`.
+    let (addr, handle, t) = start(1, 4);
+    assert_eq!(client::get(&addr, "/health").unwrap().status, 200);
+    let r = post_run(&addr, r#"{"workload":"swim","arm":"sr","insts":5000}"#);
+    assert_eq!(r.status, 200, "{}", r.body);
+
+    let resp = client::get(&addr, "/metrics?format=prom").unwrap();
+    assert_eq!(resp.status, 200);
+
+    // Every scrape must be strict, parseable text exposition.
+    let stats = tdo_metrics::expo::parse_text(&resp.body).expect("prom text parses");
+    assert!(stats.families >= 10, "registry is populated: {} families", stats.families);
+
+    // Unknown query strings are rejected, JSON stays the default.
+    assert_eq!(client::get(&addr, "/metrics?format=xml").unwrap().status, 400);
+    assert!(client::get(&addr, "/metrics?format=json").unwrap().body.starts_with('{'));
+
+    let masked = mask_wall_values(&resp.body);
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics_prom.txt");
+    if std::env::var_os("TDO_BLESS").is_some() {
+        std::fs::write(golden, &masked).unwrap();
+    } else {
+        let expected = std::fs::read_to_string(golden)
+            .expect("golden file missing; regenerate with TDO_BLESS=1");
+        assert_eq!(
+            masked, expected,
+            "prom exposition drifted from the golden file; if intended, regenerate with TDO_BLESS=1"
+        );
+    }
+
+    handle.shutdown();
+    t.join().expect("clean shutdown");
+}
+
 #[test]
 fn shutdown_endpoint_stops_the_daemon_and_drains_the_queue() {
     let (addr, _handle, t) = start(2, 4);

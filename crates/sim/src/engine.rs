@@ -31,9 +31,11 @@
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
+use tdo_metrics::{Counter, Histogram, Registry};
 use tdo_store::Store;
 use tdo_workloads::{build, Scale};
 
@@ -132,9 +134,16 @@ pub struct Runner {
     jobs: usize,
     cache: Mutex<HashMap<String, Arc<SimResult>>>,
     store: Option<Arc<Store>>,
-    sims: AtomicU64,
-    store_hits: AtomicU64,
-    store_misses: AtomicU64,
+    sims: Arc<Counter>,
+    store_hits: Arc<Counter>,
+    store_misses: Arc<Counter>,
+    /// Wall time of fresh simulations, one observation per cell.
+    cell_wall_us: Arc<Histogram>,
+    /// Trident event-queue totals aggregated once per unique cell (fresh
+    /// or store-recalled), surfacing `TridentStats` drop counts.
+    events_queued: Arc<Counter>,
+    events_dropped_saturated: Arc<Counter>,
+    events_dropped_duplicate: Arc<Counter>,
     failed: Mutex<Vec<String>>,
 }
 
@@ -152,9 +161,13 @@ impl Runner {
             jobs,
             cache: Mutex::new(HashMap::new()),
             store: None,
-            sims: AtomicU64::new(0),
-            store_hits: AtomicU64::new(0),
-            store_misses: AtomicU64::new(0),
+            sims: Arc::new(Counter::new()),
+            store_hits: Arc::new(Counter::new()),
+            store_misses: Arc::new(Counter::new()),
+            cell_wall_us: Arc::new(Histogram::new()),
+            events_queued: Arc::new(Counter::new()),
+            events_dropped_saturated: Arc::new(Counter::new()),
+            events_dropped_duplicate: Arc::new(Counter::new()),
             failed: Mutex::new(Vec::new()),
         }
     }
@@ -202,19 +215,98 @@ impl Runner {
     /// store-served cells).
     #[must_use]
     pub fn sims_run(&self) -> u64 {
-        self.sims.load(Ordering::Relaxed)
+        self.sims.get()
     }
 
     /// Cells served from the persistent store.
     #[must_use]
     pub fn store_hits(&self) -> u64 {
-        self.store_hits.load(Ordering::Relaxed)
+        self.store_hits.get()
     }
 
     /// Cells the persistent store could not serve (absent or stale).
     #[must_use]
     pub fn store_misses(&self) -> u64 {
-        self.store_misses.load(Ordering::Relaxed)
+        self.store_misses.get()
+    }
+
+    /// Trident events queued across every unique cell this runner has
+    /// produced (fresh or store-recalled).
+    #[must_use]
+    pub fn events_queued(&self) -> u64 {
+        self.events_queued.get()
+    }
+
+    /// Trident event-queue drops across every unique cell, as
+    /// `(dropped_saturated, dropped_duplicate)`.
+    #[must_use]
+    pub fn events_dropped(&self) -> (u64, u64) {
+        (self.events_dropped_saturated.get(), self.events_dropped_duplicate.get())
+    }
+
+    /// Snapshot of the fresh-simulation wall-time histogram.
+    #[must_use]
+    pub fn cell_wall_us(&self) -> tdo_metrics::HistogramSnapshot {
+        self.cell_wall_us.snapshot()
+    }
+
+    /// Registers the runner's counters and histograms (and, when a store
+    /// is attached, the store's) with `reg`. Call at most once per
+    /// registry.
+    pub fn register_metrics(&self, reg: &Registry) {
+        reg.register_counter(
+            "tdo_sim_sims_total",
+            &[],
+            "Simulations executed by this process.",
+            Arc::clone(&self.sims),
+        );
+        reg.register_counter(
+            "tdo_sim_store_hits_total",
+            &[],
+            "Cells served from the persistent store.",
+            Arc::clone(&self.store_hits),
+        );
+        reg.register_counter(
+            "tdo_sim_store_misses_total",
+            &[],
+            "Cells the persistent store could not serve.",
+            Arc::clone(&self.store_misses),
+        );
+        reg.register_histogram(
+            "tdo_sim_cell_wall_us",
+            &[],
+            "Wall time of fresh cell simulations.",
+            Arc::clone(&self.cell_wall_us),
+        );
+        reg.register_counter(
+            "tdo_sim_events_queued_total",
+            &[],
+            "Trident events queued across unique cells.",
+            Arc::clone(&self.events_queued),
+        );
+        reg.register_counter(
+            "tdo_sim_events_dropped_saturated_total",
+            &[],
+            "Trident events dropped at a saturated queue, across unique cells.",
+            Arc::clone(&self.events_dropped_saturated),
+        );
+        reg.register_counter(
+            "tdo_sim_events_dropped_duplicate_total",
+            &[],
+            "Trident events coalesced as duplicates, across unique cells.",
+            Arc::clone(&self.events_dropped_duplicate),
+        );
+        if let Some(store) = &self.store {
+            store.register_metrics(reg);
+        }
+    }
+
+    /// Folds one unique cell's Trident queue totals into the registry
+    /// counters. Called exactly once per distinct fingerprint.
+    fn account_result(&self, r: &SimResult) {
+        self.events_queued.add(r.trident.events_queued);
+        self.events_dropped_saturated.add(r.trident.events_dropped_saturated);
+        self.events_dropped_duplicate.add(r.trident.events_dropped_duplicate);
     }
 
     /// Fingerprints of cells whose simulation panicked during
@@ -264,14 +356,21 @@ impl Runner {
             .and_then(|payload| persist::decode_result(&payload));
         match hit {
             Some(result) => {
-                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                self.store_hits.inc();
                 let r = Arc::new(result);
-                Some(Arc::clone(
-                    self.lock_cache().entry(key.to_string()).or_insert_with(|| Arc::clone(&r)),
-                ))
+                let mut cache = self.lock_cache();
+                match cache.entry(key.to_string()) {
+                    std::collections::hash_map::Entry::Occupied(e) => Some(Arc::clone(e.get())),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        // First time this fingerprint enters the cache:
+                        // fold its queue totals in exactly once.
+                        self.account_result(&r);
+                        Some(Arc::clone(v.insert(r)))
+                    }
+                }
             }
             None => {
-                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                self.store_misses.inc();
                 None
             }
         }
@@ -304,10 +403,25 @@ impl Runner {
         if let Some(r) = self.recall_store(&key) {
             return r;
         }
-        self.sims.fetch_add(1, Ordering::Relaxed);
-        let r = Arc::new(cell.simulate());
+        let r = Arc::new(self.simulate_timed(cell));
         self.persist(&key, &r);
-        Arc::clone(self.lock_cache().entry(key).or_insert_with(|| Arc::clone(&r)))
+        let mut cache = self.lock_cache();
+        match cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.account_result(&r);
+                Arc::clone(v.insert(r))
+            }
+        }
+    }
+
+    /// Runs one fresh simulation, counting it and timing its wall clock.
+    fn simulate_timed(&self, cell: &Cell) -> SimResult {
+        self.sims.inc();
+        let t0 = Instant::now();
+        let result = cell.simulate();
+        self.cell_wall_us.observe(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        result
     }
 
     /// Runs a whole spec: unique un-memoized cells execute across up to
@@ -349,10 +463,10 @@ impl Runner {
                         if self.recall_store(&key).is_some() {
                             continue;
                         }
-                        self.sims.fetch_add(1, Ordering::Relaxed);
-                        match catch_unwind(AssertUnwindSafe(|| cell.simulate())) {
+                        match catch_unwind(AssertUnwindSafe(|| self.simulate_timed(cell))) {
                             Ok(result) => {
                                 self.persist(&key, &result);
+                                self.account_result(&result);
                                 self.lock_cache().insert(key, Arc::new(result));
                             }
                             Err(_) => self.lock_failed().push(key),
@@ -403,6 +517,32 @@ mod tests {
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), c.fingerprint());
         assert_eq!(a.fingerprint(), quick_cell(PrefetchSetup::NoPrefetch).fingerprint());
+    }
+
+    #[test]
+    fn queue_counters_deterministic_across_worker_counts() {
+        // The registry counters fold in each unique cell exactly once, so
+        // `--jobs 1` and `--jobs 4` must agree bit for bit — and running
+        // the same spec again must add nothing (memo hits don't re-count).
+        let mut spec = ExperimentSpec::new();
+        for setup in [PrefetchSetup::SwSelfRepair, PrefetchSetup::SwBasic] {
+            spec.push(quick_cell(setup));
+        }
+        let mut totals = Vec::new();
+        for jobs in [1usize, 4] {
+            let runner = Runner::new(jobs);
+            let _ = runner.run_spec(&spec);
+            let first = (runner.events_queued(), runner.events_dropped());
+            let _ = runner.run_spec(&spec);
+            assert_eq!(
+                (runner.events_queued(), runner.events_dropped()),
+                first,
+                "memoized re-run must not re-count (jobs={jobs})"
+            );
+            assert_eq!(runner.cell_wall_us().count, 2, "one wall sample per fresh sim");
+            totals.push(first);
+        }
+        assert_eq!(totals[0], totals[1], "queue totals independent of worker count");
     }
 
     #[test]

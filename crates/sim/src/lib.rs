@@ -23,14 +23,16 @@ pub mod config;
 pub mod engine;
 pub mod machine;
 pub mod persist;
+pub mod profile;
 pub mod report;
 pub mod result;
 pub mod timeline;
 
 pub use config::{JobCostModel, PrefetchSetup, SimConfig};
 pub use engine::{Cell, ExperimentSpec, Runner};
-pub use machine::{run, run_traced, Machine};
+pub use machine::{run, run_profiled, run_traced, Machine};
 pub use persist::{cell_key, decode_result, encode_result, SCHEMA_VERSION};
+pub use profile::{MachineProfile, MachineProfiler};
 pub use report::{Format, Report};
 pub use result::{DriverCounters, SimResult};
 pub use timeline::Timeline;

@@ -25,6 +25,10 @@ use tdo_trident::{HotEvent, PendingInstall, TraceId, Trident};
 use tdo_workloads::Workload;
 
 use crate::config::SimConfig;
+use crate::profile::{
+    MachineProfile, MachineProfiler, PHASE_CORE, PHASE_EVENTS, PHASE_MATURE, PHASE_MONITORS,
+    PHASE_OPTIMIZER, PHASE_SAMPLING,
+};
 use crate::result::{DriverCounters, SimResult, Snapshot};
 
 #[derive(Clone, Copy)]
@@ -79,6 +83,9 @@ pub struct Machine {
     probe_on: bool,
     next_sample: u64,
     sample_base: SampleBase,
+    /// Self-profiler; `None` (the default) is the zero-cost disabled
+    /// path — every hook below is a single `Option` test.
+    prof: Option<Box<MachineProfiler>>,
 }
 
 impl Machine {
@@ -123,7 +130,22 @@ impl Machine {
             probe_on: false,
             next_sample: cfg.sample_insts.max(1),
             sample_base: SampleBase::default(),
+            prof: None,
             cfg,
+        }
+    }
+
+    /// Turns on the self-profiler (see [`crate::profile`]). The profiler
+    /// only reads the host clock, so the simulation result is unchanged.
+    pub fn enable_profiler(&mut self) {
+        self.prof = Some(Box::default());
+    }
+
+    /// Attributes the wall time since the profiler's last mark to
+    /// `phase`. Disabled-path cost: one branch.
+    fn prof_lap(&mut self, phase: usize) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.timer.lap(phase);
         }
     }
 
@@ -245,32 +267,41 @@ impl Machine {
     }
 
     fn step(&mut self) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.timer.start();
+        }
+
         // 1. One core cycle.
         let commits = self.core.cycle(&self.code, &mut self.data, &mut self.hier);
         let mut buf = std::mem::take(&mut self.commit_buf);
         buf.clear();
         buf.extend_from_slice(commits);
+        self.prof_lap(PHASE_CORE);
 
         // 2. Feed the monitors.
         for c in &buf {
             self.observe_commit(c);
         }
         self.commit_buf = buf;
+        self.prof_lap(PHASE_MONITORS);
 
         // 2b. Windowed performance sample for the timeline.
         if self.probe_on && self.total_orig >= self.next_sample {
             self.emit_sample();
         }
+        self.prof_lap(PHASE_SAMPLING);
 
         // 3. Dispatch one pending event to the helper if it is free.
         if self.optimization_enabled() && self.pending_job.is_none() && self.core.helper_idle() {
             self.dispatch_event();
         }
+        self.prof_lap(PHASE_EVENTS);
 
         // 4. Commit a finished helper job.
         if let Some(id) = self.core.take_finished_job() {
             self.finish_job(id);
         }
+        self.prof_lap(PHASE_OPTIMIZER);
 
         // 5. Phase-change extension: periodically re-open matured loads.
         if let (Some(at), Some(interval)) = (self.next_mature_clear, self.cfg.mature_clear_interval)
@@ -281,6 +312,7 @@ impl Machine {
                 self.next_mature_clear = Some(at + interval);
             }
         }
+        self.prof_lap(PHASE_MATURE);
     }
 
     /// Emits one windowed [`Event::Sample`] and advances the window. Rates
@@ -469,6 +501,9 @@ impl Machine {
                     now,
                     Event::HelperStart { job: id, kind: HelperJobKind::FormTrace, cost },
                 );
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.job_begin(HelperJobKind::FormTrace, now);
+                }
                 self.pending_job = Some((id, PendingJob::InstallTrace(pending)));
             }
             HotEvent::DelinquentLoad { load_pc: _, trace } => {
@@ -503,6 +538,9 @@ impl Machine {
                 self.next_job_id += 1;
                 self.core.start_helper(HelperJob { id, instructions: cost });
                 self.emit(now, Event::HelperStart { job: id, kind, cost });
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.job_begin(kind, now);
+                }
                 self.pending_job = Some((id, PendingJob::Opt { action, trace }));
             }
         }
@@ -515,6 +553,9 @@ impl Machine {
         debug_assert_eq!(job_id, id, "one helper job in flight at a time");
         let now = self.core.now();
         self.emit(now, Event::HelperFinish { job: id });
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.job_end(now);
+        }
         match job {
             PendingJob::InstallTrace(pending) => {
                 if self.cfg.no_link {
@@ -609,6 +650,31 @@ impl Machine {
 #[must_use]
 pub fn run(workload: &Workload, cfg: &SimConfig) -> SimResult {
     Machine::new(workload, cfg.clone()).run()
+}
+
+/// Runs `workload` under `cfg` with the self-profiler enabled, returning
+/// the result plus the phase-attribution profile.
+///
+/// The profiler only reads the host clock, so the [`SimResult`] is
+/// byte-identical to an unprofiled run; only the profile's `*_wall_ns`
+/// fields are nondeterministic.
+#[must_use]
+pub fn run_profiled(workload: &Workload, cfg: &SimConfig) -> (SimResult, MachineProfile) {
+    let mut machine = Machine::new(workload, cfg.clone());
+    machine.enable_profiler();
+    let t0 = std::time::Instant::now();
+    let result = machine.run_inner();
+    let run_wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let cycles = machine.core.now();
+    let p = machine.prof.take().expect("profiler enabled above");
+    let profile = MachineProfile {
+        phase_wall_ns: p.timer.wall_ns,
+        run_wall_ns,
+        cycles,
+        helper_cycles: p.helper_cycles,
+        helper_jobs: p.helper_jobs,
+    };
+    (result, profile)
 }
 
 /// Runs `workload` under `cfg` with a recording probe attached, returning

@@ -5,7 +5,7 @@
 //! --test timeline`.
 
 use tdo_obs::{validate_chrome_trace, validate_jsonl};
-use tdo_sim::{run, run_traced, PrefetchSetup, SimConfig, Timeline};
+use tdo_sim::{run, run_profiled, run_traced, PrefetchSetup, SimConfig, Timeline};
 use tdo_workloads::{build, Scale};
 
 fn small_cfg() -> SimConfig {
@@ -50,17 +50,25 @@ fn traced_run_is_identical_across_threads() {
 
 #[test]
 fn recording_does_not_perturb_the_simulation() {
-    // The probe is observation only: a traced run and a plain run of the
-    // same cell must agree on every architectural and timing outcome.
+    // The probe and the self-profiler are observation only. A plain run
+    // (profiler compiled in but off — the zero-cost disabled path), a
+    // traced run, and a profiled run of the same cell must produce
+    // identical `SimResult`s in every field.
     let w = build("swim", Scale::Test).unwrap();
     let cfg = small_cfg();
     let plain = run(&w, &cfg);
     let (traced, _) = run_traced(&w, &cfg);
-    assert_eq!(plain.cycles, traced.cycles);
-    assert_eq!(plain.orig_insts, traced.orig_insts);
-    assert_eq!(plain.trident.traces_installed, traced.trident.traces_installed);
-    assert_eq!(plain.optimizer.repairs, traced.optimizer.repairs);
-    assert_eq!(plain.window.loads(), traced.window.loads());
+    let (profiled, profile) = run_profiled(&w, &cfg);
+    assert_eq!(format!("{plain:?}"), format!("{traced:?}"), "tracing perturbed the simulation");
+    assert_eq!(format!("{plain:?}"), format!("{profiled:?}"), "profiling perturbed the simulation");
+    // The profile itself is live: deterministic fields reflect the run...
+    assert!(profile.cycles >= plain.cycles, "profile covers warmup + window");
+    let jobs: u64 = profile.helper_jobs.iter().sum();
+    assert!(jobs > 0, "a self-repair run finishes helper jobs");
+    // ...and the wall clock actually advanced somewhere.
+    assert!(profile.run_wall_ns > 0);
+    assert!(profile.phase_wall_ns.iter().sum::<u64>() > 0);
+    assert!(profile.phase_wall_ns.iter().sum::<u64>() <= profile.run_wall_ns);
 }
 
 #[test]

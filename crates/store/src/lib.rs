@@ -31,8 +31,10 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use tdo_metrics::{Counter, Histogram, HistogramSnapshot, Registry};
 
 pub use fnv::fnv1a64;
 pub use record::FORMAT_VERSION;
@@ -83,6 +85,26 @@ pub struct StoreStats {
     pub puts: u64,
 }
 
+/// Live-record footprint of one schema generation (see [`Store::size_stats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GenerationSize {
+    /// Schema version of the records.
+    pub version: u32,
+    /// Live records stored at this version.
+    pub records: u64,
+    /// Encoded bytes those records occupy in the log.
+    pub bytes: u64,
+}
+
+/// On-demand size breakdown of the live index (see [`Store::size_stats`]).
+#[derive(Clone, Debug, Default)]
+pub struct SizeStats {
+    /// Per-generation record and byte totals, sorted by version.
+    pub per_generation: Vec<GenerationSize>,
+    /// Distribution of encoded record sizes in bytes.
+    pub record_bytes: HistogramSnapshot,
+}
+
 /// Outcome of a full-log verification pass (see [`Store::verify`]).
 #[derive(Clone, Debug, Default)]
 pub struct VerifyReport {
@@ -124,10 +146,14 @@ pub struct GcReport {
 pub struct Store {
     dir: PathBuf,
     inner: Mutex<Inner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    puts: AtomicU64,
-    quarantined: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    puts: Arc<Counter>,
+    quarantined: Arc<Counter>,
+    get_latency_us: Arc<Histogram>,
+    put_latency_us: Arc<Histogram>,
+    verify_latency_us: Arc<Histogram>,
+    record_bytes: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for Store {
@@ -168,10 +194,14 @@ impl Store {
         let store = Store {
             dir,
             inner: Mutex::new(Inner::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            puts: AtomicU64::new(0),
-            quarantined: AtomicU64::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            puts: Arc::new(Counter::new()),
+            quarantined: Arc::new(Counter::new()),
+            get_latency_us: Arc::new(Histogram::new()),
+            put_latency_us: Arc::new(Histogram::new()),
+            verify_latency_us: Arc::new(Histogram::new()),
+            record_bytes: Arc::new(Histogram::new()),
         };
         store.load()?;
         Ok(store)
@@ -203,28 +233,35 @@ impl Store {
     /// overwrites it).
     #[must_use]
     pub fn get(&self, key: u64, version: u32) -> Option<Vec<u64>> {
+        let t0 = Instant::now();
+        let out = self.get_inner(key, version);
+        self.get_latency_us.observe(elapsed_us(t0));
+        out
+    }
+
+    fn get_inner(&self, key: u64, version: u32) -> Option<Vec<u64>> {
         let mut inner = self.lock();
         let Some(entry) = inner.index.get(&key).copied() else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         };
         if entry.version != version {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
         match self.read_record(&entry) {
             Ok(Decoded::Good { rec, .. }) if rec.key == key => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(rec.payload)
             }
             _ => {
                 // Bad bytes under a live index entry: quarantine and drop.
                 let len = record::record_len(entry.words) as u64;
                 let _ = self.quarantine_region(entry.offset, len);
-                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.quarantined.inc();
                 inner.index.remove(&key);
                 let _ = self.write_index(&inner);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -242,7 +279,9 @@ impl Store {
     /// consistent on failure: a half-appended record is quarantined by the
     /// next open.
     pub fn put(&self, key: u64, version: u32, payload: &[u64]) -> io::Result<()> {
+        let t0 = Instant::now();
         let bytes = record::encode_record(&Record { version, key, payload: payload.to_vec() });
+        self.record_bytes.observe(bytes.len() as u64);
         let mut inner = self.lock();
         let mut f = fs::OpenOptions::new().append(true).open(self.dir.join(LOG_FILE))?;
         let offset = f.seek(SeekFrom::End(0))?;
@@ -254,7 +293,8 @@ impl Store {
             inner.shadowed += 1;
         }
         self.write_index(&inner)?;
-        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.puts.inc();
+        self.put_latency_us.observe(elapsed_us(t0));
         Ok(())
     }
 
@@ -267,11 +307,88 @@ impl Store {
             shadowed_records: inner.shadowed,
             log_bytes: inner.log_len,
             quarantine_bytes: fs::metadata(self.dir.join(QUARANTINE_FILE)).map_or(0, |m| m.len()),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            puts: self.puts.load(Ordering::Relaxed),
+            quarantined: self.quarantined.get(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            puts: self.puts.get(),
         }
+    }
+
+    /// Per-generation (schema-version) footprint of the live records plus
+    /// a record-size histogram, computed on demand from the in-memory
+    /// index. Purely a function of the live index, so deterministic for a
+    /// given store state.
+    #[must_use]
+    pub fn size_stats(&self) -> SizeStats {
+        let inner = self.lock();
+        let hist = Histogram::new();
+        let mut per: HashMap<u32, (u64, u64)> = HashMap::new();
+        for entry in inner.index.values() {
+            let bytes = record::record_len(entry.words) as u64;
+            hist.observe(bytes);
+            let slot = per.entry(entry.version).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += bytes;
+        }
+        let mut per_generation: Vec<GenerationSize> = per
+            .into_iter()
+            .map(|(version, (records, bytes))| GenerationSize { version, records, bytes })
+            .collect();
+        per_generation.sort_by_key(|g| g.version);
+        SizeStats { per_generation, record_bytes: hist.snapshot() }
+    }
+
+    /// Registers this store's counters and histograms with `reg` under the
+    /// `tdo_store_*` families. Call at most once per registry.
+    pub fn register_metrics(&self, reg: &Registry) {
+        reg.register_counter(
+            "tdo_store_hits_total",
+            &[],
+            "Reads served from the store by this process.",
+            Arc::clone(&self.hits),
+        );
+        reg.register_counter(
+            "tdo_store_misses_total",
+            &[],
+            "Lookups the store could not serve (absent or stale version).",
+            Arc::clone(&self.misses),
+        );
+        reg.register_counter(
+            "tdo_store_puts_total",
+            &[],
+            "Records written by this process.",
+            Arc::clone(&self.puts),
+        );
+        reg.register_counter(
+            "tdo_store_quarantined_total",
+            &[],
+            "Corrupt records quarantined by this process.",
+            Arc::clone(&self.quarantined),
+        );
+        reg.register_histogram(
+            "tdo_store_get_latency_us",
+            &[],
+            "Store read latency.",
+            Arc::clone(&self.get_latency_us),
+        );
+        reg.register_histogram(
+            "tdo_store_put_latency_us",
+            &[],
+            "Store write latency.",
+            Arc::clone(&self.put_latency_us),
+        );
+        reg.register_histogram(
+            "tdo_store_verify_latency_us",
+            &[],
+            "Full-log verify latency.",
+            Arc::clone(&self.verify_latency_us),
+        );
+        reg.register_histogram(
+            "tdo_store_record_bytes",
+            &[],
+            "Encoded record size at write time.",
+            Arc::clone(&self.record_bytes),
+        );
     }
 
     /// Re-reads the whole log and checks every record's checksum without
@@ -281,9 +398,12 @@ impl Store {
     ///
     /// Returns any I/O error reading the log.
     pub fn verify(&self) -> io::Result<VerifyReport> {
+        let t0 = Instant::now();
         let _inner = self.lock();
         let bytes = fs::read(self.dir.join(LOG_FILE))?;
-        Ok(verify_bytes(&bytes))
+        let report = verify_bytes(&bytes);
+        self.verify_latency_us.observe(elapsed_us(t0));
+        Ok(report)
     }
 
     /// Compacts the log: keeps only live records whose schema version is
@@ -446,12 +566,12 @@ impl Store {
                 }
                 Decoded::BadChecksum { len } => {
                     quarantine.extend_from_slice(&bytes[pos..pos + len]);
-                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    self.quarantined.inc();
                     pos += len;
                 }
                 Decoded::Garbage => {
                     quarantine.extend_from_slice(&bytes[pos..]);
-                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    self.quarantined.inc();
                     pos = bytes.len();
                 }
             }
@@ -501,6 +621,11 @@ impl Store {
         inner.shadowed = shadowed;
         self.write_index(&inner)
     }
+}
+
+/// Whole microseconds elapsed since `t0`, saturating.
+fn elapsed_us(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Scans `bytes` (a whole log file) and classifies every record.

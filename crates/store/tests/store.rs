@@ -178,3 +178,37 @@ fn resolve_dir_precedence() {
     assert_eq!(FORMAT_VERSION, 1);
     assert_eq!(tdo_store::DEFAULT_DIR, ".tdo-store");
 }
+
+#[test]
+fn size_stats_and_metric_histograms() {
+    let dir = TestDir::new("sizestats");
+    let store = Store::open(dir.path()).unwrap();
+    store.put(1, 1, &[0; 4]).unwrap();
+    store.put(2, 1, &[0; 64]).unwrap();
+    store.put(3, 2, &[0; 4]).unwrap();
+    let _ = store.get(1, 1);
+    let _ = store.get(9, 1); // miss
+    store.verify().unwrap();
+
+    let sizes = store.size_stats();
+    assert_eq!(sizes.per_generation.len(), 2, "two schema generations live");
+    assert_eq!(sizes.per_generation[0].version, 1);
+    assert_eq!(sizes.per_generation[0].records, 2);
+    assert_eq!(sizes.per_generation[1].version, 2);
+    assert_eq!(sizes.per_generation[1].records, 1);
+    assert_eq!(sizes.record_bytes.count, 3);
+    let log_payload_bytes: u64 = sizes.per_generation.iter().map(|g| g.bytes).sum();
+    assert!(log_payload_bytes > 0);
+
+    // The registry sees the same store counters and the latency
+    // histograms recorded one observation per operation.
+    let reg = tdo_metrics::Registry::new();
+    store.register_metrics(&reg);
+    let text = reg.render_prom();
+    assert!(text.contains("tdo_store_puts_total 3\n"), "puts counter exposed:\n{text}");
+    assert!(text.contains("tdo_store_get_latency_us_count 2\n"), "two timed gets:\n{text}");
+    assert!(text.contains("tdo_store_put_latency_us_count 3\n"), "three timed puts:\n{text}");
+    assert!(text.contains("tdo_store_verify_latency_us_count 1\n"), "one timed verify:\n{text}");
+    assert!(text.contains("tdo_store_record_bytes_count 3\n"), "record sizes observed:\n{text}");
+    tdo_metrics::expo::parse_text(&text).expect("store exposition parses");
+}
