@@ -1,0 +1,549 @@
+//! `tdo chaos` — the seeded crash-recovery chaos harness.
+//!
+//! Arms the `tdo-fault` plane with schedules derived from one seed and
+//! drives the store, the experiment engine and the serving daemon through
+//! them, asserting the standing robustness invariants:
+//!
+//! * **No acknowledged record is ever lost.** Every `put` that returned
+//!   `Ok` survives a kill (drop) and restart (reopen) of the store, at
+//!   every injection point of the write path.
+//! * **Corruption quarantines, never poisons.** A flipped bit on the read
+//!   path yields `None` (and a quarantined record), never garbage data,
+//!   and the store recovers its good prefix.
+//! * **Reports are byte-identical** between a faulted-then-retried run and
+//!   a clean run, and across `--jobs` values.
+//! * **The server never deadlocks**: `/health` keeps answering under the
+//!   fault barrage, the worker pool survives injected panics, and graceful
+//!   shutdown completes.
+//!
+//! The whole run is serial-deterministic: every number in the report is a
+//! pure function of `(seed, quick, jobs)`, so a failing sweep reproduces
+//! exactly from the seed it prints.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use tdo_fault::{arm, arm_with_registry, ArmGuard, FaultPlan, Site};
+use tdo_metrics::Registry;
+use tdo_rand::Rng;
+use tdo_server::{client, Server, ServerConfig};
+use tdo_sim::{Cell, ExperimentSpec, Runner, SimConfig, SimResult};
+use tdo_store::{fnv1a64, Store};
+use tdo_workloads::{names, Scale};
+
+/// Options for one `tdo chaos` invocation.
+#[derive(Clone, Debug)]
+pub struct ChaosOpts {
+    /// Seed every fault schedule derives from.
+    pub seed: u64,
+    /// Smaller sweeps for CI.
+    pub quick: bool,
+    /// Engine worker threads for the parallel determinism check.
+    pub jobs: usize,
+    /// Write the coverage summary here as well (CI artifact).
+    pub summary_out: Option<String>,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> ChaosOpts {
+        ChaosOpts { seed: 1, quick: false, jobs: 2, summary_out: None }
+    }
+}
+
+/// Everything one chaos run produced.
+pub struct ChaosOutcome {
+    /// The deterministic stdout report (coverage included).
+    pub report: String,
+    /// The coverage summary alone (what `--summary-out` writes).
+    pub coverage_text: String,
+    /// Invariant violations; empty means the run passed.
+    pub violations: Vec<String>,
+}
+
+impl ChaosOutcome {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Aggregated per-site coverage across every scenario of a run.
+#[derive(Default)]
+struct Coverage {
+    per_site: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl Coverage {
+    fn absorb(&mut self, guard: &ArmGuard) {
+        for row in guard.summary() {
+            let slot = self.per_site.entry(row.site.name()).or_insert((0, 0));
+            slot.0 += row.hits;
+            slot.1 += row.fires;
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from("coverage:\n");
+        for site in Site::ALL {
+            let (hits, fires) = self.per_site.get(site.name()).copied().unwrap_or((0, 0));
+            let _ = writeln!(out, "  site={} hits={hits} fires={fires}", site.name());
+        }
+        out
+    }
+}
+
+/// A unique scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tdo-chaos-{}-{tag}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Serializes whole chaos runs in one process: a concurrent run's armed
+/// sections would otherwise inject faults into this run's clean phases.
+fn run_gate() -> MutexGuard<'static, ()> {
+    static GATE: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deterministic payload for a sweep key.
+fn payload_for(seed: u64, key: u64) -> Vec<u64> {
+    let mut rng = Rng::new(seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let len = 4 + (rng.next_u64() % 21) as usize;
+    (0..len).map(|_| rng.next_u64()).collect()
+}
+
+const SCHEMA: u32 = 7;
+
+/// Runs the whole harness. Every byte of the returned report is a pure
+/// function of `opts` (seed, quick, jobs).
+#[must_use]
+pub fn run(opts: &ChaosOpts) -> ChaosOutcome {
+    let _serial = run_gate();
+    let mut violations: Vec<String> = Vec::new();
+    let mut coverage = Coverage::default();
+    let mut report =
+        format!("chaos: seed={} quick={} jobs={}\n", opts.seed, u8::from(opts.quick), opts.jobs);
+
+    report.push_str(&store_write_sweep(opts, &mut violations, &mut coverage));
+    report.push_str(&store_corrupt_sweep(opts, &mut violations, &mut coverage));
+    report.push_str(&kill_restart_sweep(opts, &mut violations, &mut coverage));
+    report.push_str(&engine_chaos(opts, &mut violations, &mut coverage));
+    report.push_str(&server_chaos(opts, &mut violations, &mut coverage));
+
+    let coverage_text = coverage.render();
+    report.push_str(&coverage_text);
+    if violations.is_empty() {
+        report.push_str("result: PASS (0 invariant violations)\n");
+    } else {
+        let _ = writeln!(report, "result: FAIL ({} invariant violations)", violations.len());
+        for v in &violations {
+            let _ = writeln!(report, "  violation: {v}");
+        }
+    }
+    ChaosOutcome { report, coverage_text, violations }
+}
+
+/// Scenario 1: probabilistic faults on every store write path. Acknowledged
+/// records must survive in-process reads and a kill-and-restart; fired
+/// injections must show up in the metrics registry.
+fn store_write_sweep(opts: &ChaosOpts, violations: &mut Vec<String>, cov: &mut Coverage) -> String {
+    let dir = TempDir::new("write-sweep");
+    let puts: u64 = if opts.quick { 48 } else { 160 };
+    let store = Store::open(dir.path()).expect("open scratch store");
+    let reg = Registry::new();
+    let mut acked: Vec<u64> = Vec::new();
+    let mut failed = 0u64;
+    let write_fires;
+    {
+        let guard = arm_with_registry(
+            FaultPlan::new(opts.seed)
+                .with_prob(Site::StoreShortWrite, 110)
+                .with_prob(Site::StoreFsyncFail, 90)
+                .with_prob(Site::StoreRenameFail, 90)
+                .with_prob(Site::StoreTornRename, 90),
+            &reg,
+        );
+        for key in 1..=puts {
+            match store.put(key, SCHEMA, &payload_for(opts.seed, key)) {
+                Ok(()) => acked.push(key),
+                Err(_) => failed += 1,
+            }
+        }
+        // In-process: every acknowledged record reads back exactly.
+        for &key in &acked {
+            if store.get(key, SCHEMA).as_deref() != Some(&payload_for(opts.seed, key)[..]) {
+                violations.push(format!("write-sweep: acked key {key} unreadable in-process"));
+            }
+        }
+        write_fires = guard
+            .summary()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.site,
+                    Site::StoreShortWrite
+                        | Site::StoreFsyncFail
+                        | Site::StoreRenameFail
+                        | Site::StoreTornRename
+                )
+            })
+            .map(|r| r.fires)
+            .sum();
+        cov.absorb(&guard);
+    }
+    // Kill and restart: recovery must preserve every acknowledged record.
+    drop(store);
+    let reopened = Store::open(dir.path()).expect("reopen after sweep");
+    let mut lost = 0u64;
+    for &key in &acked {
+        if reopened.get(key, SCHEMA).as_deref() != Some(&payload_for(opts.seed, key)[..]) {
+            lost += 1;
+            violations.push(format!("write-sweep: acked key {key} lost across restart"));
+        }
+    }
+    let verify = reopened.verify().expect("verify reopened log");
+    if !verify.is_clean() {
+        violations.push(format!(
+            "write-sweep: reopened log not clean (corrupt={} garbage={})",
+            verify.corrupt, verify.trailing_garbage_bytes
+        ));
+    }
+    // The injected faults are visible in the Prometheus exposition.
+    let prom = reg.render_prom();
+    let metrics_ok = prom.contains("tdo_fault_injected_total{site=");
+    let counted: u64 = prom
+        .lines()
+        .filter(|l| l.starts_with("tdo_fault_injected_total{"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum();
+    if !metrics_ok || counted != write_fires {
+        violations.push(format!(
+            "write-sweep: fault metrics mismatch (family_present={metrics_ok} \
+             counted={counted} fired={write_fires})"
+        ));
+    }
+    format!(
+        "[store-write-sweep] puts={puts} acked={} failed={failed} fires={write_fires} \
+         lost={lost} clean={} metrics-ok={}\n",
+        acked.len(),
+        u8::from(verify.is_clean()),
+        u8::from(metrics_ok && counted == write_fires),
+    )
+}
+
+/// Scenario 2: bit rot on the read path. A corrupted read must return
+/// `None` and quarantine the record — never serve garbage — and the store
+/// must stay consistent for the surviving records.
+fn store_corrupt_sweep(
+    opts: &ChaosOpts,
+    violations: &mut Vec<String>,
+    cov: &mut Coverage,
+) -> String {
+    let dir = TempDir::new("corrupt-sweep");
+    let keys: u64 = if opts.quick { 32 } else { 96 };
+    let store = Store::open(dir.path()).expect("open scratch store");
+    for key in 1..=keys {
+        store.put(key, SCHEMA, &payload_for(opts.seed, key)).expect("clean put");
+    }
+    let mut served = 0u64;
+    let mut quarantined = 0u64;
+    {
+        let guard = arm(FaultPlan::new(opts.seed ^ 0xC0).with_prob(Site::StoreReadCorrupt, 350));
+        for key in 1..=keys {
+            match store.get(key, SCHEMA) {
+                Some(p) if p == payload_for(opts.seed, key) => served += 1,
+                Some(_) => {
+                    violations.push(format!("corrupt-sweep: key {key} served garbage data"));
+                }
+                None => quarantined += 1,
+            }
+        }
+        cov.absorb(&guard);
+    }
+    if store.stats().quarantined != quarantined {
+        violations.push(format!(
+            "corrupt-sweep: quarantine accounting off (stat={} observed={quarantined})",
+            store.stats().quarantined
+        ));
+    }
+    // Survivors stay intact across a restart; the log is clean again.
+    drop(store);
+    let reopened = Store::open(dir.path()).expect("reopen after corruption");
+    let mut survivors = 0u64;
+    for key in 1..=keys {
+        match reopened.get(key, SCHEMA) {
+            Some(p) if p == payload_for(opts.seed, key) => survivors += 1,
+            Some(_) => violations.push(format!("corrupt-sweep: key {key} garbled after restart")),
+            None => {}
+        }
+    }
+    let clean = reopened.verify().map(|v| v.is_clean()).unwrap_or(false);
+    if !clean {
+        violations.push("corrupt-sweep: reopened log not clean".to_string());
+    }
+    if survivors < served {
+        violations.push(format!(
+            "corrupt-sweep: surviving records regressed across restart \
+             (served={served} survivors={survivors})"
+        ));
+    }
+    format!(
+        "[store-corrupt-sweep] keys={keys} served={served} quarantined={quarantined} \
+         survivors={survivors} clean={}\n",
+        u8::from(clean)
+    )
+}
+
+/// Scenario 3: the exhaustive kill-and-restart sweep. For every write-path
+/// site and every injection point `nth`, fault exactly the nth hit, keep
+/// writing, then kill and restart: zero acknowledged records may be lost.
+fn kill_restart_sweep(
+    opts: &ChaosOpts,
+    violations: &mut Vec<String>,
+    cov: &mut Coverage,
+) -> String {
+    let sites =
+        [Site::StoreShortWrite, Site::StoreFsyncFail, Site::StoreRenameFail, Site::StoreTornRename];
+    let points: u64 = if opts.quick { 3 } else { 6 };
+    let mut recoveries = 0u64;
+    let mut lost = 0u64;
+    let mut faults_fired = 0u64;
+    for site in sites {
+        for nth in 1..=points {
+            let dir = TempDir::new("kill-restart");
+            let store = Store::open(dir.path()).expect("open scratch store");
+            let mut acked: Vec<u64> = Vec::new();
+            {
+                let guard = arm(FaultPlan::new(opts.seed ^ nth).with_at(site, nth));
+                for key in 1..=(points + 4) {
+                    if store.put(key, SCHEMA, &payload_for(opts.seed, key)).is_ok() {
+                        acked.push(key);
+                    }
+                }
+                faults_fired +=
+                    guard.summary().iter().find(|r| r.site == site).map_or(0, |r| r.fires);
+                cov.absorb(&guard);
+            }
+            drop(store);
+            let reopened = Store::open(dir.path()).expect("reopen mid-commit kill");
+            let mut ok = true;
+            for &key in &acked {
+                if reopened.get(key, SCHEMA).as_deref() != Some(&payload_for(opts.seed, key)[..]) {
+                    ok = false;
+                    lost += 1;
+                    violations.push(format!(
+                        "kill-restart: site={} nth={nth}: acked key {key} lost",
+                        site.name()
+                    ));
+                }
+            }
+            if !reopened.verify().map(|v| v.is_clean()).unwrap_or(false) {
+                ok = false;
+                violations
+                    .push(format!("kill-restart: site={} nth={nth}: log not clean", site.name()));
+            }
+            if ok {
+                recoveries += 1;
+            }
+        }
+    }
+    format!(
+        "[kill-restart] sites={} points={points} recoveries={recoveries} \
+         faults={faults_fired} lost={lost}\n",
+        sites.len()
+    )
+}
+
+/// Digest of one simulation result (the whole result, every field).
+fn digest(r: &SimResult) -> u64 {
+    fnv1a64(format!("{r:?}").as_bytes())
+}
+
+fn chaos_spec(opts: &ChaosOpts) -> ExperimentSpec {
+    let picks: Vec<&str> = names().iter().copied().take(if opts.quick { 3 } else { 4 }).collect();
+    let mut spec = ExperimentSpec::new();
+    for workload in picks {
+        for arm in [tdo_sim::PrefetchSetup::NoPrefetch, tdo_sim::PrefetchSetup::SwSelfRepair] {
+            let mut cfg = SimConfig::test(arm);
+            cfg.warmup_insts = 2_000;
+            cfg.measure_insts = if opts.quick { 4_000 } else { 8_000 };
+            spec.push(Cell::new(workload, Scale::Test, cfg));
+        }
+    }
+    spec
+}
+
+fn spec_digests(results: &[Arc<SimResult>]) -> Vec<u64> {
+    results.iter().map(|r| digest(r)).collect()
+}
+
+/// Scenario 4: engine chaos. Helper-job jitter and store degrades must not
+/// change a single report byte (across `--jobs` values too), and a cell
+/// that panics under injection must succeed on retry with a result
+/// identical to a clean run's.
+fn engine_chaos(opts: &ChaosOpts, violations: &mut Vec<String>, cov: &mut Coverage) -> String {
+    let spec = chaos_spec(opts);
+
+    // Clean baseline (no store, plane deliberately armed with an all-off
+    // plan so a concurrent armer cannot slip faults into this phase).
+    let baseline = {
+        let _quiet = arm(FaultPlan::new(0));
+        spec_digests(&Runner::new(1).run_spec(&spec))
+    };
+
+    // Jitter + store degrades, at the requested job count and serially.
+    let mut digests_match = true;
+    {
+        let guard = arm(FaultPlan::new(opts.seed ^ 0xE1)
+            .with_prob(Site::EngineHelperJitter, 600)
+            .with_prob(Site::EngineStoreDegrade, 500));
+        for jobs in [opts.jobs.max(1), 1] {
+            let dir = TempDir::new("engine");
+            let runner = Runner::with_store(jobs, Arc::new(Store::open(dir.path()).unwrap()));
+            let got = spec_digests(&runner.run_spec(&spec));
+            if got != baseline {
+                digests_match = false;
+                violations.push(format!(
+                    "engine: faulted run (jobs={jobs}) diverged from the clean baseline"
+                ));
+            }
+        }
+        cov.absorb(&guard);
+    }
+
+    // An injected panic fails exactly one cell; the retry (faults gone)
+    // reproduces the clean baseline bit for bit.
+    let dir = TempDir::new("engine-panic");
+    let runner = Runner::with_store(1, Arc::new(Store::open(dir.path()).unwrap()));
+    let failed_cells;
+    {
+        let guard = arm(FaultPlan::new(opts.seed ^ 0xE2).with_at(Site::EngineCellPanic, 2));
+        let outcome = catch_unwind(AssertUnwindSafe(|| runner.run_spec(&spec)));
+        if outcome.is_ok() {
+            violations.push("engine: injected cell panic was silently swallowed".to_string());
+        }
+        failed_cells = runner.failed_cells().len();
+        if failed_cells != 1 {
+            violations.push(format!("engine: expected 1 failed cell, got {failed_cells}"));
+        }
+        cov.absorb(&guard);
+    }
+    let retry_matches = {
+        let _quiet = arm(FaultPlan::new(0));
+        spec_digests(&runner.run_spec(&spec)) == baseline
+    };
+    if !retry_matches {
+        violations.push("engine: faulted-then-retried report differs from clean run".to_string());
+    }
+    format!(
+        "[engine] cells={} digests-match-across-jobs={} failed-under-panic={failed_cells} \
+         retry-matches-clean={}\n",
+        spec.len(),
+        u8::from(digests_match),
+        u8::from(retry_matches)
+    )
+}
+
+/// Scenario 5: the serving daemon under a socket/worker fault barrage.
+/// Errors and sheds are expected; deadlocks, dead workers and an
+/// unanswerable `/health` are not.
+fn server_chaos(opts: &ChaosOpts, violations: &mut Vec<String>, cov: &mut Coverage) -> String {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_cap: 4,
+        store_dir: None,
+        no_store: true,
+    };
+    let server = Server::bind(&cfg).expect("bind chaos server");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let requests: u64 = if opts.quick { 24 } else { 60 };
+    let run_body = "{\"workload\":\"mcf\",\"arm\":\"sr\",\"scale\":\"test\",\"insts\":2000}";
+    let mut ok = 0u64;
+    let mut http_err = 0u64;
+    let mut transport_err = 0u64;
+    let mut health_ok = false;
+    {
+        let guard = arm(FaultPlan::new(opts.seed ^ 0x5E)
+            .with_prob(Site::ServerAcceptFail, 120)
+            .with_prob(Site::ServerReadFail, 120)
+            .with_prob(Site::ServerWriteFail, 120)
+            .with_prob(Site::ServerSlowClient, 150)
+            .with_prob(Site::ServerWorkerPanic, 250)
+            .with_prob(Site::ServerQueueSaturate, 200));
+        for i in 0..requests {
+            let resp = match i % 3 {
+                0 => client::get(&addr, "/health"),
+                1 => client::post(&addr, "/run", run_body),
+                _ => client::get(&addr, "/metrics"),
+            };
+            match resp {
+                Ok(r) if r.ok() => ok += 1,
+                Ok(_) => http_err += 1,
+                Err(_) => transport_err += 1,
+            }
+        }
+        // The liveness invariant: /health answers within a bounded number
+        // of attempts even while the barrage plan is armed.
+        for _ in 0..20 {
+            if client::get(&addr, "/health").map(|r| r.ok()).unwrap_or(false) {
+                health_ok = true;
+                break;
+            }
+        }
+        cov.absorb(&guard);
+    }
+    if !health_ok {
+        violations.push("server: /health did not answer within 20 attempts".to_string());
+    }
+    // Disarmed: the worker pool must have survived every injected panic.
+    let pool_alive = {
+        let _quiet = arm(FaultPlan::new(0));
+        client::post(&addr, "/run", run_body).map(|r| r.ok()).unwrap_or(false)
+    };
+    if !pool_alive {
+        violations.push("server: worker pool dead after injected panics".to_string());
+    }
+    // Graceful shutdown must complete (a hang here fails the whole run).
+    handle.shutdown();
+    let shutdown_ok = thread.join().map(|r| r.is_ok()).unwrap_or(false);
+    if !shutdown_ok {
+        violations.push("server: run loop did not shut down cleanly".to_string());
+    }
+    format!(
+        "[server] requests={requests} ok={ok} http-err={http_err} transport-err={transport_err} \
+         health-ok={} pool-alive={} shutdown-ok={}\n",
+        u8::from(health_ok),
+        u8::from(pool_alive),
+        u8::from(shutdown_ok)
+    )
+}

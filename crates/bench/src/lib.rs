@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod chaos;
 pub mod perf;
 
 use std::sync::Arc;

@@ -1,0 +1,34 @@
+//! The chaos harness's own contract: a quick sweep passes every invariant,
+//! the whole report is a pure function of the seed, and the engine phase
+//! makes `--jobs` invisible to every byte after the header line.
+
+use tdo_bench::chaos::{run, ChaosOpts};
+
+/// Report lines with the header (which prints `jobs=`) stripped.
+fn tail(report: &str) -> String {
+    report.lines().skip(1).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn quick_sweep_passes_and_is_seed_deterministic() {
+    let opts = ChaosOpts { seed: 11, quick: true, jobs: 2, summary_out: None };
+    let first = run(&opts);
+    assert!(first.passed(), "violations: {:?}", first.violations);
+    assert!(first.report.contains("result: PASS"));
+    assert!(first.report.contains("coverage:"));
+
+    // Byte-identical on a re-run with the same options.
+    let second = run(&opts);
+    assert_eq!(first.report, second.report, "same seed must reproduce the same report");
+    assert_eq!(first.coverage_text, second.coverage_text);
+
+    // A different seed draws a different fault schedule.
+    let other = run(&ChaosOpts { seed: 12, ..opts.clone() });
+    assert!(other.passed(), "violations: {:?}", other.violations);
+    assert_ne!(first.report, other.report, "a new seed must change the schedule");
+
+    // The worker count shows up in the header and nowhere else.
+    let serial = run(&ChaosOpts { jobs: 1, ..opts });
+    assert!(serial.passed(), "violations: {:?}", serial.violations);
+    assert_eq!(tail(&first.report), tail(&serial.report), "--jobs must not change the sweep");
+}

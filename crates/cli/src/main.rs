@@ -49,6 +49,7 @@ const COMMANDS: &[(&str, &str)] = &[
     ("store", "persistent store maintenance: store <stats|verify|gc> [opts]"),
     ("ping", "HTTP client for a running daemon: ping <addr> [opts]"),
     ("perf", "throughput baseline + regression gate: perf [opts]"),
+    ("chaos", "seeded fault-injection + crash-recovery sweep: chaos [opts]"),
 ];
 
 fn usage_text() -> String {
@@ -97,7 +98,13 @@ fn usage_text() -> String {
          \x20 --check <path>            gate against a committed baseline\n\
          \x20 --tolerance <pct>         allowed throughput regression (default 15)\n\
          \x20 --format <table|csv|json> summary rendering\n\
-         \x20 --store-dir / --no-store  as above\n",
+         \x20 --store-dir / --no-store  as above\n\
+         \nchaos options:\n\
+         \x20 --seed <N>                fault-plan seed (default 1); the whole\n\
+         \x20                           sweep is a pure function of it\n\
+         \x20 --quick                   CI-sized sweep\n\
+         \x20 --jobs <N>                engine workers for the jitter phase\n\
+         \x20 --summary-out <path>      write the fault-site coverage summary\n",
     );
     text
 }
@@ -727,6 +734,37 @@ fn cmd_perf(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `tdo chaos`: the deterministic fault-injection sweep (see
+/// `tdo_bench::chaos`). Exits nonzero when any chaos invariant is violated.
+fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
+    let mut o = tdo_bench::chaos::ChaosOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => o.quick = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                o.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                o.jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            }
+            "--summary-out" => {
+                o.summary_out = Some(it.next().ok_or("--summary-out needs a path")?.clone());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let outcome = tdo_bench::chaos::run(&o);
+    print!("{}", outcome.report);
+    if let Some(path) = &o.summary_out {
+        std::fs::write(path, &outcome.coverage_text).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote fault-site coverage to {path}");
+    }
+    Ok(if outcome.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
 /// Routes one command. Every arm here must be listed in [`COMMANDS`] (and
 /// therefore in the usage text) — a unit test enforces it.
 fn dispatch(cmd: &str, args: &[String]) -> Result<ExitCode, String> {
@@ -742,6 +780,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<ExitCode, String> {
         "store" => cmd_store(args),
         "ping" => cmd_ping(args),
         "perf" => cmd_perf(args),
+        "chaos" => cmd_chaos(args),
         "run" | "compare" | "disasm" | "traces" | "timeline" => {
             let Some(name) = args.first() else {
                 return Err(format!("{cmd} needs a workload name"));

@@ -1,0 +1,243 @@
+//! Differential test of the distance-repair state machine: a ~50-line
+//! reference model of the paper's §3.5.1 walk (up while the average access
+//! latency improves, down when it worsens, within a budget of 2 × max
+//! distance, then mature) is driven over the *same* seeded delinquent-load
+//! event stream as the real [`PrefetchOptimizer`]. The two must produce
+//! identical distance trajectories and identical convergence counts.
+
+use std::collections::HashMap;
+
+use tdo_core::{
+    Dlt, DltConfig, OptimizerConfig, PrefetchOptimizer, PreparedAction, SwPrefetchMode,
+};
+use tdo_isa::{decode, prefetch_distance, AluOp, Asm, Cond, Inst, Reg};
+use tdo_rand::Rng;
+use tdo_trident::{CodeSource, HotEvent, TraceId, TraceOp, Trident, TridentConfig};
+
+struct MapCode(HashMap<u64, Inst>);
+
+impl CodeSource for MapCode {
+    fn fetch_inst(&self, pc: u64) -> Option<Inst> {
+        self.0.get(&pc).copied()
+    }
+}
+
+/// The strided two-load loop of the optimizer flow tests.
+fn setup() -> (Trident, MapCode, TraceId) {
+    let (r1, r2, r3, r4) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    let mut a = Asm::new(0x1000);
+    a.label("loop");
+    a.ldq(r2, r1, 0);
+    a.ldq(r3, r1, 8);
+    a.lda(r1, r1, 96);
+    a.op_imm(AluOp::Sub, r4, 1, r4);
+    a.bcond_to(Cond::Ne, r4, "loop");
+    a.halt();
+    let words = a.assemble().unwrap();
+    let code = MapCode(
+        words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (0x1000 + i as u64 * 8, decode(*w).unwrap()))
+            .collect(),
+    );
+    let mut cfg = TridentConfig::paper_baseline();
+    cfg.code_cache_base = 0x10_0000;
+    let mut trident = Trident::new(cfg);
+    let pending = trident.prepare_install(0, &code, 0x1000, 0b1, 1).unwrap();
+    trident.commit_install(0, &pending).unwrap();
+    let id = pending.trace.id;
+    (trident, code, id)
+}
+
+const WINDOW: u32 = 32;
+const L1_LATENCY: u64 = 3; // OptimizerConfig::paper_baseline
+const MIN_EXEC_TIME: u64 = 70; // chosen so max distance = 350/70 = 5
+
+fn small_dlt() -> Dlt {
+    Dlt::new(DltConfig {
+        entries: 64,
+        assoc: 2,
+        window: WINDOW,
+        miss_threshold: 4,
+        latency_threshold: 100,
+        partial_min_accesses: 8,
+        ..DltConfig::paper_baseline()
+    })
+}
+
+/// One monitoring window: every load at `indices` commits `WINDOW` times,
+/// missing every other access at `miss_latency` cycles. Returns the PC that
+/// raised the delinquent-load event, if any.
+fn feed_window(
+    dlt: &mut Dlt,
+    trident: &Trident,
+    trace: TraceId,
+    indices: &[usize],
+    miss_latency: u64,
+) -> Option<u64> {
+    let t = trident.trace(trace).unwrap();
+    let mut fired = None;
+    for k in 0..u64::from(WINDOW) {
+        for &i in indices {
+            let pc = t.cc_pc(i);
+            if dlt.observe(pc, 0x100_0000 + k * 96 + i as u64 * 8, k % 2 == 0, miss_latency) {
+                fired.get_or_insert(pc);
+            }
+        }
+    }
+    fired
+}
+
+fn load_indices(trident: &Trident, trace: TraceId) -> Vec<usize> {
+    trident
+        .trace(trace)
+        .unwrap()
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, ti)| matches!(ti.op, TraceOp::Real(Inst::Load { .. }) if !ti.synthetic))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The window's average *access* latency, computed exactly as the
+/// optimizer computes it from the DLT snapshot: misses at the injected
+/// latency, hits at the L1 latency.
+fn avg_access(miss_latency: u64) -> f64 {
+    let misses = f64::from(WINDOW / 2);
+    let hits = f64::from(WINDOW) - misses;
+    (miss_latency as f64 * misses + hits * L1_LATENCY as f64) / f64::from(WINDOW)
+}
+
+/// The reference model: the paper's repair walk, independent of the
+/// optimizer's code. `on_event` consumes one delinquent-load event's
+/// average access latency and returns the new distance iff it changed
+/// (mirroring the optimizer, which emits patches only on a change).
+struct RefModel {
+    distance: u8,
+    max_distance: u8,
+    repairs_left: u32,
+    prev_avg: Option<f64>,
+    mature: bool,
+    repairs: u64,
+    ups: u64,
+    downs: u64,
+    matured: u64,
+}
+
+impl RefModel {
+    fn new(max_distance: u8) -> RefModel {
+        RefModel {
+            distance: 1,
+            max_distance,
+            repairs_left: 2 * u32::from(max_distance),
+            prev_avg: None,
+            mature: false,
+            repairs: 0,
+            ups: 0,
+            downs: 0,
+            matured: 0,
+        }
+    }
+
+    fn on_event(&mut self, avg: f64) -> Option<u8> {
+        if self.repairs_left == 0 {
+            if !self.mature {
+                self.mature = true;
+                self.matured += 1;
+            }
+            return None;
+        }
+        self.repairs_left -= 1;
+        let improve = self.prev_avg.is_none_or(|prev| avg <= prev * 1.02);
+        let old = self.distance;
+        self.distance = if improve {
+            self.distance.saturating_add(1).min(self.max_distance)
+        } else {
+            self.distance.saturating_sub(1).max(1)
+        };
+        if self.distance > old {
+            self.ups += 1;
+        } else if self.distance < old {
+            self.downs += 1;
+        }
+        self.prev_avg = Some(avg);
+        if self.repairs_left == 0 {
+            self.mature = true;
+            self.matured += 1;
+        }
+        self.repairs += 1;
+        (self.distance != old).then_some(self.distance)
+    }
+}
+
+#[test]
+fn optimizer_and_reference_model_walk_identical_trajectories() {
+    let (mut trident, code, trace) = setup();
+    let mut dlt = small_dlt();
+    let mut opt =
+        PrefetchOptimizer::new(OptimizerConfig::paper_baseline(SwPrefetchMode::SelfRepair));
+
+    // Pin the max distance (350 / 70 = 5, budget 10) before insertion.
+    trident.watch.on_enter(trace, 0);
+    trident.watch.on_enter(trace, MIN_EXEC_TIME);
+
+    // Insertion event.
+    let loads = load_indices(&trident, trace);
+    let fired = feed_window(&mut dlt, &trident, trace, &loads, 300).expect("insertion event");
+    let action = opt.handle_event(
+        0,
+        HotEvent::DelinquentLoad { load_pc: fired, trace },
+        &mut trident,
+        &mut dlt,
+        &code,
+    );
+    let new_id = match &action {
+        PreparedAction::Install(p) => p.trace.id,
+        other => panic!("expected install, got {other:?}"),
+    };
+    opt.commit(0, action, &mut trident, &mut dlt).unwrap();
+    trident.watch.on_enter(new_id, 0);
+    trident.watch.on_enter(new_id, MIN_EXEC_TIME);
+
+    // Identical seeded event streams drive both machines until the budget
+    // matures every load and events stop firing.
+    let mut model = RefModel::new(5);
+    let mut observed: Vec<Option<u8>> = Vec::new();
+    let mut expected: Vec<Option<u8>> = Vec::new();
+    let mut rng = Rng::new(0xD1FF);
+    for _ in 0..40 {
+        let miss_latency = 120 + rng.next_u64() % 300;
+        let loads = load_indices(&trident, new_id);
+        let Some(fired) = feed_window(&mut dlt, &trident, new_id, &loads, miss_latency) else {
+            break; // matured loads no longer raise events
+        };
+        let action = opt.handle_event(
+            0,
+            HotEvent::DelinquentLoad { load_pc: fired, trace: new_id },
+            &mut trident,
+            &mut dlt,
+            &code,
+        );
+        observed.push(match &action {
+            PreparedAction::Repair { patches, .. } => {
+                Some(prefetch_distance(patches[0].1).unwrap())
+            }
+            PreparedAction::Nothing => None,
+            other => panic!("expected repair or nothing, got {other:?}"),
+        });
+        expected.push(model.on_event(avg_access(miss_latency)));
+        opt.commit(0, action, &mut trident, &mut dlt).unwrap();
+    }
+
+    assert_eq!(observed, expected, "distance trajectories must be identical");
+    assert!(model.mature, "the budget must run out within the sweep");
+    assert_eq!(opt.stats.repairs, model.repairs, "repair counts");
+    assert_eq!(opt.stats.distance_up, model.ups, "up-walk counts");
+    assert_eq!(opt.stats.distance_down, model.downs, "down-walk counts");
+    assert_eq!(opt.stats.matured, model.matured + 1, "real machine matures the partner load too");
+    assert_eq!(opt.stats.insertions, 1);
+    // The walk must have actually exercised both directions.
+    assert!(model.ups > 0 && model.downs > 0, "seed must drive ups and downs: {observed:?}");
+}

@@ -1,0 +1,195 @@
+//! Word-level assembler/disassembler properties, per instruction class:
+//! every *canonical* word re-assembles to itself bit for bit
+//! (`encode(decode(w)) == w`), decoding accepts exactly the defined opcode
+//! space (rejecting everything else without panicking), canonicalization is
+//! a projection, and the prefetch distance-field patch is exactly the
+//! re-encoding of the decoded-and-updated instruction.
+
+use tdo_isa::{
+    decode, encode, is_prefetch_word, patch_prefetch_distance, prefetch_distance, AluOp, Cond,
+    FpuOp, Inst, LoadKind, Reg,
+};
+use tdo_rand::{cases, Rng};
+
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::from_index(rng.gen_range(0..64) as u8).unwrap()
+}
+
+fn arb_imm38(rng: &mut Rng) -> i64 {
+    rng.gen_range_i64(-(1i64 << 37)..(1i64 << 37))
+}
+
+/// Every instruction class, by index — the sweep covers each explicitly
+/// rather than sampling, so no class can silently drop out of the suite.
+const NCLASSES: u64 = 15;
+
+fn arb_class(rng: &mut Rng, class: u64) -> Inst {
+    match class {
+        0 => Inst::Nop,
+        1 => Inst::Halt,
+        2 => Inst::Op {
+            op: *rng.choose(&AluOp::ALL),
+            ra: arb_reg(rng),
+            rb: arb_reg(rng),
+            rc: arb_reg(rng),
+        },
+        3 => Inst::OpImm {
+            op: *rng.choose(&AluOp::ALL),
+            ra: arb_reg(rng),
+            imm: arb_imm38(rng),
+            rc: arb_reg(rng),
+        },
+        4 => Inst::Lda { ra: arb_reg(rng), rb: arb_reg(rng), imm: arb_imm38(rng) },
+        5 => Inst::Move { ra: arb_reg(rng), rc: arb_reg(rng) },
+        6 => Inst::Load {
+            ra: arb_reg(rng),
+            rb: arb_reg(rng),
+            off: arb_imm38(rng),
+            kind: LoadKind::Int,
+        },
+        7 => Inst::Load {
+            ra: arb_reg(rng),
+            rb: arb_reg(rng),
+            off: arb_imm38(rng),
+            kind: LoadKind::NonFaulting,
+        },
+        8 => Inst::Load {
+            ra: arb_reg(rng),
+            rb: arb_reg(rng),
+            off: arb_imm38(rng),
+            kind: LoadKind::Float,
+        },
+        9 => Inst::Store { ra: arb_reg(rng), rb: arb_reg(rng), off: arb_imm38(rng) },
+        10 => Inst::Prefetch {
+            base: arb_reg(rng),
+            off: rng.gen_range_i64(-(1i64 << 15)..(1i64 << 15)) as i32,
+            stride: rng.gen_range_i64(-(1i64 << 25)..(1i64 << 25)) as i32,
+            dist: rng.next_u64() as u8,
+        },
+        11 => Inst::FOp {
+            op: *rng.choose(&FpuOp::ALL),
+            ra: arb_reg(rng),
+            rb: arb_reg(rng),
+            rc: arb_reg(rng),
+        },
+        12 => Inst::Br { disp: arb_imm38(rng) },
+        13 => Inst::Bcond { cond: *rng.choose(&Cond::ALL), ra: arb_reg(rng), disp: arb_imm38(rng) },
+        _ => Inst::Jmp { rb: arb_reg(rng) },
+    }
+}
+
+/// The opcodes `decode` defines, mirrored from the encoding spec: every
+/// other opcode byte must be rejected.
+fn opcode_is_defined(opc: u8) -> bool {
+    matches!(opc, 0x00 | 0x20 | 0x21 | 0x28..=0x2b | 0x2f | 0x40 | 0x41 | 0x50)
+        || (0x01..=0x0c).contains(&opc)
+        || (0x11..=0x1c).contains(&opc)
+        || (0x30..=0x33).contains(&opc)
+        || (0x42..=0x47).contains(&opc)
+}
+
+#[test]
+fn every_class_reassembles_bit_for_bit() {
+    let mut rng = Rng::new(0x15a_0101);
+    for class in 0..NCLASSES {
+        for case in 0..cases(512) {
+            let inst = arb_class(&mut rng, class);
+            let w = encode(&inst).expect("generated fields fit");
+            let back = decode(w).expect("canonical word decodes");
+            let w2 = encode(&back).expect("decoded instruction re-encodes");
+            assert_eq!(w2, w, "class {class} case {case}: {inst} re-assembled to a different word");
+        }
+    }
+}
+
+#[test]
+fn decode_accepts_exactly_the_defined_opcode_space() {
+    let mut rng = Rng::new(0x15a_0102);
+    for opc in 0..=255u64 {
+        for case in 0..cases(16) {
+            // Arbitrary field bits under each opcode byte.
+            let w = (opc << 56) | (rng.next_u64() & ((1u64 << 56) - 1));
+            let decoded = decode(w);
+            if opcode_is_defined(opc as u8) {
+                let inst =
+                    decoded.unwrap_or_else(|e| panic!("opc {opc:#x} case {case} rejected: {e}"));
+                // Canonicalization is a projection: re-encoding reaches a
+                // fixed point in one step and preserves the meaning.
+                let canon = encode(&inst).expect("decoded instruction re-encodes");
+                assert_eq!(decode(canon).expect("canonical decodes"), inst, "opc {opc:#x}");
+                assert_eq!(
+                    encode(&decode(canon).unwrap()).unwrap(),
+                    canon,
+                    "opc {opc:#x}: canonical word is a fixed point"
+                );
+            } else {
+                assert!(decoded.is_err(), "undefined opc {opc:#x} must be rejected ({w:#x})");
+            }
+        }
+    }
+}
+
+#[test]
+fn out_of_range_fields_reject_per_class() {
+    let big = 1i64 << 38;
+    let r = Reg::int(1);
+    let rejected = [
+        Inst::OpImm { op: AluOp::Add, ra: r, imm: big, rc: r },
+        Inst::OpImm { op: AluOp::Add, ra: r, imm: -big - 1, rc: r },
+        Inst::Lda { ra: r, rb: r, imm: big },
+        Inst::Load { ra: r, rb: r, off: big, kind: LoadKind::Int },
+        Inst::Store { ra: r, rb: r, off: -big - 1 },
+        Inst::Br { disp: big },
+        Inst::Bcond { cond: Cond::Eq, ra: r, disp: big },
+        Inst::Prefetch { base: r, off: 1 << 15, stride: 0, dist: 0 },
+        Inst::Prefetch { base: r, off: 0, stride: 1 << 25, dist: 0 },
+        Inst::Prefetch { base: r, off: 0, stride: -(1 << 25) - 1, dist: 0 },
+    ];
+    for inst in rejected {
+        assert!(encode(&inst).is_err(), "{inst} must not encode");
+    }
+}
+
+#[test]
+fn distance_patch_is_exactly_reencoding_with_the_new_distance() {
+    let mut rng = Rng::new(0x15a_0103);
+    for case in 0..cases(256) {
+        let inst = arb_class(&mut rng, 10);
+        let w = encode(&inst).unwrap();
+        assert!(is_prefetch_word(w));
+        // Exhaustive over the whole distance field.
+        for dist in 0..=u8::MAX {
+            let patched = patch_prefetch_distance(w, dist).expect("is a prefetch");
+            assert_eq!(prefetch_distance(patched), Some(dist), "case {case}");
+            // The patched word is canonical: identical to assembling the
+            // decoded instruction with the distance swapped.
+            let expected = match decode(w).unwrap() {
+                Inst::Prefetch { base, off, stride, .. } => {
+                    encode(&Inst::Prefetch { base, off, stride, dist }).unwrap()
+                }
+                other => panic!("case {case}: {other} is not a prefetch"),
+            };
+            assert_eq!(patched, expected, "case {case} dist {dist}");
+            // Patching is idempotent and reversible.
+            assert_eq!(patch_prefetch_distance(patched, dist), Some(patched));
+            let dist0 = prefetch_distance(w).unwrap();
+            assert_eq!(patch_prefetch_distance(patched, dist0), Some(w));
+        }
+    }
+}
+
+#[test]
+fn distance_patch_refuses_every_other_class() {
+    let mut rng = Rng::new(0x15a_0104);
+    for class in 0..NCLASSES {
+        if class == 10 {
+            continue; // the prefetch class itself
+        }
+        for _ in 0..cases(64) {
+            let w = encode(&arb_class(&mut rng, class)).unwrap();
+            assert!(!is_prefetch_word(w));
+            assert_eq!(prefetch_distance(w), None);
+            assert_eq!(patch_prefetch_distance(w, 7), None, "class {class}");
+        }
+    }
+}

@@ -6,6 +6,8 @@
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
+use tdo_fault::Site;
+
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body.
@@ -29,6 +31,10 @@ pub struct Request {
 /// Returns `InvalidData` on malformed requests and over-limit heads or
 /// bodies, and propagates transport errors (including read timeouts).
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    if tdo_fault::fire(Site::ServerReadFail).is_some() {
+        // Injected transport failure while reading the request.
+        return Err(io::Error::new(io::ErrorKind::ConnectionReset, "injected read failure"));
+    }
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
     let head_end = loop {
@@ -118,6 +124,15 @@ pub fn write_response_typed(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
+    if let Some(token) = tdo_fault::fire(Site::ServerSlowClient) {
+        // Injected slow client: stall the response without failing it. The
+        // server must stay responsive to everyone else.
+        std::thread::sleep(std::time::Duration::from_millis(token % 25));
+    }
+    if tdo_fault::fire(Site::ServerWriteFail).is_some() {
+        // Injected transport failure while writing the response.
+        return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected write failure"));
+    }
     let head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         reason(status),

@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use tdo_fault::Site;
 use tdo_metrics::{Counter, Gauge, Histogram, Registry};
 use tdo_sim::{Cell, PrefetchSetup, Runner, SimConfig, SimResult};
 use tdo_workloads::{build, names, Scale};
@@ -313,7 +314,16 @@ impl Server {
         }
         while !self.state.shutting_down() {
             match self.listener.accept() {
-                Ok((stream, _peer)) => handle_connection(&self.state, stream),
+                Ok((stream, _peer)) => {
+                    if tdo_fault::fire(Site::ServerAcceptFail).is_some() {
+                        // Injected accept failure: the connection dies
+                        // before it is ever read. The loop must keep
+                        // serving the next client.
+                        drop(stream);
+                        continue;
+                    }
+                    handle_connection(&self.state, stream);
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(20));
                 }
@@ -414,8 +424,9 @@ fn enqueue_run(state: &Arc<State>, stream: TcpStream, req: Request, t0: Instant)
     state.m.run_requests.inc();
     let mut rejected = Some(stream); // taken on admission
     {
+        let saturated = tdo_fault::fire(Site::ServerQueueSaturate).is_some();
         let mut q = relock(&state.queue);
-        if q.len() < state.queue_cap && !state.shutting_down() {
+        if q.len() < state.queue_cap && !state.shutting_down() && !saturated {
             let stream = rejected.take().expect("stream not yet moved");
             q.push_back(Job { stream, body: req.body, t0 });
             state.m.queue_depth.set(q.len() as u64);
@@ -448,7 +459,15 @@ fn worker_loop(state: &Arc<State>) {
             }
         };
         let Some(mut job) = job else { return };
-        serve_run(state, &mut job.stream, &job.body, job.t0);
+        // A panicking job — injected or real — must cost only its own
+        // connection, never a pool thread: an uncaught panic here would
+        // silently shrink the pool until the queue deadlocks.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            if tdo_fault::fire(Site::ServerWorkerPanic).is_some() {
+                panic!("injected worker panic");
+            }
+            serve_run(state, &mut job.stream, &job.body, job.t0);
+        }));
     }
 }
 

@@ -221,6 +221,15 @@ fn prometheus_exposition_matches_golden_snapshot() {
     let stats = tdo_metrics::expo::parse_text(&resp.body).expect("prom text parses");
     assert!(stats.families >= 10, "registry is populated: {} families", stats.families);
 
+    // The fault-injection family only exists on registries armed through
+    // `tdo_fault::arm_with_registry`; a daemon that never arms must not
+    // leak even an all-zero family into its exposition (the golden below
+    // pins this too, but the intent deserves its own assertion).
+    assert!(
+        !resp.body.contains("tdo_fault_injected_total"),
+        "disarmed daemon must not expose fault-injection metrics"
+    );
+
     // Unknown query strings are rejected, JSON stays the default.
     assert_eq!(client::get(&addr, "/metrics?format=xml").unwrap().status, 400);
     assert!(client::get(&addr, "/metrics?format=json").unwrap().body.starts_with('{'));

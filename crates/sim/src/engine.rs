@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use tdo_fault::Site;
 use tdo_metrics::{Counter, Histogram, Registry};
 use tdo_store::Store;
 use tdo_workloads::{build, Scale};
@@ -351,6 +352,13 @@ impl Runner {
     /// the memo cache.
     fn recall_store(&self, key: &str) -> Option<Arc<SimResult>> {
         let store = self.store.as_ref()?;
+        if tdo_fault::fire_keyed(Site::EngineStoreDegrade, fingerprint_hash(key)).is_some() {
+            // Injected read-path degrade: behave exactly like a miss so the
+            // cell re-simulates (persistence is an accelerator, never a
+            // correctness dependency).
+            self.store_misses.inc();
+            return None;
+        }
         let hit = store
             .get(tdo_store::fnv1a64(key.as_bytes()), persist::SCHEMA_VERSION)
             .and_then(|payload| persist::decode_result(&payload));
@@ -380,6 +388,11 @@ impl Runner {
     /// only cost persistence, never the run.
     fn persist(&self, key: &str, result: &SimResult) {
         let Some(store) = self.store.as_ref() else { return };
+        if tdo_fault::fire_keyed(Site::EngineStoreDegrade, fingerprint_hash(key)).is_some() {
+            // Injected write-path degrade: the result stays memo-only.
+            eprintln!("warning: cannot persist cell to result store: injected store degrade");
+            return;
+        }
         let payload = persist::encode_result(result);
         if let Err(e) =
             store.put(tdo_store::fnv1a64(key.as_bytes()), persist::SCHEMA_VERSION, &payload)
@@ -417,6 +430,11 @@ impl Runner {
 
     /// Runs one fresh simulation, counting it and timing its wall clock.
     fn simulate_timed(&self, cell: &Cell) -> SimResult {
+        if tdo_fault::fire_keyed(Site::EngineCellPanic, fingerprint_hash(&cell.fingerprint()))
+            .is_some()
+        {
+            panic!("injected cell panic: `{}`", cell.workload);
+        }
         self.sims.inc();
         let t0 = Instant::now();
         let result = cell.simulate();
@@ -460,6 +478,13 @@ impl Runner {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(cell) = pending.get(i) else { break };
                         let key = cell.fingerprint();
+                        if let Some(token) =
+                            tdo_fault::fire_keyed(Site::EngineHelperJitter, fingerprint_hash(&key))
+                        {
+                            // Injected helper-job delay: perturbs scheduling
+                            // only; results must stay byte-identical.
+                            std::thread::sleep(std::time::Duration::from_micros(token % 1_500));
+                        }
                         if self.recall_store(&key).is_some() {
                             continue;
                         }
@@ -494,6 +519,12 @@ impl Runner {
             .collect();
         results
     }
+}
+
+/// Stable 64-bit key for fault-injection decisions: injected faults must hit
+/// the same cells regardless of worker count or scheduling order.
+fn fingerprint_hash(key: &str) -> u64 {
+    tdo_store::fnv1a64(key.as_bytes())
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use tdo_fault::Site;
 use tdo_metrics::{Counter, Histogram, HistogramSnapshot, Registry};
 
 pub use fnv::fnv1a64;
@@ -283,9 +284,31 @@ impl Store {
         let bytes = record::encode_record(&Record { version, key, payload: payload.to_vec() });
         self.record_bytes.observe(bytes.len() as u64);
         let mut inner = self.lock();
-        let mut f = fs::OpenOptions::new().append(true).open(self.dir.join(LOG_FILE))?;
-        let offset = f.seek(SeekFrom::End(0))?;
+        let mut f = fs::OpenOptions::new().write(true).open(self.dir.join(LOG_FILE))?;
+        // A previously failed append may have left torn bytes past the last
+        // acknowledged record; truncate them so this record lands at
+        // `log_len` instead of after mid-log garbage (which would cost every
+        // later record on the next rescan).
+        let file_len = f.seek(SeekFrom::End(0))?;
+        let offset = inner.log_len;
+        if file_len > offset {
+            f.set_len(offset)?;
+        }
+        f.seek(SeekFrom::Start(offset))?;
+        if let Some(token) = tdo_fault::fire(Site::StoreShortWrite) {
+            // Injected crash mid-append: a prefix of the record reaches the
+            // file, the caller sees an error, and the tail stays torn.
+            let cut = token as usize % bytes.len();
+            let _ = f.write_all(&bytes[..cut]);
+            let _ = f.sync_data();
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "injected short write"));
+        }
         f.write_all(&bytes)?;
+        if tdo_fault::fire(Site::StoreFsyncFail).is_some() {
+            // Injected fsync failure: the bytes may or may not be durable;
+            // the record stays unacknowledged (log_len is not advanced).
+            return Err(io::Error::other("injected fsync failure"));
+        }
         f.sync_data()?;
         inner.log_len = offset + bytes.len() as u64;
         let words = u32::try_from(payload.len()).expect("payload fits u32");
@@ -468,8 +491,18 @@ impl Store {
         let tmp = path.with_extension("tmp");
         {
             let mut f = fs::File::create(&tmp)?;
+            if let Some(token) = tdo_fault::fire(Site::StoreTornRename) {
+                // Injected crash mid-commit: a prefix of the temp file
+                // lands, the rename never happens, the target is untouched.
+                let cut = token as usize % bytes.len().max(1);
+                let _ = f.write_all(&bytes[..cut]);
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "injected torn commit"));
+            }
             f.write_all(bytes)?;
             f.sync_data()?;
+        }
+        if tdo_fault::fire(Site::StoreRenameFail).is_some() {
+            return Err(io::Error::other("injected rename failure"));
         }
         fs::rename(&tmp, path)
     }
@@ -494,7 +527,15 @@ impl Store {
         f.seek(SeekFrom::Start(entry.offset))?;
         let mut buf = vec![0u8; record::record_len(entry.words)];
         match f.read_exact(&mut buf) {
-            Ok(()) => Ok(record::decode_record(&buf)),
+            Ok(()) => {
+                if let Some(token) = tdo_fault::fire(Site::StoreReadCorrupt) {
+                    // Injected bit rot on the read path: flip one bit so the
+                    // checksum trips and the record is quarantined.
+                    let pos = token as usize % buf.len();
+                    buf[pos] ^= 1 << ((token >> 8) & 7);
+                }
+                Ok(record::decode_record(&buf))
+            }
             Err(_) => Ok(Decoded::Garbage),
         }
     }
