@@ -4,7 +4,7 @@
 //! (phase A — exercises the store and the engine's metrics), then once per
 //! workload serially under the self-profiler (phase B — host-throughput and
 //! phase attribution, unpolluted by worker contention). The outcome is a
-//! schema-versioned `BENCH_PR4.json` whose keys split into two classes:
+//! schema-versioned `BENCH_PR6.json` whose keys split into two classes:
 //!
 //! * deterministic keys — byte-identical for a given (scale, insts) across
 //!   `--jobs` and across hosts;
@@ -299,6 +299,45 @@ pub fn extract_key(json: &str, key: &str) -> Option<u64> {
         .ok()
 }
 
+/// Renders the per-phase wall-time delta table between a committed baseline
+/// and the current run, from each document's `wall_phase_*_ns` keys (the
+/// 6-phase self-profiler attribution). Shown alongside `--check` so a gate
+/// failure says *where* the cycles went, not just that they went somewhere.
+/// Phases present in only one document render `-` on the missing side.
+#[must_use]
+pub fn phase_delta_table(baseline_json: &str, current_json: &str) -> String {
+    let keys = |doc: &str| -> Vec<String> {
+        doc.lines()
+            .filter_map(|l| {
+                let name = l.trim_start().strip_prefix("\"wall_phase_")?.split("_ns\"").next()?;
+                Some(name.to_string())
+            })
+            .collect()
+    };
+    // Current-run phase order first, then any baseline-only stragglers.
+    let mut order = keys(current_json);
+    for k in keys(baseline_json) {
+        if !order.contains(&k) {
+            order.push(k);
+        }
+    }
+    let ms = |v: Option<u64>| v.map_or("-".to_string(), |ns| format!("{:.1}", ns as f64 / 1e6));
+    let mut out = String::from("phase                      base ms    now ms     delta\n");
+    for name in &order {
+        let key = format!("wall_phase_{name}_ns");
+        let old = extract_key(baseline_json, &key);
+        let new = extract_key(current_json, &key);
+        let delta = match (old, new) {
+            (Some(o), Some(n)) if o > 0 => {
+                format!("{:+.1}%", (n as f64 - o as f64) * 100.0 / o as f64)
+            }
+            _ => "-".to_string(),
+        };
+        let _ = writeln!(out, "{name:<24} {:>9} {:>9} {delta:>9}", ms(old), ms(new));
+    }
+    out
+}
+
 /// Applies the regression gate: `current` may fall at most `tolerance_pct`
 /// percent below `baseline`'s gate value.
 ///
@@ -345,6 +384,22 @@ mod tests {
         assert!(check_against(&doc, 849, 15).is_err());
         assert!(check_against(&doc, 5000, 15).is_ok(), "improvements always pass");
         assert!(check_against("{}", 1, 15).is_err(), "missing gate key is an error");
+    }
+
+    #[test]
+    fn phase_delta_table_pairs_baseline_and_current() {
+        let old = "{\n  \"wall_phase_core_ns\": 2000000,\n  \"wall_phase_gone_ns\": 5000000\n}\n";
+        let new = "{\n  \"wall_phase_core_ns\": 1000000,\n  \"wall_phase_events_ns\": 3000000\n}\n";
+        let t = phase_delta_table(old, new);
+        let row = |name: &str| {
+            t.lines().find(|l| l.starts_with(name)).unwrap_or_else(|| panic!("no {name} row"))
+        };
+        assert!(row("core").contains("2.0") && row("core").contains("-50.0%"), "{t}");
+        assert!(row("events").contains("3.0") && row("events").ends_with('-'), "new-only phase");
+        assert!(row("gone").contains("5.0") && row("gone").ends_with('-'), "baseline-only phase");
+        // Current-run phases lead; baseline-only phases trail.
+        let pos = |name: &str| t.find(&format!("\n{name}")).expect("row present");
+        assert!(pos("events") < pos("gone"));
     }
 
     #[test]

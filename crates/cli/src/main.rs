@@ -94,7 +94,7 @@ fn usage_text() -> String {
          \x20 --quick                   test-scale suite (CI-sized)\n\
          \x20 --jobs <N>                parallel engine workers for phase A\n\
          \x20 --insts <N>               measured-instruction override\n\
-         \x20 --out <path>              write the BENCH_PR4.json baseline\n\
+         \x20 --out <path>              write the BENCH_PR6.json baseline\n\
          \x20 --check <path>            gate against a committed baseline\n\
          \x20 --tolerance <pct>         allowed throughput regression (default 15)\n\
          \x20 --format <table|csv|json> summary rendering\n\
@@ -727,6 +727,9 @@ fn cmd_perf(args: &[String]) -> Result<ExitCode, String> {
     if let Some(path) = &o.check {
         let baseline =
             std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+        // Attribution first, verdict second: when the gate fails, the table
+        // saying *which phase* regressed is the part worth reading.
+        print!("{}", tdo_bench::perf::phase_delta_table(&baseline, &outcome.json));
         let verdict =
             tdo_bench::perf::check_against(&baseline, outcome.insts_per_sec, o.tolerance)?;
         println!("{verdict}");

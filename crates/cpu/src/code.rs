@@ -1,10 +1,32 @@
-//! The mutable runtime code image.
+//! The mutable runtime code image, predecoded for the interpreter hot loop.
 //!
 //! Holds the original program's instructions plus a sparse overlay for the
 //! code-cache region where Trident installs hot traces. Both the original
 //! code (for linking a trace: the first instruction of a hot region is
 //! patched into a jump) and installed traces (for prefetch-distance repair)
 //! can be rewritten at runtime through [`CodeImage::write_word`].
+//!
+//! # Predecoded op arrays
+//!
+//! The per-cycle fetch path used to be `word_at(pc)` followed by a fresh
+//! `decode(w)` — a bounds check, an overlay probe, and a full bit-field
+//! unpack on *every* issued instruction. The image now predecodes each word
+//! exactly once into a dense [`PredecodedOp`] array: a flat struct carrying
+//! the decoded [`Inst`] alongside everything the issue loop needs without
+//! re-deriving it per fetch — scoreboard source indices, structural-hazard
+//! flags, and the precomputed branch target.
+//!
+//! Two dense regions are maintained: the original program (`ops`, mirroring
+//! `words`) and the code cache (`cc_ops`, indexed from `code_cache_base`,
+//! grown on demand as Trident installs traces). Every [`CodeImage::write_word`]
+//! re-predecodes the single affected entry — the patch→invalidate protocol
+//! that keeps in-place prefetch-distance repair coherent with predecoded
+//! execution. Addresses outside both regions (never produced by the
+//! optimizer) fall back to the sparse overlay and decode on the fly.
+//!
+//! A word that fails to decode predecodes into an op carrying
+//! [`PredecodedOp::F_INVALID`]; executing it is a loud, distinct fault
+//! (see [`FetchError`]) rather than a silent halt.
 
 use std::collections::HashMap;
 
@@ -30,16 +52,141 @@ impl std::fmt::Display for PatchError {
 
 impl std::error::Error for PatchError {}
 
-/// The runtime code store: original program + code-cache overlay.
+/// Error from fetching a mapped word that does not decode.
+///
+/// Distinct from "no code at pc" (which is a graceful halt): an invalid
+/// word means the image was corrupted — a bad optimizer patch or a bug in
+/// the predecoder — and must be loud, never silently swallowed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchError {
+    /// The word at `pc` is not a valid instruction encoding.
+    InvalidWord {
+        /// Address of the offending word.
+        pc: u64,
+        /// The raw word that failed to decode.
+        word: Word,
+    },
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::InvalidWord { pc, word } => {
+                write!(f, "invalid instruction word {word:#018x} at pc {pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// Scoreboard index meaning "no source operand": one past the register
+/// file, pointing at a permanently-ready slot.
+pub const NO_USE: u8 = 64;
+
+/// One instruction, decoded once, with the issue loop's derived facts
+/// precomputed so the per-cycle path is flat loads and compares.
+#[derive(Clone, Copy, Debug)]
+pub struct PredecodedOp {
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Scoreboard index of the first source operand ([`NO_USE`] if none).
+    pub use0: u8,
+    /// Scoreboard index of the second source operand ([`NO_USE`] if none).
+    pub use1: u8,
+    /// Derived-fact bits (`F_*`).
+    pub flags: u8,
+    /// Precomputed taken-path target for PC-relative branches; for an
+    /// invalid op, the raw word that failed to decode.
+    pub target: u64,
+}
+
+impl Default for PredecodedOp {
+    /// An absent slot: no `F_PRESENT`, never served to the core.
+    fn default() -> PredecodedOp {
+        PredecodedOp { inst: Inst::Nop, use0: NO_USE, use1: NO_USE, flags: 0, target: 0 }
+    }
+}
+
+impl PredecodedOp {
+    /// Needs a load/store port this cycle.
+    pub const F_MEM: u8 = 1 << 0;
+    /// Needs an FP unit this cycle.
+    pub const F_FP: u8 = 1 << 1;
+    /// The underlying word failed to decode; executing this op faults.
+    pub const F_INVALID: u8 = 1 << 2;
+    /// Slot holds real code (distinguishes dense-array entries from the
+    /// never-written default).
+    pub const F_PRESENT: u8 = 1 << 3;
+
+    /// Predecodes one instruction located at `pc`.
+    #[must_use]
+    pub fn new(inst: Inst, pc: u64) -> PredecodedOp {
+        let [u0, u1] = inst.uses();
+        let mut flags = Self::F_PRESENT;
+        if matches!(inst, Inst::Load { .. } | Inst::Store { .. } | Inst::Prefetch { .. }) {
+            flags |= Self::F_MEM;
+        }
+        if matches!(inst, Inst::FOp { .. }) {
+            flags |= Self::F_FP;
+        }
+        PredecodedOp {
+            inst,
+            use0: u0.map_or(NO_USE, |r| r.index() as u8),
+            use1: u1.map_or(NO_USE, |r| r.index() as u8),
+            flags,
+            target: inst.branch_target(pc).unwrap_or(0),
+        }
+    }
+
+    /// Predecodes a word at `pc`: a valid op, or an invalid-marked op
+    /// carrying the raw word.
+    #[must_use]
+    pub fn from_word(word: Word, pc: u64) -> PredecodedOp {
+        match decode(word) {
+            Ok(inst) => PredecodedOp::new(inst, pc),
+            Err(_) => PredecodedOp {
+                inst: Inst::Nop,
+                use0: NO_USE,
+                use1: NO_USE,
+                flags: Self::F_PRESENT | Self::F_INVALID,
+                target: word,
+            },
+        }
+    }
+
+    /// Whether the op is an undecodable word.
+    #[must_use]
+    pub fn is_invalid(&self) -> bool {
+        self.flags & Self::F_INVALID != 0
+    }
+}
+
+/// Dense code-cache mirror growth cap, in ops. The 4 MB code cache holds
+/// at most 512 K instructions; anything addressed beyond this (impossible
+/// through the Trident allocator) stays overlay-only.
+const CC_DENSE_MAX: usize = 1 << 20;
+
+/// The runtime code store: original program + code-cache overlay, both
+/// mirrored as predecoded op arrays.
 pub struct CodeImage {
     base: u64,
     words: Vec<Word>,
+    /// Predecoded mirror of `words`, index-for-index.
+    ops: Vec<PredecodedOp>,
     /// Sparse storage for everything outside the original program — the code
     /// cache region lives here.
     overlay: HashMap<u64, Word>,
+    /// Predecoded mirror of the code-cache region, indexed from
+    /// `code_cache_base` and grown on demand. Entries without
+    /// [`PredecodedOp::F_PRESENT`] are holes.
+    cc_ops: Vec<PredecodedOp>,
     /// First address of the code-cache region (everything at or above is
     /// "inside a hot trace" for the monitoring hardware).
     code_cache_base: u64,
+    /// Parity-test aid: when set, [`CodeImage::fetch_op`] ignores the
+    /// predecoded arrays and decodes the stored word on every fetch.
+    per_fetch_decode: bool,
 }
 
 impl CodeImage {
@@ -52,12 +199,29 @@ impl CodeImage {
     #[must_use]
     pub fn new(program: &Program, code_cache_base: u64) -> CodeImage {
         assert!(code_cache_base >= program.code_end(), "code cache must sit above program code");
+        let base = program.code_base;
+        let ops = program
+            .code
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| PredecodedOp::from_word(w, base + i as u64 * INST_BYTES))
+            .collect();
         CodeImage {
-            base: program.code_base,
+            base,
             words: program.code.clone(),
+            ops,
             overlay: HashMap::new(),
+            cc_ops: Vec::new(),
             code_cache_base,
+            per_fetch_decode: false,
         }
+    }
+
+    /// Switches between predecoded execution (the default) and per-fetch
+    /// word decoding. The two modes are architecturally identical; the
+    /// differential parity suite runs both and byte-compares the results.
+    pub fn set_per_fetch_decode(&mut self, on: bool) {
+        self.per_fetch_decode = on;
     }
 
     /// Base address of the code-cache region.
@@ -90,13 +254,82 @@ impl CodeImage {
     }
 
     /// Decodes the instruction at `pc`.
+    ///
+    /// Returns `Ok(None)` where no code is mapped (the core treats that as
+    /// a halt).
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::InvalidWord`] when a word exists at `pc` but does not
+    /// decode — a corrupted image must never be silently swallowed.
+    pub fn fetch(&self, pc: u64) -> Result<Option<Inst>, FetchError> {
+        match self.word_at(pc) {
+            None => Ok(None),
+            Some(w) => match decode(w) {
+                Ok(inst) => Ok(Some(inst)),
+                Err(_) => Err(FetchError::InvalidWord { pc, word: w }),
+            },
+        }
+    }
+
+    /// The predecoded op at `pc` — the interpreter's hot fetch path. One
+    /// alignment test plus one or two range compares reach a dense array
+    /// slot; no per-fetch decoding (unless the parity mode is on).
     #[must_use]
-    pub fn fetch(&self, pc: u64) -> Option<Inst> {
-        self.word_at(pc).and_then(|w| decode(w).ok())
+    pub fn fetch_op(&self, pc: u64) -> Option<PredecodedOp> {
+        if self.per_fetch_decode {
+            return self.word_at(pc).map(|w| PredecodedOp::from_word(w, pc));
+        }
+        if pc & (INST_BYTES - 1) != 0 {
+            return None;
+        }
+        if pc >= self.base {
+            let idx = ((pc - self.base) / INST_BYTES) as usize;
+            if idx < self.ops.len() {
+                return Some(self.ops[idx]);
+            }
+        }
+        if pc >= self.code_cache_base {
+            let idx = ((pc - self.code_cache_base) / INST_BYTES) as usize;
+            if idx < self.cc_ops.len() {
+                let op = self.cc_ops[idx];
+                if op.flags & PredecodedOp::F_PRESENT != 0 {
+                    return Some(op);
+                }
+                return None;
+            }
+        }
+        // Cold fallback: overlay addresses outside both dense regions.
+        self.overlay.get(&pc).map(|&w| PredecodedOp::from_word(w, pc))
+    }
+
+    /// Re-predecodes the single entry covering `pc` after a word write —
+    /// the targeted invalidation step of the patch protocol.
+    fn repredecode(&mut self, pc: u64, word: Word) {
+        if pc >= self.base {
+            let idx = ((pc - self.base) / INST_BYTES) as usize;
+            if idx < self.ops.len() {
+                self.ops[idx] = PredecodedOp::from_word(word, pc);
+                return;
+            }
+        }
+        if pc >= self.code_cache_base {
+            let idx = ((pc - self.code_cache_base) / INST_BYTES) as usize;
+            if idx < CC_DENSE_MAX {
+                if idx >= self.cc_ops.len() {
+                    self.cc_ops.resize(idx + 1, PredecodedOp::default());
+                }
+                self.cc_ops[idx] = PredecodedOp::from_word(word, pc);
+            }
+        }
+        // Outside both dense regions: the overlay fallback in `fetch_op`
+        // decodes on the fly, so there is nothing to refresh.
     }
 
     /// Writes an encoded word at `pc` — patching original code or installing
-    /// or repairing code-cache contents.
+    /// or repairing code-cache contents. The predecoded mirror entry is
+    /// refreshed in the same call, so a patched distance is visible to the
+    /// very next fetch.
     ///
     /// # Errors
     ///
@@ -109,10 +342,12 @@ impl CodeImage {
             let idx = ((pc - self.base) / INST_BYTES) as usize;
             if idx < self.words.len() {
                 self.words[idx] = word;
+                self.repredecode(pc, word);
                 return Ok(());
             }
         }
         self.overlay.insert(pc, word);
+        self.repredecode(pc, word);
         Ok(())
     }
 
@@ -132,7 +367,7 @@ impl CodeImage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdo_isa::{encode, Reg};
+    use tdo_isa::{encode, patch_prefetch_distance, Reg};
 
     fn img() -> CodeImage {
         let prog = Program {
@@ -148,12 +383,12 @@ mod tests {
     #[test]
     fn fetch_original_and_overlay() {
         let mut c = img();
-        assert_eq!(c.fetch(0x1000), Some(Inst::Nop));
-        assert_eq!(c.fetch(0x1008), Some(Inst::Halt));
-        assert_eq!(c.fetch(0x1010), None);
+        assert_eq!(c.fetch(0x1000), Ok(Some(Inst::Nop)));
+        assert_eq!(c.fetch(0x1008), Ok(Some(Inst::Halt)));
+        assert_eq!(c.fetch(0x1010), Ok(None));
         let w = encode(&Inst::Move { ra: Reg::int(1), rc: Reg::int(2) }).unwrap();
         c.write_word(0x10_0000, w).unwrap();
-        assert_eq!(c.fetch(0x10_0000), Some(Inst::Move { ra: Reg::int(1), rc: Reg::int(2) }));
+        assert_eq!(c.fetch(0x10_0000), Ok(Some(Inst::Move { ra: Reg::int(1), rc: Reg::int(2) })));
     }
 
     #[test]
@@ -161,7 +396,11 @@ mod tests {
         let mut c = img();
         let w = encode(&Inst::Br { disp: 10 }).unwrap();
         c.write_word(0x1000, w).unwrap();
-        assert_eq!(c.fetch(0x1000), Some(Inst::Br { disp: 10 }));
+        assert_eq!(c.fetch(0x1000), Ok(Some(Inst::Br { disp: 10 })));
+        // The predecoded mirror was refreshed too, target included.
+        let op = c.fetch_op(0x1000).expect("predecoded");
+        assert_eq!(op.inst, Inst::Br { disp: 10 });
+        assert_eq!(op.target, 0x1000 + 8 + 10 * 8);
     }
 
     #[test]
@@ -169,6 +408,7 @@ mod tests {
         let mut c = img();
         assert_eq!(c.write_word(0x1001, 0), Err(PatchError::Unaligned { addr: 0x1001 }));
         assert_eq!(c.word_at(0x1001), None);
+        assert!(c.fetch_op(0x1001).is_none());
     }
 
     #[test]
@@ -184,6 +424,104 @@ mod tests {
         let mut c = img();
         let words = [encode(&Inst::Nop).unwrap(), encode(&Inst::Halt).unwrap()];
         c.write_block(0x10_0000, &words).unwrap();
-        assert_eq!(c.fetch(0x10_0008), Some(Inst::Halt));
+        assert_eq!(c.fetch(0x10_0008), Ok(Some(Inst::Halt)));
+        assert_eq!(c.fetch_op(0x10_0008).unwrap().inst, Inst::Halt);
+    }
+
+    #[test]
+    fn invalid_word_is_a_loud_fetch_error() {
+        let mut c = img();
+        let bad: Word = 0xff << 56; // unknown opcode
+        c.write_word(0x1000, bad).unwrap();
+        assert_eq!(c.fetch(0x1000), Err(FetchError::InvalidWord { pc: 0x1000, word: bad }));
+        let op = c.fetch_op(0x1000).expect("slot is mapped");
+        assert!(op.is_invalid());
+        assert_eq!(op.target, bad, "invalid op carries the raw word");
+        // Same behaviour through the overlay/code-cache path.
+        c.write_word(0x10_0000, bad).unwrap();
+        assert_eq!(c.fetch(0x10_0000), Err(FetchError::InvalidWord { pc: 0x10_0000, word: bad }));
+        assert!(c.fetch_op(0x10_0000).unwrap().is_invalid());
+    }
+
+    #[test]
+    fn predecoded_ops_carry_issue_facts() {
+        let prog = Program {
+            name: "t".into(),
+            entry: 0x1000,
+            code_base: 0x1000,
+            code: vec![
+                encode(&Inst::Store { ra: Reg::int(1), rb: Reg::int(2), off: 0 }).unwrap(),
+                encode(&Inst::FOp {
+                    op: tdo_isa::FpuOp::Add,
+                    ra: Reg::fp(1),
+                    rb: Reg::fp(2),
+                    rc: Reg::fp(3),
+                })
+                .unwrap(),
+                encode(&Inst::Bcond { cond: tdo_isa::Cond::Ne, ra: Reg::int(3), disp: -2 })
+                    .unwrap(),
+            ],
+            data: vec![],
+        };
+        let c = CodeImage::new(&prog, 0x10_0000);
+        let st = c.fetch_op(0x1000).unwrap();
+        assert_eq!(st.flags & PredecodedOp::F_MEM, PredecodedOp::F_MEM);
+        assert_eq!((st.use0, st.use1), (Reg::int(1).index() as u8, Reg::int(2).index() as u8));
+        let f = c.fetch_op(0x1008).unwrap();
+        assert_eq!(f.flags & PredecodedOp::F_FP, PredecodedOp::F_FP);
+        let b = c.fetch_op(0x1010).unwrap();
+        assert_eq!(b.target, 0x1010 + 8 - 2 * 8, "branch target precomputed");
+        assert_eq!(b.use1, NO_USE);
+    }
+
+    #[test]
+    fn distance_patch_invalidates_predecoded_entry() {
+        // The cache-invalidation regression test: an in-place distance
+        // repair must be visible through `fetch_op` immediately.
+        let mut c = img();
+        let pf = Inst::Prefetch { base: Reg::int(4), off: 8, stride: 64, dist: 1 };
+        let w = encode(&pf).unwrap();
+        c.write_word(0x10_0000, w).unwrap();
+        match c.fetch_op(0x10_0000).unwrap().inst {
+            Inst::Prefetch { dist, .. } => assert_eq!(dist, 1),
+            other => panic!("expected prefetch, got {other}"),
+        }
+        let patched = patch_prefetch_distance(w, 17).unwrap();
+        c.write_word(0x10_0000, patched).unwrap();
+        match c.fetch_op(0x10_0000).unwrap().inst {
+            Inst::Prefetch { dist, .. } => assert_eq!(dist, 17, "stale predecode served"),
+            other => panic!("expected prefetch, got {other}"),
+        }
+        // And in the original-program region too.
+        c.write_word(0x1008, w).unwrap();
+        c.write_word(0x1008, patch_prefetch_distance(w, 9).unwrap()).unwrap();
+        match c.fetch_op(0x1008).unwrap().inst {
+            Inst::Prefetch { dist, .. } => assert_eq!(dist, 9),
+            other => panic!("expected prefetch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn per_fetch_mode_matches_predecoded_mode() {
+        let mut c = img();
+        let w = encode(&Inst::Bcond { cond: tdo_isa::Cond::Eq, ra: Reg::int(1), disp: 3 }).unwrap();
+        c.write_word(0x10_0000, w).unwrap();
+        for pc in [0x1000u64, 0x1008, 0x1010, 0x10_0000, 0x10_0008] {
+            let pre = c.fetch_op(pc);
+            c.set_per_fetch_decode(true);
+            let raw = c.fetch_op(pc);
+            c.set_per_fetch_decode(false);
+            match (pre, raw) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.inst, b.inst);
+                    assert_eq!(
+                        (a.use0, a.use1, a.flags, a.target),
+                        (b.use0, b.use1, b.flags, b.target)
+                    );
+                }
+                (a, b) => panic!("mode mismatch at {pc:#x}: {a:?} vs {b:?}"),
+            }
+        }
     }
 }

@@ -17,7 +17,7 @@ use tdo_isa::{AluOp, FpuOp, Inst, INST_BYTES};
 use tdo_mem::{Hierarchy, Memory};
 
 use crate::branch::BranchPredictor;
-use crate::code::CodeImage;
+use crate::code::{CodeImage, PredecodedOp};
 use crate::commit::{Commit, CommitKind};
 use crate::config::CpuConfig;
 use crate::stats::CpuStats;
@@ -39,14 +39,17 @@ const HELPER_PC_BASE: u64 = 0x7f00_0000;
 struct Context {
     pc: u64,
     regs: [u64; 64],
-    ready_at: [u64; 64],
+    /// Scoreboard, one slot per register plus a permanently-ready 65th
+    /// slot that [`crate::code::NO_USE`] operand indices point at — the
+    /// issue loop then needs no `Option` tests on its sources.
+    ready_at: [u64; 65],
     stall_until: u64,
     halted: bool,
 }
 
 impl Context {
     fn new(entry: u64) -> Context {
-        Context { pc: entry, regs: [0; 64], ready_at: [0; 64], stall_until: 0, halted: false }
+        Context { pc: entry, regs: [0; 64], ready_at: [0; 65], stall_until: 0, halted: false }
     }
 }
 
@@ -154,6 +157,41 @@ impl Core {
         self.finished_job.take()
     }
 
+    /// If the core provably cannot commit anything before some future
+    /// cycle, returns that cycle; `None` means work may happen right now.
+    ///
+    /// Only valid when the helper context is idle (a running helper makes
+    /// progress every cycle). The main context is stalled until the later
+    /// of its pipeline stall and the scoreboard readiness of the next
+    /// instruction's sources; nothing else in the core advances state on
+    /// an idle cycle, so the driver may batch-skip the clock to the hint
+    /// (see [`Core::skip_to`]) without changing architectural behaviour.
+    #[must_use]
+    pub fn idle_hint(&self, code: &CodeImage) -> Option<u64> {
+        if !matches!(self.helper, HelperState::Idle) || self.ctx.halted {
+            return None;
+        }
+        let op = code.fetch_op(self.ctx.pc)?;
+        if op.is_invalid() {
+            return None; // let the issue path fault loudly
+        }
+        let t = self
+            .ctx
+            .stall_until
+            .max(self.ctx.ready_at[op.use0 as usize])
+            .max(self.ctx.ready_at[op.use1 as usize]);
+        (t > self.cycle).then_some(t)
+    }
+
+    /// Advances the clock to `target` without issuing — the batched
+    /// equivalent of running `target - now` empty cycles. Callers must
+    /// first prove idleness via [`Core::idle_hint`].
+    pub fn skip_to(&mut self, target: u64) {
+        debug_assert!(target >= self.cycle, "skip_to may not rewind");
+        self.stats.cycles += target - self.cycle;
+        self.cycle = target;
+    }
+
     /// Runs one cycle; returns the instructions committed this cycle.
     pub fn cycle(
         &mut self,
@@ -190,7 +228,7 @@ impl Core {
                 return;
             }
             let pc = self.ctx.pc;
-            let Some(inst) = code.fetch(pc) else {
+            let Some(op) = code.fetch_op(pc) else {
                 // Ran off mapped code: treat as halt.
                 self.ctx.halted = true;
                 self.commits.push(Commit {
@@ -202,21 +240,25 @@ impl Core {
                 });
                 return;
             };
-
-            // Scoreboard: in-order issue waits for source operands.
-            for u in inst.uses().into_iter().flatten() {
-                if self.ctx.ready_at[u.index()] > now {
-                    return;
-                }
+            if op.is_invalid() {
+                // A mapped word that does not decode is image corruption
+                // (bad optimizer patch, predecoder bug) — fail loudly.
+                panic!("invalid instruction word {:#018x} at pc {pc:#x}", op.target);
             }
-            // Structural hazards.
-            let needs_mem =
-                matches!(inst, Inst::Load { .. } | Inst::Store { .. } | Inst::Prefetch { .. });
-            if needs_mem && *mem_ports == 0 {
+
+            // Scoreboard: in-order issue waits for source operands. The
+            // predecoded indices point at real registers or the
+            // always-ready 65th slot.
+            if self.ctx.ready_at[op.use0 as usize] > now
+                || self.ctx.ready_at[op.use1 as usize] > now
+            {
                 return;
             }
-            let needs_fp = matches!(inst, Inst::FOp { .. });
-            if needs_fp && *fp_units == 0 {
+            // Structural hazards, from predecoded flags.
+            if op.flags & PredecodedOp::F_MEM != 0 && *mem_ports == 0 {
+                return;
+            }
+            if op.flags & PredecodedOp::F_FP != 0 && *fp_units == 0 {
                 return;
             }
 
@@ -224,7 +266,7 @@ impl Core {
             let mut kind = CommitKind::Simple;
             let mut redirect = false;
 
-            match inst {
+            match op.inst {
                 Inst::Nop => {}
                 Inst::Op { op, ra, rb, rc } => {
                     let v = op.apply(self.ctx.regs[ra.index()], self.ctx.regs[rb.index()]);
@@ -278,14 +320,14 @@ impl Core {
                     kind = CommitKind::Prefetch { addr, outcome };
                 }
                 Inst::Br { .. } => {
-                    let target = inst.branch_target(pc).expect("br has target");
+                    let target = op.target;
                     next_pc = target;
                     redirect = true;
                     kind = CommitKind::Jump { target };
                 }
                 Inst::Bcond { cond, ra, .. } => {
                     let taken = cond.eval(self.ctx.regs[ra.index()]);
-                    let target = inst.branch_target(pc).expect("bcond has target");
+                    let target = op.target;
                     let mispredicted = self.bp.predict_and_update(pc, taken);
                     if taken {
                         next_pc = target;
@@ -558,6 +600,61 @@ mod tests {
         assert!(core.stats.helper_committed == 3000);
         // Main thread still made progress to completion.
         assert!(core.halted());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid instruction word")]
+    fn executing_an_invalid_word_panics() {
+        let mut a = Asm::new(0x1000);
+        a.halt();
+        let code = a.assemble().unwrap();
+        let prog =
+            Program { name: "t".into(), entry: 0x1000, code_base: 0x1000, code, data: vec![] };
+        let mut img = CodeImage::new(&prog, 0x100_0000);
+        img.write_word(0x1000, 0xff << 56).unwrap(); // unknown opcode
+        let mut data = Memory::new();
+        let mut hier = Hierarchy::new(MemConfig::tiny_for_tests());
+        let mut core = Core::new(CpuConfig::paper_baseline(), prog.entry);
+        core.cycle(&img, &mut data, &mut hier);
+    }
+
+    #[test]
+    fn idle_skip_matches_cycle_by_cycle_execution() {
+        // A cold load followed by a dependent consumer exposes a long
+        // scoreboard stall; driving it with idle_hint/skip_to must land on
+        // the same architectural state and cycle count as stepping through
+        // every stall cycle.
+        fn program() -> Asm {
+            let (rp, rv, rs) = (Reg::int(1), Reg::int(2), Reg::int(3));
+            let mut a = Asm::new(0x1000);
+            a.li(rp, 0x10_0000);
+            a.ldq(rv, rp, 0);
+            a.op(AluOp::Add, rs, rv, rs);
+            a.halt();
+            a
+        }
+        let run = |skip: bool| {
+            let code = program().assemble().unwrap();
+            let prog =
+                Program { name: "t".into(), entry: 0x1000, code_base: 0x1000, code, data: vec![] };
+            let img = CodeImage::new(&prog, 0x100_0000);
+            let mut data = Memory::new();
+            let mut hier = Hierarchy::new(MemConfig::tiny_for_tests());
+            let mut core = Core::new(CpuConfig::paper_baseline(), prog.entry);
+            for _ in 0..100_000 {
+                if skip {
+                    if let Some(t) = core.idle_hint(&img) {
+                        core.skip_to(t);
+                    }
+                }
+                core.cycle(&img, &mut data, &mut hier);
+                if core.halted() {
+                    break;
+                }
+            }
+            (core.stats.cycles, core.reg(Reg::int(3)), core.now())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod stats;
 
 pub use crate::core::{Core, HelperJob, HELPER_CTX, MAIN_CTX, NUM_CONTEXTS};
 pub use branch::BranchPredictor;
-pub use code::{CodeImage, PatchError};
+pub use code::{CodeImage, FetchError, PatchError, PredecodedOp, NO_USE};
 pub use commit::{Commit, CommitKind};
 pub use config::CpuConfig;
 pub use stats::CpuStats;

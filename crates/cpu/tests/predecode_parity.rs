@@ -1,0 +1,118 @@
+//! Differential parity suite for the predecoded hot loop.
+//!
+//! The core normally executes from the decode-once [`tdo_cpu::PredecodedOp`]
+//! arrays; `Machine::set_per_fetch_decode(true)` forces it back to decoding
+//! the stored word on every fetch, exactly as the pre-predecode simulator
+//! did. These tests prove the two modes are *commit-for-commit identical* —
+//! same cycles, same stats, same probe-event trajectories, same persisted
+//! bytes — across all 14 workloads, including the arm where the optimizer
+//! patches prefetch-distance immediates into live code mid-run (the path
+//! that exercises the patch→re-predecode invalidation protocol).
+
+use tdo_sim::{
+    encode_result, run, Cell, ExperimentSpec, Machine, PrefetchSetup, Runner, SimConfig, SimResult,
+};
+use tdo_workloads::{build, names, Scale};
+
+/// Short but optimizer-exercising window (same shape the engine tests use;
+/// the suite runs unoptimized under `cargo test`, so keep cells small).
+fn cfg(setup: PrefetchSetup) -> SimConfig {
+    let mut cfg = SimConfig::test(setup);
+    cfg.warmup_insts = 5_000;
+    cfg.measure_insts = 45_000;
+    cfg
+}
+
+/// Runs one workload in the given decode mode and returns its result.
+fn run_mode(workload: &str, setup: PrefetchSetup, per_fetch: bool) -> SimResult {
+    let w = build(workload, Scale::Test).expect("known workload");
+    let mut m = Machine::new(&w, cfg(setup));
+    m.set_per_fetch_decode(per_fetch);
+    m.run()
+}
+
+/// The persisted representation is the strongest equality we have: every
+/// counter the store round-trips, as raw codec words.
+fn digest(r: &SimResult) -> Vec<u64> {
+    encode_result(r)
+}
+
+#[test]
+fn all_workloads_identical_without_patching() {
+    // NoPrefetch: the optimizer never runs, so the code image is immutable
+    // and parity isolates the predecoded *execution* path.
+    for name in names() {
+        let pre = run_mode(name, PrefetchSetup::NoPrefetch, false);
+        let raw = run_mode(name, PrefetchSetup::NoPrefetch, true);
+        assert_eq!(digest(&pre), digest(&raw), "{name}: predecoded != per-fetch (no-patch arm)");
+    }
+}
+
+#[test]
+fn all_workloads_identical_with_mid_run_distance_patching() {
+    // SwSelfRepair: the helper thread installs prefetch-carrying traces and
+    // then repairs their distances in place while the main context executes
+    // them — every patched word must be re-predecoded before its next fetch.
+    let mut total_repairs = 0u64;
+    let mut total_groups = 0u64;
+    for name in names() {
+        let pre = run_mode(name, PrefetchSetup::SwSelfRepair, false);
+        let raw = run_mode(name, PrefetchSetup::SwSelfRepair, true);
+        assert_eq!(digest(&pre), digest(&raw), "{name}: predecoded != per-fetch (self-repair arm)");
+        total_repairs += pre.optimizer.repairs;
+        total_groups += pre.optimizer.groups;
+    }
+    // The whole point of this arm: prove the suite actually covered
+    // mid-execution patches, not just cold predecode.
+    assert!(total_groups > 0, "self-repair arm installed no prefetch groups");
+    assert!(total_repairs > 0, "self-repair arm performed no distance repairs");
+}
+
+#[test]
+fn repair_trajectories_match_in_both_modes() {
+    // Beyond end-state stats: the full cycle-stamped probe-event log (trace
+    // installs, repairs, backouts...) must be identical event-for-event.
+    for name in ["mcf", "equake", "art"] {
+        let w = build(name, Scale::Test).expect("known workload");
+        let trace = |per_fetch: bool| {
+            let recorder = tdo_obs::Recorder::shared();
+            let mut m = Machine::new(&w, cfg(PrefetchSetup::SwSelfRepair));
+            m.set_per_fetch_decode(per_fetch);
+            m.set_probe(recorder.clone());
+            let r = m.run();
+            let rec = std::rc::Rc::try_unwrap(recorder).expect("probe released").into_inner();
+            (digest(&r), rec.to_jsonl())
+        };
+        let (pre_digest, pre_events) = trace(false);
+        let (raw_digest, raw_events) = trace(true);
+        assert_eq!(pre_digest, raw_digest, "{name}: traced-run digests differ");
+        assert_eq!(pre_events, raw_events, "{name}: repair trajectories differ");
+    }
+}
+
+#[test]
+fn predecoded_results_are_stable_across_worker_counts() {
+    // The engine memoizes and parallelizes over the predecoded machines;
+    // serial and 4-way runs must produce the same digests in cell order.
+    let mut spec = ExperimentSpec::new();
+    for name in ["mcf", "gap", "swim"] {
+        for setup in [PrefetchSetup::NoPrefetch, PrefetchSetup::SwSelfRepair] {
+            spec.push(Cell::new(name, Scale::Test, cfg(setup)));
+        }
+    }
+    let serial: Vec<Vec<u64>> = Runner::new(1).run_spec(&spec).iter().map(|r| digest(r)).collect();
+    let parallel: Vec<Vec<u64>> =
+        Runner::new(4).run_spec(&spec).iter().map(|r| digest(r)).collect();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn plain_run_helper_uses_predecoded_mode() {
+    // `run()` is what the engine calls; confirm it matches an explicit
+    // predecoded machine, so the suite's `run_mode(false)` arm really is
+    // the production path.
+    let w = build("dot", Scale::Test).expect("known workload");
+    let via_helper = run(&w, &cfg(PrefetchSetup::SwSelfRepair));
+    let via_machine = run_mode("dot", PrefetchSetup::SwSelfRepair, false);
+    assert_eq!(digest(&via_helper), digest(&via_machine));
+}

@@ -58,11 +58,21 @@ pub struct Eviction {
 }
 
 /// A tag-only set-associative cache with true-LRU replacement.
+///
+/// All geometry derived from the configuration — set mask, tag shift, way
+/// count — is precomputed at construction, so the per-access walk is one
+/// shift/mask/multiply plus a short tag scan with no recomputation (the
+/// tag shift used to be a `count_ones()` per access).
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Line>,
     set_mask: u64,
     line_shift: u32,
+    /// `tag = line >> tag_shift` (index bits removed); equals
+    /// `set_mask.count_ones()`.
+    tag_shift: u32,
+    /// Associativity, as the walk loops' native index type.
+    ways: usize,
     stamp: u64,
 }
 
@@ -76,6 +86,8 @@ impl Cache {
             sets: vec![Line::default(); (sets * u64::from(cfg.assoc)) as usize],
             set_mask: sets - 1,
             line_shift: cfg.line_bytes.trailing_zeros(),
+            tag_shift: (sets - 1).count_ones(),
+            ways: cfg.assoc as usize,
             stamp: 0,
         }
     }
@@ -86,35 +98,44 @@ impl Cache {
         &self.cfg
     }
 
-    fn set_range(&self, addr: u64) -> (usize, u64) {
+    /// The read-only half of every walk: locates the valid line holding
+    /// `addr`, returning its index into `sets`. Shared by the hit paths of
+    /// [`Cache::lookup`], [`Cache::probe`], [`Cache::mark_dirty`] and
+    /// [`Cache::invalidate`], which differ only in what they mutate after
+    /// finding it.
+    #[inline]
+    fn find(&self, addr: u64) -> Option<usize> {
         let line = addr >> self.line_shift;
-        let set = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
-        (set * self.cfg.assoc as usize, tag)
+        let base = ((line & self.set_mask) as usize) * self.ways;
+        let tag = line >> self.tag_shift;
+        self.sets[base..base + self.ways]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+            .map(|i| base + i)
     }
 
     /// Demand lookup: returns hit info and clears the line's prefetch bit.
+    ///
+    /// Takes `&mut self` by necessity, not convenience: a demand hit is not
+    /// a read-only operation in this model. True-LRU replacement must stamp
+    /// the line's recency on every touch, and the Figure 6 accounting
+    /// consumes the line's prefetched bit on the first demand touch. The
+    /// genuinely read-only probe is [`Cache::probe`] (backed by the shared
+    /// [`Cache::find`] walk); callers that only need presence use that.
     pub fn lookup(&mut self, addr: u64) -> Option<HitInfo> {
+        let i = self.find(addr)?;
         self.stamp += 1;
-        let (base, tag) = self.set_range(addr);
-        let ways = self.cfg.assoc as usize;
-        for l in &mut self.sets[base..base + ways] {
-            if l.valid && l.tag == tag {
-                l.last_use = self.stamp;
-                let first = l.prefetched;
-                l.prefetched = false;
-                return Some(HitInfo { first_touch_of_prefetch: first });
-            }
-        }
-        None
+        let l = &mut self.sets[i];
+        l.last_use = self.stamp;
+        let first = l.prefetched;
+        l.prefetched = false;
+        Some(HitInfo { first_touch_of_prefetch: first })
     }
 
     /// Probe without updating LRU or prefetch state.
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
-        let (base, tag) = self.set_range(addr);
-        let ways = self.cfg.assoc as usize;
-        self.sets[base..base + ways].iter().any(|l| l.valid && l.tag == tag)
+        self.find(addr).is_some()
     }
 
     /// Inserts the line containing `addr`, evicting the LRU way if needed.
@@ -123,18 +144,22 @@ impl Cache {
     /// will report [`HitInfo::first_touch_of_prefetch`]).
     pub fn insert(&mut self, addr: u64, prefetched: bool) -> Option<Eviction> {
         self.stamp += 1;
-        let (base, tag) = self.set_range(addr);
-        let ways = self.cfg.assoc as usize;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+        let tag = line >> self.tag_shift;
         // Already present: refresh.
-        if let Some(l) = self.sets[base..base + ways].iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(l) =
+            self.sets[base..base + self.ways].iter_mut().find(|l| l.valid && l.tag == tag)
+        {
             l.last_use = self.stamp;
             return None;
         }
         // Free way?
-        let victim_idx = match self.sets[base..base + ways].iter().position(|l| !l.valid) {
+        let victim_idx = match self.sets[base..base + self.ways].iter().position(|l| !l.valid) {
             Some(i) => base + i,
             None => {
-                let (i, _) = self.sets[base..base + ways]
+                let (i, _) = self.sets[base..base + self.ways]
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, l)| l.last_use)
@@ -144,8 +169,7 @@ impl Cache {
         };
         let victim = self.sets[victim_idx];
         let evicted = victim.valid.then(|| {
-            let set_index = (base / ways) as u64;
-            let line = (victim.tag << self.set_mask.count_ones()) | set_index;
+            let line = (victim.tag << self.tag_shift) | set as u64;
             Eviction {
                 line_addr: line << self.line_shift,
                 was_untouched_prefetch: victim.prefetched,
@@ -160,25 +184,19 @@ impl Cache {
     /// Marks the line containing `addr` dirty, if present. Returns whether
     /// the line was found.
     pub fn mark_dirty(&mut self, addr: u64) -> bool {
-        let (base, tag) = self.set_range(addr);
-        let ways = self.cfg.assoc as usize;
-        for l in &mut self.sets[base..base + ways] {
-            if l.valid && l.tag == tag {
-                l.dirty = true;
-                return true;
+        match self.find(addr) {
+            Some(i) => {
+                self.sets[i].dirty = true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Invalidates the line containing `addr`, if present.
     pub fn invalidate(&mut self, addr: u64) {
-        let (base, tag) = self.set_range(addr);
-        let ways = self.cfg.assoc as usize;
-        for l in &mut self.sets[base..base + ways] {
-            if l.valid && l.tag == tag {
-                l.valid = false;
-            }
+        if let Some(i) = self.find(addr) {
+            self.sets[i].valid = false;
         }
     }
 

@@ -6,10 +6,11 @@
 //! [`Hierarchy::sw_prefetch`]; the functional bytes live separately in
 //! [`crate::memory::Memory`].
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::cache::Cache;
 use crate::config::MemConfig;
+use crate::fasthash::FastSet;
 use crate::stats::{AccessResult, LoadClass, MemStats, PrefetchOutcome, ServiceLevel};
 use crate::stream::StreamBuffers;
 
@@ -20,8 +21,14 @@ enum Initiator {
     HwPrefetch,
 }
 
+/// One MSHR: an in-flight line fill. Lives in a single arena queue in
+/// issue order (see [`Hierarchy::inflight`]) — there is no per-fill heap
+/// allocation and no hash map; lookups scan the (small, MSHR-bounded)
+/// queue from the newest entry, which matches the old map's
+/// latest-insert-wins semantics.
 #[derive(Clone, Copy, Debug)]
 struct Inflight {
+    line: u64,
     complete_at: u64,
     initiator: Initiator,
     level: ServiceLevel,
@@ -84,14 +91,14 @@ impl Lower {
 /// attribute later misses to prefetching (Figure 6's "miss due to
 /// prefetching").
 struct DisplacedLog {
-    set: HashSet<u64>,
+    set: FastSet<u64>,
     order: VecDeque<u64>,
     cap: usize,
 }
 
 impl DisplacedLog {
     fn new(cap: usize) -> DisplacedLog {
-        DisplacedLog { set: HashSet::new(), order: VecDeque::new(), cap }
+        DisplacedLog { set: FastSet::default(), order: VecDeque::new(), cap }
     }
 
     fn insert(&mut self, line: u64) {
@@ -119,9 +126,9 @@ pub struct Hierarchy {
     l1: Cache,
     lower: Lower,
     stream: Option<StreamBuffers>,
-    inflight: HashMap<u64, Inflight>,
-    /// (complete_at, line) in issue order, for MSHR accounting and pruning.
-    inflight_q: VecDeque<(u64, u64)>,
+    /// The MSHR arena: in-flight fills in issue order. Length is the MSHR
+    /// occupancy; the front is the oldest fill (pruned first).
+    inflight: VecDeque<Inflight>,
     displaced: DisplacedLog,
     /// Aggregate statistics.
     pub stats: MemStats,
@@ -140,8 +147,7 @@ impl Hierarchy {
                 mem_latency: cfg.mem_latency,
             },
             stream: cfg.stream.map(|s| StreamBuffers::new(s, cfg.l1.line_bytes)),
-            inflight: HashMap::new(),
-            inflight_q: VecDeque::new(),
+            inflight: VecDeque::with_capacity(cfg.mshrs),
             displaced: DisplacedLog::new(cfg.displaced_log_entries),
             stats: MemStats::default(),
             cfg,
@@ -161,27 +167,29 @@ impl Hierarchy {
     }
 
     fn prune(&mut self, now: u64) {
-        while let Some(&(t, line)) = self.inflight_q.front() {
-            if t > now {
+        while let Some(front) = self.inflight.front() {
+            if front.complete_at > now {
                 break;
             }
-            self.inflight_q.pop_front();
-            if let Some(inf) = self.inflight.get(&line) {
-                if inf.complete_at == t {
-                    self.inflight.remove(&line);
-                }
-            }
+            self.inflight.pop_front();
         }
     }
 
+    /// The newest in-flight fill of `line`, if any (a line can be
+    /// re-fetched after its first fill was evicted; the newest entry is
+    /// the live one, as with the old map's insert-overwrites semantics).
+    fn inflight_for(&self, line: u64) -> Option<Inflight> {
+        self.inflight.iter().rev().find(|e| e.line == line).copied()
+    }
+
     fn mshrs_full(&self) -> bool {
-        self.inflight_q.len() >= self.cfg.mshrs
+        self.inflight.len() >= self.cfg.mshrs
     }
 
     /// Extra cycles a demand miss waits for a free MSHR.
     fn mshr_stall(&self, now: u64) -> u64 {
         if self.mshrs_full() {
-            self.inflight_q.front().map_or(0, |&(t, _)| t.saturating_sub(now))
+            self.inflight.front().map_or(0, |e| e.complete_at.saturating_sub(now))
         } else {
             0
         }
@@ -200,9 +208,8 @@ impl Hierarchy {
         }
     }
 
-    fn track_inflight(&mut self, line: u64, inf: Inflight) {
-        self.inflight_q.push_back((inf.complete_at, line));
-        self.inflight.insert(line, inf);
+    fn track_inflight(&mut self, inf: Inflight) {
+        self.inflight.push_back(inf);
     }
 
     fn refill_stream(&mut self, now: u64, buffer: usize) {
@@ -211,7 +218,7 @@ impl Hierarchy {
             Some(s) => s.refill_addresses(buffer),
             None => return,
         };
-        for a in addrs {
+        for &a in addrs.iter() {
             let lat = self.lower.probe_latency(now, a);
             self.stream.as_mut().expect("checked above").push_fill(buffer, a, now + lat);
         }
@@ -227,7 +234,7 @@ impl Hierarchy {
         let l1_lat = self.cfg.l1.latency;
 
         if let Some(hit) = self.l1.lookup(addr) {
-            let r = match self.inflight.get(&line).copied() {
+            let r = match self.inflight_for(line) {
                 Some(inf) if inf.complete_at > now => {
                     // Fill still in flight: pay the remaining latency — but a
                     // stream buffer may already hold the same line from an
@@ -288,14 +295,12 @@ impl Hierarchy {
                 let ev = self.l1.insert(addr, false);
                 self.on_l1_eviction(now, ev, false);
                 if !ready {
-                    self.track_inflight(
+                    self.track_inflight(Inflight {
                         line,
-                        Inflight {
-                            complete_at: hit.ready_at,
-                            initiator: Initiator::HwPrefetch,
-                            level: ServiceLevel::StreamBuffer,
-                        },
-                    );
+                        complete_at: hit.ready_at,
+                        initiator: Initiator::HwPrefetch,
+                        level: ServiceLevel::StreamBuffer,
+                    });
                 }
                 self.refill_stream(now, hit.buffer);
                 let r = AccessResult {
@@ -320,10 +325,12 @@ impl Hierarchy {
         let latency = stall + lower_lat;
         let ev = self.l1.insert(addr, false);
         self.on_l1_eviction(now, ev, false);
-        self.track_inflight(
+        self.track_inflight(Inflight {
             line,
-            Inflight { complete_at: now + latency, initiator: Initiator::Demand, level },
-        );
+            complete_at: now + latency,
+            initiator: Initiator::Demand,
+            level,
+        });
         self.allocate_stream(now, pc, addr);
         let r = AccessResult { latency, level, class, l1_miss: true };
         self.stats.record_load(&r);
@@ -340,17 +347,19 @@ impl Hierarchy {
         let (lat, level) = self.lower.fetch(now, next);
         let ev = self.l1.insert(next, true);
         self.on_l1_eviction(now, ev, true);
-        self.track_inflight(
-            next,
-            Inflight { complete_at: now + lat, initiator: Initiator::HwPrefetch, level },
-        );
+        self.track_inflight(Inflight {
+            line: next,
+            complete_at: now + lat,
+            initiator: Initiator::HwPrefetch,
+            level,
+        });
     }
 
     /// A confident stride predictor may allocate a stream for this PC.
     fn allocate_stream(&mut self, now: u64, pc: u64, addr: u64) {
         if let Some(s) = self.stream.as_mut() {
             if let Some((buf, addrs)) = s.consider_allocation(pc, addr) {
-                for a in addrs {
+                for &a in addrs.iter() {
                     let lat = self.lower.probe_latency(now, a);
                     self.stream.as_mut().expect("stream enabled").push_fill(buf, a, now + lat);
                 }
@@ -366,7 +375,7 @@ impl Hierarchy {
         let line = self.l1.line_addr(addr);
         if self.l1.lookup(addr).is_some() {
             self.l1.mark_dirty(addr);
-            return match self.inflight.get(&line) {
+            return match self.inflight_for(line) {
                 Some(inf) if inf.complete_at > now => inf.complete_at - now,
                 _ => self.cfg.l1.latency,
             };
@@ -375,10 +384,12 @@ impl Hierarchy {
         let ev = self.l1.insert(addr, false);
         self.on_l1_eviction(now, ev, false);
         self.l1.mark_dirty(addr);
-        self.track_inflight(
+        self.track_inflight(Inflight {
             line,
-            Inflight { complete_at: now + lat, initiator: Initiator::Demand, level },
-        );
+            complete_at: now + lat,
+            initiator: Initiator::Demand,
+            level,
+        });
         lat
     }
 
@@ -409,10 +420,12 @@ impl Hierarchy {
         let (lat, level) = self.lower.fetch(now, addr);
         let ev = self.l1.insert(addr, true);
         self.on_l1_eviction(now, ev, true);
-        self.track_inflight(
+        self.track_inflight(Inflight {
             line,
-            Inflight { complete_at: now + lat, initiator: Initiator::SwPrefetch, level },
-        );
+            complete_at: now + lat,
+            initiator: Initiator::SwPrefetch,
+            level,
+        });
         self.stats.sw_prefetch_issued += 1;
         PrefetchOutcome::Issued
     }

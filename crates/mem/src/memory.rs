@@ -5,15 +5,18 @@
 //! writes. Reads of unmapped memory return zero without allocating, which
 //! also gives the non-faulting load (`ldnf`) its defined semantics.
 
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_BYTES: usize = 1 << PAGE_BITS;
 
 /// Sparse, page-granular byte-addressable memory.
+///
+/// The page table is keyed with the crate's [`crate::fasthash::FastHasher`]:
+/// every simulated load walks it, so the default SipHash was pure overhead.
 #[derive(Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: FastMap<u64, Box<[u8; PAGE_BYTES]>>,
 }
 
 impl Memory {

@@ -132,6 +132,39 @@ pub struct StreamHit {
     pub buffer: usize,
 }
 
+/// Hard upper bound on entries per buffer (the paper's deepest
+/// configuration is 8); sizes [`RefillList`]'s inline storage.
+pub const MAX_STREAM_ENTRIES: usize = 16;
+
+/// Up to one buffer depth of refill addresses, stored inline.
+///
+/// [`StreamBuffers::refill_addresses`] runs after every buffer hit — the
+/// hierarchy's hottest prefetcher path — so returning a heap `Vec` there
+/// was a per-access allocation. Dereferences as a `&[u64]`.
+#[derive(Clone, Copy, Debug)]
+pub struct RefillList {
+    addrs: [u64; MAX_STREAM_ENTRIES],
+    len: usize,
+}
+
+impl RefillList {
+    const EMPTY: RefillList = RefillList { addrs: [0; MAX_STREAM_ENTRIES], len: 0 };
+
+    #[inline]
+    fn push(&mut self, a: u64) {
+        self.addrs[self.len] = a;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for RefillList {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        &self.addrs[..self.len]
+    }
+}
+
 /// The set of stream buffers.
 pub struct StreamBuffers {
     cfg: StreamBufferConfig,
@@ -149,8 +182,17 @@ pub struct StreamBuffers {
 
 impl StreamBuffers {
     /// Builds the buffer set for lines of `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.entries_per_buffer` exceeds [`MAX_STREAM_ENTRIES`].
     #[must_use]
     pub fn new(cfg: StreamBufferConfig, line_bytes: u64) -> StreamBuffers {
+        assert!(
+            cfg.entries_per_buffer <= MAX_STREAM_ENTRIES,
+            "buffer depth {} exceeds the inline refill-list bound {MAX_STREAM_ENTRIES}",
+            cfg.entries_per_buffer
+        );
         let buffers = (0..cfg.buffers)
             .map(|_| Buffer {
                 valid: false,
@@ -223,13 +265,13 @@ impl StreamBuffers {
     /// Call after [`StreamBuffers::probe_and_consume`]; pair each returned
     /// address with a [`StreamBuffers::push_fill`] carrying its fill time.
     #[must_use]
-    pub fn refill_addresses(&mut self, buffer: usize) -> Vec<u64> {
+    pub fn refill_addresses(&mut self, buffer: usize) -> RefillList {
+        let mut out = RefillList::EMPTY;
         let b = &mut self.buffers[buffer];
         if !b.valid {
-            return Vec::new();
+            return out;
         }
         let need = self.cfg.entries_per_buffer.saturating_sub(b.entries.len());
-        let mut out = Vec::with_capacity(need);
         for _ in 0..need {
             out.push(b.next_addr);
             b.next_addr = b.next_addr.wrapping_add(b.stride as u64);
@@ -248,7 +290,7 @@ impl StreamBuffers {
     ///
     /// Returns the buffer index and the addresses to fetch when the stride
     /// predictor is confident and the miss does not already stream.
-    pub fn consider_allocation(&mut self, pc: u64, addr: u64) -> Option<(usize, Vec<u64>)> {
+    pub fn consider_allocation(&mut self, pc: u64, addr: u64) -> Option<(usize, RefillList)> {
         let stride = self.predictor.predict(pc, self.cfg.allocation_confidence)?;
         // Skip tiny strides inside one line: next-line behaviour is already
         // covered by stride-1-line streams; a zero line-delta stream is useless.
@@ -353,7 +395,7 @@ mod tests {
             s.train(0x20, 0x2000 + i * 64);
         }
         let (buf, addrs) = s.consider_allocation(0x20, 0x2100).unwrap();
-        for a in &addrs {
+        for a in addrs.iter() {
             s.push_fill(buf, *a, 0);
         }
         // Hit the third entry: two earlier entries are skipped.
@@ -383,7 +425,7 @@ mod tests {
             s.train(0x40, 0x4000 + i * 64);
         }
         let (buf, addrs) = s.consider_allocation(0x40, 0x4100).unwrap();
-        for a in &addrs {
+        for a in addrs.iter() {
             s.push_fill(buf, *a, 0);
         }
         assert!(s.consider_allocation(0x40, 0x4100).is_none());

@@ -45,6 +45,90 @@ enum PendingJob {
     Opt { action: PreparedAction, trace: TraceId },
 }
 
+/// Dense-slot cap for the code-cache side of [`PcMap`] (the 4 MB code
+/// cache holds at most 512 K instructions).
+const PC_MAP_CC_MAX: usize = 1 << 20;
+
+/// PC → trace-membership map, consulted once per committed instruction.
+///
+/// Was a `HashMap<u64, PcInfo>`; the commit path is hot enough that the
+/// hash + probe showed up in the phase profile, so the two address ranges
+/// commits actually come from — the original program and the code cache —
+/// are dense slot arrays indexed by `(pc - base) / INST_BYTES`, with a
+/// spill map for anything else (never hit in practice).
+struct PcMap {
+    orig_base: u64,
+    orig: Vec<Option<PcInfo>>,
+    cc_base: u64,
+    cc: Vec<Option<PcInfo>>,
+    spill: HashMap<u64, PcInfo>,
+}
+
+impl PcMap {
+    fn new(orig_base: u64, orig_len: usize, cc_base: u64) -> PcMap {
+        PcMap {
+            orig_base,
+            orig: vec![None; orig_len],
+            cc_base,
+            cc: Vec::new(),
+            spill: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn slot_index(base: u64, len: usize, pc: u64) -> Option<usize> {
+        if pc < base {
+            return None;
+        }
+        let idx = ((pc - base) / tdo_isa::INST_BYTES) as usize;
+        (idx < len).then_some(idx)
+    }
+
+    #[inline]
+    fn get(&self, pc: u64) -> Option<PcInfo> {
+        if let Some(i) = Self::slot_index(self.orig_base, self.orig.len(), pc) {
+            return self.orig[i];
+        }
+        if let Some(i) = Self::slot_index(self.cc_base, self.cc.len(), pc) {
+            return self.cc[i];
+        }
+        if self.spill.is_empty() {
+            return None;
+        }
+        self.spill.get(&pc).copied()
+    }
+
+    fn insert(&mut self, pc: u64, info: PcInfo) {
+        if let Some(i) = Self::slot_index(self.orig_base, self.orig.len(), pc) {
+            self.orig[i] = Some(info);
+            return;
+        }
+        if pc >= self.cc_base {
+            let idx = ((pc - self.cc_base) / tdo_isa::INST_BYTES) as usize;
+            if idx < PC_MAP_CC_MAX {
+                if idx >= self.cc.len() {
+                    self.cc.resize(idx + 1, None);
+                }
+                self.cc[idx] = Some(info);
+                return;
+            }
+        }
+        self.spill.insert(pc, info);
+    }
+
+    fn remove(&mut self, pc: u64) {
+        if let Some(i) = Self::slot_index(self.orig_base, self.orig.len(), pc) {
+            self.orig[i] = None;
+            return;
+        }
+        if let Some(i) = Self::slot_index(self.cc_base, self.cc.len(), pc) {
+            self.cc[i] = None;
+            return;
+        }
+        self.spill.remove(&pc);
+    }
+}
+
 /// Counter values at the last windowed sample, for window deltas.
 #[derive(Clone, Copy, Default)]
 struct SampleBase {
@@ -67,7 +151,7 @@ pub struct Machine {
     trident: Trident,
     dlt: Dlt,
     optimizer: PrefetchOptimizer,
-    pc_map: HashMap<u64, PcInfo>,
+    pc_map: PcMap,
     trace_pcs: HashMap<TraceId, Vec<u64>>,
     trace_len: HashMap<TraceId, usize>,
     trace_head: HashMap<TraceId, u64>,
@@ -114,7 +198,11 @@ impl Machine {
             trident: Trident::new(cfg.trident),
             dlt: Dlt::new(cfg.dlt),
             optimizer: PrefetchOptimizer::new(opt_cfg),
-            pc_map: HashMap::new(),
+            pc_map: PcMap::new(
+                workload.program.code_base,
+                workload.program.code.len(),
+                cfg.trident.code_cache_base,
+            ),
             trace_pcs: HashMap::new(),
             trace_len: HashMap::new(),
             trace_head: HashMap::new(),
@@ -139,6 +227,15 @@ impl Machine {
     /// only reads the host clock, so the simulation result is unchanged.
     pub fn enable_profiler(&mut self) {
         self.prof = Some(Box::default());
+    }
+
+    /// Parity-test aid: switches the code image to decoding the stored
+    /// word on every fetch instead of serving predecoded ops. The two
+    /// modes are architecturally identical — the differential suite in
+    /// `crates/cpu/tests/predecode_parity.rs` runs both and byte-compares
+    /// the serialized results.
+    pub fn set_per_fetch_decode(&mut self, on: bool) {
+        self.code.set_per_fetch_decode(on);
     }
 
     /// Attributes the wall time since the profiler's last mark to
@@ -228,6 +325,27 @@ impl Machine {
             && !self.core.halted()
             && self.core.now() < self.cfg.max_cycles
         {
+            // Batch-step: when nothing in the whole machine can act before
+            // some future cycle — the main context is stalled, the helper
+            // is idle, no job awaits commit and no event awaits dispatch —
+            // jump the clock there instead of stepping through empty
+            // cycles. Every skipped cycle is one the baseline loop would
+            // execute with zero state change (no commits, no monitors, no
+            // sampling — it is instruction-gated — no dispatch, no finish),
+            // so results are bit-identical; the mature-clear tick is the
+            // one cycle-gated action, handled by capping the jump just
+            // short of its deadline.
+            if self.pending_job.is_none() && self.trident.events.is_empty() {
+                if let Some(mut t) = self.core.idle_hint(&self.code) {
+                    if let Some(at) = self.next_mature_clear {
+                        t = t.min(at.saturating_sub(1));
+                    }
+                    t = t.min(self.cfg.max_cycles);
+                    if t > self.core.now() {
+                        self.core.skip_to(t);
+                    }
+                }
+            }
             self.step();
             if warm_snapshot.is_none() && self.total_orig >= warmup_end {
                 warm_snapshot = Some(self.snapshot());
@@ -278,30 +396,43 @@ impl Machine {
         buf.extend_from_slice(commits);
         self.prof_lap(PHASE_CORE);
 
+        // Phases 2–5 lap the profiler clock only when they actually did
+        // work: an idle phase's guard test costs nanoseconds, and reading
+        // the clock for it both distorts the attribution and — at 6–7
+        // reads per simulated cycle — used to be a large fraction of the
+        // profiled run's wall time. The guards' cost rolls into the next
+        // phase that does lap (or goes unattributed at step end).
+
         // 2. Feed the monitors.
-        for c in &buf {
-            self.observe_commit(c);
+        if !buf.is_empty() {
+            for c in &buf {
+                self.observe_commit(c);
+            }
+            self.prof_lap(PHASE_MONITORS);
         }
         self.commit_buf = buf;
-        self.prof_lap(PHASE_MONITORS);
 
         // 2b. Windowed performance sample for the timeline.
         if self.probe_on && self.total_orig >= self.next_sample {
             self.emit_sample();
+            self.prof_lap(PHASE_SAMPLING);
         }
-        self.prof_lap(PHASE_SAMPLING);
 
         // 3. Dispatch one pending event to the helper if it is free.
-        if self.optimization_enabled() && self.pending_job.is_none() && self.core.helper_idle() {
+        if self.optimization_enabled()
+            && self.pending_job.is_none()
+            && self.core.helper_idle()
+            && !self.trident.events.is_empty()
+        {
             self.dispatch_event();
+            self.prof_lap(PHASE_EVENTS);
         }
-        self.prof_lap(PHASE_EVENTS);
 
         // 4. Commit a finished helper job.
         if let Some(id) = self.core.take_finished_job() {
             self.finish_job(id);
+            self.prof_lap(PHASE_OPTIMIZER);
         }
-        self.prof_lap(PHASE_OPTIMIZER);
 
         // 5. Phase-change extension: periodically re-open matured loads.
         if let (Some(at), Some(interval)) = (self.next_mature_clear, self.cfg.mature_clear_interval)
@@ -310,9 +441,9 @@ impl Machine {
                 self.dlt.clear_all_mature();
                 self.optimizer.refresh_budgets();
                 self.next_mature_clear = Some(at + interval);
+                self.prof_lap(PHASE_MATURE);
             }
         }
-        self.prof_lap(PHASE_MATURE);
     }
 
     /// Emits one windowed [`Event::Sample`] and advances the window. Rates
@@ -352,7 +483,7 @@ impl Machine {
     }
 
     fn observe_commit(&mut self, c: &Commit) {
-        let info = self.pc_map.get(&c.pc).copied();
+        let info = self.pc_map.get(c.pc);
         let in_trace = info.filter(|i| i.index != usize::MAX);
         let weight = match info {
             Some(i) => u64::from(i.weight),
@@ -487,7 +618,7 @@ impl Machine {
                 }
                 self.counters.hot_trace_events += 1;
                 let code = &self.code;
-                let fetch = |pc: u64| code.fetch(pc);
+                let fetch = |pc: u64| code.fetch(pc).expect("trace formation read a corrupt word");
                 let Ok(pending) = self.trident.prepare_install(now, &fetch, head, bitmap, nbits)
                 else {
                     return;
@@ -519,7 +650,7 @@ impl Machine {
                 entry.being_optimized = true;
                 let len = self.trace_len.get(&trace).copied().unwrap_or(16) as u64;
                 let code = &self.code;
-                let fetch = |pc: u64| code.fetch(pc);
+                let fetch = |pc: u64| code.fetch(pc).expect("optimizer read a corrupt word");
                 let action =
                     self.optimizer.handle_event(now, ev, &mut self.trident, &mut self.dlt, &fetch);
                 let (cost, kind) = match &action {
@@ -634,7 +765,7 @@ impl Machine {
     /// instruction (weight 1) lives there again.
     fn retire_trace_map(&mut self, id: TraceId, remove_head: bool) {
         if remove_head {
-            if let Some(head) = self.trace_head.get(&id) {
+            if let Some(&head) = self.trace_head.get(&id) {
                 if self.pc_map.get(head).is_some_and(|i| i.trace == id) {
                     self.pc_map.remove(head);
                 }
