@@ -47,11 +47,14 @@ pub struct ChaosOpts {
     pub jobs: usize,
     /// Write the coverage summary here as well (CI artifact).
     pub summary_out: Option<String>,
+    /// Write the attribution scenario's flight dump here (and its captured
+    /// structured log as `<path>.log`) — the CI chaos artifact.
+    pub flight_out: Option<String>,
 }
 
 impl Default for ChaosOpts {
     fn default() -> ChaosOpts {
-        ChaosOpts { seed: 1, quick: false, jobs: 2, summary_out: None }
+        ChaosOpts { seed: 1, quick: false, jobs: 2, summary_out: None, flight_out: None }
     }
 }
 
@@ -63,6 +66,10 @@ pub struct ChaosOutcome {
     pub coverage_text: String,
     /// Invariant violations; empty means the run passed.
     pub violations: Vec<String>,
+    /// The attribution scenario's flight-recorder dump (flight JSONL).
+    pub flight_dump: String,
+    /// The structured log lines the attribution scenario emitted.
+    pub flight_log: String,
 }
 
 impl ChaosOutcome {
@@ -155,6 +162,10 @@ pub fn run(opts: &ChaosOpts) -> ChaosOutcome {
     report.push_str(&kill_restart_sweep(opts, &mut violations, &mut coverage));
     report.push_str(&engine_chaos(opts, &mut violations, &mut coverage));
     report.push_str(&server_chaos(opts, &mut violations, &mut coverage));
+    // Last, so its recorder reset erases only the scenarios above.
+    let (flight_report, flight_dump, flight_log) =
+        flight_attribution(opts, &mut violations, &mut coverage);
+    report.push_str(&flight_report);
 
     let coverage_text = coverage.render();
     report.push_str(&coverage_text);
@@ -166,7 +177,7 @@ pub fn run(opts: &ChaosOpts) -> ChaosOutcome {
             let _ = writeln!(report, "  violation: {v}");
         }
     }
-    ChaosOutcome { report, coverage_text, violations }
+    ChaosOutcome { report, coverage_text, violations, flight_dump, flight_log }
 }
 
 /// Scenario 1: probabilistic faults on every store write path. Acknowledged
@@ -478,8 +489,8 @@ fn server_chaos(opts: &ChaosOpts, violations: &mut Vec<String>, cov: &mut Covera
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         queue_cap: 4,
-        store_dir: None,
         no_store: true,
+        ..ServerConfig::default()
     };
     let server = Server::bind(&cfg).expect("bind chaos server");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -546,4 +557,76 @@ fn server_chaos(opts: &ChaosOpts, violations: &mut Vec<String>, cov: &mut Covera
         u8::from(pool_alive),
         u8::from(shutdown_ok)
     )
+}
+
+/// Scenario 6: flight-recorder attribution. Seeded request traces drive the
+/// store under armed faults; the recorder's dump must be valid flight
+/// JSONL, byte-deterministic (logical clock, digest in the report), and
+/// must attribute at least one fired fault site to the exact request trace
+/// that hit it. Returns `(report line, flight dump, captured log)`.
+fn flight_attribution(
+    opts: &ChaosOpts,
+    violations: &mut Vec<String>,
+    cov: &mut Coverage,
+) -> (String, String, String) {
+    use tdo_obs::span;
+    // Logical clock + a reset ring: the dump reflects only this scenario,
+    // with per-trace sequence numbers instead of wall timestamps.
+    let _clock = span::logical_clock_guard();
+    span::global().reset();
+    let dir = TempDir::new("flight");
+    let store = Store::open(dir.path()).expect("open scratch store");
+    let traces = tdo_obs::TraceIdGen::new(opts.seed ^ 0xF11);
+    let requests: u64 = if opts.quick { 24 } else { 64 };
+    let mut acked = 0u64;
+    let ((), log_text) = tdo_obs::logline::capture(|| {
+        // `with_at` pins one guaranteed write fault; the probabilistic read
+        // corruption adds seed-dependent extras on top.
+        let guard = arm(FaultPlan::new(opts.seed ^ 0xF12)
+            .with_at(Site::StoreShortWrite, 3)
+            .with_prob(Site::StoreReadCorrupt, 200));
+        for key in 1..=requests {
+            let _root = span::SpanScope::root(traces.mint(), tdo_obs::FlightKind::Request, key);
+            if store.put(key, SCHEMA, &payload_for(opts.seed, key)).is_ok() {
+                acked += 1;
+            }
+            let _ = store.get(key, SCHEMA);
+        }
+        cov.absorb(&guard);
+        drop(guard);
+        // A fresh zero context pins the line's logical timestamp: the
+        // thread-local sequence would otherwise carry whatever this thread
+        // recorded before the scenario.
+        let _ctx = span::resume(tdo_obs::TraceCtx::fresh(0));
+        let requests_text = requests.to_string();
+        tdo_obs::logline::log(
+            tdo_obs::Level::Info,
+            "chaos",
+            "flight attribution swept",
+            &[("requests", &requests_text)],
+        );
+    });
+    let dump = span::global().dump();
+    if let Err(e) = tdo_obs::validate_flight(&dump) {
+        violations.push(format!("flight: dump is not valid flight JSONL: {e}"));
+    }
+    if let Err(e) = tdo_obs::validate_log(&log_text) {
+        violations.push(format!("flight: captured log fails the schema lint: {e}"));
+    }
+    let records = span::parse_flight(&dump).unwrap_or_default();
+    let faults =
+        records.iter().filter(|r| r.kind == tdo_obs::FlightKind::Fault).collect::<Vec<_>>();
+    let attributed = faults.iter().filter(|r| r.trace != 0).count();
+    if attributed == 0 {
+        violations.push("flight: no fired fault site attributed to a request trace".to_string());
+    }
+    let report = format!(
+        "[flight] requests={requests} acked={acked} events={} faults={} attributed={attributed} \
+         log-lines={} dump-digest={:016x}\n",
+        records.len(),
+        faults.len(),
+        log_text.lines().count(),
+        fnv1a64(dump.as_bytes())
+    );
+    (report, dump, log_text)
 }

@@ -11,16 +11,21 @@ fn tail(report: &str) -> String {
 
 #[test]
 fn quick_sweep_passes_and_is_seed_deterministic() {
-    let opts = ChaosOpts { seed: 11, quick: true, jobs: 2, summary_out: None };
+    let opts = ChaosOpts { seed: 11, quick: true, jobs: 2, ..ChaosOpts::default() };
     let first = run(&opts);
     assert!(first.passed(), "violations: {:?}", first.violations);
     assert!(first.report.contains("result: PASS"));
     assert!(first.report.contains("coverage:"));
 
-    // Byte-identical on a re-run with the same options.
+    // Byte-identical on a re-run with the same options — the flight dump
+    // and its captured structured log included.
     let second = run(&opts);
     assert_eq!(first.report, second.report, "same seed must reproduce the same report");
     assert_eq!(first.coverage_text, second.coverage_text);
+    assert_eq!(first.flight_dump, second.flight_dump, "flight dump must be byte-deterministic");
+    assert_eq!(first.flight_log, second.flight_log, "captured log must be byte-deterministic");
+    tdo_obs::validate_flight(&first.flight_dump).expect("flight dump validates");
+    tdo_obs::validate_log(&first.flight_log).expect("captured log validates");
 
     // A different seed draws a different fault schedule.
     let other = run(&ChaosOpts { seed: 12, ..opts.clone() });

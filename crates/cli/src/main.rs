@@ -44,7 +44,8 @@ const COMMANDS: &[(&str, &str)] = &[
     ("disasm", "dump the workload's code: disasm <workload>"),
     ("traces", "dump installed hot traces after a run: traces <workload> [opts]"),
     ("timeline", "cycle-stamped repair-convergence report: timeline <workload> [opts]"),
-    ("trace-validate", "schema-check an emitted JSONL/Chrome trace: trace-validate <file>"),
+    ("trace-validate", "schema-check an emitted trace/flight/log file: trace-validate <file>"),
+    ("flight", "render a flight-recorder dump as per-trace span trees: flight <dump>"),
     ("serve", "HTTP daemon serving results from the store: serve [opts]"),
     ("store", "persistent store maintenance: store <stats|verify|gc> [opts]"),
     ("ping", "HTTP client for a running daemon: ping <addr> [opts]"),
@@ -75,6 +76,10 @@ fn usage_text() -> String {
          \x20 --threads <N>             simulation worker threads (default 2)\n\
          \x20 --queue <N>               bounded /run queue; beyond it requests\n\
          \x20                           shed with 503 (default 16)\n\
+         \x20 --slo-us <N>              /run latency SLO in µs; a breach dumps\n\
+         \x20                           the flight recorder (default 0 = off)\n\
+         \x20 --flight-dir <dir>        directory for flight-recorder dumps on\n\
+         \x20                           panic/saturation/SLO breach\n\
          \x20 --store-dir / --no-store  as above\n\
          \nstore actions (all honour --store-dir):\n\
          \x20 stats                     record/byte/hit counters\n\
@@ -104,7 +109,9 @@ fn usage_text() -> String {
          \x20                           sweep is a pure function of it\n\
          \x20 --quick                   CI-sized sweep\n\
          \x20 --jobs <N>                engine workers for the jitter phase\n\
-         \x20 --summary-out <path>      write the fault-site coverage summary\n",
+         \x20 --summary-out <path>      write the fault-site coverage summary\n\
+         \x20 --flight-out <path>       write the attribution scenario's flight\n\
+         \x20                           dump (and its log as <path>.log)\n",
     );
     text
 }
@@ -433,14 +440,46 @@ fn cmd_timeline(name: &str, o: &Opts) -> Result<ExitCode, String> {
 
 fn cmd_trace_validate(path: &str) -> Result<ExitCode, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    // Every plane this repo emits is validated through the same verb; the
+    // format is recognized by its first bytes.
     let what = if text.starts_with("{\"traceEvents\":[") {
         let n = validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
         format!("valid Chrome trace ({n} entries)")
+    } else if text.starts_with("{\"trace\":") {
+        let n = tdo_obs::validate_flight(&text).map_err(|e| format!("{path}: {e}"))?;
+        format!("valid flight-recorder dump ({n} records)")
+    } else if text.starts_with("ts=") {
+        let n = tdo_obs::validate_log(&text).map_err(|e| format!("{path}: {e}"))?;
+        format!("valid structured log ({n} lines)")
     } else {
         let n = validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
         format!("valid JSONL event log ({n} events)")
     };
     println!("{path}: {what}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `tdo flight <dump>`: validate a flight-recorder dump and render it as
+/// one span tree per trace, with integer-µs timings.
+fn cmd_flight(path: &str) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    // Decode the integer payloads whose meaning lives in other crates:
+    // fault points carry a `Site::ALL` index, dump points a trigger index,
+    // coalesce points the leader's trace id.
+    let resolve = |kind: tdo_obs::FlightKind, arg: u64| -> Option<String> {
+        match kind {
+            tdo_obs::FlightKind::Fault => {
+                tdo_fault::Site::ALL.get(arg as usize).map(|s| format!("site={}", s.name()))
+            }
+            tdo_obs::FlightKind::Dump => ["worker_panic", "queue_saturation", "slo_breach"]
+                .get(arg as usize)
+                .map(|r| format!("reason={r}")),
+            tdo_obs::FlightKind::Coalesce => Some(format!("leader={arg:016x}")),
+            _ => None,
+        }
+    };
+    let rendered = tdo_obs::render_flight(&text, &resolve).map_err(|e| format!("{path}: {e}"))?;
+    print!("{rendered}");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -463,8 +502,18 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                 cfg.store_dir = Some(it.next().ok_or("--store-dir needs a directory")?.clone());
             }
             "--no-store" => cfg.no_store = true,
+            "--slo-us" => {
+                let v = it.next().ok_or("--slo-us needs a value")?;
+                cfg.slo_us = v.parse().map_err(|_| format!("bad --slo-us `{v}`"))?;
+            }
+            "--flight-dir" => {
+                cfg.flight_dir = Some(it.next().ok_or("--flight-dir needs a directory")?.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if let Some(dir) = &cfg.flight_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create --flight-dir `{dir}`: {e}"))?;
     }
     install_sigint_handler();
     let server = Server::bind(&cfg).map_err(|e| format!("cannot bind `{}`: {e}", cfg.addr))?;
@@ -668,6 +717,21 @@ fn cmd_ping(args: &[String]) -> Result<ExitCode, String> {
     if prom {
         let stats = tdo_metrics::expo::parse_text(&response.body)
             .map_err(|e| format!("prom exposition invalid: {e}"))?;
+        // The observability plane must actually be wired into the daemon's
+        // exposition — a scrape missing these families means the trace/log/
+        // flight layer fell off the registry.
+        for family in [
+            "tdo_obs_flight_recorded_total",
+            "tdo_obs_flight_overwritten_total",
+            "tdo_obs_flight_dropped_total",
+            "tdo_obs_log_lines_total",
+            "tdo_server_bad_requests_total",
+            "tdo_server_flight_dumps_total",
+        ] {
+            if !response.body.contains(family) {
+                return Err(format!("prom exposition is missing the `{family}` family"));
+            }
+        }
         println!("prom: {} families, {} samples, exposition valid", stats.families, stats.samples);
     }
     if response.ok() {
@@ -756,6 +820,9 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
             "--summary-out" => {
                 o.summary_out = Some(it.next().ok_or("--summary-out needs a path")?.clone());
             }
+            "--flight-out" => {
+                o.flight_out = Some(it.next().ok_or("--flight-out needs a path")?.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -764,6 +831,13 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
     if let Some(path) = &o.summary_out {
         std::fs::write(path, &outcome.coverage_text).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote fault-site coverage to {path}");
+    }
+    if let Some(path) = &o.flight_out {
+        std::fs::write(path, &outcome.flight_dump).map_err(|e| format!("write {path}: {e}"))?;
+        let log_path = format!("{path}.log");
+        std::fs::write(&log_path, &outcome.flight_log)
+            .map_err(|e| format!("write {log_path}: {e}"))?;
+        eprintln!("wrote flight dump to {path} (+ {log_path})");
     }
     Ok(if outcome.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
@@ -778,6 +852,12 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<ExitCode, String> {
                 return Err("trace-validate needs a file path".into());
             };
             cmd_trace_validate(path)
+        }
+        "flight" => {
+            let Some(path) = args.first() else {
+                return Err("flight needs a dump file path".into());
+            };
+            cmd_flight(path)
         }
         "serve" => cmd_serve(args),
         "store" => cmd_store(args),

@@ -325,6 +325,10 @@ fn decide(site: Site, key: Option<u64>) -> Option<u64> {
         if let Some(counters) = &plane.counters {
             counters[i].inc();
         }
+        // Attribute the injection to whatever request is executing: the
+        // fired site lands as a point event in the caller's current span,
+        // so a chaos failure maps back to the exact trace that hit it.
+        tdo_obs::span::point(tdo_obs::FlightKind::Fault, i as u64);
         return Some(token);
     }
     None

@@ -102,6 +102,19 @@ fn family_of<'a>(name: &'a str, types: &HashMap<String, String>) -> Option<&'a s
 }
 
 fn parse_sample(line: &str) -> Result<Sample, String> {
+    // Bucket lines may carry an OpenMetrics-style exemplar suffix:
+    // `name{le="8"} 3 # {trace_id="00ab..."} 7`. Strip and validate it,
+    // then parse the remainder as an ordinary sample.
+    let line = match line.split_once(" # ") {
+        None => line,
+        Some((main, exemplar)) => {
+            parse_exemplar(exemplar)?;
+            if !main.contains("_bucket") {
+                return Err(format!("exemplar on a non-bucket sample {main:?}"));
+            }
+            main
+        }
+    };
     let (series, value) =
         line.rsplit_once(' ').ok_or_else(|| format!("no value separator in {line:?}"))?;
     let value: u64 = value.parse().map_err(|_| format!("non-integer sample value {value:?}"))?;
@@ -118,6 +131,17 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
         return Err(format!("bad sample name {name:?}"));
     }
     Ok(Sample { name: name.to_string(), labels, value })
+}
+
+/// Validates an exemplar suffix body: `{trace_id="<hex>"} <integer>`.
+fn parse_exemplar(exemplar: &str) -> Result<(), String> {
+    let (labels, value) = exemplar
+        .strip_prefix('{')
+        .and_then(|rest| rest.split_once("} "))
+        .ok_or_else(|| format!("malformed exemplar {exemplar:?}"))?;
+    parse_labels(labels)?;
+    value.parse::<u64>().map_err(|_| format!("non-integer exemplar value {value:?}"))?;
+    Ok(())
 }
 
 fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
@@ -215,6 +239,23 @@ mod tests {
         assert!(parse_text("tdo_mystery_total 1\n").is_err(), "no TYPE");
         let bad_value = "# HELP tdo_x_total X.\n# TYPE tdo_x_total counter\ntdo_x_total 1.5\n";
         assert!(parse_text(bad_value).is_err(), "float value");
+    }
+
+    #[test]
+    fn accepts_exemplars_on_bucket_lines_only() {
+        let good = "# HELP tdo_l_us L.\n# TYPE tdo_l_us histogram\n\
+                    tdo_l_us_bucket{le=\"1\"} 1 # {trace_id=\"00000000000000ab\"} 1\n\
+                    tdo_l_us_bucket{le=\"+Inf\"} 2\n\
+                    tdo_l_us_sum 41\ntdo_l_us_count 2\n";
+        assert!(parse_text(good).is_ok(), "{:?}", parse_text(good));
+        let on_counter = "# HELP tdo_x_total X.\n# TYPE tdo_x_total counter\n\
+                          tdo_x_total 1 # {trace_id=\"ab\"} 1\n";
+        assert!(parse_text(on_counter).is_err(), "exemplar on a counter");
+        let bad_value = "# HELP tdo_l_us L.\n# TYPE tdo_l_us histogram\n\
+                         tdo_l_us_bucket{le=\"1\"} 1 # {trace_id=\"ab\"} x\n\
+                         tdo_l_us_bucket{le=\"+Inf\"} 1\n\
+                         tdo_l_us_sum 1\ntdo_l_us_count 1\n";
+        assert!(parse_text(bad_value).is_err(), "non-integer exemplar value");
     }
 
     #[test]

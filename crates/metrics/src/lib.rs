@@ -96,6 +96,12 @@ pub struct Histogram {
     buckets: [AtomicU64; TOTAL_BUCKETS],
     sum: AtomicU64,
     count: AtomicU64,
+    // Last trace id / value observed per bucket (0 = no exemplar). Two
+    // independent relaxed words: a scrape may pair a trace with a value
+    // from an adjacent observation in the same bucket, which is fine for
+    // an exemplar (any recent representative will do).
+    exemplar_trace: [AtomicU64; TOTAL_BUCKETS],
+    exemplar_value: [AtomicU64; TOTAL_BUCKETS],
 }
 
 impl Default for Histogram {
@@ -137,6 +143,8 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            exemplar_trace: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_value: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -164,6 +172,25 @@ impl Histogram {
         self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation and remembers `trace` as the bucket's
+    /// exemplar — the trace id a scrape can follow from a latency bucket
+    /// back into the flight recorder. A zero trace records no exemplar.
+    pub fn observe_with_exemplar(&self, v: u64, trace: u64) {
+        self.observe(v);
+        if trace != 0 {
+            let i = Self::bucket_index(v);
+            self.exemplar_trace[i].store(trace, Ordering::Relaxed);
+            self.exemplar_value[i].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The last `(trace, value)` exemplar recorded in bucket `i`, if any.
+    #[must_use]
+    pub fn exemplar(&self, i: usize) -> Option<(u64, u64)> {
+        let trace = self.exemplar_trace[i].load(Ordering::Relaxed);
+        (trace != 0).then(|| (trace, self.exemplar_value[i].load(Ordering::Relaxed)))
     }
 
     /// Adds every bucket, the sum and the count of `other` into `self`.
@@ -359,7 +386,13 @@ impl Registry {
                         cumulative += n;
                         let le = Histogram::bucket_le(b)
                             .map_or_else(|| "+Inf".to_string(), |v| v.to_string());
-                        out.push_str(&bucket_line(&e.family, &e.labels, &le, cumulative));
+                        out.push_str(&bucket_line(
+                            &e.family,
+                            &e.labels,
+                            &le,
+                            cumulative,
+                            h.exemplar(b),
+                        ));
                     }
                     out.push_str(&sample_line(
                         &format!("{}_sum", e.family),
@@ -402,8 +435,20 @@ fn sample_line(
     format!("{name}{} {v}\n", label_block(labels, extra))
 }
 
-fn bucket_line(family: &str, labels: &[(String, String)], le: &str, v: u64) -> String {
-    sample_line(&format!("{family}_bucket"), labels, Some(("le", le)), v)
+fn bucket_line(
+    family: &str,
+    labels: &[(String, String)],
+    le: &str,
+    v: u64,
+    exemplar: Option<(u64, u64)>,
+) -> String {
+    let mut line = sample_line(&format!("{family}_bucket"), labels, Some(("le", le)), v);
+    if let Some((trace, value)) = exemplar {
+        // OpenMetrics-style exemplar: ` # {trace_id="<16 hex>"} <value>`.
+        line.pop(); // drop the newline
+        line.push_str(&format!(" # {{trace_id=\"{trace:016x}\"}} {value}\n"));
+    }
+    line
 }
 
 fn escape_label(v: &str) -> String {
@@ -509,6 +554,25 @@ mod tests {
         assert!(text.contains("tdo_test_latency_us_count 4\n"));
         let stats = expo::parse_text(&text).expect("own output must parse");
         assert_eq!(stats.families, 1);
+    }
+
+    #[test]
+    fn exemplars_render_on_their_bucket_and_reparse() {
+        let reg = Registry::new();
+        let h = reg.histogram("tdo_test_traced_us", &[], "A traced latency.");
+        h.observe_with_exemplar(3, 0xabcd);
+        h.observe_with_exemplar(900, 0); // zero trace: no exemplar recorded
+        let text = reg.render_prom();
+        assert!(
+            text.contains(
+                "tdo_test_traced_us_bucket{le=\"4\"} 1 # {trace_id=\"000000000000abcd\"} 3\n"
+            ),
+            "{text}"
+        );
+        assert_eq!(text.matches(" # {").count(), 1, "only the traced bucket has an exemplar");
+        expo::parse_text(&text).expect("exposition with exemplars must parse");
+        assert_eq!(h.exemplar(Histogram::bucket_index(3)), Some((0xabcd, 3)));
+        assert_eq!(h.exemplar(Histogram::bucket_index(900)), None);
     }
 
     #[test]

@@ -32,8 +32,10 @@
 #![warn(clippy::all)]
 
 pub mod event;
+pub mod logline;
 pub mod profile;
 pub mod recorder;
+pub mod span;
 pub mod validate;
 
 use std::cell::RefCell;
@@ -42,9 +44,21 @@ use std::rc::Rc;
 pub use event::{
     DropReason, Event, HelperJobKind, LoadClassKind, PrefetchGroupKind, QueueEventKind,
 };
+pub use logline::{validate_log, Level};
 pub use profile::PhaseTimer;
 pub use recorder::Recorder;
+pub use span::{
+    render_flight, validate_flight, FlightKind, FlightRecorder, SpanScope, TraceCtx, TraceIdGen,
+};
 pub use validate::{validate_chrome_trace, validate_jsonl};
+
+/// Registers the crate's process-global observability counters — the
+/// flight recorder's recorded/overwritten/dropped counts and the per-level
+/// structured-log line counts — with a metrics registry.
+pub fn register_metrics(reg: &tdo_metrics::Registry) {
+    span::global().register_metrics(reg);
+    logline::register_metrics(reg);
+}
 
 /// The recording interface the simulation layers call into.
 ///

@@ -1,0 +1,317 @@
+//! A tiny structured log plane: `key=value` lines on stderr.
+//!
+//! Every line has the same machine-parseable shape,
+//!
+//! ```text
+//! ts=1234 level=warn component=engine trace=00000000000004d2 msg="cannot persist" err="..."
+//! ```
+//!
+//! where `ts` comes from the flight clock (wall µs, or the per-trace
+//! logical sequence under [`crate::span::logical_clock_guard`] — which is
+//! what makes log output deterministic in tests), `trace` is the current
+//! trace context rendered as 16 hex digits (all zeros outside a request),
+//! `msg` and every extra field value are quoted strings with `\"` and `\\`
+//! escapes and no raw newlines.
+//!
+//! [`validate_log`] is the schema lint CI runs over captured log output;
+//! [`capture`] redirects a thread's lines into a string so tests and the
+//! chaos harness can assert on (and archive) exactly what was logged.
+
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+
+use tdo_metrics::{Counter, Registry};
+
+/// Log severity. Rendered lowercase in the `level=` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Developer chatter.
+    Debug = 0,
+    /// Normal operational events.
+    Info = 1,
+    /// Something degraded but handled.
+    Warn = 2,
+    /// Something failed.
+    Error = 3,
+}
+
+/// Level names, indexed by discriminant.
+pub const LEVEL_NAMES: [&str; 4] = ["debug", "info", "warn", "error"];
+
+impl Level {
+    /// The lowercase name of this level.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        LEVEL_NAMES[self as usize]
+    }
+}
+
+fn line_counters() -> &'static [Arc<Counter>; 4] {
+    static COUNTERS: OnceLock<[Arc<Counter>; 4]> = OnceLock::new();
+    COUNTERS.get_or_init(|| std::array::from_fn(|_| Arc::new(Counter::new())))
+}
+
+/// Registers the per-level `tdo_obs_log_lines_total{level}` counters.
+pub fn register_metrics(reg: &Registry) {
+    for (i, c) in line_counters().iter().enumerate() {
+        reg.register_counter(
+            "tdo_obs_log_lines_total",
+            &[("level", LEVEL_NAMES[i])],
+            "Structured log lines emitted.",
+            Arc::clone(c),
+        );
+    }
+}
+
+thread_local! {
+    static SINK: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+fn quote(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' | '\r' => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `true` if `k` is a valid field key: `[a-z_][a-z0-9_]*`.
+fn valid_key(k: &str) -> bool {
+    tdo_metrics::valid_name(k)
+}
+
+/// Formats one structured log line (no trailing newline). Pure function of
+/// its inputs plus the current trace context and flight clock.
+#[must_use]
+pub fn format_line(level: Level, component: &str, msg: &str, fields: &[(&str, &str)]) -> String {
+    let ctx = crate::span::current();
+    let ts = crate::span::log_stamp();
+    let mut out = format!(
+        "ts={ts} level={} component={component} trace={:016x} msg={}",
+        level.name(),
+        ctx.trace,
+        quote(msg)
+    );
+    for (k, v) in fields {
+        debug_assert!(valid_key(k), "bad log field key: {k}");
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&quote(v));
+    }
+    out
+}
+
+/// Emits one structured log line to stderr (or the thread's capture sink).
+pub fn log(level: Level, component: &str, msg: &str, fields: &[(&str, &str)]) {
+    debug_assert!(valid_key(component), "bad log component: {component}");
+    let line = format_line(level, component, msg, fields);
+    line_counters()[level as usize].inc();
+    let captured = SINK.with(|s| {
+        let mut sink = s.borrow_mut();
+        if let Some(buf) = sink.as_mut() {
+            buf.push_str(&line);
+            buf.push('\n');
+            true
+        } else {
+            false
+        }
+    });
+    if !captured {
+        eprintln!("{line}");
+    }
+}
+
+/// Runs `f` with this thread's log lines redirected into a string; returns
+/// the closure's result and everything logged while it ran.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, String) {
+    let prev = SINK.with(|s| s.borrow_mut().replace(String::new()));
+    let out = f();
+    let log = SINK.with(|s| {
+        let mut sink = s.borrow_mut();
+        let captured = sink.take().unwrap_or_default();
+        *sink = prev;
+        captured
+    });
+    (out, log)
+}
+
+/// Validates structured log output: every line must match the schema.
+///
+/// Returns the number of lines on success.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_log(log: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (no, line) in log.lines().enumerate() {
+        validate_line(line).map_err(|m| format!("line {}: {m}", no + 1))?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn validate_line(line: &str) -> Result<(), String> {
+    let fields = split_fields(line)?;
+    let expect_key = |i: usize, want: &str| -> Result<&str, String> {
+        match fields.get(i) {
+            Some((k, v)) if k == want => Ok(v),
+            Some((k, _)) => Err(format!("field {} must be `{want}`, found `{k}`", i + 1)),
+            None => Err(format!("missing `{want}` field")),
+        }
+    };
+    let ts = expect_key(0, "ts")?;
+    if ts.is_empty() || !ts.chars().all(|c| c.is_ascii_digit()) {
+        return Err(format!("ts must be a non-negative integer, found `{ts}`"));
+    }
+    let level = expect_key(1, "level")?;
+    if !LEVEL_NAMES.contains(&level) {
+        return Err(format!("unknown level `{level}`"));
+    }
+    let component = expect_key(2, "component")?;
+    if !valid_key(component) {
+        return Err(format!("bad component `{component}`"));
+    }
+    let trace = expect_key(3, "trace")?;
+    if trace.len() != 16 || !trace.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!("trace must be 16 hex digits, found `{trace}`"));
+    }
+    expect_key(4, "msg")?;
+    for (k, _) in fields.iter().skip(4) {
+        if !valid_key(k) {
+            return Err(format!("bad field key `{k}`"));
+        }
+    }
+    // msg and extras must have been quoted — split_fields already rejected
+    // unquoted values containing spaces and unterminated quotes.
+    Ok(())
+}
+
+/// Splits `k=v k2="v 2"` into pairs, unescaping quoted values.
+fn split_fields(line: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let start = i;
+        while i < chars.len() && chars[i] != '=' {
+            if chars[i] == ' ' || chars[i] == '"' {
+                return Err(format!("expected `key=` at column {}", start + 1));
+            }
+            i += 1;
+        }
+        if i == chars.len() || i == start {
+            return Err(format!("expected `key=` at column {}", start + 1));
+        }
+        let key: String = chars[start..i].iter().collect();
+        i += 1; // '='
+        let mut val = String::new();
+        if chars.get(i) == Some(&'"') {
+            i += 1;
+            let mut closed = false;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => {
+                        let esc = chars.get(i + 1);
+                        if esc != Some(&'"') && esc != Some(&'\\') {
+                            return Err(format!("bad escape at column {}", i + 1));
+                        }
+                        val.push(*esc.expect("checked above"));
+                        i += 2;
+                    }
+                    '"' => {
+                        i += 1;
+                        closed = true;
+                        break;
+                    }
+                    c => {
+                        val.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            if !closed {
+                return Err("unterminated quoted value".into());
+            }
+        } else {
+            while i < chars.len() && chars[i] != ' ' {
+                if chars[i] == '"' {
+                    return Err(format!("unexpected `\"` at column {}", i + 1));
+                }
+                val.push(chars[i]);
+                i += 1;
+            }
+        }
+        out.push((key, val));
+        if i < chars.len() {
+            if chars[i] != ' ' {
+                return Err(format!("expected space at column {}", i + 1));
+            }
+            i += 1;
+            if i == chars.len() {
+                return Err("trailing space".into());
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_machine_parseable_and_validate() {
+        let line = format_line(
+            Level::Warn,
+            "engine",
+            "cannot persist \"cell\"",
+            &[("err", "disk\\full"), ("key", "mcf|Quick")],
+        );
+        assert!(line.starts_with("ts="), "{line}");
+        assert!(line.contains("level=warn component=engine trace=0000000000000000"), "{line}");
+        assert_eq!(validate_log(&line), Ok(1));
+        let fields = split_fields(&line).unwrap();
+        assert_eq!(fields[4], ("msg".into(), "cannot persist \"cell\"".into()));
+        assert_eq!(fields[5], ("err".into(), "disk\\full".into()));
+    }
+
+    #[test]
+    fn capture_redirects_and_restores() {
+        let ((), captured) = capture(|| {
+            log(Level::Info, "store", "opened", &[("slots", "9")]);
+            log(Level::Error, "store", "gone", &[]);
+        });
+        assert_eq!(captured.lines().count(), 2);
+        assert_eq!(validate_log(&captured), Ok(2));
+        assert!(captured.contains("msg=\"opened\" slots=\"9\""), "{captured}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_log("not a log line").is_err());
+        assert!(
+            validate_log("ts=x level=info component=a trace=0000000000000000 msg=\"m\"").is_err()
+        );
+        assert!(
+            validate_log("ts=1 level=loud component=a trace=0000000000000000 msg=\"m\"").is_err()
+        );
+        assert!(validate_log("ts=1 level=info component=a trace=xyz msg=\"m\"").is_err());
+        assert!(
+            validate_log("ts=1 level=info component=a trace=0000000000000000 msg=\"open").is_err(),
+            "unterminated quote"
+        );
+        assert!(
+            validate_log("ts=1 component=a level=info trace=0000000000000000 msg=\"m\"").is_err(),
+            "field order"
+        );
+    }
+}

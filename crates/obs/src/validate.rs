@@ -13,13 +13,13 @@ use crate::event::EVENT_NAMES;
 
 /// One parsed value in a flat JSONL object.
 #[derive(Clone, Debug, PartialEq, Eq)]
-enum Val {
+pub(crate) enum FlatVal {
     Int(i64),
     Str(String),
 }
 
 /// Parses one flat JSON object line into `(key, value)` pairs.
-fn parse_flat_object(line: &str) -> Result<Vec<(String, Val)>, String> {
+pub(crate) fn parse_flat_fields(line: &str) -> Result<Vec<(String, FlatVal)>, String> {
     let s: Vec<char> = line.chars().collect();
     let mut i = 0usize;
     let expect = |i: &mut usize, c: char| -> Result<(), String> {
@@ -64,9 +64,9 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, Val)>, String> {
         let key = parse_string(&mut i)?;
         expect(&mut i, ':')?;
         let val = if s.get(i) == Some(&'"') {
-            Val::Str(parse_string(&mut i)?)
+            FlatVal::Str(parse_string(&mut i)?)
         } else {
-            Val::Int(parse_int(&mut i)?)
+            FlatVal::Int(parse_int(&mut i)?)
         };
         fields.push((key, val));
         match s.get(i) {
@@ -97,9 +97,9 @@ pub fn validate_jsonl(log: &str) -> Result<usize, String> {
     let mut last_cycle = 0i64;
     for (no, line) in log.lines().enumerate() {
         let at = |m: String| format!("line {}: {m}", no + 1);
-        let fields = parse_flat_object(line).map_err(&at)?;
+        let fields = parse_flat_fields(line).map_err(&at)?;
         match fields.first() {
-            Some((k, Val::Int(cycle))) if k == "cycle" => {
+            Some((k, FlatVal::Int(cycle))) if k == "cycle" => {
                 if *cycle < last_cycle {
                     return Err(at(format!(
                         "cycle {cycle} goes backwards (previous {last_cycle})"
@@ -110,7 +110,7 @@ pub fn validate_jsonl(log: &str) -> Result<usize, String> {
             _ => return Err(at("first field must be an integer `cycle`".into())),
         }
         match fields.get(1) {
-            Some((k, Val::Str(name))) if k == "event" => {
+            Some((k, FlatVal::Str(name))) if k == "event" => {
                 if !EVENT_NAMES.contains(&name.as_str()) {
                     return Err(at(format!("unknown event `{name}`")));
                 }

@@ -12,6 +12,9 @@ pub struct Response {
     pub status: u16,
     /// The response body.
     pub body: String,
+    /// The request's trace id from the `X-Tdo-Trace` response header
+    /// (16 lowercase hex digits), when the daemon sent one.
+    pub trace: Option<String>,
 }
 
 impl Response {
@@ -82,9 +85,13 @@ fn parse_response(raw: &[u8]) -> io::Result<Response> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
+    let trace = head.split("\r\n").skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.eq_ignore_ascii_case("x-tdo-trace").then(|| value.trim().to_string())
+    });
     let body = String::from_utf8(raw[head_end + 4..].to_vec())
         .map_err(|_| bad("non-UTF-8 response body"))?;
-    Ok(Response { status, body })
+    Ok(Response { status, body, trace })
 }
 
 #[cfg(test)]
@@ -98,6 +105,15 @@ mod tests {
         assert_eq!(r.status, 503);
         assert_eq!(r.body, "{}");
         assert!(!r.ok());
+        assert_eq!(r.trace, None);
+    }
+
+    #[test]
+    fn captures_the_trace_header() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nX-Tdo-Trace: 00000000000000ab\r\nContent-Length: 2\r\n\r\n{}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.trace.as_deref(), Some("00000000000000ab"));
     }
 
     #[test]

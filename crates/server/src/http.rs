@@ -88,6 +88,22 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Maps a [`read_request`] failure to the stable `reason` label on
+/// `tdo_server_bad_requests_total` — every malformed-request early-return
+/// path gets its own bucket so reject spikes are attributable.
+#[must_use]
+pub fn reject_reason(e: &io::Error) -> &'static str {
+    match e.to_string().as_str() {
+        "request head too large" => "head_too_large",
+        "request body too large" => "body_too_large",
+        "connection closed mid-request" | "connection closed mid-body" => "closed_early",
+        "non-UTF-8 head" | "non-UTF-8 body" => "bad_encoding",
+        "empty request" | "missing method" | "missing path" => "bad_request_line",
+        "bad Content-Length" => "bad_content_length",
+        _ => "read_failed", // transport errors, timeouts, injected faults
+    }
+}
+
 /// The reason phrase for the status codes this daemon emits.
 #[must_use]
 pub fn reason(status: u16) -> &'static str {
@@ -133,12 +149,49 @@ pub fn write_response_typed(
         // Injected transport failure while writing the response.
         return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected write failure"));
     }
+    // Echo the request's trace id so a client can quote it back when
+    // filing a report (and tests can join responses to flight records).
+    // The accept thread installs the context before any response is
+    // written, so this sees the right trace on every path.
+    let trace = tdo_obs::span::current().trace;
+    let trace_header =
+        if trace != 0 { format!("X-Tdo-Trace: {trace:016x}\r\n") } else { String::new() };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{trace_header}Connection: close\r\n\r\n",
         reason(status),
         body.len()
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_reject_message_maps_to_a_stable_reason() {
+        let data = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        for (msg, reason) in [
+            ("request head too large", "head_too_large"),
+            ("request body too large", "body_too_large"),
+            ("connection closed mid-request", "closed_early"),
+            ("connection closed mid-body", "closed_early"),
+            ("non-UTF-8 head", "bad_encoding"),
+            ("non-UTF-8 body", "bad_encoding"),
+            ("empty request", "bad_request_line"),
+            ("missing method", "bad_request_line"),
+            ("missing path", "bad_request_line"),
+            ("bad Content-Length", "bad_content_length"),
+        ] {
+            assert_eq!(reject_reason(&data(msg)), reason, "`{msg}`");
+        }
+        // Transport errors — timeouts, resets, injected read faults — all
+        // land in the read_failed bucket.
+        let timeout = io::Error::new(io::ErrorKind::TimedOut, "read timed out");
+        assert_eq!(reject_reason(&timeout), "read_failed");
+        let reset = io::Error::new(io::ErrorKind::ConnectionReset, "injected read failure");
+        assert_eq!(reject_reason(&reset), "read_failed");
+    }
 }

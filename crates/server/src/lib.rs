@@ -21,8 +21,16 @@
 //! | `GET /health` | accept thread | liveness probe |
 //! | `GET /metrics` | accept thread | integer counters (requests, coalesced, shed, store hits/misses, sims, queue depth) |
 //! | `GET /workloads` | accept thread | the workload suite with descriptions |
+//! | `GET /debug/flight` | accept thread | the flight recorder's current contents as flight JSONL |
 //! | `POST /run` | worker pool | JSON cell spec → result (store, then memo, then simulate) |
 //! | `POST /shutdown` | accept thread | graceful shutdown (equivalent to SIGINT) |
+//!
+//! **Tracing.** Every connection is minted a trace id (echoed back as an
+//! `X-Tdo-Trace` response header); the request, its queue wait, the engine
+//! cell, store I/O and any fired fault sites all land in the process-global
+//! flight recorder under that id. On a worker panic, a shed (saturated
+//! queue) or an SLO-breaching `/run`, the recorder is dumped as validated
+//! flight JSONL (to `flight_dir` when configured; `tdo flight` renders it).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -35,12 +43,14 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use tdo_fault::Site;
 use tdo_metrics::{Counter, Gauge, Histogram, Registry};
+use tdo_obs::span::{self, OpenSpan};
+use tdo_obs::{FlightKind, TraceCtx, TraceIdGen};
 use tdo_sim::{Cell, PrefetchSetup, Runner, SimConfig, SimResult};
 use tdo_workloads::{build, names, Scale};
 
@@ -86,6 +96,15 @@ pub struct ServerConfig {
     pub store_dir: Option<String>,
     /// Run without a persistent store (memo cache only).
     pub no_store: bool,
+    /// Seed for the per-connection trace-id stream (ids are echoed back as
+    /// `X-Tdo-Trace` and stamp every flight-recorder event).
+    pub trace_seed: u64,
+    /// `/run` latency SLO in whole microseconds; a slower request triggers
+    /// a flight-recorder dump. `0` disables the trigger.
+    pub slo_us: u64,
+    /// Directory receiving flight-recorder dumps on worker panic, queue
+    /// saturation or SLO breach (`None` = dump only via `/debug/flight`).
+    pub flight_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -96,16 +115,23 @@ impl Default for ServerConfig {
             queue_cap: 16,
             store_dir: None,
             no_store: false,
+            trace_seed: 0x7d0_5eed,
+            slo_us: 0,
+            flight_dir: None,
         }
     }
 }
 
-/// One queued `/run` request: the connection, its already-read body, and
-/// the instant the request was read (latency includes queue wait).
+/// One queued `/run` request: the connection, its already-read body, the
+/// instant the request was read (latency includes queue wait), and the
+/// trace context + open spans the worker resumes on its side of the queue.
 struct Job {
     stream: TcpStream,
     body: String,
     t0: Instant,
+    ctx: TraceCtx,
+    queue_span: OpenSpan,
+    request_span: OpenSpan,
 }
 
 /// Request counters and latency histograms, registered with the server's
@@ -122,7 +148,9 @@ struct Metrics {
     run_failed: Arc<Counter>,
     coalesced: Arc<Counter>,
     shed: Arc<Counter>,
-    bad_requests: Arc<Counter>,
+    bad_requests: Vec<(&'static str, Arc<Counter>)>,
+    debug_flight: Arc<Counter>,
+    flight_dumps: Vec<(&'static str, Arc<Counter>)>,
     not_found: Arc<Counter>,
     runs_started: Arc<Counter>,
     runs_finished: Arc<Counter>,
@@ -133,6 +161,25 @@ struct Metrics {
     queue_depth: Arc<Gauge>,
     queue_cap: Arc<Gauge>,
 }
+
+/// Every `reason` label on `tdo_server_bad_requests_total`; one per
+/// malformed-request early-return path.
+const BAD_REQUEST_REASONS: [&str; 10] = [
+    "read_failed",
+    "head_too_large",
+    "body_too_large",
+    "closed_early",
+    "bad_encoding",
+    "bad_request_line",
+    "bad_content_length",
+    "bad_query",
+    "method_not_allowed",
+    "bad_cell_spec",
+];
+
+/// `reason` labels on `tdo_server_flight_dumps_total` — the three dump
+/// triggers.
+const DUMP_REASONS: [&str; 3] = ["worker_panic", "queue_saturation", "slo_breach"];
 
 impl Metrics {
     fn new(reg: &Registry) -> Metrics {
@@ -165,7 +212,29 @@ impl Metrics {
                 "Run requests coalesced onto another flight.",
             ),
             shed: c("tdo_server_shed_total", "Run requests shed at a full queue."),
-            bad_requests: c("tdo_server_bad_requests_total", "Malformed or misrouted requests."),
+            bad_requests: BAD_REQUEST_REASONS
+                .iter()
+                .map(|&reason| {
+                    let counter = reg.counter(
+                        "tdo_server_bad_requests_total",
+                        &[("reason", reason)],
+                        "Requests answered 400, by reject path.",
+                    );
+                    (reason, counter)
+                })
+                .collect(),
+            debug_flight: ep("debug_flight"),
+            flight_dumps: DUMP_REASONS
+                .iter()
+                .map(|&reason| {
+                    let counter = reg.counter(
+                        "tdo_server_flight_dumps_total",
+                        &[("reason", reason)],
+                        "Flight-recorder dumps triggered, by cause.",
+                    );
+                    (reason, counter)
+                })
+                .collect(),
             not_found: c("tdo_server_not_found_total", "Requests for unknown endpoints."),
             runs_started: c("tdo_server_runs_started_total", "Single-flight leaders started."),
             runs_finished: c("tdo_server_runs_finished_total", "Single-flight leaders finished."),
@@ -181,6 +250,21 @@ impl Metrics {
             queue_cap: reg.gauge("tdo_server_queue_cap", &[], "Capacity of the bounded run queue."),
         }
     }
+
+    /// Counts one 400 on the named reject path.
+    fn bad_request(&self, reason: &str) {
+        let (_, counter) = self
+            .bad_requests
+            .iter()
+            .find(|(r, _)| *r == reason)
+            .expect("reason is in BAD_REQUEST_REASONS");
+        counter.inc();
+    }
+
+    /// Total 400s across every reject path (the JSON `/metrics` body).
+    fn bad_requests_total(&self) -> u64 {
+        self.bad_requests.iter().map(|(_, c)| c.get()).sum()
+    }
 }
 
 /// Whole microseconds since `t0`, saturating.
@@ -188,11 +272,14 @@ fn elapsed_us(t0: Instant) -> u64 {
     u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-/// A single-flight slot: the leader publishes here, followers wait.
+/// A single-flight slot: the leader publishes here, followers wait. The
+/// leader's trace id lets a follower's flight records link to the flight
+/// that actually simulated.
 #[derive(Default)]
 struct Flight {
     done: Mutex<Option<Result<Arc<SimResult>, String>>>,
     cv: Condvar,
+    leader_trace: AtomicU64,
 }
 
 /// Shared server state (accept thread + workers).
@@ -206,6 +293,38 @@ struct State {
     shutdown: AtomicBool,
     registry: Registry,
     m: Metrics,
+    traces: TraceIdGen,
+    slo_us: u64,
+    flight_dir: Option<String>,
+    flight_files: AtomicU64,
+}
+
+/// Cap on dump files written per process — a crash loop must not fill the
+/// disk with flight dumps.
+const MAX_FLIGHT_FILES: u64 = 16;
+
+/// Fires one flight-dump trigger: counts it, marks it in the recorder,
+/// logs it, and (when a dump directory is configured) writes the dump as
+/// validated flight JSONL.
+fn trigger_flight_dump(state: &State, reason: &'static str) {
+    let (_, counter) =
+        state.m.flight_dumps.iter().find(|(r, _)| *r == reason).expect("reason is in DUMP_REASONS");
+    counter.inc();
+    let reason_code = DUMP_REASONS.iter().position(|r| *r == reason).unwrap_or(0) as u64;
+    span::point(FlightKind::Dump, reason_code);
+    let mut fields: Vec<(&str, &str)> = vec![("reason", reason)];
+    let path_text;
+    if let Some(dir) = &state.flight_dir {
+        let n = state.flight_files.fetch_add(1, Ordering::Relaxed);
+        if n < MAX_FLIGHT_FILES {
+            let path = std::path::Path::new(dir).join(format!("flight-{n:03}-{reason}.jsonl"));
+            if std::fs::write(&path, span::global().dump()).is_ok() {
+                path_text = path.display().to_string();
+                fields.push(("dump", &path_text));
+            }
+        }
+    }
+    tdo_obs::logline::log(tdo_obs::Level::Warn, "server", "flight dump triggered", &fields);
 }
 
 impl State {
@@ -264,6 +383,7 @@ impl Server {
         let registry = Registry::new();
         let m = Metrics::new(&registry);
         runner.register_metrics(&registry);
+        tdo_obs::register_metrics(&registry);
         let state = Arc::new(State {
             runner,
             workloads_json: workloads_json(),
@@ -274,6 +394,10 @@ impl Server {
             shutdown: AtomicBool::new(false),
             registry,
             m,
+            traces: TraceIdGen::new(cfg.trace_seed),
+            slo_us: cfg.slo_us,
+            flight_dir: cfg.flight_dir.clone(),
+            flight_files: AtomicU64::new(0),
         });
         state.m.queue_cap.set(state.queue_cap as u64);
         Ok(Server { listener, state, workers: cfg.workers.max(1) })
@@ -353,15 +477,20 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let t0 = Instant::now();
+    // Every connection gets a trace id before it is even parsed, so even a
+    // 400 carries an `X-Tdo-Trace` header pointing into the recorder.
+    let trace = state.traces.mint();
+    let _ctx = span::resume(TraceCtx::fresh(trace));
     let req = match read_request(&mut stream) {
         Ok(req) => req,
         Err(e) => {
-            state.m.bad_requests.inc();
+            state.m.bad_request(http::reject_reason(&e));
             respond_error(&mut stream, 400, &e.to_string());
             return;
         }
     };
     state.m.requests.inc();
+    let request_span = span::begin(FlightKind::Request, 0);
     // Only `/metrics` interprets its query string; the path part alone
     // routes everywhere.
     let (path, query) = match req.path.split_once('?') {
@@ -375,12 +504,12 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
             // guaranteed visible to the next scrape, which keeps snapshot
             // tests single-shot. The unmeasured tail is one loopback write.
             state.m.health.inc();
-            state.m.lat_health.observe(elapsed_us(t0));
+            state.m.lat_health.observe_with_exemplar(elapsed_us(t0), trace);
             let _ = write_response(&mut stream, 200, "{\"status\":\"ok\"}");
         }
         ("GET", "/metrics") => {
             state.m.metrics.inc();
-            state.m.lat_metrics.observe(elapsed_us(t0));
+            state.m.lat_metrics.observe_with_exemplar(elapsed_us(t0), trace);
             match query.as_deref() {
                 None | Some("") | Some("format=json") => {
                     let body = metrics_json(state);
@@ -392,24 +521,37 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
                         write_response_typed(&mut stream, 200, "text/plain; version=0.0.4", &body);
                 }
                 Some(q) => {
-                    state.m.bad_requests.inc();
+                    state.m.bad_request("bad_query");
                     respond_error(&mut stream, 400, &format!("unsupported metrics query `{q}`"));
                 }
             }
         }
         ("GET", "/workloads") => {
             state.m.workloads.inc();
-            state.m.lat_workloads.observe(elapsed_us(t0));
+            state.m.lat_workloads.observe_with_exemplar(elapsed_us(t0), trace);
             let body = state.workloads_json.clone();
             let _ = write_response(&mut stream, 200, &body);
+        }
+        ("GET", "/debug/flight") => {
+            state.m.debug_flight.inc();
+            let body = span::global().dump();
+            let _ = write_response_typed(&mut stream, 200, "application/jsonl", &body);
         }
         ("POST", "/shutdown") => {
             let _ = write_response(&mut stream, 200, "{\"shutting_down\":true}");
             state.request_shutdown();
         }
-        ("POST", "/run") => enqueue_run(state, stream, req, t0),
-        ("GET" | "POST", "/health" | "/metrics" | "/workloads" | "/run" | "/shutdown") => {
-            state.m.bad_requests.inc();
+        ("POST", "/run") => {
+            // The request span crosses the queue: the worker (or the shed
+            // path) ends it after the response is written.
+            enqueue_run(state, stream, req, t0, request_span);
+            return;
+        }
+        (
+            "GET" | "POST",
+            "/health" | "/metrics" | "/workloads" | "/debug/flight" | "/run" | "/shutdown",
+        ) => {
+            state.m.bad_request("method_not_allowed");
             respond_error(&mut stream, 405, "method not allowed");
         }
         _ => {
@@ -417,18 +559,29 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
             respond_error(&mut stream, 404, "no such endpoint");
         }
     }
+    request_span.end(0);
 }
 
 /// Admits a `/run` request to the bounded queue, or sheds it with a 503.
-fn enqueue_run(state: &Arc<State>, stream: TcpStream, req: Request, t0: Instant) {
+fn enqueue_run(
+    state: &Arc<State>,
+    stream: TcpStream,
+    req: Request,
+    t0: Instant,
+    request_span: OpenSpan,
+) {
     state.m.run_requests.inc();
+    // The queue-wait span opens before the context is captured so the job
+    // carries a context whose logical clock is past the begin event.
+    let queue_span = span::begin(FlightKind::QueueWait, 0);
+    let ctx = span::current();
     let mut rejected = Some(stream); // taken on admission
     {
         let saturated = tdo_fault::fire(Site::ServerQueueSaturate).is_some();
         let mut q = relock(&state.queue);
         if q.len() < state.queue_cap && !state.shutting_down() && !saturated {
             let stream = rejected.take().expect("stream not yet moved");
-            q.push_back(Job { stream, body: req.body, t0 });
+            q.push_back(Job { stream, body: req.body, t0, ctx, queue_span, request_span });
             state.m.queue_depth.set(q.len() as u64);
         }
     }
@@ -436,7 +589,11 @@ fn enqueue_run(state: &Arc<State>, stream: TcpStream, req: Request, t0: Instant)
         None => state.queue_cv.notify_one(),
         Some(mut stream) => {
             state.m.shed.inc();
+            span::point(FlightKind::Shed, 0);
+            trigger_flight_dump(state, "queue_saturation");
             respond_error(&mut stream, 503, "run queue full, request shed");
+            queue_span.end(0);
+            request_span.end(0);
         }
     }
 }
@@ -459,25 +616,35 @@ fn worker_loop(state: &Arc<State>) {
             }
         };
         let Some(mut job) = job else { return };
+        // Resume the request's trace context on this side of the queue and
+        // close its queue-wait span with the wait in microseconds.
+        let _ctx = span::resume(job.ctx);
+        job.queue_span.end(elapsed_us(job.t0));
         // A panicking job — injected or real — must cost only its own
         // connection, never a pool thread: an uncaught panic here would
         // silently shrink the pool until the queue deadlocks.
-        let _ = catch_unwind(AssertUnwindSafe(|| {
+        let served = catch_unwind(AssertUnwindSafe(|| {
             if tdo_fault::fire(Site::ServerWorkerPanic).is_some() {
                 panic!("injected worker panic");
             }
             serve_run(state, &mut job.stream, &job.body, job.t0);
         }));
+        if served.is_err() {
+            trigger_flight_dump(state, "worker_panic");
+        }
+        job.request_span.end(elapsed_us(job.t0));
     }
 }
 
 /// Parses a cell spec, runs it (single-flighted) and writes the response.
 fn serve_run(state: &Arc<State>, stream: &mut TcpStream, body: &str, t0: Instant) {
+    let trace = span::current().trace;
     let (cell, arm) = match parse_cell_spec(body) {
         Ok(spec) => spec,
         Err(msg) => {
             state.m.run_rejected.inc();
-            state.m.lat_run.observe(elapsed_us(t0));
+            state.m.bad_request("bad_cell_spec");
+            state.m.lat_run.observe_with_exemplar(elapsed_us(t0), trace);
             respond_error(stream, 400, &msg);
             return;
         }
@@ -485,7 +652,11 @@ fn serve_run(state: &Arc<State>, stream: &mut TcpStream, body: &str, t0: Instant
     // Latency covers read → queue wait → simulate; observed before the
     // response is written so a follow-up scrape always sees the sample.
     let (result, coalesced) = run_coalesced(state, &cell);
-    state.m.lat_run.observe(elapsed_us(t0));
+    let us = elapsed_us(t0);
+    state.m.lat_run.observe_with_exemplar(us, trace);
+    if state.slo_us > 0 && us > state.slo_us {
+        trigger_flight_dump(state, "slo_breach");
+    }
     match result {
         Ok(r) => {
             state.m.run_ok.inc();
@@ -510,6 +681,7 @@ fn run_coalesced(state: &Arc<State>, cell: &Cell) -> (Result<Arc<SimResult>, Str
             Some(f) => (Arc::clone(f), false),
             None => {
                 let f = Arc::new(Flight::default());
+                f.leader_trace.store(span::current().trace, Ordering::Relaxed);
                 map.insert(key.clone(), Arc::clone(&f));
                 (f, true)
             }
@@ -526,6 +698,9 @@ fn run_coalesced(state: &Arc<State>, cell: &Cell) -> (Result<Arc<SimResult>, Str
         (result, false)
     } else {
         state.m.coalesced.inc();
+        // Link this follower to the leader's trace so the two requests can
+        // be joined in a flight dump.
+        span::point(FlightKind::Coalesce, flight.leader_trace.load(Ordering::Relaxed));
         let mut done = relock(&flight.done);
         while done.is_none() {
             done = flight.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
@@ -663,7 +838,7 @@ fn metrics_json(state: &Arc<State>) -> String {
         m.run_failed.get(),
         m.coalesced.get(),
         m.shed.get(),
-        m.bad_requests.get(),
+        m.bad_requests_total(),
         m.not_found.get(),
         runs_started,
         runs_finished,

@@ -11,13 +11,12 @@ use tdo_server::{Server, ServerConfig, ServerHandle};
 /// Starts a server on an ephemeral port, storeless by default (tests that
 /// want persistence pass a directory).
 fn start(workers: usize, queue_cap: usize) -> (String, ServerHandle, JoinHandle<()>) {
-    let cfg = ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        workers,
-        queue_cap,
-        store_dir: None,
-        no_store: true,
-    };
+    let cfg = ServerConfig { workers, queue_cap, no_store: true, ..ServerConfig::default() };
+    start_cfg(cfg)
+}
+
+fn start_cfg(mut cfg: ServerConfig) -> (String, ServerHandle, JoinHandle<()>) {
+    cfg.addr = "127.0.0.1:0".into();
     let server = Server::bind(&cfg).expect("bind ephemeral port");
     let addr: SocketAddr = server.local_addr().expect("local addr");
     let handle = server.handle();
@@ -182,16 +181,161 @@ fn full_queue_sheds_with_503() {
     t.join().expect("clean shutdown");
 }
 
-/// Masks the only nondeterministic values in a prom exposition: bucket
-/// counts and sums of wall-time histograms (families ending `_us`). Sample
-/// counts stay — they are request-count determined.
+/// Sends raw bytes to the daemon and reads whatever comes back (possibly
+/// nothing). Half-closes the write side so an incomplete request is seen as
+/// a client that hung up.
+fn raw_exchange(addr: &str, bytes: &[u8]) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Write errors are fine: the daemon may reject and close while bytes
+    // are still in flight (the over-large head case).
+    let _ = s.write_all(bytes);
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+/// Extracts `tdo_server_bad_requests_total{reason="..."}` from a prom body.
+fn bad_requests(prom: &str, reason: &str) -> u64 {
+    let needle = format!("tdo_server_bad_requests_total{{reason=\"{reason}\"}} ");
+    let at = prom.find(&needle).unwrap_or_else(|| panic!("family for `{reason}` in:\n{prom}"));
+    prom[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer sample")
+}
+
+#[test]
+fn every_malformed_request_path_gets_its_own_reason() {
+    let (addr, handle, t) = start(1, 4);
+
+    // One hit per early-return path, driven over raw sockets where the
+    // malformation lives below the client helper.
+    raw_exchange(&addr, b"\r\n\r\n"); // no method -> bad_request_line
+    raw_exchange(&addr, b"\xff\xfe\r\n\r\n"); // non-UTF-8 head -> bad_encoding
+    raw_exchange(&addr, b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n");
+    raw_exchange(&addr, b"POST /run HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n");
+    raw_exchange(&addr, b"GET / HTTP/1.1\r\n"); // hang up mid-head -> closed_early
+    let big = vec![b'a'; 20 * 1024]; // head over limit -> head_too_large
+    raw_exchange(&addr, &big);
+    assert_eq!(client::get(&addr, "/metrics?format=xml").unwrap().status, 400);
+    assert_eq!(client::post(&addr, "/health", "").unwrap().status, 405);
+    assert_eq!(post_run(&addr, "not json").status, 400); // bad_cell_spec
+
+    let prom = client::get(&addr, "/metrics?format=prom").unwrap().body;
+    for reason in [
+        "bad_request_line",
+        "bad_encoding",
+        "bad_content_length",
+        "body_too_large",
+        "closed_early",
+        "head_too_large",
+        "bad_query",
+        "method_not_allowed",
+        "bad_cell_spec",
+    ] {
+        assert_eq!(bad_requests(&prom, reason), 1, "reason `{reason}`:\n{prom}");
+    }
+    // The transport-failure bucket exists (zero here — nothing failed).
+    assert_eq!(bad_requests(&prom, "read_failed"), 0);
+    // The JSON body aggregates all reasons.
+    assert_eq!(counter(&metrics(&addr), "bad_requests"), 9);
+
+    handle.shutdown();
+    t.join().expect("clean shutdown");
+}
+
+#[test]
+fn responses_carry_distinct_trace_ids_and_the_flight_dump_validates() {
+    let (addr, handle, t) = start(1, 4);
+
+    let a = client::get(&addr, "/health").unwrap();
+    let b = client::get(&addr, "/health").unwrap();
+    let ta = a.trace.expect("trace header on response a");
+    let tb = b.trace.expect("trace header on response b");
+    assert_eq!(ta.len(), 16, "16 hex digits: {ta}");
+    assert_ne!(ta, tb, "each connection gets its own trace id");
+    // Even a 400 is traceable.
+    let bad = client::get(&addr, "/metrics?format=xml").unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.trace.is_some(), "400s carry X-Tdo-Trace too");
+
+    // A /run's records land in the recorder under the response's trace id.
+    let run = post_run(&addr, r#"{"workload":"swim","arm":"sr","insts":5000}"#);
+    assert_eq!(run.status, 200, "{}", run.body);
+    let run_trace = u64::from_str_radix(run.trace.as_deref().expect("run trace"), 16).unwrap();
+
+    let dump = client::get(&addr, "/debug/flight").unwrap();
+    assert_eq!(dump.status, 200);
+    tdo_obs::validate_flight(&dump.body).expect("dump validates");
+    let log = tdo_obs::span::parse_flight(&dump.body).expect("dump parses");
+    let mine: Vec<_> = log.iter().filter(|r| r.trace == run_trace).collect();
+    assert!(!mine.is_empty(), "run trace {run_trace:#x} present in flight dump");
+    assert!(
+        mine.iter().any(|r| r.kind == tdo_obs::FlightKind::RunCell),
+        "the engine cell span is attributed to the request's trace"
+    );
+    assert!(
+        mine.iter().any(|r| r.kind == tdo_obs::FlightKind::QueueWait),
+        "the queue wait is attributed to the request's trace"
+    );
+
+    handle.shutdown();
+    t.join().expect("clean shutdown");
+}
+
+#[test]
+fn slo_breach_writes_a_validated_flight_dump() {
+    let dir = std::env::temp_dir().join(format!("tdo-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // A 1 µs SLO: every /run breaches it.
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_cap: 4,
+        no_store: true,
+        slo_us: 1,
+        flight_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, t) = start_cfg(cfg);
+
+    let r = post_run(&addr, r#"{"workload":"swim","arm":"sr","insts":5000}"#);
+    assert_eq!(r.status, 200, "{}", r.body);
+
+    let prom = client::get(&addr, "/metrics?format=prom").unwrap().body;
+    assert!(
+        prom.contains("tdo_server_flight_dumps_total{reason=\"slo_breach\"} 1"),
+        "slo dump counted:\n{prom}"
+    );
+    let dump_path = dir.join("flight-000-slo_breach.jsonl");
+    let text = std::fs::read_to_string(&dump_path).expect("dump file written");
+    tdo_obs::validate_flight(&text).expect("dump file validates");
+
+    handle.shutdown();
+    t.join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Masks the nondeterministic values in a prom exposition: bucket counts,
+/// sums and exemplars of wall-time histograms (families ending `_us`), and
+/// the process-global `tdo_obs_*` counters (shared by every server in the
+/// test binary, so their values depend on test interleaving). Sample counts
+/// stay — they are request-count determined. The whole value tail after the
+/// series name is masked so exemplar suffixes go with it.
 fn mask_wall_values(body: &str) -> String {
     let mut out = String::with_capacity(body.len());
     for line in body.lines() {
-        let wall = line.contains("_us_bucket{") || line.contains("_us_sum");
-        match (wall, line.rsplit_once(' ')) {
-            (true, Some((head, _))) => {
-                out.push_str(head);
+        let wall = line.contains("_us_bucket{")
+            || line.contains("_us_sum")
+            || (line.starts_with("tdo_obs_") && !line.starts_with('#'));
+        match (wall, line.split_once(' ')) {
+            (true, Some((series, _))) if !line.starts_with('#') => {
+                out.push_str(series);
                 out.push_str(" <wall>\n");
             }
             _ => {

@@ -191,9 +191,11 @@ impl Runner {
         match Store::open(&dir) {
             Ok(store) => Runner::with_store(jobs, Arc::new(store)),
             Err(e) => {
-                eprintln!(
-                    "warning: cannot open result store `{}` ({e}); running without one",
-                    dir.display()
+                tdo_obs::logline::log(
+                    tdo_obs::Level::Warn,
+                    "engine",
+                    "cannot open result store; running without one",
+                    &[("dir", &dir.display().to_string()), ("err", &e.to_string())],
                 );
                 Runner::new(jobs)
             }
@@ -390,14 +392,24 @@ impl Runner {
         let Some(store) = self.store.as_ref() else { return };
         if tdo_fault::fire_keyed(Site::EngineStoreDegrade, fingerprint_hash(key)).is_some() {
             // Injected write-path degrade: the result stays memo-only.
-            eprintln!("warning: cannot persist cell to result store: injected store degrade");
+            tdo_obs::logline::log(
+                tdo_obs::Level::Warn,
+                "engine",
+                "cannot persist cell to result store",
+                &[("err", "injected store degrade"), ("cell", key)],
+            );
             return;
         }
         let payload = persist::encode_result(result);
         if let Err(e) =
             store.put(tdo_store::fnv1a64(key.as_bytes()), persist::SCHEMA_VERSION, &payload)
         {
-            eprintln!("warning: cannot persist cell to result store: {e}");
+            tdo_obs::logline::log(
+                tdo_obs::Level::Warn,
+                "engine",
+                "cannot persist cell to result store",
+                &[("err", &e.to_string()), ("cell", key)],
+            );
         }
     }
 
@@ -410,6 +422,7 @@ impl Runner {
     #[must_use]
     pub fn run_cell(&self, cell: &Cell) -> Arc<SimResult> {
         let key = cell.fingerprint();
+        let _span = tdo_obs::SpanScope::enter(tdo_obs::FlightKind::RunCell, fingerprint_hash(&key));
         if let Some(r) = self.lock_cache().get(&key) {
             return Arc::clone(r);
         }
@@ -478,6 +491,10 @@ impl Runner {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(cell) = pending.get(i) else { break };
                         let key = cell.fingerprint();
+                        let _span = tdo_obs::SpanScope::enter(
+                            tdo_obs::FlightKind::RunCell,
+                            fingerprint_hash(&key),
+                        );
                         if let Some(token) =
                             tdo_fault::fire_keyed(Site::EngineHelperJitter, fingerprint_hash(&key))
                         {

@@ -234,6 +234,7 @@ impl Store {
     /// overwrites it).
     #[must_use]
     pub fn get(&self, key: u64, version: u32) -> Option<Vec<u64>> {
+        let _span = tdo_obs::SpanScope::enter(tdo_obs::FlightKind::StoreGet, key);
         let t0 = Instant::now();
         let out = self.get_inner(key, version);
         self.get_latency_us.observe(elapsed_us(t0));
@@ -280,6 +281,7 @@ impl Store {
     /// consistent on failure: a half-appended record is quarantined by the
     /// next open.
     pub fn put(&self, key: u64, version: u32, payload: &[u64]) -> io::Result<()> {
+        let _span = tdo_obs::SpanScope::enter(tdo_obs::FlightKind::StorePut, key);
         let t0 = Instant::now();
         let bytes = record::encode_record(&Record { version, key, payload: payload.to_vec() });
         self.record_bytes.observe(bytes.len() as u64);
@@ -421,6 +423,7 @@ impl Store {
     ///
     /// Returns any I/O error reading the log.
     pub fn verify(&self) -> io::Result<VerifyReport> {
+        let _span = tdo_obs::SpanScope::enter(tdo_obs::FlightKind::StoreVerify, 0);
         let t0 = Instant::now();
         let _inner = self.lock();
         let bytes = fs::read(self.dir.join(LOG_FILE))?;
