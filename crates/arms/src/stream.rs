@@ -9,8 +9,15 @@
 //! forward. A miss in all buffers trains the per-PC stride predictor and,
 //! once the predictor is confident, allocates a buffer (LRU) that runs ahead
 //! of the load.
+//!
+//! Ported unchanged from `tdo-mem` behind the [`Prefetcher`] trait; the
+//! call sequence and every decision are bit-identical to the pre-arsenal
+//! implementation.
 
 use std::collections::VecDeque;
+
+use crate::stride::StridePredictor;
+use crate::{ArmHit, ArmKind, ArmStats, Prefetcher, RefillList, MAX_STREAM_ENTRIES};
 
 /// Configuration of the hardware stream-buffer prefetcher.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,62 +57,6 @@ impl StreamBufferConfig {
     }
 }
 
-/// A per-PC stride predictor with 2-bit confidence.
-pub struct StridePredictor {
-    entries: Vec<SpEntry>,
-    mask: usize,
-}
-
-#[derive(Clone, Copy, Default)]
-struct SpEntry {
-    tag: u64,
-    valid: bool,
-    last_addr: u64,
-    stride: i64,
-    conf: u8,
-}
-
-impl StridePredictor {
-    /// Builds a predictor with `entries` slots (rounded up to a power of two).
-    #[must_use]
-    pub fn new(entries: usize) -> StridePredictor {
-        let n = entries.next_power_of_two().max(1);
-        StridePredictor { entries: vec![SpEntry::default(); n], mask: n - 1 }
-    }
-
-    fn slot(&mut self, pc: u64) -> &mut SpEntry {
-        let idx = ((pc >> 3) as usize) & self.mask;
-        &mut self.entries[idx]
-    }
-
-    /// Trains the predictor with an observed `(pc, addr)` access.
-    pub fn train(&mut self, pc: u64, addr: u64) {
-        let e = self.slot(pc);
-        if !e.valid || e.tag != pc {
-            *e = SpEntry { tag: pc, valid: true, last_addr: addr, stride: 0, conf: 0 };
-            return;
-        }
-        let new_stride = addr.wrapping_sub(e.last_addr) as i64;
-        if new_stride == e.stride && new_stride != 0 {
-            e.conf = (e.conf + 1).min(3);
-        } else {
-            if e.conf == 0 {
-                e.stride = new_stride;
-            }
-            e.conf = e.conf.saturating_sub(1);
-        }
-        e.last_addr = addr;
-    }
-
-    /// The confident stride for `pc`, if any.
-    #[must_use]
-    pub fn predict(&self, pc: u64, min_conf: u8) -> Option<i64> {
-        let idx = ((pc >> 3) as usize) & self.mask;
-        let e = &self.entries[idx];
-        (e.valid && e.tag == pc && e.conf >= min_conf && e.stride != 0).then_some(e.stride)
-    }
-}
-
 /// One prefetched line sitting in a buffer.
 #[derive(Clone, Copy, Debug)]
 pub struct StreamEntry {
@@ -115,53 +66,17 @@ pub struct StreamEntry {
     pub ready_at: u64,
 }
 
-struct Buffer {
-    valid: bool,
-    entries: VecDeque<StreamEntry>,
-    stride: i64,
-    next_addr: u64,
-    last_use: u64,
+pub(crate) struct Buffer {
+    pub(crate) valid: bool,
+    pub(crate) entries: VecDeque<StreamEntry>,
+    pub(crate) stride: i64,
+    pub(crate) next_addr: u64,
+    pub(crate) last_use: u64,
 }
 
-/// A hit found while probing the stream buffers.
-#[derive(Clone, Copy, Debug)]
-pub struct StreamHit {
-    /// Cycle at which the hit line's fill completes (may be in the past).
-    pub ready_at: u64,
-    /// Index of the buffer that hit (used to stream it forward).
-    pub buffer: usize,
-}
-
-/// Hard upper bound on entries per buffer (the paper's deepest
-/// configuration is 8); sizes [`RefillList`]'s inline storage.
-pub const MAX_STREAM_ENTRIES: usize = 16;
-
-/// Up to one buffer depth of refill addresses, stored inline.
-///
-/// [`StreamBuffers::refill_addresses`] runs after every buffer hit — the
-/// hierarchy's hottest prefetcher path — so returning a heap `Vec` there
-/// was a per-access allocation. Dereferences as a `&[u64]`.
-#[derive(Clone, Copy, Debug)]
-pub struct RefillList {
-    addrs: [u64; MAX_STREAM_ENTRIES],
-    len: usize,
-}
-
-impl RefillList {
-    const EMPTY: RefillList = RefillList { addrs: [0; MAX_STREAM_ENTRIES], len: 0 };
-
-    #[inline]
-    fn push(&mut self, a: u64) {
-        self.addrs[self.len] = a;
-        self.len += 1;
-    }
-}
-
-impl std::ops::Deref for RefillList {
-    type Target = [u64];
-
-    fn deref(&self) -> &[u64] {
-        &self.addrs[..self.len]
+impl Buffer {
+    pub(crate) fn empty() -> Buffer {
+        Buffer { valid: false, entries: VecDeque::new(), stride: 0, next_addr: 0, last_use: 0 }
     }
 }
 
@@ -193,15 +108,7 @@ impl StreamBuffers {
             "buffer depth {} exceeds the inline refill-list bound {MAX_STREAM_ENTRIES}",
             cfg.entries_per_buffer
         );
-        let buffers = (0..cfg.buffers)
-            .map(|_| Buffer {
-                valid: false,
-                entries: VecDeque::new(),
-                stride: 0,
-                next_addr: 0,
-                last_use: 0,
-            })
-            .collect();
+        let buffers = (0..cfg.buffers).map(|_| Buffer::empty()).collect();
         StreamBuffers {
             predictor: StridePredictor::new(cfg.history_entries),
             cfg,
@@ -220,29 +127,30 @@ impl StreamBuffers {
         &self.cfg
     }
 
-    /// Trains the stride predictor with a committed load.
-    pub fn train(&mut self, pc: u64, addr: u64) {
-        self.predictor.train(pc, addr);
-    }
-
     fn line_of(&self, addr: u64) -> u64 {
         addr & !(self.line_bytes - 1)
     }
+}
 
-    /// Whether any buffer currently holds the line containing `addr`
-    /// (non-consuming probe).
-    #[must_use]
-    pub fn contains(&self, addr: u64) -> bool {
+impl Prefetcher for StreamBuffers {
+    fn kind(&self) -> ArmKind {
+        ArmKind::Stream
+    }
+
+    /// Trains the stride predictor with a committed load (the predictor
+    /// trains on every access, hit or miss, exactly as before).
+    fn train(&mut self, pc: u64, addr: u64, _l1_miss: bool) {
+        self.predictor.train(pc, addr);
+    }
+
+    fn contains(&self, addr: u64) -> bool {
         let line = self.line_of(addr);
         self.buffers.iter().any(|b| b.valid && b.entries.iter().any(|e| e.line_addr == line))
     }
 
     /// Probes all buffers for the line containing `addr` and, on a hit,
     /// consumes entries up to and including it.
-    ///
-    /// The caller must follow up with [`StreamBuffers::refill_addresses`] and
-    /// [`StreamBuffers::push_fill`] to stream the buffer forward.
-    pub fn probe_and_consume(&mut self, addr: u64) -> Option<StreamHit> {
+    fn probe_and_consume(&mut self, addr: u64) -> Option<ArmHit> {
         let line = self.line_of(addr);
         self.clock += 1;
         for (bi, b) in self.buffers.iter_mut().enumerate() {
@@ -254,20 +162,15 @@ impl StreamBuffers {
                 b.entries.drain(..=pos);
                 b.last_use = self.clock;
                 self.hits += 1;
-                return Some(StreamHit { ready_at: hit.ready_at, buffer: bi });
+                return Some(ArmHit { ready_at: hit.ready_at, slot: bi });
             }
         }
         None
     }
 
-    /// Addresses buffer `buffer` wants fetched to return to full depth.
-    ///
-    /// Call after [`StreamBuffers::probe_and_consume`]; pair each returned
-    /// address with a [`StreamBuffers::push_fill`] carrying its fill time.
-    #[must_use]
-    pub fn refill_addresses(&mut self, buffer: usize) -> RefillList {
+    fn refill_addresses(&mut self, slot: usize) -> RefillList {
         let mut out = RefillList::EMPTY;
-        let b = &mut self.buffers[buffer];
+        let b = &mut self.buffers[slot];
         if !b.valid {
             return out;
         }
@@ -279,18 +182,16 @@ impl StreamBuffers {
         out
     }
 
-    /// Records a completed fetch request for buffer `buffer`.
-    pub fn push_fill(&mut self, buffer: usize, line_addr: u64, ready_at: u64) {
+    fn push_fill(&mut self, slot: usize, line_addr: u64, ready_at: u64) {
         let line = self.line_of(line_addr);
         self.issued += 1;
-        self.buffers[buffer].entries.push_back(StreamEntry { line_addr: line, ready_at });
+        self.buffers[slot].entries.push_back(StreamEntry { line_addr: line, ready_at });
     }
 
-    /// Considers allocating a buffer for a demand miss at `(pc, addr)`.
-    ///
-    /// Returns the buffer index and the addresses to fetch when the stride
-    /// predictor is confident and the miss does not already stream.
-    pub fn consider_allocation(&mut self, pc: u64, addr: u64) -> Option<(usize, RefillList)> {
+    /// Considers allocating a buffer for a demand miss at `(pc, addr)`:
+    /// allocates (LRU victim) when the stride predictor is confident and
+    /// the miss does not already stream.
+    fn consider_allocation(&mut self, pc: u64, addr: u64) -> Option<(usize, RefillList)> {
         let stride = self.predictor.predict(pc, self.cfg.allocation_confidence)?;
         // Skip tiny strides inside one line: next-line behaviour is already
         // covered by stride-1-line streams; a zero line-delta stream is useless.
@@ -333,6 +234,10 @@ impl StreamBuffers {
         let addrs = self.refill_addresses(victim);
         Some((victim, addrs))
     }
+
+    fn stats(&self) -> ArmStats {
+        ArmStats { issued: self.issued, useful: self.hits, allocations: self.allocations }
+    }
 }
 
 #[cfg(test)]
@@ -344,36 +249,12 @@ mod tests {
     }
 
     #[test]
-    fn predictor_needs_repeated_identical_strides() {
-        let mut p = StridePredictor::new(64);
-        p.train(0x100, 1000);
-        assert_eq!(p.predict(0x100, 2), None);
-        p.train(0x100, 1064); // stride learned, conf 0
-        assert_eq!(p.predict(0x100, 2), None);
-        p.train(0x100, 1128); // conf 1
-        p.train(0x100, 1192); // conf 2
-        assert_eq!(p.predict(0x100, 2), Some(64));
-    }
-
-    #[test]
-    fn predictor_loses_confidence_on_stride_change() {
-        let mut p = StridePredictor::new(64);
-        for i in 0..5 {
-            p.train(0x8, 100 + i * 8);
-        }
-        assert_eq!(p.predict(0x8, 2), Some(8));
-        p.train(0x8, 5000);
-        p.train(0x8, 5001);
-        assert_eq!(p.predict(0x8, 2), None);
-    }
-
-    #[test]
     fn allocation_requires_confidence() {
         let mut s = sb();
-        s.train(0x10, 0x1000);
+        s.train(0x10, 0x1000, true);
         assert!(s.consider_allocation(0x10, 0x1000).is_none());
         for i in 1..4u64 {
-            s.train(0x10, 0x1000 + i * 64);
+            s.train(0x10, 0x1000 + i * 64, true);
         }
         let (buf, addrs) = s.consider_allocation(0x10, 0x10c0).expect("allocates");
         assert_eq!(addrs.len(), 4);
@@ -386,13 +267,14 @@ mod tests {
         let hit = s.probe_and_consume(0x1100).expect("buffer hit");
         assert_eq!(hit.ready_at, 100);
         assert_eq!(s.hits, 1);
+        assert_eq!(s.stats().useful, 1);
     }
 
     #[test]
     fn hit_consumes_preceding_entries_and_reports_refills() {
         let mut s = sb();
         for i in 0..5u64 {
-            s.train(0x20, 0x2000 + i * 64);
+            s.train(0x20, 0x2000 + i * 64, true);
         }
         let (buf, addrs) = s.consider_allocation(0x20, 0x2100).unwrap();
         for a in addrs.iter() {
@@ -401,7 +283,7 @@ mod tests {
         // Hit the third entry: two earlier entries are skipped.
         let third = addrs[2];
         let hit = s.probe_and_consume(third).unwrap();
-        assert_eq!(hit.buffer, buf);
+        assert_eq!(hit.slot, buf);
         let refills = s.refill_addresses(buf);
         assert_eq!(refills.len(), 3, "three entries consumed, three refills");
         assert_eq!(refills[0], addrs[3] + 64);
@@ -411,10 +293,9 @@ mod tests {
     fn sub_line_strides_stream_whole_lines() {
         let mut s = sb();
         for i in 0..6u64 {
-            s.train(0x30, 0x3000 + i * 8);
+            s.train(0x30, 0x3000 + i * 8, true);
         }
         let (_, addrs) = s.consider_allocation(0x30, 0x3028).unwrap();
-        assert_eq!(addrs[0] & 63, addrs[0] & 63);
         assert_eq!(addrs[1] - addrs[0], 64, "line-granular streaming");
     }
 
@@ -422,7 +303,7 @@ mod tests {
     fn duplicate_streams_are_not_allocated() {
         let mut s = sb();
         for i in 0..5u64 {
-            s.train(0x40, 0x4000 + i * 64);
+            s.train(0x40, 0x4000 + i * 64, true);
         }
         let (buf, addrs) = s.consider_allocation(0x40, 0x4100).unwrap();
         for a in addrs.iter() {

@@ -1,0 +1,87 @@
+//! The per-PC stride predictor (Farkas et al.) shared by the stream-buffer
+//! and delta arms.
+
+/// A per-PC stride predictor with 2-bit confidence.
+pub struct StridePredictor {
+    entries: Vec<SpEntry>,
+    mask: usize,
+}
+
+#[derive(Clone, Copy, Default)]
+struct SpEntry {
+    tag: u64,
+    valid: bool,
+    last_addr: u64,
+    stride: i64,
+    conf: u8,
+}
+
+impl StridePredictor {
+    /// Builds a predictor with `entries` slots (rounded up to a power of two).
+    #[must_use]
+    pub fn new(entries: usize) -> StridePredictor {
+        let n = entries.next_power_of_two().max(1);
+        StridePredictor { entries: vec![SpEntry::default(); n], mask: n - 1 }
+    }
+
+    fn slot(&mut self, pc: u64) -> &mut SpEntry {
+        let idx = ((pc >> 3) as usize) & self.mask;
+        &mut self.entries[idx]
+    }
+
+    /// Trains the predictor with an observed `(pc, addr)` access.
+    pub fn train(&mut self, pc: u64, addr: u64) {
+        let e = self.slot(pc);
+        if !e.valid || e.tag != pc {
+            *e = SpEntry { tag: pc, valid: true, last_addr: addr, stride: 0, conf: 0 };
+            return;
+        }
+        let new_stride = addr.wrapping_sub(e.last_addr) as i64;
+        if new_stride == e.stride && new_stride != 0 {
+            e.conf = (e.conf + 1).min(3);
+        } else {
+            if e.conf == 0 {
+                e.stride = new_stride;
+            }
+            e.conf = e.conf.saturating_sub(1);
+        }
+        e.last_addr = addr;
+    }
+
+    /// The confident stride for `pc`, if any.
+    #[must_use]
+    pub fn predict(&self, pc: u64, min_conf: u8) -> Option<i64> {
+        let idx = ((pc >> 3) as usize) & self.mask;
+        let e = &self.entries[idx];
+        (e.valid && e.tag == pc && e.conf >= min_conf && e.stride != 0).then_some(e.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_needs_repeated_identical_strides() {
+        let mut p = StridePredictor::new(64);
+        p.train(0x100, 1000);
+        assert_eq!(p.predict(0x100, 2), None);
+        p.train(0x100, 1064); // stride learned, conf 0
+        assert_eq!(p.predict(0x100, 2), None);
+        p.train(0x100, 1128); // conf 1
+        p.train(0x100, 1192); // conf 2
+        assert_eq!(p.predict(0x100, 2), Some(64));
+    }
+
+    #[test]
+    fn predictor_loses_confidence_on_stride_change() {
+        let mut p = StridePredictor::new(64);
+        for i in 0..5 {
+            p.train(0x8, 100 + i * 8);
+        }
+        assert_eq!(p.predict(0x8, 2), Some(8));
+        p.train(0x8, 5000);
+        p.train(0x8, 5001);
+        assert_eq!(p.predict(0x8, 2), None);
+    }
+}

@@ -42,7 +42,7 @@ fn main() {
         "Memory latency      {} cycles (bus occupancy {}/line, {} MSHRs)",
         mem.mem_latency, mem.bus_occupancy, mem.mshrs
     );
-    let sb = mem.stream.expect("baseline has stream buffers");
+    let sb = mem.arm.stream().expect("baseline has stream buffers");
     println!(
         "Stream buffers      {} buffers x {} entries, {}-entry history table",
         sb.buffers, sb.entries_per_buffer, sb.history_entries

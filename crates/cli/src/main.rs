@@ -60,7 +60,11 @@ fn usage_text() -> String {
     }
     text.push_str(
         "\nworkload options (run/compare/disasm/traces/timeline):\n\
-         \x20 --arm <none|hw4x4|hw8x8|basic|whole|sr|swonly>   (default sr)\n\
+         \x20 --arm <none|hw4x4|hw8x8|basic|whole|sr|swonly|nl|adanl|delta|policy>\n\
+         \x20                           (default sr)\n\
+         \x20 --arms <all|a,b,...>      arm x workload matrix over the whole\n\
+         \x20                           suite + phaseshift (compare only;\n\
+         \x20                           replaces the workload argument)\n\
          \x20 --full                    paper-scale run (default: test scale)\n\
          \x20 --insts <N>               measured original instructions\n\
          \x20 --jobs <N>                parallel simulations (0 = all cores)\n\
@@ -123,6 +127,7 @@ fn usage() -> ExitCode {
 
 struct Opts {
     arm: PrefetchSetup,
+    arms: Option<String>,
     full: bool,
     insts: Option<u64>,
     jobs: usize,
@@ -137,6 +142,7 @@ struct Opts {
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts {
         arm: PrefetchSetup::SwSelfRepair,
+        arms: None,
         full: false,
         insts: None,
         jobs: 0,
@@ -166,6 +172,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--arm needs a value")?;
                 o.arm =
                     PrefetchSetup::from_cli_name(v).ok_or_else(|| format!("unknown arm `{v}`"))?;
+            }
+            "--arms" => {
+                o.arms = Some(it.next().ok_or("--arms needs `all` or a comma list")?.clone());
             }
             "--insts" => {
                 let v = it.next().ok_or("--insts needs a value")?;
@@ -349,6 +358,96 @@ fn cmd_compare(name: &str, o: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// The hardware-prefetcher arsenal plus the policy controller: the arm set
+/// `compare --arms all` sweeps. The policy column is last so the matrix
+/// reads "static arms, then the controller that picks among them".
+const ARSENAL: [PrefetchSetup; 5] = [
+    PrefetchSetup::Hw8x8,
+    PrefetchSetup::HwNextLine,
+    PrefetchSetup::HwAdaptiveNextLine,
+    PrefetchSetup::HwDelta,
+    PrefetchSetup::Policy,
+];
+
+/// `tdo compare --arms <all|list>`: the full arm × workload matrix over the
+/// paper's 14-benchmark suite plus the phase-shifting workload, with a
+/// "which arm wins where" summary. Extends the paper's Figure 2 (stream
+/// buffers per benchmark) to the whole arsenal.
+fn cmd_compare_arms(spec_arg: &str, o: &Opts) -> Result<ExitCode, String> {
+    let arms: Vec<PrefetchSetup> = if spec_arg == "all" {
+        ARSENAL.to_vec()
+    } else {
+        spec_arg
+            .split(',')
+            .map(|n| PrefetchSetup::from_cli_name(n).ok_or_else(|| format!("unknown arm `{n}`")))
+            .collect::<Result<_, _>>()?
+    };
+    if arms.is_empty() {
+        return Err("--arms needs at least one arm".into());
+    }
+    let workloads: Vec<&str> = names().iter().copied().chain(["phaseshift"]).collect();
+
+    let cfg_for = |arm: PrefetchSetup| {
+        let mut cfg = config(o, arm);
+        if o.quick {
+            cfg.measure_insts = cfg.measure_insts.min(120_000);
+        }
+        cfg
+    };
+
+    // One spec with every cell: the engine fans out across `--jobs`
+    // workers; the per-cell reads below are then all memo hits, so the
+    // rendered bytes cannot depend on the worker count.
+    let runner = runner(o);
+    let mut spec = ExperimentSpec::new();
+    for w in &workloads {
+        for &arm in &arms {
+            spec.push(Cell::new(*w, scale(o), cfg_for(arm)));
+        }
+    }
+    let _ = runner.run_spec(&spec);
+
+    let mut rep = Report::new("arm-matrix").key("workload", 10);
+    for &arm in &arms {
+        rep = rep.col(arm.cli_name(), 10);
+    }
+    rep = rep.col("best", 8).rule(0);
+
+    // Per-workload IPC row + best (highest-IPC) arm; ties go to the
+    // earlier arm in the sweep order, deterministically.
+    let mut wins: Vec<(PrefetchSetup, Vec<&str>)> = arms.iter().map(|&a| (a, Vec::new())).collect();
+    for w in &workloads {
+        let results: Vec<std::sync::Arc<SimResult>> = arms
+            .iter()
+            .map(|&arm| runner.run_cell(&Cell::new(*w, scale(o), cfg_for(arm))))
+            .collect();
+        let ipc_key = |i: usize| (results[i].orig_insts * 100_000).checked_div(results[i].cycles);
+        let mut best = 0;
+        for i in 1..arms.len() {
+            if ipc_key(i) > ipc_key(best) {
+                best = i;
+            }
+        }
+        wins[best].1.push(w);
+        let mut cells: Vec<String> = results.iter().map(|r| format!("{:.4}", r.ipc())).collect();
+        cells.push(arms[best].cli_name().to_string());
+        rep.row((*w).to_string(), cells);
+    }
+    print!("{}", rep.render(o.format));
+
+    if o.format == Format::Table {
+        println!();
+        println!("which arm wins where:");
+        for (arm, won) in &wins {
+            if !won.is_empty() {
+                println!("  {:<8} {:>2} workloads: {}", arm.cli_name(), won.len(), won.join(" "));
+            }
+        }
+    }
+    store_footer(&runner);
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_disasm(name: &str, o: &Opts) -> Result<ExitCode, String> {
     let w = load_workload(name, o.full)?;
     for (i, word) in w.program.code.iter().enumerate() {
@@ -433,6 +532,13 @@ fn cmd_timeline(name: &str, o: &Opts) -> Result<ExitCode, String> {
     println!();
     println!("windowed performance (every {} insts):", cfg.sample_insts);
     print!("{}", timeline.render_samples());
+    // The arm section only exists for policy runs: static-arm timelines
+    // stay byte-identical to what they printed before the arsenal existed.
+    if !timeline.arm_switches.is_empty() {
+        println!();
+        println!("policy arm switches:");
+        print!("{}", timeline.render_arms());
+    }
     println!();
     report(&r);
     Ok(ExitCode::SUCCESS)
@@ -865,10 +971,20 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<ExitCode, String> {
         "perf" => cmd_perf(args),
         "chaos" => cmd_chaos(args),
         "run" | "compare" | "disasm" | "traces" | "timeline" => {
+            // `compare --arms <all|list>` sweeps the whole suite and takes
+            // no workload argument.
+            if cmd == "compare" && args.first().is_some_and(|a| a.starts_with("--")) {
+                let opts = parse_opts(args)?;
+                let spec = opts.arms.clone().ok_or("compare needs a workload name (or --arms)")?;
+                return cmd_compare_arms(&spec, &opts);
+            }
             let Some(name) = args.first() else {
                 return Err(format!("{cmd} needs a workload name"));
             };
             let opts = parse_opts(&args[1..])?;
+            if cmd == "compare" && opts.arms.is_some() {
+                return Err("--arms replaces the workload argument: `tdo compare --arms …`".into());
+            }
             match cmd {
                 "run" => cmd_run(name, &opts),
                 "compare" => cmd_compare(name, &opts),
@@ -932,6 +1048,19 @@ mod tests {
             assert_eq!(PrefetchSetup::from_cli_name(setup.cli_name()), Some(setup));
         }
         assert_eq!(PrefetchSetup::from_cli_name("warp-drive"), None);
-        assert!(usage_text().contains("none|hw4x4|hw8x8|basic|whole|sr|swonly"));
+        assert!(
+            usage_text().contains("none|hw4x4|hw8x8|basic|whole|sr|swonly|nl|adanl|delta|policy")
+        );
+    }
+
+    /// The `--arms all` arsenal is exactly the hardware arms plus the
+    /// policy controller, and stays in sync with the setup enum.
+    #[test]
+    fn arsenal_covers_the_hardware_arms_and_policy() {
+        assert_eq!(ARSENAL.last(), Some(&PrefetchSetup::Policy));
+        for setup in ARSENAL {
+            assert!(PrefetchSetup::ALL.contains(&setup));
+        }
+        assert!(usage_text().contains("--arms <all|a,b,...>"));
     }
 }

@@ -163,7 +163,7 @@ fn serve_and_ping_round_trip() {
     // per generation with record-size accounting.
     let stats = ok(&["store", "stats", "--store-dir", &store.path()]);
     assert!(stats.contains("live records       1"), "{stats}");
-    assert!(stats.contains("v1"), "{stats}");
+    assert!(stats.contains("v2"), "{stats}");
     assert!(stats.contains("record bytes       mean"), "{stats}");
 }
 

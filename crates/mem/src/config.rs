@@ -1,7 +1,10 @@
 //! Memory-system configuration (paper Table 1).
 
+use tdo_arms::{
+    AdaptiveNextLineConfig, ArmConfig, DeltaConfig, NextLineConfig, StreamBufferConfig,
+};
+
 use crate::cache::CacheConfig;
-use crate::stream::StreamBufferConfig;
 
 /// Configuration of the whole data-memory subsystem.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,8 +24,9 @@ pub struct MemConfig {
     /// Capacity of the displaced-by-prefetch tag log that identifies
     /// "misses due to prefetching" for the Figure 6 breakdown.
     pub displaced_log_entries: usize,
-    /// Hardware stream-buffer prefetcher, if enabled.
-    pub stream: Option<StreamBufferConfig>,
+    /// The hardware prefetcher arm installed in front of the L2 (the
+    /// policy controller in `tdo-sim` may swap it at run time).
+    pub arm: ArmConfig,
     /// Tagged next-line prefetching (Smith & Hsu, the paper's §2.2
     /// precursor baseline): a demand miss — or the first touch of a
     /// prefetched line — prefetches the sequentially next line.
@@ -45,7 +49,7 @@ impl MemConfig {
             // memory system keeps in flight.
             mshrs: 64,
             displaced_log_entries: 8192,
-            stream: Some(StreamBufferConfig::eight_by_eight()),
+            arm: ArmConfig::Stream(StreamBufferConfig::eight_by_eight()),
             next_line: false,
         }
     }
@@ -53,16 +57,42 @@ impl MemConfig {
     /// The baseline with the hardware prefetcher disabled.
     #[must_use]
     pub fn no_prefetch() -> MemConfig {
-        MemConfig { stream: None, ..MemConfig::paper_baseline() }
+        MemConfig { arm: ArmConfig::None, ..MemConfig::paper_baseline() }
     }
 
     /// The baseline with the smaller 4×4 stream-buffer configuration.
     #[must_use]
     pub fn hw_four_by_four() -> MemConfig {
         MemConfig {
-            stream: Some(StreamBufferConfig::four_by_four()),
+            arm: ArmConfig::Stream(StreamBufferConfig::four_by_four()),
             ..MemConfig::paper_baseline()
         }
+    }
+
+    /// The baseline with the fixed-degree next-line arm instead of stream
+    /// buffers.
+    #[must_use]
+    pub fn hw_next_line() -> MemConfig {
+        MemConfig {
+            arm: ArmConfig::NextLine(NextLineConfig::default()),
+            ..MemConfig::paper_baseline()
+        }
+    }
+
+    /// The baseline with the adaptive-degree next-line arm (hill-climbed
+    /// degree, ChampSim's `next_line_linear_mpki` shape).
+    #[must_use]
+    pub fn hw_adaptive_next_line() -> MemConfig {
+        MemConfig {
+            arm: ArmConfig::AdaptiveNextLine(AdaptiveNextLineConfig::default()),
+            ..MemConfig::paper_baseline()
+        }
+    }
+
+    /// The baseline with the PC-stride delta arm.
+    #[must_use]
+    pub fn hw_delta() -> MemConfig {
+        MemConfig { arm: ArmConfig::Delta(DeltaConfig::default()), ..MemConfig::paper_baseline() }
     }
 
     /// A scaled-down hierarchy for fast unit tests: same latencies, same
@@ -79,7 +109,7 @@ impl MemConfig {
             bus_occupancy: 6,
             mshrs: 16,
             displaced_log_entries: 1024,
-            stream: None,
+            arm: ArmConfig::None,
             next_line: false,
         }
     }
@@ -109,7 +139,7 @@ mod tests {
         assert_eq!(c.l3.assoc, 16);
         assert_eq!(c.l3.latency, 35);
         assert_eq!(c.mem_latency, 350);
-        let sb = c.stream.unwrap();
+        let sb = c.arm.stream().unwrap();
         assert_eq!((sb.buffers, sb.entries_per_buffer), (8, 8));
         assert_eq!(sb.history_entries, 1024);
     }
@@ -120,5 +150,14 @@ mod tests {
         assert_eq!(c.l1.num_sets(), 512);
         assert_eq!(c.l2.num_sets(), 1024);
         assert_eq!(c.l3.num_sets(), 4096);
+    }
+
+    #[test]
+    fn every_arm_constructor_builds_its_kind() {
+        use tdo_arms::ArmKind;
+        assert_eq!(MemConfig::no_prefetch().arm, ArmConfig::None);
+        assert_eq!(MemConfig::hw_next_line().arm.kind(), Some(ArmKind::NextLine));
+        assert_eq!(MemConfig::hw_adaptive_next_line().arm.kind(), Some(ArmKind::AdaptiveNextLine));
+        assert_eq!(MemConfig::hw_delta().arm.kind(), Some(ArmKind::Delta));
     }
 }

@@ -1,6 +1,6 @@
 //! The three-level data-cache hierarchy with in-flight fill tracking,
-//! MSHR limits, a DRAM bus model, prefetch displacement tracking, and the
-//! hardware stream-buffer prefetcher in front of the L2.
+//! MSHR limits, a DRAM bus model, prefetch displacement tracking, and a
+//! pluggable hardware prefetcher arm (`tdo-arms`) in front of the L2.
 //!
 //! All timing flows through [`Hierarchy::load`], [`Hierarchy::store`] and
 //! [`Hierarchy::sw_prefetch`]; the functional bytes live separately in
@@ -8,11 +8,12 @@
 
 use std::collections::VecDeque;
 
+use tdo_arms::{ArmConfig, ArmStats, Prefetcher};
+
 use crate::cache::Cache;
 use crate::config::MemConfig;
 use crate::fasthash::FastSet;
 use crate::stats::{AccessResult, LoadClass, MemStats, PrefetchOutcome, ServiceLevel};
-use crate::stream::StreamBuffers;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Initiator {
@@ -48,7 +49,7 @@ impl Bus {
     }
 }
 
-/// L2/L3/DRAM — everything below the L1 and the stream buffers.
+/// L2/L3/DRAM — everything below the L1 and the prefetcher arm.
 struct Lower {
     l2: Cache,
     l3: Cache,
@@ -73,8 +74,8 @@ impl Lower {
         (delay + self.mem_latency, ServiceLevel::Memory)
     }
 
-    /// Latency of filling a stream-buffer entry. Probes without disturbing
-    /// cache state (stream buffers fill from wherever the line lives), but
+    /// Latency of filling an arm's buffer entry. Probes without disturbing
+    /// cache state (prefetch buffers fill from wherever the line lives), but
     /// still pays for the DRAM bus.
     fn probe_latency(&mut self, now: u64, addr: u64) -> u64 {
         if self.l2.probe(addr) {
@@ -125,7 +126,7 @@ pub struct Hierarchy {
     cfg: MemConfig,
     l1: Cache,
     lower: Lower,
-    stream: Option<StreamBuffers>,
+    arm: Option<Box<dyn Prefetcher>>,
     /// The MSHR arena: in-flight fills in issue order. Length is the MSHR
     /// occupancy; the front is the oldest fill (pruned first).
     inflight: VecDeque<Inflight>,
@@ -146,7 +147,7 @@ impl Hierarchy {
                 bus: Bus { free_at: 0, occupancy: cfg.bus_occupancy },
                 mem_latency: cfg.mem_latency,
             },
-            stream: cfg.stream.map(|s| StreamBuffers::new(s, cfg.l1.line_bytes)),
+            arm: cfg.arm.build(cfg.l1.line_bytes),
             inflight: VecDeque::with_capacity(cfg.mshrs),
             displaced: DisplacedLog::new(cfg.displaced_log_entries),
             stats: MemStats::default(),
@@ -160,10 +161,39 @@ impl Hierarchy {
         &self.cfg
     }
 
-    /// Statistics of the hardware stream buffers: (issued, hits, allocations).
+    /// Live statistics of the installed hardware arm (zero when none is).
     #[must_use]
-    pub fn stream_stats(&self) -> (u64, u64, u64) {
-        self.stream.as_ref().map_or((0, 0, 0), |s| (s.issued, s.hits, s.allocations))
+    pub fn arm_stats(&self) -> ArmStats {
+        self.arm.as_ref().map_or_else(ArmStats::default, |a| a.stats())
+    }
+
+    /// Folds the installed arm's counters into the per-kind aggregate
+    /// statistics. Called automatically on [`Hierarchy::set_arm`]; the
+    /// simulation driver calls it once more at the end of a run so
+    /// [`MemStats::arm_issued`]/[`MemStats::arm_useful`] cover every arm
+    /// that ever ran. Folding resets nothing — each arm is folded exactly
+    /// once, when it is replaced or when the run ends.
+    pub fn fold_arm_stats(&mut self) {
+        if let Some(arm) = self.arm.as_ref() {
+            let k = arm.kind().index();
+            let s = arm.stats();
+            self.stats.arm_issued[k] += s.issued;
+            self.stats.arm_useful[k] += s.useful;
+        }
+    }
+
+    /// Replaces the hardware arm at run time (the policy controller's
+    /// lever). The outgoing arm's counters are folded; the incoming arm
+    /// starts cold (empty buffers, untrained predictor) — switching has a
+    /// real warm-up cost, exactly as reconfigurable hardware would.
+    /// Replacing a live arm counts as a switch; the initial install from
+    /// [`ArmConfig::None`] does not.
+    pub fn set_arm(&mut self, cfg: &ArmConfig) {
+        if self.arm.is_some() {
+            self.stats.arm_switches += 1;
+        }
+        self.fold_arm_stats();
+        self.arm = cfg.build(self.cfg.l1.line_bytes);
     }
 
     fn prune(&mut self, now: u64) {
@@ -212,51 +242,57 @@ impl Hierarchy {
         self.inflight.push_back(inf);
     }
 
-    fn refill_stream(&mut self, now: u64, buffer: usize) {
+    fn refill_arm(&mut self, now: u64, slot: usize) {
         // Split-borrow dance: collect addresses first, then fetch latencies.
-        let addrs = match self.stream.as_mut() {
-            Some(s) => s.refill_addresses(buffer),
+        let addrs = match self.arm.as_mut() {
+            Some(a) => a.refill_addresses(slot),
             None => return,
         };
         for &a in addrs.iter() {
             let lat = self.lower.probe_latency(now, a);
-            self.stream.as_mut().expect("checked above").push_fill(buffer, a, now + lat);
+            self.arm.as_mut().expect("checked above").push_fill(slot, a, now + lat);
         }
     }
 
     /// A demand load at `(pc, addr)` issued at cycle `now`.
     pub fn load(&mut self, now: u64, pc: u64, addr: u64) -> AccessResult {
         self.prune(now);
-        if let Some(s) = self.stream.as_mut() {
-            s.train(pc, addr);
-        }
         let line = self.l1.line_addr(addr);
         let l1_lat = self.cfg.l1.latency;
+        let lookup = self.l1.lookup(addr);
+        if let Some(a) = self.arm.as_mut() {
+            // Advance the arm's internal state machine, then train it. The
+            // tag-miss bit is the miss-rate signal adaptive arms feed on;
+            // the stream-buffer arm's predictor ignores it (it trains on
+            // every access, exactly as before the arsenal split).
+            a.advance(now);
+            a.train(pc, addr, lookup.is_none());
+        }
 
-        if let Some(hit) = self.l1.lookup(addr) {
+        if let Some(hit) = lookup {
             let r = match self.inflight_for(line) {
                 Some(inf) if inf.complete_at > now => {
-                    // Fill still in flight: pay the remaining latency — but a
-                    // stream buffer may already hold the same line from an
+                    // Fill still in flight: pay the remaining latency — but
+                    // the arm may already hold the same line from an
                     // earlier hardware prefetch; fills merge and the data
                     // arrives at the earlier of the two times.
                     let mut complete_at = inf.complete_at;
-                    let mut sb_buffer = None;
-                    if let Some(s) = self.stream.as_mut() {
-                        if let Some(sb) = s.probe_and_consume(addr) {
-                            complete_at = complete_at.min(sb.ready_at.max(now));
-                            sb_buffer = Some(sb.buffer);
+                    let mut arm_slot = None;
+                    if let Some(a) = self.arm.as_mut() {
+                        if let Some(ah) = a.probe_and_consume(addr) {
+                            complete_at = complete_at.min(ah.ready_at.max(now));
+                            arm_slot = Some(ah.slot);
                         }
                     }
-                    if let Some(b) = sb_buffer {
-                        self.refill_stream(now, b);
+                    if let Some(b) = arm_slot {
+                        self.refill_arm(now, b);
                     } else {
                         // An in-flight prefetch tag is still a *miss* to the
-                        // stream-buffer allocator (MSHR-merged misses train
-                        // and allocate in real predictor-directed buffers) —
+                        // arm's allocator (MSHR-merged misses train and
+                        // allocate in real predictor-directed buffers) —
                         // otherwise a badly-timed software prefetch starves
                         // the hardware prefetcher it should complement.
-                        self.allocate_stream(now, pc, addr);
+                        self.allocate_arm(now, pc, addr);
                     }
                     let latency = complete_at.saturating_sub(now).max(l1_lat);
                     let class = match inf.initiator {
@@ -287,9 +323,9 @@ impl Hierarchy {
             return r;
         }
 
-        // L1 tag miss: probe the stream buffers in parallel with the L1.
-        if let Some(s) = self.stream.as_mut() {
-            if let Some(hit) = s.probe_and_consume(addr) {
+        // L1 tag miss: probe the arm's buffers in parallel with the L1.
+        if let Some(a) = self.arm.as_mut() {
+            if let Some(hit) = a.probe_and_consume(addr) {
                 let ready = hit.ready_at <= now;
                 let latency = if ready { l1_lat } else { (hit.ready_at - now).max(l1_lat) };
                 let ev = self.l1.insert(addr, false);
@@ -302,7 +338,7 @@ impl Hierarchy {
                         level: ServiceLevel::StreamBuffer,
                     });
                 }
-                self.refill_stream(now, hit.buffer);
+                self.refill_arm(now, hit.slot);
                 let r = AccessResult {
                     latency,
                     level: ServiceLevel::StreamBuffer,
@@ -331,7 +367,7 @@ impl Hierarchy {
             initiator: Initiator::Demand,
             level,
         });
-        self.allocate_stream(now, pc, addr);
+        self.allocate_arm(now, pc, addr);
         let r = AccessResult { latency, level, class, l1_miss: true };
         self.stats.record_load(&r);
         r
@@ -355,13 +391,13 @@ impl Hierarchy {
         });
     }
 
-    /// A confident stride predictor may allocate a stream for this PC.
-    fn allocate_stream(&mut self, now: u64, pc: u64, addr: u64) {
-        if let Some(s) = self.stream.as_mut() {
-            if let Some((buf, addrs)) = s.consider_allocation(pc, addr) {
+    /// The arm may allocate buffer space (a stream, a burst) for this miss.
+    fn allocate_arm(&mut self, now: u64, pc: u64, addr: u64) {
+        if let Some(a) = self.arm.as_mut() {
+            if let Some((slot, addrs)) = a.consider_allocation(pc, addr) {
                 for &a in addrs.iter() {
                     let lat = self.lower.probe_latency(now, a);
-                    self.stream.as_mut().expect("stream enabled").push_fill(buf, a, now + lat);
+                    self.arm.as_mut().expect("arm installed").push_fill(slot, a, now + lat);
                 }
             }
         }
@@ -405,11 +441,11 @@ impl Hierarchy {
             return PrefetchOutcome::AlreadyPresent;
         }
         let line = self.l1.line_addr(addr);
-        // A line already sitting in a stream buffer needs no software fetch;
-        // leaving it in the buffer (rather than pulling it into the L1 now)
+        // A line already sitting in an arm's buffer needs no software fetch;
+        // leaving it there (rather than pulling it into the L1 now)
         // preserves the buffers' immunity to L1 conflict eviction — the
         // demand access will take it at the buffer's timing.
-        if self.stream.as_ref().is_some_and(|s| s.contains(addr)) {
+        if self.arm.as_ref().is_some_and(|a| a.contains(addr)) {
             self.stats.sw_prefetch_redundant += 1;
             return PrefetchOutcome::AlreadyPresent;
         }
@@ -440,12 +476,12 @@ impl Hierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::StreamBufferConfig;
+    use tdo_arms::StreamBufferConfig;
 
     fn h(stream: bool) -> Hierarchy {
         let mut cfg = MemConfig::tiny_for_tests();
         if stream {
-            cfg.stream = Some(StreamBufferConfig::four_by_four());
+            cfg.arm = ArmConfig::Stream(StreamBufferConfig::four_by_four());
         }
         Hierarchy::new(cfg)
     }
@@ -553,8 +589,52 @@ mod tests {
         }
         assert_eq!(last.level, ServiceLevel::StreamBuffer);
         assert_eq!(last.class, LoadClass::HitPrefetched);
-        let (issued, hits, allocs) = m.stream_stats();
-        assert!(issued > 0 && hits > 32 && allocs >= 1, "{issued} {hits} {allocs}");
+        let s = m.arm_stats();
+        assert!(
+            s.issued > 0 && s.useful > 32 && s.allocations >= 1,
+            "{} {} {}",
+            s.issued,
+            s.useful,
+            s.allocations
+        );
+    }
+
+    #[test]
+    fn next_line_arm_covers_sequential_misses() {
+        let mut cfg = MemConfig::tiny_for_tests();
+        cfg.arm = ArmConfig::NextLine(tdo_arms::NextLineConfig { buffers: 4, degree: 4 });
+        let mut m = Hierarchy::new(cfg);
+        let mut now = 0;
+        let mut covered = 0;
+        for i in 0..64u64 {
+            let r = m.load(now, 0x600, 0x8_0000 + i * 64);
+            now += r.latency + 500;
+            if r.level == ServiceLevel::StreamBuffer {
+                covered += 1;
+            }
+        }
+        assert!(covered > 48, "sequential walk rides the line streams, got {covered}");
+        assert!(m.arm_stats().useful > 48);
+    }
+
+    #[test]
+    fn set_arm_folds_and_switches() {
+        let mut m = h(true);
+        let mut now = 0;
+        for i in 0..64u64 {
+            let r = m.load(now, 0x500, 0x4_0000 + i * 64);
+            now += r.latency + 500;
+        }
+        let live = m.arm_stats();
+        assert!(live.useful > 0);
+        m.set_arm(&ArmConfig::NextLine(tdo_arms::NextLineConfig::default()));
+        assert_eq!(m.stats.arm_switches, 1);
+        assert_eq!(m.stats.arm_useful[tdo_arms::ArmKind::Stream.index()], live.useful);
+        assert_eq!(m.arm_stats(), ArmStats::default(), "incoming arm starts cold");
+        // Folding at run end adds the new arm's (zero) counters only.
+        m.fold_arm_stats();
+        assert_eq!(m.stats.arm_useful[tdo_arms::ArmKind::NextLine.index()], 0);
+        assert_eq!(m.stats.arm_useful[tdo_arms::ArmKind::Stream.index()], live.useful);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! * an MSHR limit and a DRAM bus occupancy model,
 //! * prefetch displacement logging (the Figure 6 "miss due to prefetching"
 //!   attribution the paper describes in §5.3), and
-//! * the stride-predictor-directed hardware stream buffers ([`stream`]) that
-//!   form the paper's hardware-prefetching baseline.
+//! * a pluggable hardware prefetcher *arm* slot in front of the L2, filled
+//!   by any [`tdo_arms::Prefetcher`] implementation (the paper's
+//!   stride-predictor-directed stream buffers are the default arm) and
+//!   swappable at run time via [`Hierarchy::set_arm`].
 //!
 //! ## Example
 //!
@@ -36,7 +38,6 @@ pub mod fasthash;
 pub mod hierarchy;
 pub mod memory;
 pub mod stats;
-pub mod stream;
 
 pub use cache::{Cache, CacheConfig};
 pub use config::MemConfig;
@@ -44,4 +45,9 @@ pub use fasthash::{FastHasher, FastMap, FastSet};
 pub use hierarchy::Hierarchy;
 pub use memory::Memory;
 pub use stats::{AccessResult, LoadClass, MemStats, PrefetchOutcome, ServiceLevel};
-pub use stream::{StreamBufferConfig, StreamBuffers, StridePredictor};
+// Re-exported so downstream crates keep a single import surface for the
+// memory system even though the arms now live in their own crate.
+pub use tdo_arms::{
+    AdaptiveNextLineConfig, ArmConfig, ArmKind, ArmStats, DeltaConfig, NextLineConfig, Prefetcher,
+    StreamBufferConfig, StreamBuffers, StridePredictor,
+};

@@ -1,5 +1,7 @@
 //! Memory-system statistics, including the Figure 6 load breakdown.
 
+use tdo_arms::ArmKind;
+
 /// How one demand load was classified, following the categories of the
 /// paper's Figure 6. The five classes are mutually exclusive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -88,6 +90,15 @@ pub struct MemStats {
     pub sw_prefetch_dropped: u64,
     /// Dirty-line evictions written back over the DRAM bus.
     pub writebacks: u64,
+    /// Prefetch lines issued by each hardware arm kind, indexed by
+    /// [`ArmKind::index`]. Folded from the live arm on replacement and at
+    /// run end.
+    pub arm_issued: [u64; ArmKind::COUNT],
+    /// Useful (demand-consumed) prefetches per arm kind.
+    pub arm_useful: [u64; ArmKind::COUNT],
+    /// Times a live hardware arm was replaced by another at run time (the
+    /// initial install does not count).
+    pub arm_switches: u64,
 }
 
 impl MemStats {

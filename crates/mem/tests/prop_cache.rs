@@ -119,7 +119,7 @@ fn hierarchy_with_streams_never_misclassifies_hits() {
         let stride = *rng.choose(&[8u64, 64, 128, 256]);
         let n = rng.gen_range(16..128);
         let mut cfg = MemConfig::tiny_for_tests();
-        cfg.stream = Some(tdo_mem::StreamBufferConfig::four_by_four());
+        cfg.arm = tdo_mem::ArmConfig::Stream(tdo_mem::StreamBufferConfig::four_by_four());
         let mut h = Hierarchy::new(cfg);
         let mut now = 0u64;
         for i in 0..n {

@@ -249,11 +249,23 @@ pub enum Event {
         /// lines per software prefetch issued).
         pf_acc_milli: u64,
     },
+    /// The policy controller replaced the hardware prefetcher arm, carrying
+    /// the windowed metrics that triggered the decision.
+    ArmSwitch {
+        /// Arm kind name being retired (`tdo_arms::ArmKind::name`).
+        from: &'static str,
+        /// Arm kind name being installed.
+        to: &'static str,
+        /// The triggering epoch's IPC ×1000.
+        ipc_milli: u64,
+        /// The triggering epoch's L1 load misses per kilo-instruction ×1000.
+        mpki_milli: u64,
+    },
 }
 
 /// Every JSONL event name, in the order the variants are declared (the
 /// validator's schema).
-pub const EVENT_NAMES: [&str; 13] = [
+pub const EVENT_NAMES: [&str; 14] = [
     "trace_formed",
     "trace_installed",
     "trace_backed_out",
@@ -267,6 +279,7 @@ pub const EVENT_NAMES: [&str; 13] = [
     "distance_repaired",
     "load_matured",
     "sample",
+    "arm_switch",
 ];
 
 impl Event {
@@ -287,6 +300,7 @@ impl Event {
             Event::DistanceRepaired { .. } => "distance_repaired",
             Event::LoadMatured { .. } => "load_matured",
             Event::Sample { .. } => "sample",
+            Event::ArmSwitch { .. } => "arm_switch",
         }
     }
 
@@ -361,6 +375,12 @@ impl Event {
                     ",\"insts\":{insts},\"dcycles\":{dcycles},\"ipc_milli\":{ipc_milli},\"l1_miss_milli\":{l1_miss_milli},\"l2_miss_milli\":{l2_miss_milli},\"pf_acc_milli\":{pf_acc_milli}"
                 );
             }
+            Event::ArmSwitch { from, to, ipc_milli, mpki_milli } => {
+                let _ = write!(
+                    out,
+                    ",\"from\":\"{from}\",\"to\":\"{to}\",\"ipc_milli\":{ipc_milli},\"mpki_milli\":{mpki_milli}"
+                );
+            }
         }
         out.push_str("}\n");
     }
@@ -416,5 +436,20 @@ mod tests {
             }
             .name()
         ));
+        assert!(EVENT_NAMES.contains(
+            &Event::ArmSwitch { from: "stream", to: "delta", ipc_milli: 0, mpki_milli: 0 }.name()
+        ));
+    }
+
+    #[test]
+    fn arm_switch_serializes_names_and_window_metrics() {
+        let mut out = String::new();
+        Event::ArmSwitch { from: "stream", to: "nextline", ipc_milli: 850, mpki_milli: 12_500 }
+            .write_jsonl(4242, &mut out);
+        assert_eq!(
+            out,
+            "{\"cycle\":4242,\"event\":\"arm_switch\",\"from\":\"stream\",\"to\":\"nextline\",\
+             \"ipc_milli\":850,\"mpki_milli\":12500}\n"
+        );
     }
 }

@@ -744,7 +744,9 @@ fn parse_cell_spec(body: &str) -> Result<(Cell, PrefetchSetup), String> {
         }
     }
     let workload = workload.ok_or("missing required key `workload`")?;
-    if !names().contains(&workload.as_str()) {
+    // Authoritative check against the builder, not `names()`: extension
+    // workloads outside the paper suite (e.g. `phaseshift`) are servable.
+    if build(&workload, Scale::Test).is_none() {
         return Err(format!("unknown workload `{workload}`"));
     }
     let mut cfg = match scale {

@@ -99,6 +99,13 @@ fn routing_and_error_paths() {
     assert_eq!(counter(&m, "run_rejected"), 8);
     assert_eq!(counter(&m, "run_ok"), 0);
 
+    // Extension workloads and the arsenal arms are servable: workload
+    // validation defers to the builder, not the paper's 14-name suite.
+    let r = post_run(&addr, r#"{"workload":"phaseshift","arm":"policy","insts":30000}"#);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"workload\":\"phaseshift\""), "{}", r.body);
+    assert!(r.body.contains("\"arm\":\"policy\""), "{}", r.body);
+
     handle.shutdown();
     t.join().expect("clean shutdown");
 }

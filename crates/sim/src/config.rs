@@ -2,7 +2,7 @@
 
 use tdo_core::{DltConfig, SwPrefetchMode};
 use tdo_cpu::CpuConfig;
-use tdo_mem::MemConfig;
+use tdo_mem::{ArmConfig, MemConfig};
 use tdo_trident::TridentConfig;
 
 /// Which prefetching machinery is active — the paper's experimental arms.
@@ -24,11 +24,20 @@ pub enum PrefetchSetup {
     /// Software self-repairing prefetching with *no* hardware prefetcher
     /// (Figure 9 comparison).
     SwOnlySelfRepair,
+    /// Hardware fixed-degree next-line arm (no software prefetching).
+    HwNextLine,
+    /// Hardware adaptive-degree next-line arm (MPKI hill-climb).
+    HwAdaptiveNextLine,
+    /// Hardware PC-stride delta arm.
+    HwDelta,
+    /// Runtime policy controller: starts with no arm and hill-climbs over
+    /// [`policy_candidates`] at epoch boundaries.
+    Policy,
 }
 
 impl PrefetchSetup {
     /// All arms, in presentation order.
-    pub const ALL: [PrefetchSetup; 7] = [
+    pub const ALL: [PrefetchSetup; 11] = [
         PrefetchSetup::NoPrefetch,
         PrefetchSetup::Hw4x4,
         PrefetchSetup::Hw8x8,
@@ -36,15 +45,23 @@ impl PrefetchSetup {
         PrefetchSetup::SwWholeObject,
         PrefetchSetup::SwSelfRepair,
         PrefetchSetup::SwOnlySelfRepair,
+        PrefetchSetup::HwNextLine,
+        PrefetchSetup::HwAdaptiveNextLine,
+        PrefetchSetup::HwDelta,
+        PrefetchSetup::Policy,
     ];
 
     /// The software mode this arm runs.
     #[must_use]
     pub fn sw_mode(self) -> SwPrefetchMode {
         match self {
-            PrefetchSetup::NoPrefetch | PrefetchSetup::Hw4x4 | PrefetchSetup::Hw8x8 => {
-                SwPrefetchMode::Off
-            }
+            PrefetchSetup::NoPrefetch
+            | PrefetchSetup::Hw4x4
+            | PrefetchSetup::Hw8x8
+            | PrefetchSetup::HwNextLine
+            | PrefetchSetup::HwAdaptiveNextLine
+            | PrefetchSetup::HwDelta
+            | PrefetchSetup::Policy => SwPrefetchMode::Off,
             PrefetchSetup::SwBasic => SwPrefetchMode::Basic,
             PrefetchSetup::SwWholeObject => SwPrefetchMode::WholeObject,
             PrefetchSetup::SwSelfRepair | PrefetchSetup::SwOnlySelfRepair => {
@@ -65,6 +82,10 @@ impl PrefetchSetup {
             PrefetchSetup::SwWholeObject => "whole",
             PrefetchSetup::SwSelfRepair => "sr",
             PrefetchSetup::SwOnlySelfRepair => "swonly",
+            PrefetchSetup::HwNextLine => "nl",
+            PrefetchSetup::HwAdaptiveNextLine => "adanl",
+            PrefetchSetup::HwDelta => "delta",
+            PrefetchSetup::Policy => "policy",
         }
     }
 
@@ -75,13 +96,72 @@ impl PrefetchSetup {
     }
 
     /// The memory configuration this arm runs (full-scale hierarchy).
+    ///
+    /// The policy setup deliberately starts with *no* hardware arm
+    /// ([`tdo_mem::ArmConfig::None`]): the [`Machine`](crate::Machine)
+    /// installs the controller's first candidate — or the locked arm — via
+    /// `Hierarchy::set_arm`, so a locked controller run is state-identical
+    /// to the corresponding static run.
     #[must_use]
     pub fn mem(self) -> MemConfig {
         match self {
             PrefetchSetup::NoPrefetch | PrefetchSetup::SwOnlySelfRepair => MemConfig::no_prefetch(),
             PrefetchSetup::Hw4x4 => MemConfig::hw_four_by_four(),
+            PrefetchSetup::HwNextLine => MemConfig::hw_next_line(),
+            PrefetchSetup::HwAdaptiveNextLine => MemConfig::hw_adaptive_next_line(),
+            PrefetchSetup::HwDelta => MemConfig::hw_delta(),
+            PrefetchSetup::Policy => {
+                MemConfig { arm: ArmConfig::None, ..MemConfig::paper_baseline() }
+            }
             _ => MemConfig::paper_baseline(),
         }
+    }
+}
+
+/// The arms the policy controller hill-climbs over, in sweep order. The
+/// order is part of the simulation contract (results are a function of it),
+/// so it is fixed: the paper's stream-buffer baseline first, then the
+/// next-line family, then the delta arm.
+#[must_use]
+pub fn policy_candidates() -> [ArmConfig; 4] {
+    [
+        ArmConfig::Stream(tdo_mem::StreamBufferConfig::eight_by_eight()),
+        ArmConfig::NextLine(tdo_mem::NextLineConfig::default()),
+        ArmConfig::AdaptiveNextLine(tdo_mem::AdaptiveNextLineConfig::default()),
+        ArmConfig::Delta(tdo_mem::DeltaConfig::default()),
+    ]
+}
+
+/// Configuration of the runtime arm-selection policy controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolicyConfig {
+    /// Original-equivalent instructions per decision epoch.
+    pub epoch_insts: u64,
+    /// A sweep winner must beat the incumbent's sampled IPC by this many
+    /// milli-units (parts per thousand) to replace it.
+    pub hysteresis_milli: u64,
+    /// Committed-arm IPC dropping this many milli-units below the best
+    /// committed-epoch IPC triggers a fresh sweep (the phase-change
+    /// detector).
+    pub degrade_milli: u64,
+    /// Pin the controller to one arm: install it at cycle 0 and never
+    /// sample or switch. Differential tests use this to show the controller
+    /// plumbing adds zero perturbation.
+    pub locked: Option<ArmConfig>,
+}
+
+impl PolicyConfig {
+    /// Full-scale epochs: 50 K original-equivalent instructions, 2%
+    /// hysteresis, 10% degradation trigger.
+    #[must_use]
+    pub fn paper() -> PolicyConfig {
+        PolicyConfig { epoch_insts: 50_000, hysteresis_milli: 20, degrade_milli: 100, locked: None }
+    }
+
+    /// Test-scale epochs (5 K instructions) with the paper's thresholds.
+    #[must_use]
+    pub fn test() -> PolicyConfig {
+        PolicyConfig { epoch_insts: 5_000, ..PolicyConfig::paper() }
     }
 }
 
@@ -126,6 +206,9 @@ pub struct SimConfig {
     /// committed original-equivalent instructions (only when a probe is
     /// attached; disabled runs never sample).
     pub sample_insts: u64,
+    /// Runtime arm-selection policy controller; `None` runs whatever
+    /// static arm `mem.arm` names.
+    pub policy: Option<PolicyConfig>,
 }
 
 /// Simulated helper-thread instruction counts for each optimizer activity.
@@ -182,6 +265,7 @@ impl SimConfig {
             mature_clear_interval: None,
             job_cost: JobCostModel::default(),
             sample_insts: 50_000,
+            policy: (setup == PrefetchSetup::Policy).then(PolicyConfig::paper),
         }
     }
 
@@ -191,7 +275,7 @@ impl SimConfig {
     pub fn test(setup: PrefetchSetup) -> SimConfig {
         let sw = setup.sw_mode();
         let mut mem = MemConfig::tiny_for_tests();
-        mem.stream = setup.mem().stream;
+        mem.arm = setup.mem().arm;
         let mut trident = TridentConfig::paper_baseline();
         trident.code_cache_base = 0x4000_0000;
         SimConfig {
@@ -214,6 +298,7 @@ impl SimConfig {
             mature_clear_interval: None,
             job_cost: JobCostModel::default(),
             sample_insts: 10_000,
+            policy: (setup == PrefetchSetup::Policy).then(PolicyConfig::test),
         }
     }
 

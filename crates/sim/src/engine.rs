@@ -36,6 +36,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use tdo_fault::Site;
+use tdo_mem::ArmKind;
 use tdo_metrics::{Counter, Histogram, Registry};
 use tdo_store::Store;
 use tdo_workloads::{build, Scale};
@@ -145,6 +146,12 @@ pub struct Runner {
     events_queued: Arc<Counter>,
     events_dropped_saturated: Arc<Counter>,
     events_dropped_duplicate: Arc<Counter>,
+    /// Per-arm prefetch totals aggregated once per unique cell, indexed by
+    /// [`ArmKind::index`].
+    arm_issued: [Arc<Counter>; ArmKind::COUNT],
+    arm_useful: [Arc<Counter>; ArmKind::COUNT],
+    /// Policy-controller arm switches across every unique cell.
+    arm_switches: Arc<Counter>,
     failed: Mutex<Vec<String>>,
 }
 
@@ -169,6 +176,9 @@ impl Runner {
             events_queued: Arc::new(Counter::new()),
             events_dropped_saturated: Arc::new(Counter::new()),
             events_dropped_duplicate: Arc::new(Counter::new()),
+            arm_issued: std::array::from_fn(|_| Arc::new(Counter::new())),
+            arm_useful: std::array::from_fn(|_| Arc::new(Counter::new())),
+            arm_switches: Arc::new(Counter::new()),
             failed: Mutex::new(Vec::new()),
         }
     }
@@ -247,6 +257,19 @@ impl Runner {
         (self.events_dropped_saturated.get(), self.events_dropped_duplicate.get())
     }
 
+    /// Per-arm `(issued, useful)` prefetch totals across every unique
+    /// cell, indexed by [`ArmKind::index`].
+    #[must_use]
+    pub fn arm_totals(&self) -> [(u64, u64); ArmKind::COUNT] {
+        std::array::from_fn(|i| (self.arm_issued[i].get(), self.arm_useful[i].get()))
+    }
+
+    /// Policy-controller arm switches across every unique cell.
+    #[must_use]
+    pub fn arm_switches(&self) -> u64 {
+        self.arm_switches.get()
+    }
+
     /// Snapshot of the fresh-simulation wall-time histogram.
     #[must_use]
     pub fn cell_wall_us(&self) -> tdo_metrics::HistogramSnapshot {
@@ -299,17 +322,43 @@ impl Runner {
             "Trident events coalesced as duplicates, across unique cells.",
             Arc::clone(&self.events_dropped_duplicate),
         );
+        for kind in ArmKind::ALL {
+            reg.register_counter(
+                "tdo_prefetch_issued_total",
+                &[("arm", kind.name())],
+                "Hardware prefetches issued, by prefetcher arm, across unique cells.",
+                Arc::clone(&self.arm_issued[kind.index()]),
+            );
+            reg.register_counter(
+                "tdo_prefetch_useful_total",
+                &[("arm", kind.name())],
+                "Hardware prefetches that serviced a demand access, by arm, across unique cells.",
+                Arc::clone(&self.arm_useful[kind.index()]),
+            );
+        }
+        reg.register_counter(
+            "tdo_arm_switches_total",
+            &[],
+            "Policy-controller arm switches across unique cells.",
+            Arc::clone(&self.arm_switches),
+        );
         if let Some(store) = &self.store {
             store.register_metrics(reg);
         }
     }
 
-    /// Folds one unique cell's Trident queue totals into the registry
-    /// counters. Called exactly once per distinct fingerprint.
+    /// Folds one unique cell's Trident queue totals and per-arm prefetch
+    /// totals into the registry counters. Called exactly once per distinct
+    /// fingerprint.
     fn account_result(&self, r: &SimResult) {
         self.events_queued.add(r.trident.events_queued);
         self.events_dropped_saturated.add(r.trident.events_dropped_saturated);
         self.events_dropped_duplicate.add(r.trident.events_dropped_duplicate);
+        for kind in ArmKind::ALL {
+            self.arm_issued[kind.index()].add(r.mem.arm_issued[kind.index()]);
+            self.arm_useful[kind.index()].add(r.mem.arm_useful[kind.index()]);
+        }
+        self.arm_switches.add(r.mem.arm_switches);
     }
 
     /// Fingerprints of cells whose simulation panicked during

@@ -28,7 +28,7 @@ pub mod report;
 pub mod result;
 pub mod timeline;
 
-pub use config::{JobCostModel, PrefetchSetup, SimConfig};
+pub use config::{policy_candidates, JobCostModel, PolicyConfig, PrefetchSetup, SimConfig};
 pub use engine::{Cell, ExperimentSpec, Runner};
 pub use machine::{run, run_profiled, run_traced, Machine};
 pub use persist::{cell_key, decode_result, encode_result, SCHEMA_VERSION};

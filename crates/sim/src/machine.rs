@@ -19,12 +19,12 @@ use std::collections::HashMap;
 
 use tdo_core::{Dlt, OptimizerConfig, PrefetchOptimizer, PreparedAction};
 use tdo_cpu::{CodeImage, Commit, CommitKind, Core, HelperJob};
-use tdo_mem::{Hierarchy, LoadClass, Memory};
+use tdo_mem::{ArmConfig, Hierarchy, LoadClass, Memory};
 use tdo_obs::{Event, HelperJobKind, QueueEventKind, Recorder, SharedProbe};
 use tdo_trident::{HotEvent, PendingInstall, TraceId, Trident};
 use tdo_workloads::Workload;
 
-use crate::config::SimConfig;
+use crate::config::{policy_candidates, PolicyConfig, SimConfig};
 use crate::profile::{
     MachineProfile, MachineProfiler, PHASE_CORE, PHASE_EVENTS, PHASE_MATURE, PHASE_MONITORS,
     PHASE_OPTIMIZER, PHASE_SAMPLING,
@@ -129,6 +129,108 @@ impl PcMap {
     }
 }
 
+/// Where the policy controller is in its sample-then-commit cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PolicyState {
+    /// Sweeping the candidate arms, one epoch each; `idx` is the candidate
+    /// currently installed and being measured.
+    Sampling {
+        /// Index into [`policy_candidates`].
+        idx: usize,
+    },
+    /// Running the chosen incumbent until its IPC degrades.
+    Committed,
+}
+
+/// The runtime arm-selection controller: an epoch-gated sample-then-commit
+/// hill climb over [`policy_candidates`], with hysteresis on replacement
+/// and an IPC-degradation trigger for re-sampling (the phase-change
+/// detector). Epochs are counted in committed original-equivalent
+/// instructions, so decisions are independent of whether a probe is
+/// attached — traced and untraced runs take identical switch sequences.
+struct PolicyController {
+    cfg: PolicyConfig,
+    candidates: [ArmConfig; 4],
+    state: PolicyState,
+    /// Milli-IPC measured for each candidate in the current sweep.
+    scores: [u64; 4],
+    /// Candidate currently installed in the hierarchy.
+    current: usize,
+    /// Candidate holding the committed slot (sweep winners must beat it by
+    /// the hysteresis margin to take over).
+    incumbent: usize,
+    /// Best committed-epoch milli-IPC seen since the last sweep.
+    best_ipc: u64,
+    /// `total_orig` threshold of the next epoch boundary.
+    next_check: u64,
+    /// Counter values at the epoch start, for window deltas.
+    base_insts: u64,
+    base_cycles: u64,
+    base_misses: u64,
+}
+
+impl PolicyController {
+    fn new(cfg: PolicyConfig) -> PolicyController {
+        PolicyController {
+            cfg,
+            candidates: policy_candidates(),
+            state: PolicyState::Sampling { idx: 0 },
+            scores: [0; 4],
+            current: 0,
+            incumbent: 0,
+            best_ipc: 0,
+            next_check: cfg.epoch_insts.max(1),
+            base_insts: 0,
+            base_cycles: 0,
+            base_misses: 0,
+        }
+    }
+
+    /// Closes an epoch with its measured milli-IPC; returns the candidate
+    /// indices `(from, to)` when the installed arm must change.
+    fn on_epoch(&mut self, ipc_milli: u64) -> Option<(usize, usize)> {
+        let from = self.current;
+        match self.state {
+            PolicyState::Sampling { idx } => {
+                self.scores[idx] = ipc_milli;
+                if idx + 1 < self.candidates.len() {
+                    self.state = PolicyState::Sampling { idx: idx + 1 };
+                    self.current = idx + 1;
+                } else {
+                    // Sweep complete: strictly-greater scan from below, so
+                    // ties keep the earlier (lower-index) candidate.
+                    let mut winner = 0;
+                    for (i, &s) in self.scores.iter().enumerate() {
+                        if s > self.scores[winner] {
+                            winner = i;
+                        }
+                    }
+                    if winner != self.incumbent
+                        && self.scores[winner] * 1000
+                            > self.scores[self.incumbent] * (1000 + self.cfg.hysteresis_milli)
+                    {
+                        self.incumbent = winner;
+                    }
+                    self.best_ipc = self.scores[self.incumbent];
+                    self.state = PolicyState::Committed;
+                    self.current = self.incumbent;
+                }
+            }
+            PolicyState::Committed => {
+                self.best_ipc = self.best_ipc.max(ipc_milli);
+                if ipc_milli * 1000 < self.best_ipc * (1000 - self.cfg.degrade_milli.min(1000)) {
+                    // Performance fell off a cliff relative to this commit
+                    // window's best epoch: assume a phase change and re-sweep.
+                    self.scores = [0; 4];
+                    self.state = PolicyState::Sampling { idx: 0 };
+                    self.current = 0;
+                }
+            }
+        }
+        (from != self.current).then_some((from, self.current))
+    }
+}
+
 /// Counter values at the last windowed sample, for window deltas.
 #[derive(Clone, Copy, Default)]
 struct SampleBase {
@@ -167,6 +269,9 @@ pub struct Machine {
     probe_on: bool,
     next_sample: u64,
     sample_base: SampleBase,
+    /// Runtime arm-selection controller (policy setups only; locked
+    /// policies install their arm at build time and need no controller).
+    policy: Option<PolicyController>,
     /// Self-profiler; `None` (the default) is the zero-cost disabled
     /// path — every hook below is a single `Option` test.
     prof: Option<Box<MachineProfiler>>,
@@ -181,6 +286,26 @@ impl Machine {
             data.write_bytes(seg.base, &seg.bytes);
         }
         let code = CodeImage::new(&workload.program, cfg.trident.code_cache_base);
+        // Policy runs configure `mem.arm = None` and install the starting
+        // arm here through the same `set_arm` path the controller uses at
+        // run time; `set_arm` counts no switch when no arm is live yet, so
+        // a locked-policy run is state-identical to the static run of the
+        // same arm.
+        let mut hier = Hierarchy::new(cfg.mem);
+        let policy = match &cfg.policy {
+            None => None,
+            Some(p) => match p.locked {
+                Some(arm) => {
+                    hier.set_arm(&arm);
+                    None
+                }
+                None => {
+                    let ctl = PolicyController::new(*p);
+                    hier.set_arm(&ctl.candidates[ctl.current]);
+                    Some(ctl)
+                }
+            },
+        };
         let opt_cfg = OptimizerConfig {
             mode: cfg.sw_mode,
             line_bytes: cfg.mem.l1.line_bytes as i64,
@@ -194,7 +319,7 @@ impl Machine {
             core: Core::new(cfg.cpu, workload.program.entry),
             code,
             data,
-            hier: Hierarchy::new(cfg.mem),
+            hier,
             trident: Trident::new(cfg.trident),
             dlt: Dlt::new(cfg.dlt),
             optimizer: PrefetchOptimizer::new(opt_cfg),
@@ -218,6 +343,7 @@ impl Machine {
             probe_on: false,
             next_sample: cfg.sample_insts.max(1),
             sample_base: SampleBase::default(),
+            policy,
             prof: None,
             cfg,
         }
@@ -352,6 +478,9 @@ impl Machine {
             }
         }
         self.optimizer.finalize();
+        // Close out the live arm's counters so the per-kind aggregates in
+        // `MemStats` cover every arm the run used.
+        self.hier.fold_arm_stats();
         let begin = warm_snapshot.unwrap_or_default();
         let end = self.snapshot();
         let (cycles, helper_active, helper_committed, window) =
@@ -418,6 +547,13 @@ impl Machine {
             self.prof_lap(PHASE_SAMPLING);
         }
 
+        // 2c. Policy-controller epoch boundary. Gated on committed
+        // instructions (never on probe_on), so arm-switch sequences are
+        // identical with and without tracing attached.
+        if self.policy.as_ref().is_some_and(|c| self.total_orig >= c.next_check) {
+            self.policy_epoch();
+        }
+
         // 3. Dispatch one pending event to the helper if it is free.
         if self.optimization_enabled()
             && self.pending_job.is_none()
@@ -443,6 +579,42 @@ impl Machine {
                 self.next_mature_clear = Some(at + interval);
                 self.prof_lap(PHASE_MATURE);
             }
+        }
+    }
+
+    /// Closes one policy epoch: computes the window's milli-IPC and
+    /// milli-MPKI, feeds them to the controller, and applies any arm change
+    /// it decides (emitting [`Event::ArmSwitch`] with the triggering
+    /// window's metrics).
+    fn policy_epoch(&mut self) {
+        let now = self.core.now();
+        let misses = self.hier.stats.l1_misses();
+        let total = self.total_orig;
+        let Some(ctl) = self.policy.as_mut() else { return };
+        let dinsts = total - ctl.base_insts;
+        let dcycles = (now - ctl.base_cycles).max(1);
+        let ipc_milli = dinsts * 1000 / dcycles;
+        let mpki_milli = (misses - ctl.base_misses) * 1_000_000 / dinsts.max(1);
+        let decision = ctl.on_epoch(ipc_milli);
+        ctl.base_insts = total;
+        ctl.base_cycles = now;
+        ctl.base_misses = misses;
+        let step = ctl.cfg.epoch_insts.max(1);
+        while ctl.next_check <= total {
+            ctl.next_check += step;
+        }
+        let decision = decision.map(|(f, t)| (ctl.candidates[f], ctl.candidates[t]));
+        if let Some((from, to)) = decision {
+            self.hier.set_arm(&to);
+            self.emit(
+                now,
+                Event::ArmSwitch {
+                    from: from.kind().map_or("none", tdo_mem::ArmKind::name),
+                    to: to.kind().map_or("none", tdo_mem::ArmKind::name),
+                    ipc_milli,
+                    mpki_milli,
+                },
+            );
         }
     }
 

@@ -22,10 +22,11 @@ use crate::engine::Cell;
 use crate::result::{DriverCounters, SimResult};
 
 /// Payload schema version for stored [`SimResult`] records.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: per-arm prefetch counters + arm switch count in [`MemStats`].
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Fixed counter words following the variable-length name prefix.
-const FIXED_WORDS: usize = 59;
+const FIXED_WORDS: usize = 68;
 
 /// The store key of a cell: the stable 64-bit FNV-1a hash of its
 /// [`Cell::fingerprint`]. Two cells with equal fingerprints simulate
@@ -92,6 +93,9 @@ pub fn encode_result(r: &SimResult) -> Vec<u64> {
         m.sw_prefetch_dropped,
         m.writebacks,
     ]);
+    out.extend_from_slice(&m.arm_issued);
+    out.extend_from_slice(&m.arm_useful);
+    out.push(m.arm_switches);
     let t = &r.trident;
     out.extend_from_slice(&[
         t.traces_installed,
@@ -183,6 +187,9 @@ pub fn decode_result(words: &[u64]) -> Option<SimResult> {
         sw_prefetch_redundant: next(),
         sw_prefetch_dropped: next(),
         writebacks: next(),
+        arm_issued: [next(), next(), next(), next()],
+        arm_useful: [next(), next(), next(), next()],
+        arm_switches: next(),
     };
     let trident = TridentStats {
         traces_installed: next(),
@@ -250,6 +257,9 @@ mod tests {
         r.cpu.main_committed = 1_000_000;
         r.mem.serviced = [1, 2, 3, 4, 5];
         r.mem.writebacks = 17;
+        r.mem.arm_issued = [10, 20, 30, 40];
+        r.mem.arm_useful = [9, 19, 29, 39];
+        r.mem.arm_switches = 6;
         r.trident.events_dropped_duplicate = 8;
         r.optimizer.converge_cycles_max = u64::MAX;
         r
@@ -284,6 +294,6 @@ mod tests {
         // store on disk silently stops matching: bump SCHEMA_VERSION and
         // re-pin instead of papering over it.
         let cell = Cell::new("mcf", Scale::Test, SimConfig::test(PrefetchSetup::SwSelfRepair));
-        assert_eq!(cell_key(&cell), 7_766_886_223_830_284_027);
+        assert_eq!(cell_key(&cell), 8_819_226_722_879_979_877);
     }
 }

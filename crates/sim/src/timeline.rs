@@ -65,6 +65,22 @@ pub struct SampleRow {
     pub pf_acc_milli: u64,
 }
 
+/// One policy-controller arm switch, with the window metrics that
+/// triggered it.
+#[derive(Clone, Copy, Debug)]
+pub struct ArmSwitchRow {
+    /// Simulated cycle of the switch.
+    pub cycle: u64,
+    /// Arm being replaced (`none` when the controller had no arm yet).
+    pub from: &'static str,
+    /// Arm being installed.
+    pub to: &'static str,
+    /// IPC ×1000 of the epoch window that triggered the decision.
+    pub ipc_milli: u64,
+    /// L1 misses per kilo-instruction ×1000 of the same window.
+    pub mpki_milli: u64,
+}
+
 /// A digest of one run's event log.
 #[derive(Clone, Debug, Default)]
 pub struct Timeline {
@@ -72,12 +88,16 @@ pub struct Timeline {
     pub groups: Vec<GroupRow>,
     /// Windowed samples in emission order.
     pub samples: Vec<SampleRow>,
+    /// Policy-controller arm switches in emission order.
+    pub arm_switches: Vec<ArmSwitchRow>,
     /// Traces installed over the run.
     pub traces_installed: u64,
     /// Traces backed out over the run.
     pub backouts: u64,
     /// Loads matured over the run.
     pub matured: u64,
+    /// Cycle of the last recorded event (closes the final occupancy span).
+    pub last_cycle: u64,
 }
 
 impl Timeline {
@@ -88,6 +108,7 @@ impl Timeline {
         let mut trace_backouts: BTreeMap<u32, u64> = BTreeMap::new();
         let mut out = Timeline::default();
         for &(cycle, ev) in events {
+            out.last_cycle = out.last_cycle.max(cycle);
             match ev {
                 Event::TraceInstalled { .. } => out.traces_installed += 1,
                 Event::TraceBackedOut { trace, .. } => {
@@ -154,6 +175,9 @@ impl Timeline {
                     l2_miss_milli,
                     pf_acc_milli,
                 }),
+                Event::ArmSwitch { from, to, ipc_milli, mpki_milli } => {
+                    out.arm_switches.push(ArmSwitchRow { cycle, from, to, ipc_milli, mpki_milli });
+                }
                 _ => {}
             }
         }
@@ -248,6 +272,61 @@ impl Timeline {
         }
         s
     }
+
+    /// Cycles each prefetcher arm was installed, in order of first
+    /// appearance. The run is split into spans at each switch; the first
+    /// span (from cycle 0) belongs to the first switch's `from` arm and
+    /// the last span is closed at [`Timeline::last_cycle`]. Empty when the
+    /// run recorded no switches.
+    #[must_use]
+    pub fn arm_occupancy(&self) -> Vec<(&'static str, u64)> {
+        let mut spans: Vec<(&'static str, u64)> = Vec::new();
+        let mut add = |arm: &'static str, cycles: u64| {
+            if let Some(e) = spans.iter_mut().find(|(a, _)| *a == arm) {
+                e.1 += cycles;
+            } else {
+                spans.push((arm, cycles));
+            }
+        };
+        let mut span_start = 0u64;
+        for sw in &self.arm_switches {
+            add(sw.from, sw.cycle.saturating_sub(span_start));
+            span_start = sw.cycle;
+        }
+        if let Some(last) = self.arm_switches.last() {
+            add(last.to, self.last_cycle.saturating_sub(span_start));
+        }
+        spans
+    }
+
+    /// Renders the arm-switch log and the per-arm occupancy table.
+    /// Callers should skip this section entirely when
+    /// [`Timeline::arm_switches`] is empty (static-arm runs).
+    #[must_use]
+    pub fn render_arms(&self) -> String {
+        fn milli(v: u64) -> String {
+            format!("{}.{:03}", v / 1000, v % 1000)
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "{:>12} {:<18} {:>7} {:>8}", "cycle", "switch", "ipc", "mpki");
+        for sw in &self.arm_switches {
+            let _ = writeln!(
+                s,
+                "{:>12} {:<18} {:>7} {:>8}",
+                sw.cycle,
+                format!("{} -> {}", sw.from, sw.to),
+                milli(sw.ipc_milli),
+                milli(sw.mpki_milli),
+            );
+        }
+        let total: u64 = self.arm_occupancy().iter().map(|(_, c)| c).sum();
+        let _ = writeln!(s, "arm occupancy over {total} recorded cycles:");
+        for (arm, cycles) in self.arm_occupancy() {
+            let pct_milli = (cycles * 100_000).checked_div(total).unwrap_or(0);
+            let _ = writeln!(s, "  {:<10} {:>12} cycles  {:>7}%", arm, cycles, milli(pct_milli));
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +384,48 @@ mod tests {
         let table = t.render_convergence();
         assert!(table.contains("1->2"));
         assert!(table.contains("backouts: 1"));
+    }
+
+    #[test]
+    fn arm_switches_digest_into_occupancy_spans() {
+        let events = vec![
+            (
+                1000,
+                Event::ArmSwitch {
+                    from: "stream",
+                    to: "nextline",
+                    ipc_milli: 500,
+                    mpki_milli: 42_000,
+                },
+            ),
+            (
+                4000,
+                Event::ArmSwitch {
+                    from: "nextline",
+                    to: "stream",
+                    ipc_milli: 1200,
+                    mpki_milli: 3_000,
+                },
+            ),
+            (5000, Event::LoadMatured { pc: 0x1000 }),
+        ];
+        let t = Timeline::from_events(&events);
+        assert_eq!(t.arm_switches.len(), 2);
+        assert_eq!(t.last_cycle, 5000);
+        // Spans: stream [0,1000) + [4000,5000], nextline [1000,4000).
+        assert_eq!(t.arm_occupancy(), vec![("stream", 2000), ("nextline", 3000)]);
+        let table = t.render_arms();
+        assert!(table.contains("stream -> nextline"), "{table}");
+        assert!(table.contains("42.000"), "{table}");
+        assert!(table.contains("arm occupancy over 5000 recorded cycles"), "{table}");
+        assert!(table.contains("60.000%"), "{table}");
+    }
+
+    #[test]
+    fn runs_without_switches_render_no_arm_section() {
+        let t = Timeline::from_events(&[]);
+        assert!(t.arm_switches.is_empty());
+        assert!(t.arm_occupancy().is_empty());
     }
 
     #[test]

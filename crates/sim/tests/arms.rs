@@ -1,0 +1,123 @@
+//! The prefetcher-arsenal suites: differential equivalence of the
+//! locked policy controller against static arms, policy-run determinism,
+//! and the controller's headline win on the phase-shifting workload.
+
+use tdo_mem::ArmKind;
+use tdo_sim::{
+    encode_result, policy_candidates, run, run_traced, PolicyConfig, PrefetchSetup, SimConfig,
+    SimResult,
+};
+use tdo_workloads::{build, Scale};
+
+fn short(mut cfg: SimConfig) -> SimConfig {
+    cfg.warmup_insts = 10_000;
+    cfg.measure_insts = 120_000;
+    cfg
+}
+
+fn digest(r: &SimResult) -> Vec<u64> {
+    encode_result(r)
+}
+
+/// A policy controller locked to one arm must be *bit-identical* to the
+/// static run of that arm — same cycles, same counters, same serialized
+/// record — for every arm in the candidate set. This is the proof that the
+/// controller plumbing (the `set_arm` install path, the epoch hooks)
+/// perturbs nothing by itself.
+#[test]
+fn locked_policy_is_cycle_identical_to_static_arms() {
+    let static_setup = [
+        PrefetchSetup::Hw8x8,
+        PrefetchSetup::HwNextLine,
+        PrefetchSetup::HwAdaptiveNextLine,
+        PrefetchSetup::HwDelta,
+    ];
+    let w = build("mcf", Scale::Test).unwrap();
+    for (arm, setup) in policy_candidates().into_iter().zip(static_setup) {
+        let fixed = run(&w, &short(SimConfig::test(setup)));
+
+        let mut cfg = short(SimConfig::test(PrefetchSetup::Policy));
+        cfg.policy = Some(PolicyConfig { locked: Some(arm), ..PolicyConfig::test() });
+        let locked = run(&w, &cfg);
+
+        assert_eq!(
+            digest(&fixed),
+            digest(&locked),
+            "locked {arm:?} diverged from static {setup:?}"
+        );
+        assert_eq!(locked.mem.arm_switches, 0, "a locked controller never switches");
+    }
+}
+
+/// The live controller is deterministic, switches arms on the
+/// phase-shifting workload, and reports every switch both in the stats and
+/// as `arm_switch` probe events.
+#[test]
+fn policy_run_is_deterministic_and_switches_on_phaseshift() {
+    let w = build("phaseshift", Scale::Test).unwrap();
+    let cfg = SimConfig::test(PrefetchSetup::Policy);
+    let (r1, rec1) = run_traced(&w, &cfg);
+    let (r2, rec2) = run_traced(&w, &cfg);
+    assert_eq!(digest(&r1), digest(&r2), "policy run must be deterministic");
+    assert_eq!(rec1.to_jsonl(), rec2.to_jsonl());
+
+    assert!(r1.mem.arm_switches > 0, "phase shifts must provoke arm switches");
+    let switch_lines =
+        rec1.to_jsonl().lines().filter(|l| l.contains("\"event\":\"arm_switch\"")).count() as u64;
+    assert_eq!(switch_lines, r1.mem.arm_switches, "every switch emits one probe event");
+}
+
+/// Probing must not perturb the policy: the switch decisions are gated on
+/// committed instructions, so traced and untraced runs take the same path.
+#[test]
+fn tracing_does_not_perturb_policy_decisions() {
+    let w = build("phaseshift", Scale::Test).unwrap();
+    let cfg = SimConfig::test(PrefetchSetup::Policy);
+    let plain = run(&w, &cfg);
+    let (traced, rec) = run_traced(&w, &cfg);
+    assert_eq!(digest(&plain), digest(&traced), "probe attached changed the simulation");
+    let switches =
+        rec.to_jsonl().lines().filter(|l| l.contains("\"event\":\"arm_switch\"")).count() as u64;
+    assert_eq!(switches, plain.mem.arm_switches, "every switch must be observable");
+}
+
+/// The headline claim: on the phase-shifting workload the policy
+/// controller beats every static arm, because no single arm covers both
+/// phases.
+#[test]
+fn policy_beats_every_static_arm_on_phaseshift() {
+    let w = build("phaseshift", Scale::Test).unwrap();
+    let policy = run(&w, &SimConfig::test(PrefetchSetup::Policy));
+    for setup in [
+        PrefetchSetup::NoPrefetch,
+        PrefetchSetup::Hw8x8,
+        PrefetchSetup::HwNextLine,
+        PrefetchSetup::HwAdaptiveNextLine,
+        PrefetchSetup::HwDelta,
+    ] {
+        let fixed = run(&w, &SimConfig::test(setup));
+        assert!(
+            policy.cycles < fixed.cycles,
+            "policy ({} cycles) must beat static {setup:?} ({} cycles)",
+            policy.cycles,
+            fixed.cycles
+        );
+    }
+}
+
+/// Per-arm counters: a static stream run folds its live counters into the
+/// stream slot of the per-kind aggregates, and only that slot.
+#[test]
+fn static_runs_fold_their_arm_counters() {
+    let w = build("swim", Scale::Test).unwrap();
+    let r = run(&w, &short(SimConfig::test(PrefetchSetup::Hw8x8)));
+    let k = ArmKind::Stream.index();
+    assert!(r.mem.arm_issued[k] > 0, "stream arm issued prefetches");
+    assert!(r.mem.arm_useful[k] > 0, "stream arm had useful prefetches");
+    for other in ArmKind::ALL {
+        if other != ArmKind::Stream {
+            assert_eq!(r.mem.arm_issued[other.index()], 0, "{other:?} never ran");
+        }
+    }
+    assert_eq!(r.mem.arm_switches, 0);
+}

@@ -25,6 +25,7 @@
 
 pub mod build;
 pub mod irregular;
+pub mod phase;
 pub mod pointer;
 pub mod stride;
 
@@ -59,6 +60,9 @@ pub fn build(name: &str, scale: Scale) -> Option<Workload> {
         "swim" => stride::swim(scale),
         "vis" => pointer::vis(scale),
         "wupwise" => stride::wupwise(scale),
+        // Not part of the paper's 14-benchmark suite (and so absent from
+        // `names()`): the arm-matrix extension's phase-shifting workload.
+        "phaseshift" => phase::phaseshift(scale),
         _ => return None,
     })
 }
@@ -85,6 +89,39 @@ mod tests {
     #[test]
     fn unknown_names_are_rejected() {
         assert!(build("quake3", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn phaseshift_builds_identically() {
+        // The generator is seeded: two builds must agree byte for byte
+        // (code words and every data segment), at both scales.
+        for scale in [Scale::Test, Scale::Full] {
+            let a = build("phaseshift", scale).expect("phaseshift builds");
+            let b = build("phaseshift", scale).expect("phaseshift builds");
+            assert_eq!(a.program.code, b.program.code);
+            assert_eq!(a.program.data.len(), b.program.data.len());
+            for (sa, sb) in a.program.data.iter().zip(&b.program.data) {
+                assert_eq!(sa.base, sb.base);
+                assert_eq!(sa.bytes, sb.bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn phaseshift_decodes_and_respects_the_abi() {
+        use tdo_isa::Reg;
+        let scratch: Vec<Reg> = abi::scratch_pool();
+        let w = build("phaseshift", Scale::Test).expect("phaseshift builds");
+        for (i, word) in w.program.code.iter().enumerate() {
+            let inst = decode(*word)
+                .unwrap_or_else(|e| panic!("phaseshift instruction {i} fails to decode: {e}"));
+            if let Some(d) = inst.def() {
+                assert!(!scratch.contains(&d), "phaseshift defines scratch {d}");
+            }
+            for u in inst.uses().into_iter().flatten() {
+                assert!(!scratch.contains(&u), "phaseshift uses scratch {u}");
+            }
+        }
     }
 
     #[test]
