@@ -562,14 +562,16 @@ fn server_chaos(opts: &ChaosOpts, violations: &mut Vec<String>, cov: &mut Covera
 /// Scenario 6: flight-recorder attribution. Seeded request traces drive the
 /// store under armed faults; the recorder's dump must be valid flight
 /// JSONL, byte-deterministic (logical clock, digest in the report), and
-/// must attribute at least one fired fault site to the exact request trace
-/// that hit it. Returns `(report line, flight dump, captured log)`.
+/// must attribute at least one fired fault site — and at least one health
+/// watchdog trip — to the exact request trace that hit it. Returns
+/// `(report line, flight dump, captured log)`.
 fn flight_attribution(
     opts: &ChaosOpts,
     violations: &mut Vec<String>,
     cov: &mut Coverage,
 ) -> (String, String, String) {
     use tdo_obs::span;
+    use tdo_server::health::{dump_reason, WatchRow, Watchdog};
     // Logical clock + a reset ring: the dump reflects only this scenario,
     // with per-trace sequence numbers instead of wall timestamps.
     let _clock = span::logical_clock_guard();
@@ -579,6 +581,8 @@ fn flight_attribution(
     let traces = tdo_obs::TraceIdGen::new(opts.seed ^ 0xF11);
     let requests: u64 = if opts.quick { 24 } else { 64 };
     let mut acked = 0u64;
+    let mut watchdog_trace = 0u64;
+    let mut tripped: Vec<&'static str> = Vec::new();
     let ((), log_text) = tdo_obs::logline::capture(|| {
         // `with_at` pins one guaranteed write fault; the probabilistic read
         // corruption adds seed-dependent extras on top.
@@ -594,6 +598,36 @@ fn flight_attribution(
         }
         cov.absorb(&guard);
         drop(guard);
+        // Watchdog trip → dump attribution: synthetic breaching rows drive
+        // the daemon's real rule engine, and each trip's dump point is
+        // recorded inside a rooted request trace — exactly how a health
+        // tick's flight dump hangs off the request that breached the SLO.
+        // Every `/run` request in the window is over the SLO bucket (the
+        // slo_burn rule) while admission control sheds (the shed_rate
+        // rule), so both new dump reasons are exercised.
+        let mut watchdog = Watchdog::new(8);
+        let breaching =
+            vec![WatchRow { run_count: 2, run_slow: 2, shed: 1, ..WatchRow::default() }; 5];
+        watchdog_trace = traces.mint();
+        {
+            let _root =
+                span::SpanScope::root(watchdog_trace, tdo_obs::FlightKind::Request, requests + 1);
+            tripped = watchdog.evaluate(1, &breaching);
+            for rule in &tripped {
+                let reason = dump_reason(rule);
+                let code = tdo_server::DUMP_REASONS
+                    .iter()
+                    .position(|r| *r == reason)
+                    .expect("watchdog reasons are dump reasons") as u64;
+                span::point(tdo_obs::FlightKind::Dump, code);
+                tdo_obs::logline::log(
+                    tdo_obs::Level::Warn,
+                    "watchdog",
+                    "health rule tripped",
+                    &[("rule", rule), ("reason", reason)],
+                );
+            }
+        }
         // A fresh zero context pins the line's logical timestamp: the
         // thread-local sequence would otherwise carry whatever this thread
         // recorded before the scenario.
@@ -620,11 +654,39 @@ fn flight_attribution(
     if attributed == 0 {
         violations.push("flight: no fired fault site attributed to a request trace".to_string());
     }
+    // The watchdog segment is deterministic: both rules trip, and every
+    // dump point carries the minting request's exact trace id.
+    if tripped != ["slo_burn", "shed_rate"] {
+        violations.push(format!("flight: watchdog rules tripped unexpectedly: {tripped:?}"));
+    }
+    let watchdog_dumps = records
+        .iter()
+        .filter(|r| r.kind == tdo_obs::FlightKind::Dump && r.trace == watchdog_trace)
+        .collect::<Vec<_>>();
+    if watchdog_dumps.len() != tripped.len() {
+        violations.push(format!(
+            "flight: {} watchdog dump records attributed to trace {watchdog_trace:016x}, \
+             want {}",
+            watchdog_dumps.len(),
+            tripped.len()
+        ));
+    }
+    for (rec, rule) in watchdog_dumps.iter().zip(&tripped) {
+        let want = tdo_server::DUMP_REASONS.iter().position(|r| *r == dump_reason(rule));
+        if Some(rec.arg as usize) != want {
+            violations.push(format!(
+                "flight: watchdog dump reason code {} does not match rule `{rule}`",
+                rec.arg
+            ));
+        }
+    }
     let report = format!(
         "[flight] requests={requests} acked={acked} events={} faults={} attributed={attributed} \
-         log-lines={} dump-digest={:016x}\n",
+         watchdog-trips={} watchdog-attributed={} log-lines={} dump-digest={:016x}\n",
         records.len(),
         faults.len(),
+        tripped.len(),
+        watchdog_dumps.len(),
         log_text.lines().count(),
         fnv1a64(dump.as_bytes())
     );

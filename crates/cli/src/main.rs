@@ -20,15 +20,15 @@
 //! store (`--store-dir`, `$TDO_STORE`, default `.tdo-store/`), so repeat
 //! invocations simulate nothing.
 
-use std::io::Write as _;
+use std::io::{IsTerminal as _, Write as _};
 use std::process::ExitCode;
 
 use tdo_isa::{decode, INST_BYTES};
 use tdo_obs::{validate_chrome_trace, validate_jsonl};
 use tdo_server::{client, install_sigint_handler, Server, ServerConfig};
 use tdo_sim::{
-    run_traced, Cell, ExperimentSpec, Format, Machine, PrefetchSetup, Report, Runner, SimConfig,
-    SimResult, Timeline, SCHEMA_VERSION,
+    policy_candidates, run_traced, Cell, ExperimentSpec, Format, Machine, PrefetchSetup, Report,
+    Runner, SimConfig, SimResult, Timeline, SCHEMA_VERSION,
 };
 use tdo_store::Store;
 use tdo_trident::TraceOp;
@@ -49,6 +49,8 @@ const COMMANDS: &[(&str, &str)] = &[
     ("serve", "HTTP daemon serving results from the store: serve [opts]"),
     ("store", "persistent store maintenance: store <stats|verify|gc> [opts]"),
     ("ping", "HTTP client for a running daemon: ping <addr> [opts]"),
+    ("top", "live health dashboard over /metrics/history: top <addr> [opts]"),
+    ("why", "decision-audit ledger narration: why <workload> [opts]"),
     ("perf", "throughput baseline + regression gate: perf [opts]"),
     ("chaos", "seeded fault-injection + crash-recovery sweep: chaos [opts]"),
 ];
@@ -59,7 +61,7 @@ fn usage_text() -> String {
         text.push_str(&format!("  {name:<15} {summary}\n"));
     }
     text.push_str(
-        "\nworkload options (run/compare/disasm/traces/timeline):\n\
+        "\nworkload options (run/compare/disasm/traces/timeline/why):\n\
          \x20 --arm <none|hw4x4|hw8x8|basic|whole|sr|swonly|nl|adanl|delta|policy>\n\
          \x20                           (default sr)\n\
          \x20 --arms <all|a,b,...>      arm x workload matrix over the whole\n\
@@ -99,6 +101,15 @@ fn usage_text() -> String {
          \x20                           min/avg/max in integer microseconds\n\
          \x20 --run <workload>          POST /run (honours --arm/--full/--insts)\n\
          \x20 --shutdown                POST /shutdown (graceful stop)\n\
+         \ntop options (tdo top <addr> polls GET /metrics/history):\n\
+         \x20 --once                    render one frame and exit\n\
+         \x20 --window <N>              history rows to fetch (default 0 = all)\n\
+         \x20 --interval-ms <N>         live refresh period (default 1000)\n\
+         \x20 --format <table|csv|json> frame rendering (default table)\n\
+         \nwhy options (plus the workload options above):\n\
+         \x20 narrates the run's decision-audit ledger: every distance repair\n\
+         \x20 under --arm plus every policy arm switch, with the windowed\n\
+         \x20 latency / milli-IPC / milli-MPKI evidence behind each decision\n\
          \nperf options:\n\
          \x20 --quick                   test-scale suite (CI-sized)\n\
          \x20 --jobs <N>                parallel engine workers for phase A\n\
@@ -577,9 +588,9 @@ fn cmd_flight(path: &str) -> Result<ExitCode, String> {
             tdo_obs::FlightKind::Fault => {
                 tdo_fault::Site::ALL.get(arg as usize).map(|s| format!("site={}", s.name()))
             }
-            tdo_obs::FlightKind::Dump => ["worker_panic", "queue_saturation", "slo_breach"]
-                .get(arg as usize)
-                .map(|r| format!("reason={r}")),
+            tdo_obs::FlightKind::Dump => {
+                tdo_server::DUMP_REASONS.get(arg as usize).map(|r| format!("reason={r}"))
+            }
             tdo_obs::FlightKind::Coalesce => Some(format!("leader={arg:016x}")),
             _ => None,
         }
@@ -833,6 +844,9 @@ fn cmd_ping(args: &[String]) -> Result<ExitCode, String> {
             "tdo_obs_log_lines_total",
             "tdo_server_bad_requests_total",
             "tdo_server_flight_dumps_total",
+            "tdo_watchdog_trips_total",
+            "tdo_build_info",
+            "tdo_server_uptime_ticks",
         ] {
             if !response.body.contains(family) {
                 return Err(format!("prom exposition is missing the `{family}` family"));
@@ -845,6 +859,361 @@ fn cmd_ping(args: &[String]) -> Result<ExitCode, String> {
     } else {
         Err(format!("server answered HTTP {}", response.status))
     }
+}
+
+/// A parsed `/metrics/history` response: the fixed column schema plus the
+/// retained `(tick, values)` rows, oldest first.
+struct History {
+    columns: Vec<String>,
+    kinds: Vec<String>,
+    rows: Vec<(u64, Vec<u64>)>,
+}
+
+/// Extracts `"key":["a","b",...]` from a JSON line, unescaping `\"`/`\\`.
+fn json_str_array(line: &str, key: &str) -> Option<Vec<String>> {
+    let at = line.find(&format!("\"{key}\":["))? + key.len() + 4;
+    let mut out = Vec::new();
+    let mut chars = line[at..].chars();
+    loop {
+        match chars.next()? {
+            ']' => return Some(out),
+            '"' => {
+                let mut cur = String::new();
+                loop {
+                    match chars.next()? {
+                        '\\' => cur.push(chars.next()?),
+                        '"' => break,
+                        c => cur.push(c),
+                    }
+                }
+                out.push(cur);
+            }
+            ',' | ' ' => {}
+            _ => return None,
+        }
+    }
+}
+
+/// Extracts `"key":[1,2,...]` from a JSON line.
+fn json_u64_array(line: &str, key: &str) -> Option<Vec<u64>> {
+    let start = line.find(&format!("\"{key}\":["))? + key.len() + 4;
+    let end = start + line[start..].find(']')?;
+    let body = line[start..end].trim();
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|t| t.trim().parse().ok()).collect()
+}
+
+/// Extracts `"key":123` from a JSON line.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let at = line.find(&format!("\"{key}\":"))? + key.len() + 3;
+    let digits: String = line[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parses the `/metrics/history` JSONL body (header line + one line per
+/// retained row).
+fn parse_history(text: &str) -> Result<History, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty history response")?;
+    let schema = json_u64(header, "series_schema").ok_or("history header lacks series_schema")?;
+    if schema != tdo_metrics::series::SERIES_SCHEMA_VERSION {
+        return Err(format!("unsupported series schema v{schema}"));
+    }
+    let columns = json_str_array(header, "columns").ok_or("history header lacks columns")?;
+    let kinds = json_str_array(header, "kinds").ok_or("history header lacks kinds")?;
+    if kinds.len() != columns.len() {
+        return Err("history header kinds/columns length mismatch".into());
+    }
+    let mut rows = Vec::new();
+    for line in lines {
+        let tick = json_u64(line, "tick").ok_or_else(|| format!("bad history row: {line}"))?;
+        let values =
+            json_u64_array(line, "values").ok_or_else(|| format!("bad history row: {line}"))?;
+        if values.len() != columns.len() {
+            return Err(format!("history row width {} != schema {}", values.len(), columns.len()));
+        }
+        rows.push((tick, values));
+    }
+    Ok(History { columns, kinds, rows })
+}
+
+/// Renders one `tdo top` frame from a history snapshot. Pure over its
+/// inputs, so the table is deterministic for a fixed history (the golden
+/// test feeds a synthetic one).
+///
+/// The `total` column is the last retained sample (counters: since server
+/// start; gauges: current). The `window` column differences the first and
+/// last retained rows — "what happened across the scrape window" — and is
+/// `-` for gauges.
+fn render_top(h: &History, format: Format) -> String {
+    let mut out = String::new();
+    let span = match (h.rows.first(), h.rows.last()) {
+        (Some(first), Some(last)) => last.0 - first.0,
+        _ => 0,
+    };
+    if format == Format::Table {
+        out.push_str(&format!("health plane: {} rows retained, span {span} ticks\n", h.rows.len()));
+    }
+    let Some(last) = h.rows.last() else {
+        if format == Format::Table {
+            out.push_str("(no samples retained yet — drive some traffic and re-poll)\n");
+        }
+        return out;
+    };
+    let first = h.rows.first().expect("rows nonempty");
+    let col = |name: &str| h.columns.iter().position(|c| c == name);
+    let total = |name: &str| col(name).map_or(0, |i| last.1[i]);
+    // Counters difference across the window; gauges have no meaningful
+    // delta, so their window cell stays blank.
+    let window_at = |i: usize| {
+        if h.kinds.get(i).is_some_and(|k| k == "gauge") {
+            "-".to_string()
+        } else {
+            last.1[i].saturating_sub(first.1[i]).to_string()
+        }
+    };
+    let window = |name: &str| col(name).map_or_else(|| "0".to_string(), window_at);
+
+    // Run-latency quantiles from the log2 histogram's cumulative buckets:
+    // `total` over everything observed, `window` over the scrape window
+    // (bucket-wise counter difference).
+    let lat_prefix = "tdo_server_request_latency_us{endpoint=\"run\"}#b";
+    let mut cum_total = [0u64; tdo_metrics::TOTAL_BUCKETS];
+    let mut cum_window = [0u64; tdo_metrics::TOTAL_BUCKETS];
+    for (i, name) in h.columns.iter().enumerate() {
+        if let Some(b) = name.strip_prefix(lat_prefix).and_then(|t| t.parse::<usize>().ok()) {
+            if b < tdo_metrics::TOTAL_BUCKETS {
+                cum_total[b] = last.1[i];
+                cum_window[b] = last.1[i].saturating_sub(first.1[i]);
+            }
+        }
+    }
+    let quantile = |cum: &[u64; tdo_metrics::TOTAL_BUCKETS], q_milli: u64| {
+        let buckets = tdo_metrics::series::buckets_from_cumulative(cum);
+        tdo_metrics::quantile_from_buckets(&buckets, q_milli)
+    };
+
+    // Labeled families rendered one row per label, sorted by column name so
+    // the frame never depends on the server's registration order.
+    let labeled = |prefix: &str| {
+        let mut rows: Vec<(String, usize)> = h
+            .columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, name)| {
+                let label = name.strip_prefix(prefix)?.strip_suffix("\"}")?;
+                Some((label.to_string(), i))
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+
+    let mut rep = Report::new("top").key("metric", 24).col("total", 12).col("window", 12).rule(0);
+    rep.row("span_ticks", [last.0.to_string(), span.to_string()]);
+    let runs = "tdo_server_endpoint_requests_total{endpoint=\"run\"}";
+    rep.row("runs", [total(runs).to_string(), window(runs)]);
+    for (name, q) in [("run_p50_us", 500), ("run_p95_us", 950), ("run_p99_us", 990)] {
+        rep.row(name, [quantile(&cum_total, q).to_string(), quantile(&cum_window, q).to_string()]);
+    }
+    for (name, family) in [
+        ("queue_depth", "tdo_server_queue_depth"),
+        ("queue_cap", "tdo_server_queue_cap"),
+        ("shed", "tdo_server_shed_total"),
+        ("run_failed", "tdo_server_run_failed_total"),
+        ("sims", "tdo_sim_sims_total"),
+        ("arm_switches", "tdo_arm_switches_total"),
+    ] {
+        rep.row(name, [total(family).to_string(), window(family)]);
+    }
+    for (prefix, label_prefix) in [
+        ("dump", "tdo_server_flight_dumps_total{reason=\""),
+        ("arm_issued", "tdo_prefetch_issued_total{arm=\""),
+        ("watchdog", "tdo_watchdog_trips_total{rule=\""),
+    ] {
+        for (label, i) in labeled(label_prefix) {
+            rep.row(format!("{prefix}:{label}"), [last.1[i].to_string(), window_at(i)]);
+        }
+    }
+    out.push_str(&rep.render(format));
+    out
+}
+
+/// `tdo top <addr>`: the live health dashboard — poll `/metrics/history`,
+/// render a frame, repeat (or `--once` for a single deterministic frame).
+fn cmd_top(args: &[String]) -> Result<ExitCode, String> {
+    let addr = match args.first() {
+        Some(a) if !a.starts_with("--") => a.clone(),
+        _ => return Err("top needs a server address (host:port)".into()),
+    };
+    let mut once = false;
+    let mut window: usize = 0;
+    let mut interval_ms: u64 = 1000;
+    let mut format = Format::Table;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--once" => once = true,
+            "--window" => {
+                let v = it.next().ok_or("--window needs a value")?;
+                window = v.parse().map_err(|_| format!("bad --window `{v}`"))?;
+            }
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                interval_ms = v.parse().map_err(|_| format!("bad --interval-ms `{v}`"))?;
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                format = v.parse()?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    loop {
+        let resp = client::get(&addr, &format!("/metrics/history?window={window}"))
+            .map_err(|e| format!("cannot reach `{addr}`: {e}"))?;
+        if !resp.ok() {
+            return Err(format!("server answered HTTP {}", resp.status));
+        }
+        let frame = render_top(&parse_history(&resp.body)?, format);
+        if once {
+            print!("{frame}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        // Live mode: redraw in place on a terminal, append frames in a pipe.
+        if std::io::stdout().is_terminal() {
+            print!("\x1b[2J\x1b[H{frame}");
+        } else {
+            println!("{frame}");
+        }
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
+/// The display name of a policy candidate index in ledger records.
+fn candidate_name(idx: u64) -> String {
+    policy_candidates()
+        .get(idx as usize)
+        .and_then(|c| c.kind())
+        .map_or_else(|| format!("arm{idx}"), |k| k.name().to_string())
+}
+
+/// `tdo why <workload>`: narrate the run's decision-audit ledger — every
+/// distance repair under `--arm` and every policy arm switch, each with the
+/// windowed evidence that justified it.
+fn cmd_why(name: &str, o: &Opts) -> Result<ExitCode, String> {
+    load_workload(name, o.full)?;
+    let runner = runner(o);
+    let r = runner.run_cell(&Cell::new(name, scale(o), config(o, o.arm)));
+    // Arm switches only exist under the policy controller; unless --arm
+    // already asked for it, run the policy cell too (memoized/store-backed,
+    // so a warm store simulates nothing).
+    let policy = if o.arm == PrefetchSetup::Policy {
+        r.clone()
+    } else {
+        runner.run_cell(&Cell::new(name, scale(o), config(o, PrefetchSetup::Policy)))
+    };
+    store_footer(&runner);
+
+    let repairs: Vec<_> =
+        r.ledger.iter().filter(|rec| rec.kind == tdo_core::LedgerKind::Repair).collect();
+    let switches: Vec<_> =
+        policy.ledger.iter().filter(|rec| rec.kind == tdo_core::LedgerKind::ArmSwitch).collect();
+
+    if o.format != Format::Table {
+        // Machine-readable: the raw records, one row each (CI artifacts).
+        let mut rep = Report::new("why")
+            .key("kind", 12)
+            .col("cycle", 12)
+            .col("group", 12)
+            .col("pc", 12)
+            .col("old", 10)
+            .col("new", 10)
+            .col("evidence_a", 12)
+            .col("evidence_b", 12)
+            .col("margin", 8)
+            .col("epoch", 8)
+            .rule(0);
+        for rec in repairs.iter().chain(switches.iter()) {
+            let (old, new) = if rec.kind == tdo_core::LedgerKind::Repair {
+                (rec.old.to_string(), rec.new.to_string())
+            } else {
+                (candidate_name(rec.old), candidate_name(rec.new))
+            };
+            rep.row(
+                if rec.kind == tdo_core::LedgerKind::Repair { "repair" } else { "arm_switch" },
+                [
+                    rec.cycle.to_string(),
+                    format!("{:#x}", rec.group),
+                    format!("{:#x}", rec.pc),
+                    old,
+                    new,
+                    rec.evidence_a.to_string(),
+                    rec.evidence_b.to_string(),
+                    rec.margin_milli.to_string(),
+                    rec.epoch.to_string(),
+                ],
+            );
+        }
+        print!("{}", rep.render(o.format));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    println!("{name} decision audit ({}):", if o.full { "full scale" } else { "test scale" });
+    println!();
+    println!(
+        "distance repairs under {:?}: {} recorded, {} retained",
+        o.arm,
+        r.optimizer.repairs,
+        repairs.len()
+    );
+    for rec in &repairs {
+        println!(
+            "  cycle {:>9}  group {:#x} pc {:#x}  distance {} -> {}  \
+             avg access {}.{:02}c (prev {}.{:02}c)  tolerance {}m  budget left {}",
+            rec.cycle,
+            rec.group,
+            rec.pc,
+            rec.old,
+            rec.new,
+            rec.evidence_a / 100,
+            rec.evidence_a % 100,
+            rec.evidence_b / 100,
+            rec.evidence_b % 100,
+            rec.margin_milli,
+            rec.epoch
+        );
+    }
+    if repairs.is_empty() {
+        println!("  (none — every prefetch distance stayed where it started)");
+    }
+    println!();
+    println!(
+        "policy arm switches: {} recorded, {} retained",
+        policy.mem.arm_switches,
+        switches.len()
+    );
+    for rec in &switches {
+        println!(
+            "  cycle {:>9}  epoch {:>3}  {} -> {}  ipc {}.{:03}  mpki {}.{:03}  margin {}m",
+            rec.cycle,
+            rec.epoch,
+            candidate_name(rec.old),
+            candidate_name(rec.new),
+            rec.evidence_a / 1000,
+            rec.evidence_a % 1000,
+            rec.evidence_b / 1000,
+            rec.evidence_b % 1000,
+            rec.margin_milli
+        );
+    }
+    if switches.is_empty() {
+        println!("  (none — the controller held one arm for the whole run)");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `tdo perf`: the throughput-baseline pipeline (see `tdo_bench::perf`).
@@ -968,9 +1337,10 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<ExitCode, String> {
         "serve" => cmd_serve(args),
         "store" => cmd_store(args),
         "ping" => cmd_ping(args),
+        "top" => cmd_top(args),
         "perf" => cmd_perf(args),
         "chaos" => cmd_chaos(args),
-        "run" | "compare" | "disasm" | "traces" | "timeline" => {
+        "run" | "compare" | "disasm" | "traces" | "timeline" | "why" => {
             // `compare --arms <all|list>` sweeps the whole suite and takes
             // no workload argument.
             if cmd == "compare" && args.first().is_some_and(|a| a.starts_with("--")) {
@@ -990,6 +1360,7 @@ fn dispatch(cmd: &str, args: &[String]) -> Result<ExitCode, String> {
                 "compare" => cmd_compare(name, &opts),
                 "disasm" => cmd_disasm(name, &opts),
                 "timeline" => cmd_timeline(name, &opts),
+                "why" => cmd_why(name, &opts),
                 _ => cmd_traces(name, &opts),
             }
         }
@@ -1051,6 +1422,112 @@ mod tests {
         assert!(
             usage_text().contains("none|hw4x4|hw8x8|basic|whole|sr|swonly|nl|adanl|delta|policy")
         );
+    }
+
+    /// A synthetic two-row history covering every family `tdo top` reads:
+    /// the same shape `/metrics/history` serves, built deterministically.
+    fn fixture_history() -> History {
+        let lat = "tdo_server_request_latency_us{endpoint=\"run\"}";
+        // Window 1: two requests at ≤1024 µs (b10), two at ≤4096 µs (b12).
+        // Window 2 adds four more at ≤16384 µs (b14).
+        let mut counts1 = [0u64; tdo_metrics::TOTAL_BUCKETS];
+        counts1[10] = 2;
+        counts1[12] = 2;
+        let mut counts2 = counts1;
+        counts2[14] += 4;
+        let cum = |c: &[u64; tdo_metrics::TOTAL_BUCKETS], i: usize| c[..=i].iter().sum::<u64>();
+
+        let mut spec: Vec<(String, &str, u64, u64)> = vec![
+            ("tdo_server_endpoint_requests_total{endpoint=\"run\"}".into(), "counter", 4, 8),
+            ("tdo_server_queue_depth".into(), "gauge", 3, 1),
+            ("tdo_server_queue_cap".into(), "gauge", 16, 16),
+            ("tdo_server_shed_total".into(), "counter", 0, 2),
+            ("tdo_server_run_failed_total".into(), "counter", 0, 0),
+            ("tdo_sim_sims_total".into(), "counter", 4, 8),
+            ("tdo_arm_switches_total".into(), "counter", 1, 3),
+            ("tdo_server_flight_dumps_total{reason=\"slo_burn\"}".into(), "counter", 0, 1),
+            ("tdo_prefetch_issued_total{arm=\"nextline\"}".into(), "counter", 120, 250),
+            ("tdo_prefetch_issued_total{arm=\"stream\"}".into(), "counter", 638, 638),
+            ("tdo_watchdog_trips_total{rule=\"queue_depth\"}".into(), "counter", 0, 0),
+            ("tdo_watchdog_trips_total{rule=\"slo_burn\"}".into(), "counter", 0, 1),
+        ];
+        for i in 0..tdo_metrics::TOTAL_BUCKETS {
+            spec.push((format!("{lat}#b{i}"), "counter", cum(&counts1, i), cum(&counts2, i)));
+        }
+        spec.push((format!("{lat}#sum"), "counter", 7_000, 48_000));
+        spec.push((format!("{lat}#count"), "counter", 4, 8));
+        History {
+            columns: spec.iter().map(|(n, ..)| n.clone()).collect(),
+            kinds: spec.iter().map(|(_, k, ..)| (*k).to_string()).collect(),
+            rows: vec![
+                (40, spec.iter().map(|&(_, _, a, _)| a).collect()),
+                (55, spec.iter().map(|&(_, _, _, b)| b).collect()),
+            ],
+        }
+    }
+
+    /// The `tdo top --once --format table` frame for a fixed history is
+    /// byte-pinned. Regenerate with
+    /// `TDO_BLESS=1 cargo test -p tdo-cli top_frame`.
+    #[test]
+    fn top_frame_matches_golden_snapshot() {
+        let frame = render_top(&fixture_history(), Format::Table);
+        let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/top_table.txt");
+        if std::env::var_os("TDO_BLESS").is_some() {
+            std::fs::write(golden, &frame).unwrap();
+        } else {
+            let expected = std::fs::read_to_string(golden)
+                .expect("golden file missing; regenerate with TDO_BLESS=1");
+            assert_eq!(
+                frame, expected,
+                "top frame drifted from the golden file; if intended, regenerate with TDO_BLESS=1"
+            );
+        }
+        // The frame reads sanely regardless of the golden bytes.
+        assert!(frame.contains("health plane: 2 rows retained, span 15 ticks"), "{frame}");
+        assert!(frame.contains("run_p95_us"), "{frame}");
+        assert!(frame.contains("arm_issued:stream"), "{frame}");
+        assert!(frame.contains("watchdog:slo_burn"), "{frame}");
+    }
+
+    /// The history parser round-trips the exact JSONL shape
+    /// `/metrics/history` emits, including escaped label quotes, and
+    /// rejects structural damage.
+    #[test]
+    fn history_jsonl_parses_and_rejects_damage() {
+        let text = concat!(
+            "{\"series_schema\":1,\"rows\":2,\"columns\":[",
+            "\"tdo_server_request_latency_us{endpoint=\\\"run\\\"}#count\",",
+            "\"tdo_server_queue_depth\"],\"kinds\":[\"counter\",\"gauge\"]}\n",
+            "{\"tick\":3,\"values\":[4,1]}\n",
+            "{\"tick\":9,\"values\":[10,0]}\n",
+        );
+        let h = parse_history(text).expect("parses");
+        assert_eq!(
+            h.columns,
+            ["tdo_server_request_latency_us{endpoint=\"run\"}#count", "tdo_server_queue_depth"]
+        );
+        assert_eq!(h.kinds, ["counter", "gauge"]);
+        assert_eq!(h.rows, [(3, vec![4, 1]), (9, vec![10, 0])]);
+
+        assert!(parse_history("").is_err(), "empty body");
+        assert!(parse_history("{\"series_schema\":99,\"columns\":[],\"kinds\":[]}").is_err());
+        let short_row = text.replace("[10,0]", "[10]");
+        assert!(parse_history(&short_row).is_err(), "row width must match the schema");
+
+        // An empty history (header only) renders a hint, not a panic.
+        let empty = parse_history("{\"series_schema\":1,\"rows\":0,\"columns\":[],\"kinds\":[]}\n")
+            .expect("parses");
+        assert!(render_top(&empty, Format::Table).contains("no samples retained"));
+    }
+
+    /// Ledger candidate indices resolve to the arsenal's arm names.
+    #[test]
+    fn candidate_names_cover_the_policy_arsenal() {
+        let names: Vec<String> =
+            (0..policy_candidates().len() as u64).map(candidate_name).collect();
+        assert_eq!(names, ["stream", "nextline", "adanl", "delta"]);
+        assert_eq!(candidate_name(99), "arm99", "out-of-range indices stay renderable");
     }
 
     /// The `--arms all` arsenal is exactly the hardware arms plus the

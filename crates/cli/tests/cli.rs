@@ -126,6 +126,17 @@ fn serve_and_ping_round_trip() {
     let repeat = ok(run);
     assert!(repeat.contains("\"cycles\":"), "{repeat}");
 
+    // The health dashboard over /metrics/history: one deterministic frame,
+    // and two idle frames must agree byte for byte (the scrape itself is
+    // excluded from sampling).
+    let frame = ok(&["top", &addr, "--once"]);
+    assert!(frame.contains("health plane:"), "{frame}");
+    for row in ["runs", "run_p95_us", "queue_cap", "arm_issued:stream", "watchdog:slo_burn"] {
+        assert!(frame.contains(row), "want `{row}` in frame:\n{frame}");
+    }
+    let again = ok(&["top", &addr, "--once"]);
+    assert_eq!(frame, again, "idle top frames must be byte-identical");
+
     // /metrics over `tdo ping`: counters reflect exactly what we did.
     let metrics = ok(&["ping", &addr, "--metrics"]);
     for expected in [
@@ -163,7 +174,7 @@ fn serve_and_ping_round_trip() {
     // per generation with record-size accounting.
     let stats = ok(&["store", "stats", "--store-dir", &store.path()]);
     assert!(stats.contains("live records       1"), "{stats}");
-    assert!(stats.contains("v2"), "{stats}");
+    assert!(stats.contains("v3"), "{stats}");
     assert!(stats.contains("record bytes       mean"), "{stats}");
 }
 
@@ -206,6 +217,32 @@ fn perf_baseline_is_deterministic_and_gates() {
         "stderr: {}",
         String::from_utf8_lossy(&failed.stderr)
     );
+}
+
+#[test]
+fn why_narrates_repairs_and_arm_switches_with_evidence() {
+    let store = TestDir::new("why");
+    // phaseshift: the self-repair arm repairs distances and the policy
+    // controller switches arms, so both ledger sections are populated.
+    let out = ok(&["why", "phaseshift", "--store-dir", &store.path()]);
+    assert!(out.contains("phaseshift decision audit (test scale)"), "{out}");
+    assert!(out.contains("distance repairs under SwSelfRepair"), "{out}");
+    assert!(out.contains("tolerance 20m"), "{out}");
+    assert!(out.contains("policy arm switches:"), "{out}");
+    assert!(out.contains("ipc "), "{out}");
+    assert!(out.contains("mpki "), "{out}");
+    // The narrated switch count is the counter's own number, not a resample.
+    let header = out.lines().find(|l| l.starts_with("policy arm switches:")).expect("section");
+    assert!(!header.contains(" 0 recorded"), "phaseshift must switch arms: {header}");
+
+    // Same cells again, warm store: the narration must be byte-identical.
+    let again = ok(&["why", "phaseshift", "--store-dir", &store.path()]);
+    assert_eq!(out, again, "warm-store why must replay the identical ledger");
+
+    // Machine-readable mode carries the raw records for CI artifacts.
+    let csv = ok(&["why", "phaseshift", "--format", "csv", "--store-dir", &store.path()]);
+    assert!(csv.lines().any(|l| l.starts_with("repair,")), "{csv}");
+    assert!(csv.lines().any(|l| l.starts_with("arm_switch,")), "{csv}");
 }
 
 #[test]

@@ -165,10 +165,16 @@ pub struct PrefetchOptimizer {
     member_to_rep: HashMap<(u64, u64), u64>,
     /// Counters.
     pub stats: OptimizerStats,
+    /// Decision-audit ledger: one record per in-place distance repair.
+    pub ledger: crate::DecisionLedger,
     probe: SharedProbe,
     probe_on: bool,
     finalized: bool,
 }
+
+/// The repair rule's noise tolerance (the `avg <= prev * 1.02` test) in
+/// milli-units, recorded as each repair record's decision margin.
+pub const REPAIR_TOLERANCE_MILLI: u64 = 20;
 
 impl PrefetchOptimizer {
     /// Builds an optimizer.
@@ -179,6 +185,7 @@ impl PrefetchOptimizer {
             states: HashMap::new(),
             member_to_rep: HashMap::new(),
             stats: OptimizerStats::default(),
+            ledger: crate::DecisionLedger::new(),
             probe: tdo_obs::null_probe(),
             probe_on: false,
             finalized: false,
@@ -509,6 +516,7 @@ impl PrefetchOptimizer {
         }
         let new_distance = state.distance;
         let deref = state.deref_base_off.map(|b| (b, state.stride));
+        let repairs_left = u64::from(state.repairs_left);
         let exhausted = state.repairs_left == 0;
         if std::env::var_os("TDO_DEBUG").is_some() {
             eprintln!(
@@ -527,6 +535,18 @@ impl PrefetchOptimizer {
                 avg_latency_x100: (avg_access * 100.0).round() as u64,
             },
         );
+        self.ledger.push(crate::LedgerRecord {
+            cycle: now,
+            kind: crate::LedgerKind::Repair,
+            group: rep_pc,
+            pc: orig_pc,
+            old: u64::from(old),
+            new: u64::from(new_distance),
+            evidence_a: (avg_access * 100.0).round() as u64,
+            evidence_b: prev.map_or(0, |p| (p * 100.0).round() as u64),
+            margin_milli: REPAIR_TOLERANCE_MILLI,
+            epoch: repairs_left,
+        });
 
         dlt.clear_window(load_pc);
         if exhausted {

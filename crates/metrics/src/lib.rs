@@ -22,6 +22,7 @@
 //! out (`us`, `bytes`, `cycles`) — never scaled.
 
 pub mod expo;
+pub mod series;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -133,6 +134,65 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
+
+    /// The estimated `q_milli`/1000 quantile (see [`quantile_from_buckets`]).
+    #[must_use]
+    pub fn quantile_milli(&self, q_milli: u64) -> u64 {
+        quantile_from_buckets(&self.buckets, q_milli)
+    }
+
+    /// Estimated median observation.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile_milli(500)
+    }
+
+    /// Estimated 95th-percentile observation.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile_milli(950)
+    }
+
+    /// Estimated 99th-percentile observation.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile_milli(990)
+    }
+}
+
+/// Estimates the `q_milli`/1000 quantile of a log2-bucketed observation
+/// set (per-bucket counts as stored by [`Histogram`], `+Inf` last).
+///
+/// The target rank is `ceil(q * count)`; the estimate interpolates
+/// linearly between the containing bucket's exclusive lower bound and its
+/// inclusive upper bound, matching Prometheus' `histogram_quantile`
+/// convention but in pure integers. An empty set estimates 0; a rank
+/// landing in the `+Inf` bucket saturates to the largest finite bound
+/// (`2^31`), the only honest point estimate a bounded histogram can give.
+#[must_use]
+pub fn quantile_from_buckets(buckets: &[u64; TOTAL_BUCKETS], q_milli: u64) -> u64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let rank = (q_milli.min(1000) * count).div_ceil(1000).max(1);
+    let mut cum = 0u64;
+    for (i, n) in buckets.iter().enumerate() {
+        if *n == 0 {
+            continue;
+        }
+        let Some(hi) = Histogram::bucket_le(i) else {
+            return 1u64 << (FINITE_BUCKETS - 1); // +Inf: saturate
+        };
+        cum += n;
+        if rank <= cum {
+            let lo = if i == 0 { 0 } else { Histogram::bucket_le(i - 1).expect("finite") };
+            let into = rank - (cum - n); // 1..=n, rank's position inside the bucket
+            return lo + (hi - lo) * into / n;
+        }
+    }
+    // Unreachable (rank <= count and cum reaches count), but stay total.
+    1u64 << (FINITE_BUCKETS - 1)
 }
 
 impl Histogram {
@@ -573,6 +633,61 @@ mod tests {
         expo::parse_text(&text).expect("exposition with exemplars must parse");
         assert_eq!(h.exemplar(Histogram::bucket_index(3)), Some((0xabcd, 3)));
         assert_eq!(h.exemplar(Histogram::bucket_index(900)), None);
+    }
+
+    #[test]
+    fn quantiles_hit_bucket_boundaries_exactly() {
+        // A single observation at a power of two is its own p50/p95/p99:
+        // the interpolation walks the whole bucket and lands on `le`.
+        for k in [0u32, 1, 5, 13, 31] {
+            let h = Histogram::new();
+            h.observe(1u64 << k);
+            let s = h.snapshot();
+            assert_eq!(s.p50(), 1u64 << k, "p50 of one 2^{k}");
+            assert_eq!(s.p99(), 1u64 << k, "p99 of one 2^{k}");
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        // 100 observations of 3 land in the (2, 4] bucket; the median rank
+        // (50 of 100) sits halfway through it: 2 + 2*50/100 = 3.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(3);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 3);
+        assert_eq!(s.p99(), 2 + 2 * 99 / 100);
+        assert_eq!(s.quantile_milli(1000), 4, "p100 is the bucket's upper bound");
+    }
+
+    #[test]
+    fn quantiles_split_across_buckets() {
+        // 90 fast + 10 slow: p50 stays in the fast bucket, p95/p99 move to
+        // the slow one. le=1 bucket (lo=0, hi=1): rank 45 of 90 -> 0+1*45/90.
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..10 {
+            h.observe(1000); // (512, 1024] bucket
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 0); // rank 50 of 90 interpolates inside the [0,1] bucket
+        assert_eq!(s.p95(), 512 + 512 * 5 / 10);
+        assert_eq!(s.p99(), 512 + 512 * 9 / 10);
+    }
+
+    #[test]
+    fn quantiles_saturate_in_the_overflow_bucket_and_zero_when_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().p50(), 0, "empty histogram estimates 0");
+        h.observe(u64::MAX);
+        h.observe((1u64 << 31) + 1);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 1u64 << 31, "+Inf ranks saturate to the last finite bound");
+        assert_eq!(s.p99(), 1u64 << 31);
     }
 
     #[test]

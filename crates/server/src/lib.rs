@@ -21,6 +21,7 @@
 //! | `GET /health` | accept thread | liveness probe |
 //! | `GET /metrics` | accept thread | integer counters (requests, coalesced, shed, store hits/misses, sims, queue depth) |
 //! | `GET /workloads` | accept thread | the workload suite with descriptions |
+//! | `GET /metrics/history?window=N` | accept thread | retained health-sampler rows as JSONL (see [`health`]) |
 //! | `GET /debug/flight` | accept thread | the flight recorder's current contents as flight JSONL |
 //! | `POST /run` | worker pool | JSON cell spec → result (store, then memo, then simulate) |
 //! | `POST /shutdown` | accept thread | graceful shutdown (equivalent to SIGINT) |
@@ -36,6 +37,7 @@
 #![warn(clippy::all)]
 
 pub mod client;
+pub mod health;
 pub mod http;
 pub mod json;
 
@@ -150,7 +152,9 @@ struct Metrics {
     shed: Arc<Counter>,
     bad_requests: Vec<(&'static str, Arc<Counter>)>,
     debug_flight: Arc<Counter>,
+    history: Arc<Counter>,
     flight_dumps: Vec<(&'static str, Arc<Counter>)>,
+    watchdog_trips: Vec<(&'static str, Arc<Counter>)>,
     not_found: Arc<Counter>,
     runs_started: Arc<Counter>,
     runs_finished: Arc<Counter>,
@@ -158,8 +162,10 @@ struct Metrics {
     lat_metrics: Arc<Histogram>,
     lat_workloads: Arc<Histogram>,
     lat_run: Arc<Histogram>,
+    lat_history: Arc<Histogram>,
     queue_depth: Arc<Gauge>,
     queue_cap: Arc<Gauge>,
+    uptime: Arc<Gauge>,
 }
 
 /// Every `reason` label on `tdo_server_bad_requests_total`; one per
@@ -177,9 +183,11 @@ const BAD_REQUEST_REASONS: [&str; 10] = [
     "bad_cell_spec",
 ];
 
-/// `reason` labels on `tdo_server_flight_dumps_total` — the three dump
-/// triggers.
-const DUMP_REASONS: [&str; 3] = ["worker_panic", "queue_saturation", "slo_breach"];
+/// `reason` labels on `tdo_server_flight_dumps_total` — every dump
+/// trigger: the three request-path triggers plus the watchdog's two
+/// (`slo_burn` for the burn-rate rule, `anomaly` for the rest).
+pub const DUMP_REASONS: [&str; 5] =
+    ["worker_panic", "queue_saturation", "slo_breach", "slo_burn", "anomaly"];
 
 impl Metrics {
     fn new(reg: &Registry) -> Metrics {
@@ -224,6 +232,7 @@ impl Metrics {
                 })
                 .collect(),
             debug_flight: ep("debug_flight"),
+            history: ep("history"),
             flight_dumps: DUMP_REASONS
                 .iter()
                 .map(|&reason| {
@@ -235,6 +244,17 @@ impl Metrics {
                     (reason, counter)
                 })
                 .collect(),
+            watchdog_trips: health::WATCHDOG_RULES
+                .iter()
+                .map(|&rule| {
+                    let counter = reg.counter(
+                        "tdo_watchdog_trips_total",
+                        &[("rule", rule)],
+                        "Health-watchdog rules tripped.",
+                    );
+                    (rule, counter)
+                })
+                .collect(),
             not_found: c("tdo_server_not_found_total", "Requests for unknown endpoints."),
             runs_started: c("tdo_server_runs_started_total", "Single-flight leaders started."),
             runs_finished: c("tdo_server_runs_finished_total", "Single-flight leaders finished."),
@@ -242,13 +262,29 @@ impl Metrics {
             lat_metrics: lat("metrics"),
             lat_workloads: lat("workloads"),
             lat_run: lat("run"),
+            lat_history: lat("history"),
             queue_depth: reg.gauge(
                 "tdo_server_queue_depth",
                 &[],
                 "Jobs waiting in the bounded run queue.",
             ),
             queue_cap: reg.gauge("tdo_server_queue_cap", &[], "Capacity of the bounded run queue."),
+            uptime: reg.gauge(
+                "tdo_server_uptime_ticks",
+                &[],
+                "Background health-sampler ticks since the server started.",
+            ),
         }
+    }
+
+    /// Counts one watchdog trip on the named rule.
+    fn watchdog_trip(&self, rule: &str) {
+        let (_, counter) = self
+            .watchdog_trips
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .expect("rule is in WATCHDOG_RULES");
+        counter.inc();
     }
 
     /// Counts one 400 on the named reject path.
@@ -297,6 +333,7 @@ struct State {
     slo_us: u64,
     flight_dir: Option<String>,
     flight_files: AtomicU64,
+    health: health::HealthPlane,
 }
 
 /// Cap on dump files written per process — a crash loop must not fill the
@@ -384,6 +421,25 @@ impl Server {
         let m = Metrics::new(&registry);
         runner.register_metrics(&registry);
         tdo_obs::register_metrics(&registry);
+        // Build/schema identity: always-1 gauge whose labels carry the
+        // versions a scraper needs to interpret everything else.
+        let result_schema = tdo_sim::SCHEMA_VERSION.to_string();
+        let series_schema = tdo_metrics::series::SERIES_SCHEMA_VERSION.to_string();
+        let arms = tdo_sim::policy_candidates().len().to_string();
+        registry
+            .gauge(
+                "tdo_build_info",
+                &[
+                    ("result_schema", &result_schema),
+                    ("series_schema", &series_schema),
+                    ("arms", &arms),
+                ],
+                "Schema/build identity; the value is always 1.",
+            )
+            .set(1);
+        // The health plane captures its column schema here: every
+        // instrument the server samples must already be registered.
+        let health = health::HealthPlane::new(&registry, cfg.slo_us, cfg.queue_cap.max(1) as u64);
         let state = Arc::new(State {
             runner,
             workloads_json: workloads_json(),
@@ -398,6 +454,7 @@ impl Server {
             slo_us: cfg.slo_us,
             flight_dir: cfg.flight_dir.clone(),
             flight_files: AtomicU64::new(0),
+            health,
         });
         state.m.queue_cap.set(state.queue_cap as u64);
         Ok(Server { listener, state, workers: cfg.workers.max(1) })
@@ -436,6 +493,12 @@ impl Server {
                 .expect("spawn worker thread");
             workers.push(t);
         }
+        // The health sampler rides the accept loop's idle sleeps: every
+        // fifth 20 ms sleep (~100 ms) is one background tick. Busy periods
+        // starve the tick, but every `/metrics/history` scrape pre-samples,
+        // so history never misses a change — only the watchdog cadence
+        // stretches under saturation.
+        let mut idle_sleeps: u32 = 0;
         while !self.state.shutting_down() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -450,6 +513,10 @@ impl Server {
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(20));
+                    idle_sleeps += 1;
+                    if idle_sleeps.is_multiple_of(5) {
+                        health_tick(&self.state);
+                    }
                 }
                 Err(_) => std::thread::sleep(Duration::from_millis(20)),
             }
@@ -467,6 +534,22 @@ impl Server {
     #[must_use]
     pub fn runner(&self) -> &Runner {
         &self.state.runner
+    }
+}
+
+/// One background health tick: sample the registry into the history ring
+/// and let the watchdog look at the window; tripped rules count and dump.
+fn health_tick(state: &Arc<State>) {
+    state.m.queue_depth.set(relock(&state.queue).len() as u64);
+    for rule in state.health.tick(&state.registry, &state.m.uptime) {
+        state.m.watchdog_trip(rule);
+        tdo_obs::logline::log(
+            tdo_obs::Level::Warn,
+            "watchdog",
+            "health rule tripped",
+            &[("rule", rule)],
+        );
+        trigger_flight_dump(state, health::dump_reason(rule));
     }
 }
 
@@ -537,6 +620,29 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
             let body = span::global().dump();
             let _ = write_response_typed(&mut stream, 200, "application/jsonl", &body);
         }
+        ("GET", "/metrics/history") => {
+            state.m.history.inc();
+            state.m.lat_history.observe_with_exemplar(elapsed_us(t0), trace);
+            let window = match query.as_deref() {
+                None | Some("") => Some(0),
+                Some(q) => q.strip_prefix("window=").and_then(|n| n.parse::<usize>().ok()),
+            };
+            match window {
+                Some(window) => {
+                    // Pre-sample so the scrape reflects everything up to
+                    // this instant; the request's own counters are excluded
+                    // from sampling, so an idle re-scrape is byte-identical.
+                    state.m.queue_depth.set(relock(&state.queue).len() as u64);
+                    state.health.sample(&state.registry);
+                    let body = state.health.render_history(window);
+                    let _ = write_response_typed(&mut stream, 200, "application/jsonl", &body);
+                }
+                None => {
+                    state.m.bad_request("bad_query");
+                    respond_error(&mut stream, 400, "expected ?window=N");
+                }
+            }
+        }
         ("POST", "/shutdown") => {
             let _ = write_response(&mut stream, 200, "{\"shutting_down\":true}");
             state.request_shutdown();
@@ -549,7 +655,8 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
         }
         (
             "GET" | "POST",
-            "/health" | "/metrics" | "/workloads" | "/debug/flight" | "/run" | "/shutdown",
+            "/health" | "/metrics" | "/metrics/history" | "/workloads" | "/debug/flight" | "/run"
+            | "/shutdown",
         ) => {
             state.m.bad_request("method_not_allowed");
             respond_error(&mut stream, 405, "method not allowed");

@@ -339,7 +339,10 @@ fn mask_wall_values(body: &str) -> String {
     for line in body.lines() {
         let wall = line.contains("_us_bucket{")
             || line.contains("_us_sum")
-            || (line.starts_with("tdo_obs_") && !line.starts_with('#'));
+            || (line.starts_with("tdo_obs_") && !line.starts_with('#'))
+            // The uptime gauge counts background sampler ticks — pure
+            // wall-clock scheduling, masked like the latency samples.
+            || (line.starts_with("tdo_server_uptime_ticks") && !line.starts_with('#'));
         match (wall, line.split_once(' ')) {
             (true, Some((series, _))) if !line.starts_with('#') => {
                 out.push_str(series);
@@ -397,6 +400,48 @@ fn prometheus_exposition_matches_golden_snapshot() {
             "prom exposition drifted from the golden file; if intended, regenerate with TDO_BLESS=1"
         );
     }
+
+    handle.shutdown();
+    t.join().expect("clean shutdown");
+}
+
+#[test]
+fn metrics_history_is_byte_deterministic_when_idle() {
+    let (addr, handle, t) = start(1, 4);
+
+    // Some traffic so the history has rows worth retaining.
+    for _ in 0..3 {
+        let r = post_run(&addr, r#"{"workload":"swim","arm":"sr","insts":5000}"#);
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+
+    // First scrape pre-samples whatever the runs changed; once idle, any
+    // number of further scrapes must return identical bytes — the scrape's
+    // own counters are excluded from sampling by design.
+    let first = client::get(&addr, "/metrics/history").unwrap();
+    assert_eq!(first.status, 200);
+    let again = client::get(&addr, "/metrics/history").unwrap();
+    let third = client::get(&addr, "/metrics/history?window=1000").unwrap();
+    assert_eq!(first.body, again.body, "idle scrapes must be byte-identical");
+    assert_eq!(first.body, third.body, "an over-wide window is the full history");
+
+    // Shape: a schema header naming every column, then one row per line.
+    let mut lines = first.body.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.starts_with("{\"series_schema\":1,\"rows\":"), "{header}");
+    assert!(header.contains("\"tdo_server_request_latency_us{endpoint=\\\"run\\\"}#count\""));
+    assert!(header.contains("\"tdo_server_queue_depth\""));
+    assert!(!header.contains("tdo_server_uptime_ticks"), "observer-effect series excluded");
+    let rows: Vec<&str> = lines.collect();
+    assert!(!rows.is_empty(), "traffic must have produced at least one row");
+    assert!(rows.iter().all(|r| r.starts_with("{\"tick\":")), "rows are tick objects");
+
+    // A window narrows the row set but keeps the newest row.
+    let windowed = client::get(&addr, "/metrics/history?window=1").unwrap();
+    assert_eq!(windowed.body.lines().count(), 2, "header + one row: {}", windowed.body);
+    assert_eq!(windowed.body.lines().last(), first.body.lines().last());
+
+    assert_eq!(client::get(&addr, "/metrics/history?window=soon").unwrap().status, 400);
 
     handle.shutdown();
     t.join().expect("clean shutdown");

@@ -167,6 +167,8 @@ struct PolicyController {
     base_insts: u64,
     base_cycles: u64,
     base_misses: u64,
+    /// Epochs closed so far — the ordinal stamped into ledger records.
+    epochs: u64,
 }
 
 impl PolicyController {
@@ -183,13 +185,19 @@ impl PolicyController {
             base_insts: 0,
             base_cycles: 0,
             base_misses: 0,
+            epochs: 0,
         }
     }
 
     /// Closes an epoch with its measured milli-IPC; returns the candidate
-    /// indices `(from, to)` when the installed arm must change.
-    fn on_epoch(&mut self, ipc_milli: u64) -> Option<(usize, usize)> {
+    /// indices `(from, to)` and the deciding rule's milli-margin (0 for an
+    /// unconditional sweep advance, `hysteresis_milli` for a sweep commit,
+    /// `degrade_milli` for a phase-change re-sweep) when the installed arm
+    /// must change.
+    fn on_epoch(&mut self, ipc_milli: u64) -> Option<(usize, usize, u64)> {
+        self.epochs += 1;
         let from = self.current;
+        let mut margin = 0;
         match self.state {
             PolicyState::Sampling { idx } => {
                 self.scores[idx] = ipc_milli;
@@ -214,6 +222,7 @@ impl PolicyController {
                     self.best_ipc = self.scores[self.incumbent];
                     self.state = PolicyState::Committed;
                     self.current = self.incumbent;
+                    margin = self.cfg.hysteresis_milli;
                 }
             }
             PolicyState::Committed => {
@@ -224,10 +233,11 @@ impl PolicyController {
                     self.scores = [0; 4];
                     self.state = PolicyState::Sampling { idx: 0 };
                     self.current = 0;
+                    margin = self.cfg.degrade_milli;
                 }
             }
         }
-        (from != self.current).then_some((from, self.current))
+        (from != self.current).then_some((from, self.current, margin))
     }
 }
 
@@ -272,6 +282,9 @@ pub struct Machine {
     /// Runtime arm-selection controller (policy setups only; locked
     /// policies install their arm at build time and need no controller).
     policy: Option<PolicyController>,
+    /// Arm-switch decision records; merged with the optimizer's repair
+    /// records into [`SimResult::ledger`].
+    ledger: tdo_core::DecisionLedger,
     /// Self-profiler; `None` (the default) is the zero-cost disabled
     /// path — every hook below is a single `Option` test.
     prof: Option<Box<MachineProfiler>>,
@@ -344,6 +357,7 @@ impl Machine {
             next_sample: cfg.sample_insts.max(1),
             sample_base: SampleBase::default(),
             policy,
+            ledger: tdo_core::DecisionLedger::new(),
             prof: None,
             cfg,
         }
@@ -481,6 +495,11 @@ impl Machine {
         // Close out the live arm's counters so the per-kind aggregates in
         // `MemStats` cover every arm the run used.
         self.hier.fold_arm_stats();
+        // Merge the two decision streams into one trajectory. Each source
+        // ring is chronological, so a stable sort on cycle is a merge.
+        let mut ledger = self.optimizer.ledger.records();
+        ledger.extend(self.ledger.records());
+        ledger.sort_by_key(|r| r.cycle);
         let begin = warm_snapshot.unwrap_or_default();
         let end = self.snapshot();
         let (cycles, helper_active, helper_committed, window) =
@@ -496,6 +515,7 @@ impl Machine {
             mem: self.hier.stats,
             trident: self.trident.stats,
             optimizer: self.optimizer.stats,
+            ledger,
             halted: self.core.halted(),
         }
     }
@@ -603,9 +623,23 @@ impl Machine {
         while ctl.next_check <= total {
             ctl.next_check += step;
         }
-        let decision = decision.map(|(f, t)| (ctl.candidates[f], ctl.candidates[t]));
-        if let Some((from, to)) = decision {
+        let epoch = ctl.epochs;
+        let decision =
+            decision.map(|(f, t, margin)| (f, t, margin, ctl.candidates[f], ctl.candidates[t]));
+        if let Some((from_idx, to_idx, margin_milli, from, to)) = decision {
             self.hier.set_arm(&to);
+            self.ledger.push(tdo_core::LedgerRecord {
+                cycle: now,
+                kind: tdo_core::LedgerKind::ArmSwitch,
+                group: 0,
+                pc: 0,
+                old: from_idx as u64,
+                new: to_idx as u64,
+                evidence_a: ipc_milli,
+                evidence_b: mpki_milli,
+                margin_milli,
+                epoch,
+            });
             self.emit(
                 now,
                 Event::ArmSwitch {

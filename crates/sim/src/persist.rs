@@ -23,9 +23,12 @@ use crate::result::{DriverCounters, SimResult};
 
 /// Payload schema version for stored [`SimResult`] records.
 /// v2: per-arm prefetch counters + arm switch count in [`MemStats`].
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: decision-audit ledger section (length-prefixed records) after the
+/// halt flag.
+pub const SCHEMA_VERSION: u32 = 3;
 
-/// Fixed counter words following the variable-length name prefix.
+/// Fixed counter words following the variable-length name prefix (up to
+/// and including the halt flag; the ledger section follows).
 const FIXED_WORDS: usize = 68;
 
 /// The store key of a cell: the stable 64-bit FNV-1a hash of its
@@ -120,6 +123,10 @@ pub fn encode_result(r: &SimResult) -> Vec<u64> {
         o.converge_cycles_max,
     ]);
     out.push(u64::from(r.halted));
+    out.push(r.ledger.len() as u64);
+    for rec in &r.ledger {
+        out.extend_from_slice(&rec.encode());
+    }
     out
 }
 
@@ -135,8 +142,19 @@ pub fn decode_result(words: &[u64]) -> Option<SimResult> {
         return None;
     }
     let name_words = name_len.div_ceil(8);
-    if words.len() != 1 + name_words + FIXED_WORDS {
+    let ledger_at = 1 + name_words + FIXED_WORDS;
+    if words.len() < ledger_at + 1 {
         return None;
+    }
+    let ledger_len = usize::try_from(words[ledger_at]).ok()?;
+    if ledger_len > 2 * tdo_core::LEDGER_CAPACITY
+        || words.len() != ledger_at + 1 + ledger_len * tdo_core::LEDGER_RECORD_WORDS
+    {
+        return None;
+    }
+    let mut ledger = Vec::with_capacity(ledger_len);
+    for chunk in words[ledger_at + 1..].chunks_exact(tdo_core::LEDGER_RECORD_WORDS) {
+        ledger.push(tdo_core::LedgerRecord::decode(chunk)?);
     }
     let mut name_bytes = Vec::with_capacity(name_words * 8);
     for w in &words[1..1 + name_words] {
@@ -228,6 +246,7 @@ pub fn decode_result(words: &[u64]) -> Option<SimResult> {
         mem,
         trident,
         optimizer,
+        ledger,
         halted,
     })
 }
@@ -250,6 +269,32 @@ mod tests {
             mem: MemStats::default(),
             trident: TridentStats::default(),
             optimizer: OptimizerStats::default(),
+            ledger: vec![
+                tdo_core::LedgerRecord {
+                    cycle: 500,
+                    kind: tdo_core::LedgerKind::Repair,
+                    group: 0x400,
+                    pc: 0x408,
+                    old: 2,
+                    new: 3,
+                    evidence_a: 18_250,
+                    evidence_b: 19_900,
+                    margin_milli: 20,
+                    epoch: 9,
+                },
+                tdo_core::LedgerRecord {
+                    cycle: 900,
+                    kind: tdo_core::LedgerKind::ArmSwitch,
+                    group: 0,
+                    pc: 0,
+                    old: 3,
+                    new: 0,
+                    evidence_a: 750,
+                    evidence_b: 12_000,
+                    margin_milli: 20,
+                    epoch: 4,
+                },
+            ],
             halted: true,
         };
         r.window.loads_hit = 99;
@@ -279,9 +324,17 @@ mod tests {
         let mut long = words.clone();
         long.push(0);
         assert!(decode_result(&long).is_none(), "long payload");
+        let name_words = "mcf".len().div_ceil(8);
         let mut bad_halt = words.clone();
-        *bad_halt.last_mut().unwrap() = 2;
+        bad_halt[name_words + FIXED_WORDS] = 2; // the halt flag word
         assert!(decode_result(&bad_halt).is_none(), "non-boolean halt flag");
+        let mut bad_kind = words.clone();
+        let first_record = 1 + name_words + FIXED_WORDS + 1;
+        bad_kind[first_record + 1] = 7; // a record's kind code
+        assert!(decode_result(&bad_kind).is_none(), "unknown ledger kind");
+        let mut bad_len = words.clone();
+        bad_len[first_record - 1] = u64::MAX; // the ledger length word
+        assert!(decode_result(&bad_len).is_none(), "absurd ledger length");
         let mut bad_name = words;
         bad_name[0] = u64::MAX;
         assert!(decode_result(&bad_name).is_none(), "absurd name length");

@@ -96,6 +96,10 @@ pub struct SimResult {
     pub trident: TridentStats,
     /// Whole-run optimizer stats.
     pub optimizer: OptimizerStats,
+    /// Decision-audit ledger: every distance repair and arm switch the run
+    /// performed, chronological (bounded by [`tdo_core::LEDGER_CAPACITY`]
+    /// per source ring).
+    pub ledger: Vec<tdo_core::LedgerRecord>,
     /// Whether the program halted before the instruction budget.
     pub halted: bool,
 }
@@ -218,6 +222,7 @@ mod tests {
             mem: MemStats::default(),
             trident: TridentStats::default(),
             optimizer: OptimizerStats::default(),
+            ledger: Vec::new(),
             halted: false,
         }
     }
